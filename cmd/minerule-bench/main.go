@@ -1,0 +1,59 @@
+// Command minerule-bench regenerates the experiment tables of
+// EXPERIMENTS.md (DESIGN.md §5, experiments E1–E8).
+//
+//	minerule-bench            # all experiments
+//	minerule-bench -exp E4    # one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"minerule/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: E1…E8 or all")
+	flag.Parse()
+
+	runners := map[string]func() (*bench.Table, error){
+		"E1": bench.E1,
+		"E2": func() (*bench.Table, error) { return bench.E2(nil) },
+		"E3": func() (*bench.Table, error) { return bench.E3(nil) },
+		"E4": func() (*bench.Table, error) { return bench.E4(0, nil) },
+		"E5": bench.E5,
+		"E6": bench.E6,
+		"E7": bench.E7,
+		"E8": func() (*bench.Table, error) { return bench.E8(nil) },
+		"E9": bench.E9,
+	}
+
+	if strings.EqualFold(*exp, "all") {
+		tables, err := bench.All()
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	run, ok := runners[strings.ToUpper(*exp)]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q (want E1…E9 or all)", *exp))
+	}
+	t, err := run()
+	if t != nil {
+		fmt.Println(t)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minerule-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command minerule-gen emits the synthetic workloads of the benchmark
+// harness as CSV, for use with the minerule shell's -csv flag or any
+// other consumer.
+//
+//	minerule-gen -kind basket -groups 10000 -t 10 -i 4 -items 1000 > t10i4d10k.csv
+//	minerule-gen -kind purchase -customers 500 > purchases.csv
+//	minerule-gen -kind catalog -items 200 -categories 12 > catalog.csv
+//
+// Headers match the shell's -hdr syntax (name:type).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"minerule/internal/gen"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "basket", "basket | purchase | catalog")
+		groups     = flag.Int("groups", 1000, "basket: number of groups (D)")
+		t          = flag.Int("t", 10, "basket: average group size (T)")
+		i          = flag.Int("i", 4, "basket: average pattern length (I)")
+		items      = flag.Int("items", 1000, "item universe size (N)")
+		customers  = flag.Int("customers", 300, "purchase: number of customers")
+		dates      = flag.Int("dates", 3, "purchase: average dates per customer")
+		perDate    = flag.Int("perdate", 4, "purchase: average items per date")
+		categories = flag.Int("categories", 10, "catalog: number of categories")
+		seed       = flag.Int64("seed", 1, "PRNG seed")
+		out        = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+
+	var err error
+	switch *kind {
+	case "basket":
+		fmt.Fprintf(os.Stderr, "header: gid:int,item:string\n")
+		for g, tx := range gen.Baskets(gen.BasketConfig{
+			Groups: *groups, AvgSize: *t, AvgPatternLen: *i, Items: *items, Seed: *seed,
+		}) {
+			for _, it := range tx {
+				if err = cw.Write([]string{strconv.Itoa(g + 1), "item_" + strconv.Itoa(it)}); err != nil {
+					fatal(err)
+				}
+			}
+		}
+	case "purchase":
+		fmt.Fprintf(os.Stderr, "header: tr:int,cust:string,item:string,dt:date,price:float,qty:int\n")
+		for _, r := range gen.Purchases(gen.PurchaseConfig{
+			Customers: *customers, DatesPerCust: *dates, ItemsPerDate: *perDate,
+			Items: *items, Seed: *seed,
+		}) {
+			rec := []string{
+				strconv.Itoa(r.Tr), r.Cust, r.Item,
+				r.Date.Format("2006-01-02"),
+				strconv.FormatFloat(r.Price, 'g', -1, 64),
+				strconv.Itoa(r.Qty),
+			}
+			if err = cw.Write(rec); err != nil {
+				fatal(err)
+			}
+		}
+	case "catalog":
+		fmt.Fprintf(os.Stderr, "header: pitem:string,category:string\n")
+		// One source of truth for the item→category mapping: the same
+		// function LoadCatalog uses.
+		rows, err := gen.CatalogRows(*items, *categories, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			if err := cw.Write([]string{r[0], r[1]}); err != nil {
+				fatal(err)
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown -kind %q", *kind))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minerule-gen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Command minerule-web serves the User Support UI (paper Figure 3's
+// third module) over HTTP: schema browsing, SQL and MINE RULE
+// execution, EXPLAIN, and a sortable rule viewer.
+//
+//	minerule-web -listen :8080 -csv Purchase=data.csv -hdr "tr:int,cust:string,item:string,dt:date,price:float,qty:int"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"minerule"
+	"minerule/internal/support"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:8080", "address to serve on")
+		csvSpec = flag.String("csv", "", "preload CSV: table=path")
+		hdr     = flag.String("hdr", "", "CSV header spec: name:type,…")
+		script  = flag.String("f", "", "SQL script to run before serving")
+	)
+	flag.Parse()
+
+	sys := minerule.Open()
+	if *csvSpec != "" {
+		parts := strings.SplitN(*csvSpec, "=", 2)
+		if len(parts) != 2 || *hdr == "" {
+			log.Fatal("minerule-web: -csv needs table=path and -hdr")
+		}
+		f, err := os.Open(parts[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := sys.ImportCSV(parts[0], strings.Split(*hdr, ","), f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d rows into %s\n", n, parts[0])
+	}
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.ExecScript(string(data)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("minerule user support on http://%s\n", *listen)
+	log.Fatal(http.ListenAndServe(*listen, support.NewServer(sys)))
+}

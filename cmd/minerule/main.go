@@ -1,0 +1,230 @@
+// Command minerule is an interactive shell and script runner for the
+// tightly-coupled mining system: it accepts plain SQL and MINE RULE
+// statements side by side, against one in-memory database.
+//
+// Usage:
+//
+//	minerule                  # interactive shell on stdin
+//	minerule -f script.sql    # run a script (';'-separated statements)
+//	minerule -e "stmt"        # run one statement string
+//	minerule -csv table=f.csv -hdr "a:int,b:string" ...  # preload CSV
+//
+// MINE RULE statements are detected by their leading keywords; anything
+// else goes to the SQL engine. Query results print as aligned tables.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"minerule"
+	mrparse "minerule/internal/minerule/parse"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "script file to execute")
+		expr    = flag.String("e", "", "statement(s) to execute")
+		csvSpec = flag.String("csv", "", "preload CSV: table=path")
+		hdr     = flag.String("hdr", "", "CSV header spec: name:type,name:type,…")
+		replace = flag.Bool("replace", true, "MINE RULE replaces existing output tables")
+		load    = flag.String("load", "", "load a database directory saved with -save")
+		save    = flag.String("save", "", "save the database to this directory on exit")
+	)
+	flag.Parse()
+
+	var sys *minerule.System
+	if *load != "" {
+		var err error
+		sys, err = minerule.LoadFrom(*load)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		sys = minerule.Open()
+	}
+	if *save != "" {
+		defer func() {
+			if err := sys.Save(*save); err != nil {
+				fatal(err)
+			}
+		}()
+	}
+
+	if *csvSpec != "" {
+		parts := strings.SplitN(*csvSpec, "=", 2)
+		if len(parts) != 2 || *hdr == "" {
+			fatal(fmt.Errorf("-csv needs table=path and -hdr"))
+		}
+		f, err := os.Open(parts[1])
+		if err != nil {
+			fatal(err)
+		}
+		n, err := sys.ImportCSV(parts[0], strings.Split(*hdr, ","), f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d rows into %s\n", n, parts[0])
+	}
+
+	switch {
+	case *expr != "":
+		if err := runScript(sys, *expr, *replace); err != nil {
+			fatal(err)
+		}
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runScript(sys, string(data), *replace); err != nil {
+			fatal(err)
+		}
+	default:
+		repl(sys, *replace)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minerule:", err)
+	os.Exit(1)
+}
+
+// runScript executes a ';'-separated mixed script.
+func runScript(sys *minerule.System, script string, replace bool) error {
+	for _, stmt := range splitStatements(script) {
+		if err := runOne(sys, stmt, replace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runOne(sys *minerule.System, stmt string, replace bool) error {
+	// "EXPLAIN MINE RULE …" prints the classification and the generated
+	// SQL programs instead of running the statement.
+	if trimmed := strings.TrimSpace(stmt); len(trimmed) > 7 && strings.EqualFold(trimmed[:7], "EXPLAIN") {
+		rest := strings.TrimSpace(trimmed[7:])
+		if strings.HasPrefix(strings.ToUpper(rest), "SELECT") {
+			out, err := sys.ExplainSQL(rest)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+			return nil
+		}
+		if mrparse.IsMineRule(rest) {
+			ex, err := sys.Explain(rest)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("-- classification %s; core: ", ex.Class)
+			if ex.Simple {
+				fmt.Println("simple (itemset pool)")
+			} else {
+				fmt.Println("general (rule lattice)")
+			}
+			fmt.Printf("Q1      %s\n", ex.TotalGroupsQuery)
+			for _, s := range ex.Steps {
+				fmt.Printf("%-7s %s\n", s.Name, s.SQL)
+			}
+			for _, d := range ex.Decode {
+				fmt.Printf("decode  %s\n", d)
+			}
+			return nil
+		}
+	}
+	if mrparse.IsMineRule(stmt) {
+		var opts []minerule.Option
+		if replace {
+			opts = append(opts, minerule.WithReplaceOutput())
+		}
+		res, err := sys.Mine(stmt, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("-- class %s, core %s, %d rule(s) into %s (+_Bodies, _Heads); %v\n",
+			res.Class, res.Algorithm, res.RuleCount, res.OutputTable, res.Timings.Total().Round(1000))
+		for i, r := range res.Rules {
+			if i == 25 {
+				fmt.Printf("   … and %d more (query %s for the rest)\n", res.RuleCount-25, res.OutputTable)
+				break
+			}
+			fmt.Println("   " + r.String())
+		}
+		return nil
+	}
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	if strings.HasPrefix(upper, "SELECT") {
+		out, err := sys.Format(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
+	return sys.Exec(stmt)
+}
+
+// splitStatements splits on top-level semicolons, respecting single
+// quotes.
+func splitStatements(s string) []string {
+	var out []string
+	var b strings.Builder
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '\'':
+			inStr = !inStr
+			b.WriteByte(c)
+		case c == ';' && !inStr:
+			if t := strings.TrimSpace(b.String()); t != "" {
+				out = append(out, t)
+			}
+			b.Reset()
+		default:
+			b.WriteByte(c)
+		}
+	}
+	if t := strings.TrimSpace(b.String()); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+// repl reads statements from stdin; a statement ends at a line whose
+// last non-space byte is ';'.
+func repl(sys *minerule.System, replace bool) {
+	fmt.Println("minerule shell — SQL and MINE RULE statements, ';' terminated. Ctrl-D exits.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("minerule> ")
+		} else {
+			fmt.Print("      ... ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(strings.TrimSpace(line), ";") {
+			for _, stmt := range splitStatements(buf.String()) {
+				if err := runOne(sys, stmt, replace); err != nil {
+					fmt.Fprintln(os.Stderr, "error:", err)
+				}
+			}
+			buf.Reset()
+		}
+		prompt()
+	}
+	fmt.Println()
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"minerule"
+)
+
+func TestSplitStatements(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a; b; c", []string{"a", "b", "c"}},
+		{"a;", []string{"a"}},
+		{"", nil},
+		{";;", nil},
+		{"INSERT INTO t VALUES ('x;y'); SELECT 1", []string{"INSERT INTO t VALUES ('x;y')", "SELECT 1"}},
+		{"a\n;\nb", []string{"a", "b"}},
+	}
+	for _, c := range cases {
+		got := splitStatements(c.in)
+		if strings.Join(got, "|") != strings.Join(c.want, "|") {
+			t.Errorf("splitStatements(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRunScriptMixed(t *testing.T) {
+	sys := minerule.Open()
+	script := `
+		CREATE TABLE P (gid INTEGER, item VARCHAR);
+		INSERT INTO P VALUES (1, 'a'), (1, 'b'), (2, 'a'), (2, 'b');
+		MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+			FROM P GROUP BY gid EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5;
+		SELECT COUNT(*) FROM R;
+	`
+	if err := runScript(sys, script, true); err != nil {
+		t.Fatal(err)
+	}
+	n, err := sys.QueryInt("SELECT COUNT(*) FROM R")
+	if err != nil || n != 2 {
+		t.Fatalf("rules = %d (%v)", n, err)
+	}
+	// Re-running the MINE RULE with replace succeeds.
+	mine := `MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+		FROM P GROUP BY gid EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5;`
+	if err := runScript(sys, mine, true); err != nil {
+		t.Fatal(err)
+	}
+	// Without replace it fails on the existing output table.
+	if err := runScript(sys, mine, false); err == nil {
+		t.Error("expected output-exists error without -replace")
+	}
+	// Errors propagate.
+	if err := runScript(sys, "SELECT * FROM missing;", true); err == nil {
+		t.Error("missing table accepted")
+	}
+}
+
+func TestRunOneExplain(t *testing.T) {
+	sys := minerule.Open()
+	if err := sys.Exec("CREATE TABLE P (gid INTEGER, item VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	err := runOne(sys, `EXPLAIN MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD
+		FROM P GROUP BY gid EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.1`, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Explain must not have created the output table.
+	if err := sys.Exec("SELECT * FROM R"); err == nil {
+		t.Error("EXPLAIN created output tables")
+	}
+}

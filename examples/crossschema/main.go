@@ -1,0 +1,66 @@
+// Crossschema mines rules whose body and head live on different
+// attributes (the translator's H class): which purchased items predict
+// purchases from which product categories. It exercises the dual
+// encoding (Bset and Hset) and the join-defined source (W).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minerule"
+	"minerule/internal/gen"
+)
+
+func main() {
+	sys := minerule.Open()
+
+	const items = 80
+	if _, err := gen.LoadPurchases(sys.DB(), "Purchase", gen.PurchaseConfig{
+		Customers:    400,
+		DatesPerCust: 3,
+		ItemsPerDate: 4,
+		Items:        items,
+		Seed:         99,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := gen.LoadCatalog(sys.DB(), "Products", items, 8, 99); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sys.Mine(`
+		MINE RULE ItemToCategory AS
+		SELECT DISTINCT 1..1 item AS BODY, 1..2 category AS HEAD, SUPPORT, CONFIDENCE
+		FROM Purchase, Products
+		WHERE Purchase.item = Products.pitem
+		GROUP BY cust
+		EXTRACTING RULES WITH SUPPORT: 0.15, CONFIDENCE: 0.6`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("classification %s (H: body on item, head on category; W: join source)\n", res.Class)
+	fmt.Printf("%d rules over %d customers\n\n", res.RuleCount, res.TotalGroups)
+	for i, r := range res.Rules {
+		if i == 20 {
+			fmt.Printf("  ... and %d more\n", res.RuleCount-20)
+			break
+		}
+		fmt.Println("  " + r.String())
+	}
+
+	// The output is ordinary relations: join them back to SQL freely —
+	// the integration the decoupled architecture cannot offer (§1).
+	out, err := sys.Format(`
+		SELECT B.item, COUNT(*) AS rules
+		FROM ItemToCategory R, ItemToCategory_Bodies B
+		WHERE R.BodyId = B.BodyId
+		GROUP BY B.item
+		ORDER BY rules DESC, B.item`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrules per body item (plain SQL over the output tables):")
+	fmt.Println(out)
+}

@@ -1,0 +1,71 @@
+// Quickstart reproduces the paper's worked example end to end: the
+// Purchase table of Figure 1, the FilteredOrderedSets MINE RULE
+// statement of §2, and the output rules of Figure 2.b.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"minerule"
+)
+
+func main() {
+	sys := minerule.Open()
+
+	// Figure 1: the Purchase table of the big-store.
+	err := sys.ExecScript(`
+		CREATE TABLE Purchase (tr INTEGER, cust VARCHAR, item VARCHAR, dt DATE, price FLOAT, qty INTEGER);
+		INSERT INTO Purchase VALUES
+			(1, 'cust1', 'ski_pants',    DATE '1995-12-17', 140, 1),
+			(1, 'cust1', 'hiking_boots', DATE '1995-12-17', 180, 1),
+			(2, 'cust2', 'col_shirts',   DATE '1995-12-18',  25, 2),
+			(2, 'cust2', 'brown_boots',  DATE '1995-12-18', 150, 1),
+			(2, 'cust2', 'jackets',      DATE '1995-12-18', 300, 1),
+			(3, 'cust1', 'jackets',      DATE '1995-12-18', 300, 1),
+			(4, 'cust2', 'col_shirts',   DATE '1995-12-19',  25, 3),
+			(4, 'cust2', 'jackets',      DATE '1995-12-19', 300, 2);
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Purchase (Figure 1):")
+	table, err := sys.Format("SELECT * FROM Purchase ORDER BY tr, item")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table)
+
+	// §2: purchases of items >= $100 followed, by the same customer on a
+	// later date, by purchases of items < $100.
+	res, err := sys.Mine(`
+		MINE RULE FilteredOrderedSets AS
+		SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, SUPPORT, CONFIDENCE
+		WHERE BODY.price >= 100 AND HEAD.price < 100
+		FROM Purchase
+		WHERE dt BETWEEN DATE '1995-01-01' AND DATE '1995-12-31'
+		GROUP BY cust
+		CLUSTER BY dt HAVING BODY.dt < HEAD.dt
+		EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("classification: %s   core: %s   groups: %d\n\n",
+		res.Class, res.Algorithm, res.TotalGroups)
+	fmt.Println("FilteredOrderedSets (Figure 2.b):")
+	for _, r := range res.Rules {
+		fmt.Println("  " + r.String())
+	}
+
+	// The rules are also plain tables in the database.
+	fmt.Println("\nStored output tables:")
+	for _, t := range []string{res.OutputTable, res.BodiesTable, res.HeadsTable} {
+		s, err := sys.Format("SELECT * FROM " + t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n%s\n", t, s)
+	}
+}

@@ -1,0 +1,3 @@
+module minerule
+
+go 1.22

@@ -1,0 +1,142 @@
+// Package bench is the experiment harness behind EXPERIMENTS.md: one
+// runner per experiment (E1–E8 of DESIGN.md §5), each regenerating the
+// corresponding table. cmd/minerule-bench prints them; the root
+// bench_test.go wraps the same workloads as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"minerule/internal/core"
+	"minerule/internal/gen"
+	"minerule/internal/sql/engine"
+)
+
+// Table is one experiment's result in printable form.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes records the workload and the expected shape.
+	Notes string
+}
+
+// String renders the table aligned.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "%s\n", t.Notes)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// ms renders a duration in fixed-point milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000)
+}
+
+// PaperDB builds the Figure 1 Purchase table.
+func PaperDB() (*engine.Database, error) {
+	db := engine.New()
+	err := db.ExecScript(`
+		CREATE TABLE Purchase (tr INTEGER, cust VARCHAR, item VARCHAR, dt DATE, price FLOAT, qty INTEGER);
+		INSERT INTO Purchase VALUES
+			(1, 'cust1', 'ski_pants',    DATE '1995-12-17', 140, 1),
+			(1, 'cust1', 'hiking_boots', DATE '1995-12-17', 180, 1),
+			(2, 'cust2', 'col_shirts',   DATE '1995-12-18',  25, 2),
+			(2, 'cust2', 'brown_boots',  DATE '1995-12-18', 150, 1),
+			(2, 'cust2', 'jackets',      DATE '1995-12-18', 300, 1),
+			(3, 'cust1', 'jackets',      DATE '1995-12-18', 300, 1),
+			(4, 'cust2', 'col_shirts',   DATE '1995-12-19',  25, 3),
+			(4, 'cust2', 'jackets',      DATE '1995-12-19', 300, 2);
+	`)
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// PaperStatement is the §2 FilteredOrderedSets statement.
+const PaperStatement = `
+MINE RULE FilteredOrderedSets AS
+SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD, SUPPORT, CONFIDENCE
+WHERE BODY.price >= 100 AND HEAD.price < 100
+FROM Purchase
+WHERE dt BETWEEN DATE '1995-01-01' AND DATE '1995-12-31'
+GROUP BY cust
+CLUSTER BY dt HAVING BODY.dt < HEAD.dt
+EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3`
+
+// BasketDB builds a Quest-style basket table named Baskets.
+func BasketDB(groups, avgSize, patLen, items int, seed int64) (*engine.Database, error) {
+	db := engine.New()
+	_, err := gen.LoadBaskets(db, "Baskets", gen.BasketConfig{
+		Groups: groups, AvgSize: avgSize, AvgPatternLen: patLen, Items: items, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// PurchaseDB builds a synthetic big-store Purchase table.
+func PurchaseDB(customers, dates, perDate, items int, seed int64) (*engine.Database, error) {
+	db := engine.New()
+	_, err := gen.LoadPurchases(db, "Purchase", gen.PurchaseConfig{
+		Customers: customers, DatesPerCust: dates, ItemsPerDate: perDate,
+		Items: items, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// BasketStatement renders a simple mining statement over Baskets at the
+// given support.
+func BasketStatement(name string, support, confidence float64) string {
+	return fmt.Sprintf(`MINE RULE %s AS
+		SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+		FROM Baskets GROUP BY gid
+		EXTRACTING RULES WITH SUPPORT: %g, CONFIDENCE: %g`, name, support, confidence)
+}
+
+// Mine is a thin wrapper fixing ReplaceOutput for repeated harness runs.
+func Mine(db *engine.Database, stmt string, algo core.Algorithm) (*core.Result, error) {
+	return core.Mine(db, stmt, core.Options{Algorithm: algo, ReplaceOutput: true})
+}

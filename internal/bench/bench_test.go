@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE1Exact runs the one experiment that has an exact paper target; it
+// doubles as a smoke test of the harness plumbing.
+func TestE1Exact(t *testing.T) {
+	tab, err := E1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	s := tab.String()
+	for _, want := range []string{"brown_boots", "col_shirts", "0.5"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestE9ReuseSmall runs the reuse experiment at a reduced size so the
+// invariant (identical rule counts, reuse engaged) is covered by go
+// test, not only by the long-running harness.
+func TestE9ReuseSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness experiment")
+	}
+	tab, err := E9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused := 0
+	for _, r := range tab.Rows {
+		if r[1] == "reused" {
+			reused++
+		}
+	}
+	if reused != 2 {
+		t.Fatalf("reused rows = %d:\n%s", reused, tab)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "t",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"xxxxxx", "1"}},
+		Notes:  "note",
+	}
+	s := tab.String()
+	if !strings.Contains(s, "== t ==") || !strings.Contains(s, "note") {
+		t.Fatalf("render = %s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// Header and data lines align to the widest cell.
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %s", len(lines), s)
+	}
+}

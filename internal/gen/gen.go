@@ -1,0 +1,396 @@
+// Package gen produces the synthetic workloads of the evaluation
+// harness. Baskets follows the IBM Quest generator of Agrawal & Srikant
+// [3] (the T·I·D datasets the cited algorithm papers all use): maximal
+// potential itemsets with exponential weights, shared fractions between
+// consecutive patterns, and per-transaction corruption. Purchases layers
+// customers, dates and prices on top, producing the paper's big-store
+// shape for the general (clustered/conditioned) statements.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"minerule/internal/sql/engine"
+)
+
+// BasketConfig parameterizes the Quest-style generator; names follow the
+// original: D groups of average size T, built from L potential patterns
+// of average size I over N items.
+type BasketConfig struct {
+	Groups         int     // D: number of groups (transactions)
+	AvgSize        int     // T: mean items per group
+	AvgPatternLen  int     // I: mean potential-pattern length
+	Items          int     // N: item universe size
+	Patterns       int     // L: number of potential patterns (default 50)
+	Correlation    float64 // fraction of a pattern reused from its predecessor (default 0.5)
+	CorruptionMean float64 // mean corruption level (default 0.5)
+	Seed           int64   // PRNG seed (default 1)
+}
+
+func (c *BasketConfig) defaults() {
+	if c.Patterns <= 0 {
+		c.Patterns = 50
+	}
+	if c.Correlation == 0 {
+		c.Correlation = 0.5
+	}
+	if c.CorruptionMean == 0 {
+		c.CorruptionMean = 0.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Baskets generates the groups: one slice of distinct item ids per
+// group.
+func Baskets(cfg BasketConfig) [][]int {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Potential patterns with exponential weights.
+	patterns := make([][]int, cfg.Patterns)
+	weights := make([]float64, cfg.Patterns)
+	corruption := make([]float64, cfg.Patterns)
+	var prev []int
+	totalW := 0.0
+	for p := range patterns {
+		plen := poisson(rng, float64(cfg.AvgPatternLen))
+		if plen < 1 {
+			plen = 1
+		}
+		pat := make([]int, 0, plen)
+		seen := make(map[int]bool)
+		// Reuse a correlated fraction of the previous pattern.
+		reuse := int(cfg.Correlation * float64(plen))
+		for i := 0; i < reuse && i < len(prev); i++ {
+			it := prev[rng.Intn(len(prev))]
+			if !seen[it] {
+				seen[it] = true
+				pat = append(pat, it)
+			}
+		}
+		for len(pat) < plen {
+			it := rng.Intn(cfg.Items)
+			if !seen[it] {
+				seen[it] = true
+				pat = append(pat, it)
+			}
+		}
+		patterns[p] = pat
+		weights[p] = rng.ExpFloat64()
+		totalW += weights[p]
+		corruption[p] = clamp01(rng.NormFloat64()*0.1 + cfg.CorruptionMean)
+		prev = pat
+	}
+	for p := range weights {
+		weights[p] /= totalW
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		cum[i] = acc
+	}
+
+	pick := func() int {
+		x := rng.Float64()
+		lo, hi := 0, len(cum)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	groups := make([][]int, cfg.Groups)
+	for g := range groups {
+		size := poisson(rng, float64(cfg.AvgSize))
+		if size < 1 {
+			size = 1
+		}
+		tx := make([]int, 0, size)
+		seen := make(map[int]bool)
+		for len(tx) < size {
+			p := pick()
+			pat := patterns[p]
+			kept := 0
+			for _, it := range pat {
+				// Corrupt: drop items with the pattern's corruption level.
+				if rng.Float64() < corruption[p] {
+					continue
+				}
+				if !seen[it] {
+					seen[it] = true
+					tx = append(tx, it)
+					kept++
+				}
+				if len(tx) >= size {
+					break
+				}
+			}
+			if kept == 0 {
+				// Guarantee progress on fully-corrupted picks.
+				it := pat[rng.Intn(len(pat))]
+				if !seen[it] {
+					seen[it] = true
+					tx = append(tx, it)
+				} else if len(seen) >= cfg.Items {
+					break
+				}
+			}
+		}
+		groups[g] = tx
+	}
+	return groups
+}
+
+// LoadBaskets creates table name (gid INTEGER, item VARCHAR) in db and
+// loads the generated groups; item ids become names "item_<id>".
+// It returns the number of rows inserted.
+func LoadBaskets(db *engine.Database, name string, cfg BasketConfig) (int, error) {
+	groups := Baskets(cfg)
+	if err := db.ExecScript(fmt.Sprintf("CREATE TABLE %s (gid INTEGER, item VARCHAR)", name)); err != nil {
+		return 0, err
+	}
+	return bulkInsert(db, name, func(emit func(vals string)) {
+		for g, tx := range groups {
+			for _, it := range tx {
+				emit(fmt.Sprintf("(%d, 'item_%d')", g+1, it))
+			}
+		}
+	})
+}
+
+// PurchaseConfig parameterizes the big-store workload: customers buying
+// baskets on a sequence of dates with skewed prices — the shape of the
+// paper's Purchase table, for the general-rule experiments.
+type PurchaseConfig struct {
+	Customers     int
+	DatesPerCust  int     // average distinct purchase dates per customer
+	ItemsPerDate  int     // average items bought per date
+	Items         int     // item universe
+	HighPriceFrac float64 // fraction of items priced >= 100 (default 0.4)
+	Seed          int64
+}
+
+func (c *PurchaseConfig) defaults() {
+	if c.DatesPerCust <= 0 {
+		c.DatesPerCust = 3
+	}
+	if c.ItemsPerDate <= 0 {
+		c.ItemsPerDate = 4
+	}
+	if c.HighPriceFrac == 0 {
+		c.HighPriceFrac = 0.4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// PurchaseRow is one generated purchase tuple.
+type PurchaseRow struct {
+	Tr    int
+	Cust  string
+	Item  string
+	Date  time.Time
+	Price float64
+	Qty   int
+}
+
+// Purchases generates the rows. Prices are stable per item (as in a real
+// store); roughly HighPriceFrac of the items price at or above 100,
+// exercising the paper's mining-condition split.
+func Purchases(cfg PurchaseConfig) []PurchaseRow {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	prices := make([]float64, cfg.Items)
+	for i := range prices {
+		if rng.Float64() < cfg.HighPriceFrac {
+			prices[i] = 100 + math.Floor(rng.Float64()*400)
+		} else {
+			prices[i] = 5 + math.Floor(rng.Float64()*90)
+		}
+	}
+	base := time.Date(1995, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	// A handful of popular "sequential" patterns: buying pattern[0] set
+	// tends to be followed by pattern[1] set on a later date, planting
+	// the regularities the clustered statements should find.
+	type seqPattern struct{ first, second []int }
+	var seqs []seqPattern
+	for p := 0; p < 5; p++ {
+		f := []int{rng.Intn(cfg.Items), rng.Intn(cfg.Items)}
+		s := []int{rng.Intn(cfg.Items)}
+		seqs = append(seqs, seqPattern{f, s})
+	}
+
+	var rows []PurchaseRow
+	tr := 0
+	for c := 0; c < cfg.Customers; c++ {
+		cust := fmt.Sprintf("cust_%d", c+1)
+		ndates := 1 + poisson(rng, float64(cfg.DatesPerCust-1))
+		day := rng.Intn(60)
+		var follow []int // items scheduled for a later date
+		for d := 0; d < ndates; d++ {
+			tr++
+			date := base.AddDate(0, 0, day)
+			day += 1 + rng.Intn(14)
+			n := 1 + poisson(rng, float64(cfg.ItemsPerDate-1))
+			seen := make(map[int]bool)
+			buy := func(it int) {
+				if seen[it] {
+					return
+				}
+				seen[it] = true
+				rows = append(rows, PurchaseRow{
+					Tr: tr, Cust: cust, Item: fmt.Sprintf("item_%d", it),
+					Date: date, Price: prices[it], Qty: 1 + rng.Intn(3),
+				})
+			}
+			for _, it := range follow {
+				buy(it)
+			}
+			follow = follow[:0]
+			for len(seen) < n {
+				if rng.Float64() < 0.3 {
+					sp := seqs[rng.Intn(len(seqs))]
+					for _, it := range sp.first {
+						buy(it)
+					}
+					follow = append(follow, sp.second...)
+				} else {
+					buy(rng.Intn(cfg.Items))
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// LoadPurchases creates table name (tr, cust, item, dt, price, qty) and
+// loads generated purchase rows, returning the row count.
+func LoadPurchases(db *engine.Database, name string, cfg PurchaseConfig) (int, error) {
+	rows := Purchases(cfg)
+	err := db.ExecScript(fmt.Sprintf(
+		"CREATE TABLE %s (tr INTEGER, cust VARCHAR, item VARCHAR, dt DATE, price FLOAT, qty INTEGER)", name))
+	if err != nil {
+		return 0, err
+	}
+	return bulkInsert(db, name, func(emit func(string)) {
+		for _, r := range rows {
+			emit(fmt.Sprintf("(%d, '%s', '%s', DATE '%s', %g, %d)",
+				r.Tr, r.Cust, r.Item, r.Date.Format("2006-01-02"), r.Price, r.Qty))
+		}
+	})
+}
+
+// CatalogRows maps every item_<i> under items to one of ncat
+// categories, deterministically for a seed; each row is (pitem,
+// category).
+func CatalogRows(items, ncat int, seed int64) ([][2]string, error) {
+	if items <= 0 || ncat <= 0 {
+		return nil, fmt.Errorf("gen: catalog needs positive items and categories")
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][2]string, items)
+	for i := range out {
+		out[i] = [2]string{fmt.Sprintf("item_%d", i), fmt.Sprintf("cat_%d", rng.Intn(ncat))}
+	}
+	return out, nil
+}
+
+// LoadCatalog creates a product-catalog table (pitem VARCHAR, category
+// VARCHAR) mapping every item_<i> under items to one of ncat categories,
+// for the cross-schema (H) experiments.
+func LoadCatalog(db *engine.Database, name string, items, ncat int, seed int64) error {
+	rows, err := CatalogRows(items, ncat, seed)
+	if err != nil {
+		return err
+	}
+	if err := db.ExecScript(fmt.Sprintf("CREATE TABLE %s (pitem VARCHAR, category VARCHAR)", name)); err != nil {
+		return err
+	}
+	_, err = bulkInsert(db, name, func(emit func(string)) {
+		for _, r := range rows {
+			emit(fmt.Sprintf("('%s', '%s')", r[0], r[1]))
+		}
+	})
+	return err
+}
+
+// bulkInsert batches VALUES rows into INSERT statements of 500 rows.
+func bulkInsert(db *engine.Database, table string, produce func(emit func(string))) (int, error) {
+	var batch []string
+	n := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		stmt := fmt.Sprintf("INSERT INTO %s VALUES %s", table, strings.Join(batch, ", "))
+		batch = batch[:0]
+		_, err := db.Exec(stmt)
+		return err
+	}
+	var failed error
+	produce(func(vals string) {
+		if failed != nil {
+			return
+		}
+		batch = append(batch, vals)
+		n++
+		if len(batch) >= 500 {
+			failed = flush()
+		}
+	})
+	if failed != nil {
+		return n, failed
+	}
+	if err := flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// poisson draws from a Poisson distribution with mean lambda (Knuth's
+// method; fine for the small means used here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 0.95 {
+		return 0.95
+	}
+	return x
+}

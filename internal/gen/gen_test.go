@@ -1,0 +1,199 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"minerule/internal/sql/engine"
+)
+
+func TestBasketsShape(t *testing.T) {
+	cfg := BasketConfig{Groups: 500, AvgSize: 10, AvgPatternLen: 4, Items: 200, Seed: 1}
+	groups := Baskets(cfg)
+	if len(groups) != 500 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	total := 0
+	for gi, g := range groups {
+		if len(g) == 0 {
+			t.Fatalf("group %d empty", gi)
+		}
+		seen := make(map[int]bool)
+		for _, it := range g {
+			if it < 0 || it >= cfg.Items {
+				t.Fatalf("item %d out of range", it)
+			}
+			if seen[it] {
+				t.Fatalf("group %d has duplicate item %d", gi, it)
+			}
+			seen[it] = true
+		}
+		total += len(g)
+	}
+	avg := float64(total) / 500
+	if math.Abs(avg-10) > 3 {
+		t.Errorf("average group size = %.1f, want ≈ 10", avg)
+	}
+}
+
+func TestBasketsDeterministic(t *testing.T) {
+	cfg := BasketConfig{Groups: 50, AvgSize: 6, AvgPatternLen: 3, Items: 40, Seed: 9}
+	a := Baskets(cfg)
+	b := Baskets(cfg)
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("group %d differs between runs", i)
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("group %d item %d differs", i, j)
+			}
+		}
+	}
+	cfg.Seed = 10
+	c := Baskets(cfg)
+	same := true
+	for i := range a {
+		if len(a[i]) != len(c[i]) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("different seeds produced same group sizes (possible but unlikely)")
+	}
+}
+
+func TestBasketsSkew(t *testing.T) {
+	// Pattern-based generation must produce item-frequency skew: the top
+	// item should be far more frequent than the median.
+	groups := Baskets(BasketConfig{Groups: 1000, AvgSize: 10, AvgPatternLen: 4, Items: 300, Seed: 3})
+	counts := make(map[int]int)
+	for _, g := range groups {
+		for _, it := range g {
+			counts[it]++
+		}
+	}
+	max := 0
+	sum := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	mean := sum / len(counts)
+	if max < 3*mean {
+		t.Errorf("no skew: max %d vs mean %d", max, mean)
+	}
+}
+
+func TestLoadBaskets(t *testing.T) {
+	db := engine.New()
+	n, err := LoadBaskets(db, "B", BasketConfig{Groups: 100, AvgSize: 5, AvgPatternLen: 3, Items: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.QueryInt("SELECT COUNT(*) FROM B")
+	if err != nil || int(got) != n {
+		t.Fatalf("rows = %d, loader said %d (%v)", got, n, err)
+	}
+	g, err := db.QueryInt("SELECT COUNT(DISTINCT gid) FROM B")
+	if err != nil || g != 100 {
+		t.Fatalf("groups = %d (%v)", g, err)
+	}
+}
+
+func TestPurchasesShape(t *testing.T) {
+	rows := Purchases(PurchaseConfig{Customers: 100, DatesPerCust: 3, ItemsPerDate: 4, Items: 50, Seed: 5})
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	custs := make(map[string]bool)
+	high, low := 0, 0
+	for _, r := range rows {
+		custs[r.Cust] = true
+		if r.Price >= 100 {
+			high++
+		} else {
+			low++
+		}
+		if r.Qty < 1 {
+			t.Fatalf("qty = %d", r.Qty)
+		}
+		if r.Date.Year() != 1995 {
+			t.Fatalf("date = %v", r.Date)
+		}
+	}
+	if len(custs) != 100 {
+		t.Errorf("customers = %d", len(custs))
+	}
+	if high == 0 || low == 0 {
+		t.Error("price split missing: the mining-condition experiments need both sides")
+	}
+}
+
+func TestPurchasesPerItemPriceStable(t *testing.T) {
+	rows := Purchases(PurchaseConfig{Customers: 80, Items: 30, Seed: 6})
+	price := make(map[string]float64)
+	for _, r := range rows {
+		if p, ok := price[r.Item]; ok && p != r.Price {
+			t.Fatalf("item %s has two prices: %g and %g", r.Item, p, r.Price)
+		}
+		price[r.Item] = r.Price
+	}
+}
+
+func TestLoadPurchasesAndCatalog(t *testing.T) {
+	db := engine.New()
+	n, err := LoadPurchases(db, "P", PurchaseConfig{Customers: 50, Items: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := db.QueryInt("SELECT COUNT(*) FROM P")
+	if int(got) != n {
+		t.Fatalf("rows = %d vs %d", got, n)
+	}
+	if err := LoadCatalog(db, "C", 30, 5, 4); err != nil {
+		t.Fatal(err)
+	}
+	nc, _ := db.QueryInt("SELECT COUNT(*) FROM C")
+	if nc != 30 {
+		t.Fatalf("catalog rows = %d", nc)
+	}
+	cats, _ := db.QueryInt("SELECT COUNT(DISTINCT category) FROM C")
+	if cats < 2 || cats > 5 {
+		t.Fatalf("categories = %d", cats)
+	}
+}
+
+func TestCatalogRowsErrors(t *testing.T) {
+	if _, err := CatalogRows(0, 5, 1); err == nil {
+		t.Error("zero items must fail")
+	}
+	if _, err := CatalogRows(5, 0, 1); err == nil {
+		t.Error("zero categories must fail")
+	}
+}
+
+func TestPoissonProperty(t *testing.T) {
+	// Sample mean tracks lambda.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lambda := 5.0
+		sum := 0
+		for i := 0; i < 2000; i++ {
+			sum += poisson(rng, lambda)
+		}
+		mean := float64(sum) / 2000
+		return math.Abs(mean-lambda) < 0.5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+	if poisson(rand.New(rand.NewSource(1)), 0) != 0 {
+		t.Error("poisson(0) must be 0")
+	}
+}

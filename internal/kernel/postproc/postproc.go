@@ -1,0 +1,93 @@
+// Package postproc implements the paper's postprocessor (§4.4): it
+// stores the core operator's encoded rules into the DBMS and decodes
+// them, through the Bset/Hset dictionaries, into the user-readable
+// normalized output tables <name>, <name>_Bodies and <name>_Heads.
+package postproc
+
+import (
+	"fmt"
+
+	"minerule/internal/kernel/translator"
+	"minerule/internal/mining"
+	"minerule/internal/sql/engine"
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/value"
+)
+
+// StoreEncoded writes the core operator's result into the encoded output
+// tables (OutputRules, OutputBodies, OutputHeads) the preprocessor
+// created. Bodies and heads are dictionary-compressed: identical
+// itemsets across rules share one identifier, as §4.4's normalized form
+// intends. Rows go through the storage layer directly — the paper's core
+// operator likewise hands its result to the DBMS without re-parsing SQL.
+func StoreEncoded(db *engine.Database, tr *translator.Translation, rules []mining.Rule) error {
+	n := tr.Names
+	rulesT, ok := db.Catalog().Table(n.OutputRules)
+	if !ok {
+		return fmt.Errorf("postproc: missing %s (preprocessor not run?)", n.OutputRules)
+	}
+	bodiesT, ok := db.Catalog().Table(n.OutputBodies)
+	if !ok {
+		return fmt.Errorf("postproc: missing %s", n.OutputBodies)
+	}
+	headsT, ok := db.Catalog().Table(n.OutputHeads)
+	if !ok {
+		return fmt.Errorf("postproc: missing %s", n.OutputHeads)
+	}
+
+	bodyIDs := make(map[string]int64)
+	headIDs := make(map[string]int64)
+	var ruleRows, bodyRows, headRows []schema.Row
+
+	intern := func(ids map[string]int64, items []mining.Item, rows *[]schema.Row) int64 {
+		k := itemsKey(items)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := int64(len(ids) + 1)
+		ids[k] = id
+		for _, it := range items {
+			*rows = append(*rows, schema.Row{value.NewInt(id), value.NewInt(int64(it))})
+		}
+		return id
+	}
+
+	for _, r := range rules {
+		bid := intern(bodyIDs, r.Body, &bodyRows)
+		hid := intern(headIDs, r.Head, &headRows)
+		ruleRows = append(ruleRows, schema.Row{
+			value.NewInt(bid),
+			value.NewInt(hid),
+			value.NewFloat(r.Support),
+			value.NewFloat(r.Confidence),
+		})
+	}
+	rulesT.InsertAll(ruleRows)
+	bodiesT.InsertAll(bodyRows)
+	headsT.InsertAll(headRows)
+	return nil
+}
+
+func itemsKey(items []mining.Item) string {
+	b := make([]byte, 0, len(items)*4)
+	for _, it := range items {
+		v := uint64(it)
+		for v >= 0x80 {
+			b = append(b, byte(v)|0x80)
+			v >>= 7
+		}
+		b = append(b, byte(v))
+	}
+	return string(b)
+}
+
+// Decode runs the translator's decode programs, producing the
+// user-readable output tables.
+func Decode(db *engine.Database, tr *translator.Translation) error {
+	for _, q := range tr.Program.Decode {
+		if _, err := db.Exec(q); err != nil {
+			return fmt.Errorf("postproc: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+// Package preproc implements the paper's preprocessor (§4.2): it runs
+// the translator-generated SQL programs against the relational server,
+// producing the encoded tables (ValidGroups, Bset/Hset, Clusters,
+// ClusterCouples, CodedSource/MiningSource, InputRules) that are the
+// core operator's only view of the data.
+package preproc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"minerule/internal/kernel/translator"
+	"minerule/internal/mining"
+	"minerule/internal/sql/engine"
+)
+
+// Result reports what the preprocessing computed.
+type Result struct {
+	// Totg is the paper's :totg — the total number of groups (Q1).
+	Totg int
+	// MinGroups is the substituted :mingroups value (⌈support·totg⌉).
+	MinGroups int
+	// StepDurations records how long each Q-step took, in execution
+	// order, for the phase-split experiments.
+	StepDurations []StepDuration
+}
+
+// StepDuration is one preprocessing step's wall time.
+type StepDuration struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Run executes the full preprocessing for the translation. Cleanup
+// errors (objects that do not exist yet) are ignored; everything else is
+// fatal.
+func Run(db *engine.Database, tr *translator.Translation) (*Result, error) {
+	p := &tr.Program
+	for _, drop := range p.Cleanup {
+		_, _ = db.Exec(drop) // first run: nothing to drop
+	}
+
+	res := &Result{}
+	step := func(name string, sqls []string) error {
+		if len(sqls) == 0 {
+			return nil
+		}
+		start := time.Now()
+		for _, q := range sqls {
+			q = strings.ReplaceAll(q, translator.MinGroupsPlaceholder, strconv.Itoa(res.MinGroups))
+			if _, err := db.Exec(q); err != nil {
+				return fmt.Errorf("preproc: step %s: %w", name, err)
+			}
+		}
+		res.StepDurations = append(res.StepDurations, StepDuration{Name: name, Duration: time.Since(start)})
+		return nil
+	}
+
+	if err := step("Q0", p.Q0); err != nil {
+		return nil, err
+	}
+
+	// Q1: the paper's SELECT COUNT(*) INTO :totg.
+	start := time.Now()
+	totg, err := db.QueryInt(p.Q1)
+	if err != nil {
+		return nil, fmt.Errorf("preproc: step Q1: %w", err)
+	}
+	res.Totg = int(totg)
+	res.MinGroups = mining.MinCount(tr.Stmt.MinSupport, res.Totg)
+	res.StepDurations = append(res.StepDurations, StepDuration{Name: "Q1", Duration: time.Since(start)})
+
+	for _, s := range []struct {
+		name string
+		sqls []string
+	}{
+		{"Q2", p.Q2},
+		{"Q3", p.Q3},
+		{"Q5", p.Q5},
+		{"Q6", p.Q6},
+		{"Q7", p.Q7},
+		{"Q4", p.Q4},
+		{"Q8", p.Q8},
+		{"Q9", p.Q9},
+		{"Q10", p.Q10},
+		{"output", p.OutputSetup},
+	} {
+		if err := step(s.name, s.sqls); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// WriteMeta records the preprocessing fingerprint and parameters so a
+// later run of an equivalent statement can reuse the encoded tables
+// (paper §3). Call it after a successful Run when the tables are kept.
+func WriteMeta(db *engine.Database, tr *translator.Translation, res *Result) error {
+	n := tr.Names.Meta
+	_, _ = db.Exec("DROP TABLE " + n)
+	if _, err := db.Exec(fmt.Sprintf(
+		"CREATE TABLE %s (fp VARCHAR, totg INTEGER, minsupport FLOAT)", n)); err != nil {
+		return err
+	}
+	fp := strings.ReplaceAll(tr.Fingerprint(), "'", "''")
+	_, err := db.Exec(fmt.Sprintf("INSERT INTO %s VALUES ('%s', %d, %g)",
+		n, fp, res.Totg, tr.Stmt.MinSupport))
+	return err
+}
+
+// TryReuse checks whether a previous KeepEncoded run left compatible
+// encoded tables behind: same fingerprint, and a stored support no
+// higher than the current one (the encoded tables were pruned at the
+// stored support, so they contain everything a stricter threshold
+// needs). On success it recreates only the encoded output tables and
+// returns a Result without running any Q-step.
+func TryReuse(db *engine.Database, tr *translator.Translation) (*Result, bool) {
+	n := tr.Names
+	if _, ok := db.Catalog().Table(n.Meta); !ok {
+		return nil, false
+	}
+	rows, err := db.Query("SELECT fp, totg, minsupport FROM " + n.Meta)
+	if err != nil || len(rows.Rows) != 1 {
+		return nil, false
+	}
+	row := rows.Rows[0]
+	if row[0].Str() != tr.Fingerprint() {
+		return nil, false
+	}
+	storedSupport := row[2].Float()
+	if tr.Stmt.MinSupport < storedSupport {
+		return nil, false // the kept tables were pruned too aggressively
+	}
+	// The core's input tables must still exist.
+	needed := []string{n.CodedSource}
+	if !tr.Class.Simple() {
+		needed = append(needed, n.MiningSource) // CodedSource is a view over it
+	}
+	if tr.Class.K {
+		needed = append(needed, n.ClusterCouples)
+	}
+	if tr.Class.M {
+		needed = append(needed, n.InputRules)
+	}
+	for _, t := range needed {
+		if !db.Catalog().Exists(t) {
+			return nil, false
+		}
+	}
+	// Fresh encoded output tables for this run.
+	for _, t := range []string{n.OutputRules, n.OutputBodies, n.OutputHeads} {
+		_, _ = db.Exec("DROP TABLE " + t)
+	}
+	res := &Result{Totg: int(row[1].Int())}
+	res.MinGroups = mining.MinCount(tr.Stmt.MinSupport, res.Totg)
+	for _, q := range tr.Program.OutputSetup {
+		if _, err := db.Exec(q); err != nil {
+			return nil, false
+		}
+	}
+	res.StepDurations = append(res.StepDurations, StepDuration{Name: "reused", Duration: 0})
+	return res, true
+}
+
+// Drop removes every working object of the translation from the
+// database (used by the kernel after a successful run unless the caller
+// asked to keep the encoded tables for reuse — §3's observation that
+// "the same preprocessing could be in common to the execution of several
+// data mining queries").
+func Drop(db *engine.Database, tr *translator.Translation) {
+	for _, drop := range tr.Program.Cleanup {
+		_, _ = db.Exec(drop)
+	}
+}

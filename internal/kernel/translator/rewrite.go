@@ -1,0 +1,121 @@
+package translator
+
+import (
+	"fmt"
+	"strings"
+
+	"minerule/internal/sql/parse"
+)
+
+// rewrite rebuilds an expression tree, replacing column references and
+// aggregate calls through the supplied hooks. A nil hook leaves the node
+// class untouched. The input tree is not modified.
+func rewrite(e parse.Expr, refFn func(*parse.ColumnRef) parse.Expr, aggFn func(*parse.FuncCall) parse.Expr) parse.Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *parse.ColumnRef:
+		if refFn != nil {
+			return refFn(x)
+		}
+		return x
+	case *parse.Literal:
+		return x
+	case *parse.BinaryExpr:
+		return &parse.BinaryExpr{Op: x.Op,
+			L: rewrite(x.L, refFn, aggFn),
+			R: rewrite(x.R, refFn, aggFn)}
+	case *parse.NotExpr:
+		return &parse.NotExpr{E: rewrite(x.E, refFn, aggFn)}
+	case *parse.NegExpr:
+		return &parse.NegExpr{E: rewrite(x.E, refFn, aggFn)}
+	case *parse.BetweenExpr:
+		return &parse.BetweenExpr{Not: x.Not,
+			E:  rewrite(x.E, refFn, aggFn),
+			Lo: rewrite(x.Lo, refFn, aggFn),
+			Hi: rewrite(x.Hi, refFn, aggFn)}
+	case *parse.InListExpr:
+		list := make([]parse.Expr, len(x.List))
+		for i, le := range x.List {
+			list[i] = rewrite(le, refFn, aggFn)
+		}
+		return &parse.InListExpr{Not: x.Not, E: rewrite(x.E, refFn, aggFn), List: list}
+	case *parse.IsNullExpr:
+		return &parse.IsNullExpr{Not: x.Not, E: rewrite(x.E, refFn, aggFn)}
+	case *parse.LikeExpr:
+		return &parse.LikeExpr{Not: x.Not,
+			E:       rewrite(x.E, refFn, aggFn),
+			Pattern: rewrite(x.Pattern, refFn, aggFn)}
+	case *parse.FuncCall:
+		if x.IsAggregate() && aggFn != nil {
+			return aggFn(x)
+		}
+		args := make([]parse.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = rewrite(a, refFn, aggFn)
+		}
+		return &parse.FuncCall{Name: x.Name, Star: x.Star, Distinct: x.Distinct, Args: args}
+	default:
+		// Subqueries are rejected by the checks before rewriting.
+		return x
+	}
+}
+
+// rewriteRoles maps BODY.x / HEAD.x references onto the bodyAlias /
+// headAlias relations (used for the mining condition over MiningSource
+// and the plain part of the cluster condition over Clusters).
+func (tr *Translation) rewriteRoles(e parse.Expr, bodyAlias, headAlias string) parse.Expr {
+	refFn := func(c *parse.ColumnRef) parse.Expr {
+		switch {
+		case strings.EqualFold(c.Qual, "body"):
+			return &parse.ColumnRef{Qual: bodyAlias, Name: c.Name}
+		case strings.EqualFold(c.Qual, "head"):
+			return &parse.ColumnRef{Qual: headAlias, Name: c.Name}
+		default:
+			return c
+		}
+	}
+	return rewrite(e, refFn, nil)
+}
+
+// rewriteClusterCond maps the cluster condition onto the self-join of
+// the Clusters table: plain BODY./HEAD. references become b./h. cluster
+// attributes, aggregates become the per-cluster columns Q6 computed.
+func (tr *Translation) rewriteClusterCond(e parse.Expr, bodyAlias, headAlias string) (parse.Expr, error) {
+	var fail error
+	aggFn := func(f *parse.FuncCall) parse.Expr {
+		cr, ok := f.Args[0].(*parse.ColumnRef)
+		if !ok {
+			fail = fmt.Errorf("translator: internal: unchecked cluster aggregate %s", f.SQL())
+			return f
+		}
+		col := ""
+		for _, a := range tr.ClusterAggs {
+			if a.Func == f.Name && strings.EqualFold(a.Attr, cr.Name) {
+				col = a.Col
+				break
+			}
+		}
+		if col == "" {
+			fail = fmt.Errorf("translator: internal: unregistered cluster aggregate %s", f.SQL())
+			return f
+		}
+		alias := bodyAlias
+		if strings.EqualFold(cr.Qual, "head") {
+			alias = headAlias
+		}
+		return &parse.ColumnRef{Qual: alias, Name: col}
+	}
+	refFn := func(c *parse.ColumnRef) parse.Expr {
+		switch {
+		case strings.EqualFold(c.Qual, "body"):
+			return &parse.ColumnRef{Qual: bodyAlias, Name: c.Name}
+		case strings.EqualFold(c.Qual, "head"):
+			return &parse.ColumnRef{Qual: headAlias, Name: c.Name}
+		default:
+			return c
+		}
+	}
+	out := rewrite(e, refFn, aggFn)
+	return out, fail
+}

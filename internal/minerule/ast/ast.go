@@ -1,0 +1,131 @@
+// Package ast defines the abstract syntax of the MINE RULE operator,
+// following the grammar of paper §4.1:
+//
+//	MINE RULE <output table name> AS
+//	SELECT DISTINCT <body descr>, <head descr> [, SUPPORT] [, CONFIDENCE]
+//	[ WHERE <mining cond> ]
+//	FROM <from list> [ WHERE <source cond> ]
+//	GROUP BY <group attr list> [ HAVING <group cond> ]
+//	[ CLUSTER BY <cluster attr list> [ HAVING <cluster cond> ] ]
+//	EXTRACTING RULES WITH SUPPORT: <number>, CONFIDENCE: <number>
+//
+// Embedded conditions reuse the SQL expression AST of
+// minerule/internal/sql/parse, so the translator can splice them into the
+// generated SQL programs verbatim.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"minerule/internal/sql/parse"
+)
+
+// Unbounded is the CardSpec upper bound for "n" (no limit).
+const Unbounded = 0
+
+// CardSpec is a rule-element cardinality range "l..u"; Max==Unbounded
+// means "n". The grammar's defaults are body 1..n and head 1..1.
+type CardSpec struct {
+	Min int
+	Max int
+}
+
+// DefaultBodyCard is the grammar's default body cardinality (1..n).
+var DefaultBodyCard = CardSpec{Min: 1, Max: Unbounded}
+
+// DefaultHeadCard is the grammar's default head cardinality (1..1).
+var DefaultHeadCard = CardSpec{Min: 1, Max: 1}
+
+// Contains reports whether cardinality k satisfies the spec.
+func (c CardSpec) Contains(k int) bool {
+	return k >= c.Min && (c.Max == Unbounded || k <= c.Max)
+}
+
+// Allows reports whether some cardinality ≥ k can still satisfy the
+// spec (used to stop lattice growth).
+func (c CardSpec) Allows(k int) bool {
+	return c.Max == Unbounded || k <= c.Max
+}
+
+// String renders the spec in grammar form.
+func (c CardSpec) String() string {
+	if c.Max == Unbounded {
+		return fmt.Sprintf("%d..n", c.Min)
+	}
+	return fmt.Sprintf("%d..%d", c.Min, c.Max)
+}
+
+// ElementDescr is a body or head description: its cardinality and the
+// attribute list whose value tuples form rule elements.
+type ElementDescr struct {
+	Card  CardSpec
+	Attrs []string
+}
+
+// Statement is one parsed MINE RULE operation.
+type Statement struct {
+	Output string // <output table name>
+
+	Body ElementDescr
+	Head ElementDescr
+
+	WantSupport    bool
+	WantConfidence bool
+
+	MiningCond parse.Expr // nil when absent (M false)
+
+	From       []parse.TableRef
+	SourceCond parse.Expr // nil when absent
+
+	GroupAttrs []string
+	GroupCond  parse.Expr // nil when absent (G false)
+
+	ClusterAttrs []string   // empty when CLUSTER BY absent (C false)
+	ClusterCond  parse.Expr // nil when absent (K false)
+
+	MinSupport    float64
+	MinConfidence float64
+}
+
+// SQL renders the statement back in MINE RULE syntax.
+func (s *Statement) SQL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "MINE RULE %s AS SELECT DISTINCT %s %s AS BODY, %s %s AS HEAD",
+		s.Output, s.Body.Card, strings.Join(s.Body.Attrs, ", "),
+		s.Head.Card, strings.Join(s.Head.Attrs, ", "))
+	if s.WantSupport {
+		b.WriteString(", SUPPORT")
+	}
+	if s.WantConfidence {
+		b.WriteString(", CONFIDENCE")
+	}
+	if s.MiningCond != nil {
+		b.WriteString(" WHERE " + s.MiningCond.SQL())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Name)
+		if t.Alias != "" {
+			b.WriteString(" AS " + t.Alias)
+		}
+	}
+	if s.SourceCond != nil {
+		b.WriteString(" WHERE " + s.SourceCond.SQL())
+	}
+	b.WriteString(" GROUP BY " + strings.Join(s.GroupAttrs, ", "))
+	if s.GroupCond != nil {
+		b.WriteString(" HAVING " + s.GroupCond.SQL())
+	}
+	if len(s.ClusterAttrs) > 0 {
+		b.WriteString(" CLUSTER BY " + strings.Join(s.ClusterAttrs, ", "))
+		if s.ClusterCond != nil {
+			b.WriteString(" HAVING " + s.ClusterCond.SQL())
+		}
+	}
+	fmt.Fprintf(&b, " EXTRACTING RULES WITH SUPPORT: %g, CONFIDENCE: %g", s.MinSupport, s.MinConfidence)
+	return b.String()
+}

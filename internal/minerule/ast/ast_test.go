@@ -1,0 +1,97 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"minerule/internal/sql/parse"
+)
+
+func TestCardSpec(t *testing.T) {
+	c := CardSpec{Min: 2, Max: 4}
+	for k, want := range map[int]bool{1: false, 2: true, 4: true, 5: false} {
+		if c.Contains(k) != want {
+			t.Errorf("Contains(%d) = %v", k, !want)
+		}
+	}
+	if !c.Allows(4) || c.Allows(5) {
+		t.Error("Allows boundary wrong")
+	}
+	u := CardSpec{Min: 1, Max: Unbounded}
+	if !u.Contains(1000) || !u.Allows(1<<20) {
+		t.Error("unbounded spec must allow everything")
+	}
+	if c.String() != "2..4" || u.String() != "1..n" {
+		t.Errorf("String = %s / %s", c, u)
+	}
+	if DefaultBodyCard != (CardSpec{Min: 1, Max: Unbounded}) {
+		t.Error("body default changed")
+	}
+	if DefaultHeadCard != (CardSpec{Min: 1, Max: 1}) {
+		t.Error("head default changed")
+	}
+}
+
+func TestStatementSQL(t *testing.T) {
+	cond, err := parse.ParseExpr("BODY.price >= 100 AND HEAD.price < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := parse.ParseExpr("dt BETWEEN DATE '1995-01-01' AND DATE '1995-12-31'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcond, err := parse.ParseExpr("COUNT(*) > 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccond, err := parse.ParseExpr("BODY.dt < HEAD.dt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Statement{
+		Output:         "Out",
+		Body:           ElementDescr{Card: DefaultBodyCard, Attrs: []string{"item"}},
+		Head:           ElementDescr{Card: CardSpec{Min: 1, Max: 2}, Attrs: []string{"item", "qty"}},
+		WantSupport:    true,
+		WantConfidence: true,
+		MiningCond:     cond,
+		From:           []parse.TableRef{{Name: "Purchase", Alias: "p"}},
+		SourceCond:     src,
+		GroupAttrs:     []string{"cust"},
+		GroupCond:      gcond,
+		ClusterAttrs:   []string{"dt"},
+		ClusterCond:    ccond,
+		MinSupport:     0.2,
+		MinConfidence:  0.3,
+	}
+	got := st.SQL()
+	for _, want := range []string{
+		"MINE RULE Out AS",
+		"1..n item AS BODY",
+		"1..2 item, qty AS HEAD",
+		", SUPPORT, CONFIDENCE",
+		"FROM Purchase AS p",
+		"GROUP BY cust HAVING",
+		"CLUSTER BY dt HAVING",
+		"SUPPORT: 0.2, CONFIDENCE: 0.3",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("SQL() missing %q:\n%s", want, got)
+		}
+	}
+	// Minimal statement renders without the optional clauses.
+	minSt := &Statement{
+		Output:     "M",
+		Body:       ElementDescr{Card: DefaultBodyCard, Attrs: []string{"a"}},
+		Head:       ElementDescr{Card: DefaultHeadCard, Attrs: []string{"a"}},
+		From:       []parse.TableRef{{Name: "t"}},
+		GroupAttrs: []string{"g"},
+	}
+	min := minSt.SQL()
+	for _, not := range []string{"WHERE", "HAVING", "CLUSTER", ", SUPPORT"} {
+		if strings.Contains(min, not) {
+			t.Errorf("minimal SQL() contains %q:\n%s", not, min)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package parse
+
+import "testing"
+
+// FuzzMineRule checks the MINE RULE parser never panics, and that
+// accepted statements round-trip through their rendering.
+func FuzzMineRule(f *testing.F) {
+	seeds := []string{
+		paperStatement,
+		"MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD FROM t GROUP BY g EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.1",
+		"MINE RULE R AS SELECT DISTINCT 2..3 a, b AS BODY, 1..n c AS HEAD, SUPPORT FROM t, u WHERE t.x = u.y GROUP BY g HAVING COUNT(*) > 1 CLUSTER BY w HAVING BODY.w < HEAD.w EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.9",
+		"mine rule lower AS select distinct item as body, item as head from t group by g extracting rules with support: 1, confidence: 0",
+		"MINE RULE bad AS SELECT",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := st.SQL()
+		st2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", src, rendered, err)
+		}
+		if st2.SQL() != rendered {
+			t.Fatalf("rendering not a fixpoint:\n  %s\n  %s", rendered, st2.SQL())
+		}
+	})
+}

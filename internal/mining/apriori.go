@@ -1,0 +1,119 @@
+package mining
+
+import "sort"
+
+// Apriori is the levelwise large-itemset algorithm in the form the paper
+// describes for the simple core processing (§4.3.1): candidate itemsets
+// grow by one item per level, and "support of an itemset is evaluated by
+// counting elements in an associated list that contains identifiers of
+// groups in which the itemset is present". The gid list of a new
+// candidate is the intersection of its two generating parents' lists.
+type Apriori struct{}
+
+// Name implements ItemsetMiner.
+func (Apriori) Name() string { return "apriori" }
+
+// node is a large itemset with its group-id list (sorted group indexes).
+type node struct {
+	items []Item
+	gids  []int32
+}
+
+// LargeItemsets implements ItemsetMiner.
+func (Apriori) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
+	level := firstLevel(in, minCount)
+	var out []Itemset
+	for len(level) > 0 {
+		for _, n := range level {
+			out = append(out, Itemset{Items: n.items, Count: len(n.gids)})
+		}
+		level = nextLevel(level, minCount)
+	}
+	sortItemsets(out)
+	return out
+}
+
+// firstLevel builds the singleton gid lists and keeps the large ones.
+func firstLevel(in *SimpleInput, minCount int) []node {
+	lists := make(map[Item][]int32)
+	for g, tx := range in.Groups {
+		for _, it := range tx {
+			lists[it] = append(lists[it], int32(g))
+		}
+	}
+	items := make([]Item, 0, len(lists))
+	for it, l := range lists {
+		if len(l) >= minCount {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	level := make([]node, 0, len(items))
+	for _, it := range items {
+		level = append(level, node{items: []Item{it}, gids: lists[it]})
+	}
+	return level
+}
+
+// nextLevel performs the Apriori join: two itemsets sharing their first
+// k-1 items generate a k+1 candidate, whose gid list is the intersection
+// of the parents'. Candidates below minCount are pruned immediately; the
+// classic all-subsets-large prune is implied by the lattice search
+// because every prefix-sharing pair is tried.
+func nextLevel(level []node, minCount int) []node {
+	// The level is sorted lexicographically, so prefix-sharing runs are
+	// contiguous.
+	var next []node
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			if !samePrefix(a.items, b.items) {
+				break
+			}
+			g := intersect32(a.gids, b.gids)
+			if len(g) < minCount {
+				continue
+			}
+			items := make([]Item, len(a.items)+1)
+			copy(items, a.items)
+			items[len(a.items)] = b.items[len(b.items)-1]
+			next = append(next, node{items: items, gids: g})
+		}
+	}
+	return next
+}
+
+func samePrefix(a, b []Item) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// intersect32 merges two sorted int32 lists.
+func intersect32(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package mining
+
+import "sort"
+
+// Horizontal is the classical horizontal-counting Apriori [3]: each pass
+// scans every group and counts the candidates it contains. With Hashing
+// enabled it adds the DHP refinement [12]: during the first pass, item
+// pairs are hashed into a bucket table, and a 2-candidate is generated
+// only when its bucket reached the threshold — typically cutting the
+// dominant C2 candidate set sharply.
+type Horizontal struct {
+	// Hashing enables the DHP bucket filter for the second pass.
+	Hashing bool
+	// HashBuckets sizes the DHP table (default 1<<16).
+	HashBuckets int
+}
+
+// Name implements ItemsetMiner.
+func (h Horizontal) Name() string {
+	if h.Hashing {
+		return "apriori-dhp"
+	}
+	return "apriori-horizontal"
+}
+
+// LargeItemsets implements ItemsetMiner.
+func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
+	buckets := h.HashBuckets
+	if buckets <= 0 {
+		buckets = 1 << 16
+	}
+
+	// Pass 1: count singletons; optionally hash pairs (DHP).
+	counts := make(map[Item]int)
+	var bucketCount []int32
+	if h.Hashing {
+		bucketCount = make([]int32, buckets)
+	}
+	for _, tx := range in.Groups {
+		for i, it := range tx {
+			counts[it]++
+			if h.Hashing {
+				for _, jt := range tx[i+1:] {
+					bucketCount[pairBucket(it, jt, buckets)]++
+				}
+			}
+		}
+	}
+	var large []Item
+	for it, c := range counts {
+		if c >= minCount {
+			large = append(large, it)
+		}
+	}
+	sort.Slice(large, func(i, j int) bool { return large[i] < large[j] })
+
+	var out []Itemset
+	supp := make(map[string]int)
+	for _, it := range large {
+		out = append(out, Itemset{Items: []Item{it}, Count: counts[it]})
+		supp[key([]Item{it})] = counts[it]
+	}
+
+	// Pass 2: pairs of large items (bucket-filtered when hashing).
+	largeSet := make(map[Item]bool, len(large))
+	for _, it := range large {
+		largeSet[it] = true
+	}
+	pairCounts := make(map[[2]Item]int)
+	for _, tx := range in.Groups {
+		for i, a := range tx {
+			if !largeSet[a] {
+				continue
+			}
+			for _, b := range tx[i+1:] {
+				if !largeSet[b] {
+					continue
+				}
+				if h.Hashing && bucketCount[pairBucket(a, b, buckets)] < int32(minCount) {
+					continue
+				}
+				pairCounts[[2]Item{a, b}]++
+			}
+		}
+	}
+	var level []Itemset
+	for p, c := range pairCounts {
+		if c >= minCount {
+			level = append(level, Itemset{Items: []Item{p[0], p[1]}, Count: c})
+		}
+	}
+	sortItemsets(level)
+
+	// Passes k ≥ 3: Apriori join over the previous level, subset prune,
+	// then one counting scan per level.
+	for len(level) > 0 {
+		out = append(out, level...)
+		for _, s := range level {
+			supp[key(s.Items)] = s.Count
+		}
+		cands := joinCandidates(level, supp)
+		if len(cands) == 0 {
+			break
+		}
+		counts := make([]int, len(cands))
+		for _, tx := range in.Groups {
+			for ci, c := range cands {
+				if containsAll(tx, c) {
+					counts[ci]++
+				}
+			}
+		}
+		level = level[:0]
+		for ci, c := range cands {
+			if counts[ci] >= minCount {
+				level = append(level, Itemset{Items: c, Count: counts[ci]})
+			}
+		}
+		sortItemsets(level)
+	}
+	sortItemsets(out)
+	return out
+}
+
+// joinCandidates applies the Apriori candidate generation with the
+// all-subsets-large prune against supp.
+func joinCandidates(level []Itemset, supp map[string]int) [][]Item {
+	var cands [][]Item
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i].Items, level[j].Items
+			if !samePrefix(a, b) {
+				break
+			}
+			c := make([]Item, len(a)+1)
+			copy(c, a)
+			c[len(a)] = b[len(b)-1]
+			if allSubsetsLarge(c, supp) {
+				cands = append(cands, c)
+			}
+		}
+	}
+	return cands
+}
+
+// allSubsetsLarge checks every (k-1)-subset of c against the support map.
+func allSubsetsLarge(c []Item, supp map[string]int) bool {
+	sub := make([]Item, 0, len(c)-1)
+	for skip := range c {
+		sub = sub[:0]
+		for i, it := range c {
+			if i != skip {
+				sub = append(sub, it)
+			}
+		}
+		if _, ok := supp[key(sub)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// pairBucket is the DHP hash: a simple multiplicative mix of both items.
+func pairBucket(a, b Item, buckets int) int {
+	h := uint64(a)*2654435761 ^ uint64(b)*40503
+	return int(h % uint64(buckets))
+}

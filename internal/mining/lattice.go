@@ -1,0 +1,260 @@
+package mining
+
+import "sort"
+
+// This file implements the paper's own description of the general-rule
+// search (§4.3.2) as an alternative to the canonical-path descent in
+// general.go: rule sets RS(m,n) form a lattice; RS(m+1,n) and RS(m,n+1)
+// derive from RS(m,n); a set reachable from two parents is computed
+// "starting from the set with lower cardinality" (the smaller parent),
+// and duplicates are merged. Both strategies return identical rule
+// sets — TestLatticeStrategiesAgree holds them together — and
+// BenchmarkLatticeStrategy measures the difference the canonical path
+// buys.
+
+// LatticeStrategy selects the general-core search variant.
+type LatticeStrategy int
+
+const (
+	// CanonicalPath grows bodies only under singleton heads and heads
+	// in increasing item order: every (B,H) is generated exactly once,
+	// no dedup needed (the default).
+	CanonicalPath LatticeStrategy = iota
+	// LowerCardinalityParent is the paper's §4.3.2 scheme: layer by
+	// layer over the m×n lattice, each set derived from its smaller
+	// parent, duplicates merged.
+	LowerCardinalityParent
+)
+
+// ruleSetKey identifies one lattice node.
+type ruleSetKey struct{ m, n int }
+
+// mineBidirectional implements the LowerCardinalityParent strategy.
+func mineBidirectional(in *GeneralInput, opts Options, elem map[pairKey][]Ctx, bodyOcc map[Item][]GC, minCount int) []Rule {
+	if len(elem) == 0 {
+		return nil
+	}
+	// RS(1,1).
+	var top []latticeRule
+	for pk, ctxs := range elem {
+		top = append(top, latticeRule{
+			body:   []Item{pk.b},
+			head:   []Item{pk.h},
+			ctxs:   ctxs,
+			gcount: distinctGroups(ctxs),
+		})
+	}
+	sortLatticeRules(top)
+
+	sets := map[ruleSetKey][]latticeRule{{1, 1}: top}
+
+	// extendBody derives RS(m+1,n) from RS(m,n); every extension is
+	// tried and duplicates merge through the key map (each rule has m+1
+	// generating parents in the full lattice, but from a single parent
+	// set each rule still arises once per removable-vs-added item pair).
+	extendBody := func(parent []latticeRule) []latticeRule {
+		seen := make(map[string]bool)
+		var out []latticeRule
+		for _, r := range parent {
+			for _, b := range allBodyItems(elem) {
+				if itemIn(r.body, b) {
+					continue
+				}
+				if in.SameAttr && itemIn(r.head, b) {
+					continue
+				}
+				nb := insertSorted(r.body, b)
+				k := key(nb) + "=>" + key(r.head)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				ctxs := r.ctxs
+				ok := true
+				for _, h := range r.head {
+					pc, exists := elem[pairKey{b, h}]
+					if !exists {
+						ok = false
+						break
+					}
+					ctxs = intersectCtx(ctxs, pc)
+					if len(ctxs) == 0 {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				if g := distinctGroups(ctxs); g >= minCount {
+					out = append(out, latticeRule{body: nb, head: r.head, ctxs: ctxs, gcount: g})
+				}
+			}
+		}
+		sortLatticeRules(out)
+		return out
+	}
+	extendHead := func(parent []latticeRule) []latticeRule {
+		seen := make(map[string]bool)
+		var out []latticeRule
+		for _, r := range parent {
+			for _, h := range allHeadItems(elem) {
+				if itemIn(r.head, h) {
+					continue
+				}
+				if in.SameAttr && itemIn(r.body, h) {
+					continue
+				}
+				nh := insertSorted(r.head, h)
+				k := key(r.body) + "=>" + key(nh)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				ctxs := r.ctxs
+				ok := true
+				for _, b := range r.body {
+					pc, exists := elem[pairKey{b, h}]
+					if !exists {
+						ok = false
+						break
+					}
+					ctxs = intersectCtx(ctxs, pc)
+					if len(ctxs) == 0 {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				if g := distinctGroups(ctxs); g >= minCount {
+					out = append(out, latticeRule{body: r.body, head: nh, ctxs: ctxs, gcount: g})
+				}
+			}
+		}
+		sortLatticeRules(out)
+		return out
+	}
+
+	// Layer-wise descent: layer d holds the sets with m+n = d.
+	var rules []Rule
+	emitSet := func(set []latticeRule) {
+		for _, r := range set {
+			if !opts.BodyCard.contains(len(r.body)) || !opts.HeadCard.contains(len(r.head)) {
+				continue
+			}
+			bc := bodyCount(bodyOcc, r.body)
+			if bc == 0 {
+				continue
+			}
+			conf := float64(r.gcount) / float64(bc)
+			if conf < opts.MinConfidence {
+				continue
+			}
+			rules = append(rules, Rule{
+				Body:         append([]Item(nil), r.body...),
+				Head:         append([]Item(nil), r.head...),
+				SupportCount: r.gcount,
+				BodyCount:    bc,
+				Support:      float64(r.gcount) / float64(in.TotalGroups),
+				Confidence:   conf,
+			})
+		}
+	}
+	emitSet(top)
+
+	for d := 3; ; d++ {
+		any := false
+		for m := 1; m < d; m++ {
+			n := d - m
+			if m < 1 || n < 1 {
+				continue
+			}
+			if !opts.BodyCard.allows(m) || !opts.HeadCard.allows(n) {
+				continue
+			}
+			// Pick the smaller existing parent (the paper's rule); a set
+			// on the lattice border has only one.
+			left, hasLeft := sets[ruleSetKey{m - 1, n}]    // grow body
+			rightP, hasRight := sets[ruleSetKey{m, n - 1}] // grow head
+			var set []latticeRule
+			switch {
+			case hasLeft && hasRight:
+				if len(left) <= len(rightP) {
+					set = extendBody(left)
+				} else {
+					set = extendHead(rightP)
+				}
+			case hasLeft:
+				set = extendBody(left)
+			case hasRight:
+				set = extendHead(rightP)
+			default:
+				continue
+			}
+			if len(set) == 0 {
+				continue
+			}
+			sets[ruleSetKey{m, n}] = set
+			emitSet(set)
+			any = true
+		}
+		if !any {
+			break
+		}
+	}
+	SortRules(rules)
+	return rules
+}
+
+func sortLatticeRules(rs []latticeRule) {
+	sort.Slice(rs, func(i, j int) bool {
+		if c := compareItems(rs[i].body, rs[j].body); c != 0 {
+			return c < 0
+		}
+		return compareItems(rs[i].head, rs[j].head) < 0
+	})
+}
+
+func insertSorted(items []Item, it Item) []Item {
+	out := make([]Item, 0, len(items)+1)
+	placed := false
+	for _, x := range items {
+		if !placed && it < x {
+			out = append(out, it)
+			placed = true
+		}
+		out = append(out, x)
+	}
+	if !placed {
+		out = append(out, it)
+	}
+	return out
+}
+
+func allBodyItems(elem map[pairKey][]Ctx) []Item {
+	seen := make(map[Item]bool)
+	var out []Item
+	for pk := range elem {
+		if !seen[pk.b] {
+			seen[pk.b] = true
+			out = append(out, pk.b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func allHeadItems(elem map[pairKey][]Ctx) []Item {
+	seen := make(map[Item]bool)
+	var out []Item
+	for pk := range elem {
+		if !seen[pk.h] {
+			seen[pk.h] = true
+			out = append(out, pk.h)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,209 @@
+// Package mining implements the paper's core operator (§4.3): the
+// non-SQL component that receives encoded data from the preprocessor and
+// discovers association rules. Two processing classes exist, matching
+// Figure 3.b:
+//
+//   - simple rules: a pool of classical large-itemset algorithms
+//     (levelwise gid-list Apriori [1,3], DHP-style hashing [12],
+//     Partition [13], Toivonen-style sampling [7]) followed by rule
+//     generation from itemsets;
+//   - general rules: the m×n rule-lattice algorithm over elementary
+//     rules with (group, body cluster, head cluster) contexts.
+//
+// The core sees only integer identifiers (Gid/Cid/Bid/Hid), never source
+// attributes — the paper's algorithm-interoperability requirement.
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Item is an encoded item identifier (a Bid or Hid minted by the
+// preprocessor's sequences).
+type Item int64
+
+// Card bounds the cardinality of a rule element; Max==0 means unbounded
+// (the grammar's "n").
+type Card struct {
+	Min, Max int
+}
+
+// contains reports whether k satisfies the bound.
+func (c Card) contains(k int) bool { return k >= c.Min && (c.Max == 0 || k <= c.Max) }
+
+// allows reports whether growing to k is still useful.
+func (c Card) allows(k int) bool { return c.Max == 0 || k <= c.Max }
+
+// Options carries the EXTRACTING clause thresholds and the cardinality
+// specifications into the core.
+type Options struct {
+	MinSupport    float64
+	MinConfidence float64
+	BodyCard      Card
+	HeadCard      Card
+	// Lattice selects the general-core search strategy (see
+	// LatticeStrategy); the zero value is the canonical path.
+	Lattice LatticeStrategy
+}
+
+// MinCount converts the relative support into the minimum number of
+// groups, over the given total, that a rule must reach. It is at least 1:
+// a rule must occur somewhere.
+func MinCount(minSupport float64, totalGroups int) int {
+	c := int(math.Ceil(minSupport*float64(totalGroups) - 1e-9))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Rule is one association rule over encoded items. Body and Head are
+// sorted ascending. SupportCount is the number of groups containing the
+// rule, BodyCount the number containing the body.
+type Rule struct {
+	Body, Head   []Item
+	SupportCount int
+	BodyCount    int
+	Support      float64
+	Confidence   float64
+}
+
+// String renders the rule for diagnostics: {1,2} => {3} (s=0.5, c=1).
+func (r Rule) String() string {
+	return fmt.Sprintf("%s => %s (s=%g, c=%g)", itemsString(r.Body), itemsString(r.Head), r.Support, r.Confidence)
+}
+
+func itemsString(items []Item) string {
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = strconv.FormatInt(int64(it), 10)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// SortRules orders rules canonically (body, then head, lexicographic),
+// giving deterministic output across algorithms.
+func SortRules(rules []Rule) {
+	sort.Slice(rules, func(i, j int) bool {
+		if c := compareItems(rules[i].Body, rules[j].Body); c != 0 {
+			return c < 0
+		}
+		return compareItems(rules[i].Head, rules[j].Head) < 0
+	})
+}
+
+func compareItems(a, b []Item) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Itemset is a sorted set of items with its group-support count.
+type Itemset struct {
+	Items []Item
+	Count int
+}
+
+// SimpleInput is the encoded input for the simple core processing: one
+// item list per group (from CodedSource), plus the paper's :totg.
+type SimpleInput struct {
+	// Groups holds each group's distinct items, sorted ascending.
+	Groups [][]Item
+	// TotalGroups is the support denominator (Q1's count over the whole
+	// Source; it may exceed len(Groups) when a group HAVING filtered).
+	TotalGroups int
+}
+
+// NewSimpleInput normalizes raw (gid → items) data: items are
+// deduplicated and sorted, groups orderd by gid for determinism.
+func NewSimpleInput(byGroup map[int64][]Item, totalGroups int) *SimpleInput {
+	gids := make([]int64, 0, len(byGroup))
+	for g := range byGroup {
+		gids = append(gids, g)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	in := &SimpleInput{TotalGroups: totalGroups, Groups: make([][]Item, 0, len(gids))}
+	for _, g := range gids {
+		in.Groups = append(in.Groups, normalizeItems(byGroup[g]))
+	}
+	return in
+}
+
+func normalizeItems(items []Item) []Item {
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	out := items[:0]
+	var prev Item = -1 << 62
+	for _, it := range items {
+		if it != prev {
+			out = append(out, it)
+			prev = it
+		}
+	}
+	return out
+}
+
+// key packs an itemset into a map key.
+func key(items []Item) string {
+	var b strings.Builder
+	for i, it := range items {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatInt(int64(it), 10))
+	}
+	return b.String()
+}
+
+// ItemsetMiner is one algorithm of the pool. LargeItemsets returns every
+// itemset (all cardinalities) whose group count is at least minCount.
+type ItemsetMiner interface {
+	// Name identifies the algorithm for directives and reporting.
+	Name() string
+	// LargeItemsets mines in; the result is sorted canonically.
+	LargeItemsets(in *SimpleInput, minCount int) []Itemset
+}
+
+// sortItemsets orders itemsets canonically (by size then lexicographic).
+func sortItemsets(sets []Itemset) {
+	sort.Slice(sets, func(i, j int) bool {
+		if len(sets[i].Items) != len(sets[j].Items) {
+			return len(sets[i].Items) < len(sets[j].Items)
+		}
+		return compareItems(sets[i].Items, sets[j].Items) < 0
+	})
+}
+
+// containsAll reports whether the sorted transaction tx contains every
+// element of the sorted candidate items.
+func containsAll(tx, items []Item) bool {
+	i := 0
+	for _, t := range tx {
+		if i == len(items) {
+			return true
+		}
+		switch {
+		case t == items[i]:
+			i++
+		case t > items[i]:
+			return false
+		}
+	}
+	return i == len(items)
+}

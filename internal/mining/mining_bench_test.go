@@ -1,0 +1,142 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchInput(groups, items, avg int, seed int64) *SimpleInput {
+	rng := rand.New(rand.NewSource(seed))
+	byGroup := make(map[int64][]Item, groups)
+	for g := int64(1); g <= int64(groups); g++ {
+		n := 1 + rng.Intn(2*avg)
+		tx := make([]Item, n)
+		for i := range tx {
+			tx[i] = Item(rng.Intn(items))
+		}
+		byGroup[g] = tx
+	}
+	return NewSimpleInput(byGroup, groups)
+}
+
+// BenchmarkLargeItemsets isolates the core algorithms from the SQL
+// pipeline (the pure-algorithm view of experiment E4).
+func BenchmarkLargeItemsets(b *testing.B) {
+	in := benchInput(2000, 300, 8, 1)
+	for _, m := range []ItemsetMiner{
+		Apriori{}, Horizontal{}, Horizontal{Hashing: true},
+		Partition{Partitions: 4}, Sampling{Fraction: 0.3, Seed: 7},
+	} {
+		b.Run(m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.LargeItemsets(in, 40)
+			}
+		})
+	}
+}
+
+// BenchmarkDHPBuckets ablates the DHP hash-table size: too few buckets
+// lose the filter's selectivity, too many waste cache.
+func BenchmarkDHPBuckets(b *testing.B) {
+	in := benchInput(2000, 300, 8, 1)
+	for _, buckets := range []int{1 << 8, 1 << 12, 1 << 16, 1 << 20} {
+		b.Run(fmt.Sprintf("buckets=%d", buckets), func(b *testing.B) {
+			m := Horizontal{Hashing: true, HashBuckets: buckets}
+			for i := 0; i < b.N; i++ {
+				m.LargeItemsets(in, 40)
+			}
+		})
+	}
+}
+
+// BenchmarkPartitionCount ablates the partition count of [13].
+func BenchmarkPartitionCount(b *testing.B) {
+	in := benchInput(2000, 300, 8, 1)
+	for _, parts := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			m := Partition{Partitions: parts}
+			for i := 0; i < b.N; i++ {
+				m.LargeItemsets(in, 40)
+			}
+		})
+	}
+}
+
+// BenchmarkRuleGeneration measures subset enumeration over the large
+// itemsets.
+func BenchmarkRuleGeneration(b *testing.B) {
+	in := benchInput(2000, 120, 10, 2)
+	sets := Apriori{}.LargeItemsets(in, 20)
+	opts := Options{MinSupport: 0.01, MinConfidence: 0.3,
+		BodyCard: Card{Min: 1}, HeadCard: Card{Min: 1, Max: 2}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GenerateRules(sets, opts, in.TotalGroups)
+	}
+}
+
+// BenchmarkGeneralLattice measures the m×n descent as clusters per
+// group grow.
+func BenchmarkGeneralLattice(b *testing.B) {
+	for _, clusters := range []int{1, 3, 6} {
+		b.Run(fmt.Sprintf("clusters=%d", clusters), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(3))
+			var groups []GroupData
+			for g := int64(1); g <= 300; g++ {
+				bc := make(map[int64][]Item)
+				for c := int64(0); c < int64(clusters); c++ {
+					n := 2 + rng.Intn(4)
+					items := make([]Item, n)
+					for i := range items {
+						items[i] = Item(rng.Intn(40))
+					}
+					bc[c] = normalizeItems(items)
+				}
+				groups = append(groups, GroupData{Gid: g, BodyClusters: bc, HeadClusters: bc})
+			}
+			in := &GeneralInput{TotalGroups: 300, Groups: groups, PairPolicy: AllPairs, SameAttr: true}
+			opts := Options{MinSupport: 0.05, MinConfidence: 0.2,
+				BodyCard: Card{Min: 1, Max: 3}, HeadCard: Card{Min: 1, Max: 1}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MineGeneral(in, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkLatticeStrategy ablates the general-core search strategy:
+// canonical unique-path descent vs the paper's lower-cardinality-parent
+// scheme with dedup.
+func BenchmarkLatticeStrategy(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	var groups []GroupData
+	for g := int64(1); g <= 400; g++ {
+		bc := make(map[int64][]Item)
+		for c := int64(0); c < 3; c++ {
+			n := 2 + rng.Intn(5)
+			items := make([]Item, n)
+			for i := range items {
+				items[i] = Item(rng.Intn(30))
+			}
+			bc[c] = normalizeItems(items)
+		}
+		groups = append(groups, GroupData{Gid: g, BodyClusters: bc, HeadClusters: bc})
+	}
+	in := &GeneralInput{TotalGroups: 400, Groups: groups, PairPolicy: AllPairs, SameAttr: true}
+	for _, s := range []struct {
+		name  string
+		strat LatticeStrategy
+	}{{"canonical", CanonicalPath}, {"lower-parent", LowerCardinalityParent}} {
+		b.Run(s.name, func(b *testing.B) {
+			opts := Options{MinSupport: 0.05, MinConfidence: 0.2,
+				BodyCard: Card{Min: 1, Max: 3}, HeadCard: Card{Min: 1, Max: 2},
+				Lattice: s.strat}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MineGeneral(in, opts)
+			}
+		})
+	}
+}

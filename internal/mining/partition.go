@@ -1,0 +1,98 @@
+package mining
+
+import "sync"
+
+// Partition implements the two-pass algorithm of Savasere, Omiecinski
+// and Navathe [13]: the groups are divided into partitions small enough
+// to mine in memory; any globally large itemset must be locally large in
+// at least one partition, so the union of the local results is a
+// complete candidate set that a single second pass counts exactly.
+type Partition struct {
+	// Partitions is the number of partitions (default 4; clamped to the
+	// number of groups).
+	Partitions int
+	// Parallel mines the partitions concurrently — the independence of
+	// phase 1 is the algorithm's whole point, and Go makes it one
+	// WaitGroup; the original runs partitions sequentially to bound
+	// memory, which an in-memory engine need not do.
+	Parallel bool
+}
+
+// Name implements ItemsetMiner.
+func (p Partition) Name() string { return "partition" }
+
+// LargeItemsets implements ItemsetMiner.
+func (p Partition) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
+	nparts := p.Partitions
+	if nparts <= 0 {
+		nparts = 4
+	}
+	if nparts > len(in.Groups) {
+		nparts = len(in.Groups)
+	}
+	if nparts <= 1 {
+		return Apriori{}.LargeItemsets(in, minCount)
+	}
+
+	// Phase 1: local large itemsets per partition. The local threshold
+	// scales the global one by the partition's share of groups,
+	// reproducing the paper's ⌈minsup·|partition|⌉ rule. TotalGroups may
+	// exceed len(Groups) (group HAVING); the ratio keeps the local
+	// threshold consistent with the global count threshold.
+	candidates := make(map[string][]Item)
+	per := (len(in.Groups) + nparts - 1) / nparts
+	minePart := func(start int) []Itemset {
+		end := start + per
+		if end > len(in.Groups) {
+			end = len(in.Groups)
+		}
+		part := &SimpleInput{Groups: in.Groups[start:end], TotalGroups: end - start}
+		localMin := MinCount(float64(minCount)/float64(len(in.Groups)), end-start)
+		return Apriori{}.LargeItemsets(part, localMin)
+	}
+	if p.Parallel {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for start := 0; start < len(in.Groups); start += per {
+			wg.Add(1)
+			go func(start int) {
+				defer wg.Done()
+				local := minePart(start)
+				mu.Lock()
+				for _, s := range local {
+					candidates[key(s.Items)] = s.Items
+				}
+				mu.Unlock()
+			}(start)
+		}
+		wg.Wait()
+	} else {
+		for start := 0; start < len(in.Groups); start += per {
+			for _, s := range minePart(start) {
+				candidates[key(s.Items)] = s.Items
+			}
+		}
+	}
+
+	// Phase 2: one global counting pass over the candidate union.
+	cands := make([][]Item, 0, len(candidates))
+	for _, items := range candidates {
+		cands = append(cands, items)
+	}
+	counts := make([]int, len(cands))
+	for _, tx := range in.Groups {
+		for ci, c := range cands {
+			if containsAll(tx, c) {
+				counts[ci]++
+			}
+		}
+	}
+	var out []Itemset
+	for ci, c := range cands {
+		if counts[ci] >= minCount {
+			out = append(out, Itemset{Items: c, Count: counts[ci]})
+		}
+	}
+	sortItemsets(out)
+	return out
+}

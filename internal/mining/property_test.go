@@ -1,0 +1,251 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ruleKey identifies a rule by its itemsets.
+func ruleKey(r Rule) string { return itemsString(r.Body) + ">" + itemsString(r.Head) }
+
+// TestSupportMonotonicityProperty: raising the support threshold must
+// produce a subset of the rules (with identical measures on the
+// intersection).
+func TestSupportMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		byGroup := make(map[int64][]Item)
+		for g := int64(1); g <= 40; g++ {
+			n := 1 + rng.Intn(6)
+			items := make([]Item, n)
+			for i := range items {
+				items[i] = Item(rng.Intn(10))
+			}
+			byGroup[g] = items
+		}
+		in := NewSimpleInput(byGroup, len(byGroup))
+		lo := MineSimple(Apriori{}, in, Options{
+			MinSupport: 0.1, MinConfidence: 0.2,
+			BodyCard: Card{Min: 1}, HeadCard: Card{Min: 1, Max: 1},
+		})
+		hi := MineSimple(Apriori{}, in, Options{
+			MinSupport: 0.3, MinConfidence: 0.2,
+			BodyCard: Card{Min: 1}, HeadCard: Card{Min: 1, Max: 1},
+		})
+		loSet := make(map[string]Rule, len(lo))
+		for _, r := range lo {
+			loSet[ruleKey(r)] = r
+		}
+		for _, r := range hi {
+			lr, ok := loSet[ruleKey(r)]
+			if !ok {
+				return false // a high-threshold rule missing at low threshold
+			}
+			if lr.Support != r.Support || lr.Confidence != r.Confidence {
+				return false // measures must not depend on the threshold
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConfidenceMonotonicityProperty: raising the confidence threshold
+// filters the same rule set.
+func TestConfidenceMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		byGroup := make(map[int64][]Item)
+		for g := int64(1); g <= 30; g++ {
+			n := 1 + rng.Intn(5)
+			items := make([]Item, n)
+			for i := range items {
+				items[i] = Item(rng.Intn(8))
+			}
+			byGroup[g] = items
+		}
+		in := NewSimpleInput(byGroup, len(byGroup))
+		base := Options{MinSupport: 0.1, BodyCard: Card{Min: 1}, HeadCard: Card{Min: 1, Max: 1}}
+		lo, hi := base, base
+		lo.MinConfidence, hi.MinConfidence = 0.2, 0.7
+		loRules := MineSimple(Apriori{}, in, lo)
+		hiRules := MineSimple(Apriori{}, in, hi)
+		loSet := make(map[string]bool, len(loRules))
+		for _, r := range loRules {
+			loSet[ruleKey(r)] = true
+		}
+		for _, r := range hiRules {
+			if r.Confidence < 0.7 {
+				return false
+			}
+			if !loSet[ruleKey(r)] {
+				return false
+			}
+		}
+		// Counting check: hi = lo filtered at 0.7.
+		kept := 0
+		for _, r := range loRules {
+			if r.Confidence >= 0.7 {
+				kept++
+			}
+		}
+		return kept == len(hiRules)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRuleMeasuresConsistencyProperty: for every emitted rule,
+// support = SupportCount/totg, confidence = SupportCount/BodyCount, and
+// confidence ≥ support when the denominator counts are consistent.
+func TestRuleMeasuresConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		byGroup := make(map[int64][]Item)
+		for g := int64(1); g <= 25; g++ {
+			n := 1 + rng.Intn(6)
+			items := make([]Item, n)
+			for i := range items {
+				items[i] = Item(rng.Intn(9))
+			}
+			byGroup[g] = items
+		}
+		in := NewSimpleInput(byGroup, len(byGroup))
+		rules := MineSimple(Apriori{}, in, Options{
+			MinSupport: 0.05, MinConfidence: 0,
+			BodyCard: Card{Min: 1}, HeadCard: Card{Min: 1, Max: 2},
+		})
+		for _, r := range rules {
+			if r.Support != float64(r.SupportCount)/float64(in.TotalGroups) {
+				return false
+			}
+			if r.Confidence != float64(r.SupportCount)/float64(r.BodyCount) {
+				return false
+			}
+			if r.SupportCount > r.BodyCount {
+				return false // body occurs at least wherever the rule does
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGeneralLatticeMonotonicityProperty: in the general core, every
+// emitted (B,H) rule's sub-rules (prefix subsets along the canonical
+// path) would also satisfy the support threshold — checked indirectly:
+// mining at a lower threshold yields a superset.
+func TestGeneralLatticeMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var groups []GroupData
+		for g := int64(1); g <= 20; g++ {
+			nclusters := 1 + rng.Intn(3)
+			bc := make(map[int64][]Item)
+			for c := int64(0); c < int64(nclusters); c++ {
+				n := 1 + rng.Intn(4)
+				items := make([]Item, n)
+				for i := range items {
+					items[i] = Item(rng.Intn(7))
+				}
+				bc[c] = normalizeItems(items)
+			}
+			groups = append(groups, GroupData{Gid: g, BodyClusters: bc, HeadClusters: bc})
+		}
+		mk := func(s float64) []Rule {
+			return MineGeneral(&GeneralInput{
+				TotalGroups: len(groups),
+				Groups:      groups,
+				PairPolicy:  AllPairs,
+				SameAttr:    true,
+			}, Options{MinSupport: s, MinConfidence: 0,
+				BodyCard: Card{Min: 1, Max: 2}, HeadCard: Card{Min: 1, Max: 1}})
+		}
+		lo := mk(0.1)
+		hi := mk(0.4)
+		loSet := make(map[string]bool, len(lo))
+		for _, r := range lo {
+			loSet[ruleKey(r)] = true
+		}
+		for _, r := range hi {
+			if !loSet[ruleKey(r)] {
+				return false
+			}
+		}
+		return len(hi) <= len(lo)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLatticeStrategiesAgree: the canonical-path descent and the paper's
+// lower-cardinality-parent lattice must produce identical rule sets.
+func TestLatticeStrategiesAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var groups []GroupData
+		for g := int64(1); g <= 25; g++ {
+			nclusters := 1 + rng.Intn(3)
+			bc := make(map[int64][]Item)
+			for c := int64(0); c < int64(nclusters); c++ {
+				n := 1 + rng.Intn(5)
+				items := make([]Item, n)
+				for i := range items {
+					items[i] = Item(rng.Intn(8))
+				}
+				bc[c] = normalizeItems(items)
+			}
+			groups = append(groups, GroupData{Gid: g, BodyClusters: bc, HeadClusters: bc})
+		}
+		in := &GeneralInput{
+			TotalGroups: len(groups),
+			Groups:      groups,
+			PairPolicy:  AllPairs,
+			SameAttr:    true,
+		}
+		base := Options{MinSupport: 0.15, MinConfidence: 0.1,
+			BodyCard: Card{Min: 1, Max: 3}, HeadCard: Card{Min: 1, Max: 2}}
+		canon := MineGeneral(in, base)
+		bi := base
+		bi.Lattice = LowerCardinalityParent
+		bidir := MineGeneral(in, bi)
+		if len(canon) != len(bidir) {
+			t.Logf("seed %d: %d vs %d rules", seed, len(canon), len(bidir))
+			return false
+		}
+		for i := range canon {
+			if compareItems(canon[i].Body, bidir[i].Body) != 0 ||
+				compareItems(canon[i].Head, bidir[i].Head) != 0 ||
+				canon[i].Support != bidir[i].Support ||
+				canon[i].Confidence != bidir[i].Confidence {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLatticeStrategiesAgreeOnPaperExample pins both strategies to
+// Figure 2.b.
+func TestLatticeStrategiesAgreeOnPaperExample(t *testing.T) {
+	for _, strat := range []LatticeStrategy{CanonicalPath, LowerCardinalityParent} {
+		rules := MineGeneral(paperGeneralInput(), Options{
+			MinSupport: 0.2, MinConfidence: 0.3,
+			BodyCard: Card{Min: 1}, HeadCard: Card{Min: 1},
+			Lattice: strat,
+		})
+		if len(rules) != 3 {
+			t.Errorf("strategy %d: %d rules, want 3", strat, len(rules))
+		}
+	}
+}

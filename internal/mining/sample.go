@@ -1,0 +1,158 @@
+package mining
+
+import "math/rand"
+
+// Sampling implements Toivonen's sampling algorithm [7]: mine a random
+// sample at a lowered threshold, then verify the found sets *and their
+// negative border* against the full data in one pass. If some border set
+// turns out globally large the sample missed something; the
+// implementation then falls back to an exact run, so the result is
+// always exact (the sampling only risks wasted work, never wrong
+// output) — the "more than one but less than two" passes of the paper's
+// introduction.
+type Sampling struct {
+	// Fraction of groups to sample (default 0.25, clamped to (0,1]).
+	Fraction float64
+	// LoweredFactor scales the threshold on the sample (default 0.8).
+	LoweredFactor float64
+	// Seed makes runs reproducible (default 1).
+	Seed int64
+}
+
+// Name implements ItemsetMiner.
+func (s Sampling) Name() string { return "sampling" }
+
+// LargeItemsets implements ItemsetMiner.
+func (s Sampling) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
+	frac := s.Fraction
+	if frac <= 0 || frac > 1 {
+		frac = 0.25
+	}
+	lowered := s.LoweredFactor
+	if lowered <= 0 || lowered > 1 {
+		lowered = 0.8
+	}
+	seed := s.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	sampleSize := int(frac * float64(len(in.Groups)))
+	if sampleSize < 1 {
+		return Apriori{}.LargeItemsets(in, minCount)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(in.Groups))[:sampleSize]
+	sample := &SimpleInput{Groups: make([][]Item, sampleSize), TotalGroups: sampleSize}
+	for i, j := range idx {
+		sample.Groups[i] = in.Groups[j]
+	}
+
+	// Mine the sample at the lowered threshold.
+	globalSupp := float64(minCount) / float64(len(in.Groups))
+	localMin := MinCount(lowered*globalSupp, sampleSize)
+	sampleLarge := Apriori{}.LargeItemsets(sample, localMin)
+
+	// Candidates: the sample-large sets plus their negative border (the
+	// minimal sets not in the collection, obtained by one Apriori join
+	// over each level plus all non-large singletons).
+	cands := make(map[string][]Item, len(sampleLarge))
+	for _, it := range sampleLarge {
+		cands[key(it.Items)] = it.Items
+	}
+	border := negativeBorder(in, sampleLarge, cands)
+
+	all := make([][]Item, 0, len(cands)+len(border))
+	inBorder := make([]bool, 0, len(cands)+len(border))
+	for _, items := range cands {
+		all = append(all, items)
+		inBorder = append(inBorder, false)
+	}
+	for _, items := range border {
+		all = append(all, items)
+		inBorder = append(inBorder, true)
+	}
+
+	// Full-data verification pass.
+	counts := make([]int, len(all))
+	for _, tx := range in.Groups {
+		for ci, c := range all {
+			if containsAll(tx, c) {
+				counts[ci]++
+			}
+		}
+	}
+	for ci := range all {
+		if inBorder[ci] && counts[ci] >= minCount {
+			// A border set is globally large: the sample was unlucky.
+			// Fall back to the exact algorithm for a guaranteed-complete
+			// answer.
+			return Apriori{}.LargeItemsets(in, minCount)
+		}
+	}
+	var out []Itemset
+	for ci, c := range all {
+		if !inBorder[ci] && counts[ci] >= minCount {
+			out = append(out, Itemset{Items: c, Count: counts[ci]})
+		}
+	}
+	sortItemsets(out)
+	return out
+}
+
+// negativeBorder returns the minimal itemsets just outside the
+// sample-large collection: every singleton not in it, and every Apriori
+// join of same-level members whose result is absent.
+func negativeBorder(in *SimpleInput, large []Itemset, have map[string][]Item) [][]Item {
+	var border [][]Item
+	seen := make(map[string]bool)
+
+	// Singletons never seen as large in the sample.
+	inLarge := make(map[Item]bool)
+	for _, s := range large {
+		if len(s.Items) == 1 {
+			inLarge[s.Items[0]] = true
+		}
+	}
+	singles := make(map[Item]bool)
+	for _, tx := range in.Groups {
+		for _, it := range tx {
+			singles[it] = true
+		}
+	}
+	for it := range singles {
+		if !inLarge[it] {
+			items := []Item{it}
+			border = append(border, items)
+			seen[key(items)] = true
+		}
+	}
+
+	// Joins of same-level sample-large sets that are not themselves in
+	// the collection.
+	byLevel := make(map[int][]Itemset)
+	for _, s := range large {
+		byLevel[len(s.Items)] = append(byLevel[len(s.Items)], s)
+	}
+	for _, level := range byLevel {
+		sortItemsets(level)
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i].Items, level[j].Items
+				if !samePrefix(a, b) {
+					break
+				}
+				c := make([]Item, len(a)+1)
+				copy(c, a)
+				c[len(a)] = b[len(b)-1]
+				k := key(c)
+				if _, ok := have[k]; ok || seen[k] {
+					continue
+				}
+				seen[k] = true
+				border = append(border, c)
+			}
+		}
+	}
+	return border
+}

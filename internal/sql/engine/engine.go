@@ -1,0 +1,309 @@
+// Package engine exposes the embedded relational server: a Database that
+// accepts SQL text, maintains the catalog (the paper's DBMS + Data
+// Dictionary box in Figure 3), and imports/exports CSV. It is the only
+// surface the mining kernel talks to, which is exactly the paper's
+// portability requirement — everything the kernel asks for is SQL.
+package engine
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"minerule/internal/sql/exec"
+	"minerule/internal/sql/parse"
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/storage"
+	"minerule/internal/sql/value"
+)
+
+// Database is an embedded in-memory SQL92-subset database.
+type Database struct {
+	cat *storage.Catalog
+	rt  *exec.Runtime
+}
+
+// New returns an empty database.
+func New() *Database {
+	cat := storage.NewCatalog()
+	return &Database{cat: cat, rt: exec.NewRuntime(cat)}
+}
+
+// Catalog exposes the data dictionary (read-mostly; used by the
+// translator for semantic checks).
+func (db *Database) Catalog() *storage.Catalog { return db.cat }
+
+// Exec parses and executes one SQL statement.
+func (db *Database) Exec(sql string) (*exec.Result, error) {
+	st, err := parse.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
+	}
+	res, err := db.rt.Exec(st)
+	if err != nil {
+		return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
+	}
+	return res, nil
+}
+
+// ExecScript executes a semicolon-separated sequence of statements,
+// stopping at the first error.
+func (db *Database) ExecScript(sql string) error {
+	sts, err := parse.ParseScript(sql)
+	if err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	for _, st := range sts {
+		if _, err := db.rt.Exec(st); err != nil {
+			return fmt.Errorf("engine: %w\n  in: %s", err, compact(st.SQL()))
+		}
+	}
+	return nil
+}
+
+// Query executes a SELECT and returns its result.
+func (db *Database) Query(sql string) (*exec.Result, error) {
+	res, err := db.Exec(sql)
+	if err != nil {
+		return nil, err
+	}
+	if res.Schema == nil {
+		return nil, fmt.Errorf("engine: statement is not a query: %s", compact(sql))
+	}
+	return res, nil
+}
+
+// ExplainSQL executes a query with executor tracing enabled and returns
+// the decision log (scan sources, join strategies, index use, filter
+// selectivities) followed by the result cardinality — an EXPLAIN
+// ANALYZE for the embedded engine.
+func (db *Database) ExplainSQL(sql string) (string, error) {
+	var lines []string
+	db.rt.Trace = func(l string) { lines = append(lines, l) }
+	defer func() { db.rt.Trace = nil }()
+	res, err := db.Query(sql)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "result: %d row(s)\n", len(res.Rows))
+	return b.String(), nil
+}
+
+// QueryInt runs a single-row single-column query and returns the integer
+// result (the idiom behind the paper's "SELECT COUNT(*) INTO :totg").
+func (db *Database) QueryInt(sql string) (int64, error) {
+	res, err := db.Query(sql)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return 0, fmt.Errorf("engine: expected one value, got %d row(s): %s", len(res.Rows), compact(sql))
+	}
+	v := res.Rows[0][0]
+	switch v.Type() {
+	case value.TypeInt:
+		return v.Int(), nil
+	case value.TypeFloat:
+		return int64(v.Float()), nil
+	default:
+		return 0, fmt.Errorf("engine: expected numeric value, got %s", v.Type())
+	}
+}
+
+func compact(sql string) string {
+	f := strings.Join(strings.Fields(sql), " ")
+	if len(f) > 160 {
+		f = f[:157] + "..."
+	}
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+
+// ImportCSV creates table name with the given typed header and loads all
+// records from r. The header format is "col:type" per column, with type
+// one of int, float, string, date, bool. Empty fields load as NULL.
+func (db *Database) ImportCSV(name string, header []string, r io.Reader) (int, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	return db.importRecords(name, header, cr)
+}
+
+// importRecords implements CSV loading over an already-positioned
+// reader (shared with Load, whose files carry the header in-band).
+func (db *Database) importRecords(name string, header []string, cr *csv.Reader) (int, error) {
+	cols := make([]schema.Column, len(header))
+	for i, h := range header {
+		parts := strings.SplitN(h, ":", 2)
+		if len(parts) != 2 {
+			return 0, fmt.Errorf("engine: header %q must be name:type", h)
+		}
+		t, err := typeFromName(parts[1])
+		if err != nil {
+			return 0, err
+		}
+		cols[i] = schema.Column{Name: parts[0], Type: t}
+	}
+	tab, err := db.cat.CreateTable(name, schema.New(name, cols...))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, fmt.Errorf("engine: csv: %w", err)
+		}
+		if len(rec) != len(cols) {
+			return n, fmt.Errorf("engine: csv record has %d fields, want %d", len(rec), len(cols))
+		}
+		row := make(schema.Row, len(cols))
+		for i, f := range rec {
+			v, err := parseField(f, cols[i].Type)
+			if err != nil {
+				return n, fmt.Errorf("engine: csv field %q: %w", f, err)
+			}
+			row[i] = v
+		}
+		tab.Insert(row)
+		n++
+	}
+	return n, nil
+}
+
+// ExportCSV writes a query result as CSV with a plain column-name header.
+func (db *Database) ExportCSV(w io.Writer, sql string) error {
+	res, err := db.Query(sql)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, res.Schema.Len())
+	for i := 0; i < res.Schema.Len(); i++ {
+		header[i] = res.Schema.Col(i).Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, res.Schema.Len())
+	for _, row := range res.Rows {
+		for i, v := range row {
+			if v.IsNull() {
+				rec[i] = ""
+			} else {
+				rec[i] = v.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func typeFromName(s string) (value.Type, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "int", "integer":
+		return value.TypeInt, nil
+	case "float", "real", "double":
+		return value.TypeFloat, nil
+	case "string", "varchar", "text":
+		return value.TypeString, nil
+	case "date":
+		return value.TypeDate, nil
+	case "bool", "boolean":
+		return value.TypeBool, nil
+	default:
+		return value.TypeNull, fmt.Errorf("engine: unknown csv type %q", s)
+	}
+}
+
+func parseField(f string, t value.Type) (value.Value, error) {
+	if f == "" {
+		return value.Null, nil
+	}
+	switch t {
+	case value.TypeInt:
+		i, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewInt(i), nil
+	case value.TypeFloat:
+		fl, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewFloat(fl), nil
+	case value.TypeString:
+		return value.NewString(f), nil
+	case value.TypeDate:
+		return value.ParseDate(f)
+	case value.TypeBool:
+		b, err := strconv.ParseBool(strings.ToLower(f))
+		if err != nil {
+			return value.Null, err
+		}
+		return value.NewBool(b), nil
+	}
+	return value.Null, fmt.Errorf("engine: unsupported type %s", t)
+}
+
+// FormatResult renders a result as an aligned text table for tooling.
+func FormatResult(res *exec.Result) string {
+	if res.Schema == nil {
+		return fmt.Sprintf("%d row(s) affected\n", res.RowsAffected)
+	}
+	n := res.Schema.Len()
+	widths := make([]int, n)
+	header := make([]string, n)
+	for i := 0; i < n; i++ {
+		header[i] = res.Schema.Col(i).Name
+		widths[i] = len(header[i])
+	}
+	cells := make([][]string, len(res.Rows))
+	for r, row := range res.Rows {
+		cells[r] = make([]string, n)
+		for i, v := range row {
+			s := v.String()
+			cells[r][i] = s
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(vals []string) {
+		for i, s := range vals {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(s)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(s)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, n)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&b, "(%d rows)\n", len(res.Rows))
+	return b.String()
+}

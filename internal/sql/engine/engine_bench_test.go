@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchDB loads two joinable tables of the given sizes.
+func benchDB(b *testing.B, left, right int) *Database {
+	b.Helper()
+	db := New()
+	if err := db.ExecScript("CREATE TABLE l (k INTEGER, v INTEGER); CREATE TABLE r (k INTEGER, w INTEGER)"); err != nil {
+		b.Fatal(err)
+	}
+	load := func(table string, n int) {
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			if sb.Len() > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", i%997, i)
+			if (i+1)%500 == 0 || i == n-1 {
+				if _, err := db.Exec("INSERT INTO " + table + " VALUES " + sb.String()); err != nil {
+					b.Fatal(err)
+				}
+				sb.Reset()
+			}
+		}
+	}
+	load("l", left)
+	load("r", right)
+	return db
+}
+
+// BenchmarkHashJoin measures the equi-join path the preprocessor's
+// Q3/Q4/Q8 queries live on.
+func BenchmarkHashJoin(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			db := benchDB(b, n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query("SELECT COUNT(*) FROM l, r WHERE l.k = r.k"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkThetaJoin measures the Cartesian-plus-filter fallback used
+// by the cluster-pair inequality of Q7.
+func BenchmarkThetaJoin(b *testing.B) {
+	db := benchDB(b, 300, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT COUNT(*) FROM l, r WHERE l.k < r.k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGroupByHaving measures the shape of Q2/Q3's encoding queries.
+func BenchmarkGroupByHaving(b *testing.B) {
+	db := benchDB(b, 20000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT k, COUNT(*) FROM l GROUP BY k HAVING COUNT(*) >= 10"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDistinct measures the dedup path behind Q1 and the DISTINCT
+// encodings.
+func BenchmarkDistinct(b *testing.B) {
+	db := benchDB(b, 20000, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query("SELECT DISTINCT k FROM l"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInsertSelect measures the materialization path of Q0.
+func BenchmarkInsertSelect(b *testing.B) {
+	db := benchDB(b, 20000, 0)
+	if err := db.ExecScript("CREATE TABLE sink (k INTEGER, v INTEGER)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("DELETE FROM sink"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec("INSERT INTO sink (SELECT k, v FROM l WHERE v >= 0)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequenceNextval measures identifier minting (Q2/Q3's
+// NEXTVAL-per-row).
+func BenchmarkSequenceNextval(b *testing.B) {
+	db := benchDB(b, 10000, 0)
+	if err := db.ExecScript("CREATE SEQUENCE s; CREATE TABLE ids (id INTEGER, k INTEGER)"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec("DELETE FROM ids"); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Exec("INSERT INTO ids (SELECT s.NEXTVAL, k FROM l)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIndexedPointLookup compares an equality SELECT with and
+// without a hash index.
+func BenchmarkIndexedPointLookup(b *testing.B) {
+	for _, indexed := range []bool{false, true} {
+		name := "scan"
+		if indexed {
+			name = "indexed"
+		}
+		b.Run(name, func(b *testing.B) {
+			db := benchDB(b, 20000, 0)
+			if indexed {
+				if _, err := db.Exec("CREATE INDEX l_k ON l (k)"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query("SELECT COUNT(*) FROM l WHERE k = 500"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,434 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func setupSetOps(t *testing.T) *Database {
+	t.Helper()
+	db := New()
+	err := db.ExecScript(`
+		CREATE TABLE a (x INTEGER);
+		CREATE TABLE b (x INTEGER);
+		INSERT INTO a VALUES (1), (2), (2), (3);
+		INSERT INTO b VALUES (2), (3), (4);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestUnion(t *testing.T) {
+	db := setupSetOps(t)
+	rows := rowStrings(t, db, "SELECT x FROM a UNION SELECT x FROM b ORDER BY x")
+	if strings.Join(rows, ",") != "1,2,3,4" {
+		t.Fatalf("UNION = %v", rows)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	db := setupSetOps(t)
+	rows := rowStrings(t, db, "SELECT x FROM a UNION ALL SELECT x FROM b ORDER BY x")
+	if strings.Join(rows, ",") != "1,2,2,2,3,3,4" {
+		t.Fatalf("UNION ALL = %v", rows)
+	}
+}
+
+func TestExcept(t *testing.T) {
+	db := setupSetOps(t)
+	rows := rowStrings(t, db, "SELECT x FROM a EXCEPT SELECT x FROM b ORDER BY x")
+	if strings.Join(rows, ",") != "1" {
+		t.Fatalf("EXCEPT = %v", rows)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	db := setupSetOps(t)
+	rows := rowStrings(t, db, "SELECT x FROM a INTERSECT SELECT x FROM b ORDER BY x")
+	if strings.Join(rows, ",") != "2,3" {
+		t.Fatalf("INTERSECT = %v", rows)
+	}
+}
+
+func TestChainedSetOps(t *testing.T) {
+	db := setupSetOps(t)
+	// (a UNION b) EXCEPT (x = 4) — left-associative chain.
+	rows := rowStrings(t, db, "SELECT x FROM a UNION SELECT x FROM b EXCEPT SELECT x FROM b WHERE x = 4 ORDER BY x")
+	if strings.Join(rows, ",") != "1,2,3" {
+		t.Fatalf("chain = %v", rows)
+	}
+}
+
+func TestSetOpArityMismatch(t *testing.T) {
+	db := setupSetOps(t)
+	if _, err := db.Query("SELECT x FROM a UNION SELECT x, x FROM b"); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, err := db.Query("SELECT x FROM a EXCEPT ALL SELECT x FROM b"); err == nil {
+		t.Fatal("EXCEPT ALL accepted")
+	}
+}
+
+func TestSetOpInDerivedTableAndView(t *testing.T) {
+	db := setupSetOps(t)
+	n, err := db.QueryInt("SELECT COUNT(*) FROM (SELECT x FROM a UNION SELECT x FROM b)")
+	if err != nil || n != 4 {
+		t.Fatalf("derived union count = %d (%v)", n, err)
+	}
+	if err := db.ExecScript("CREATE VIEW u AS SELECT x FROM a INTERSECT SELECT x FROM b"); err != nil {
+		t.Fatal(err)
+	}
+	n, err = db.QueryInt("SELECT COUNT(*) FROM u")
+	if err != nil || n != 2 {
+		t.Fatalf("view intersect count = %d (%v)", n, err)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := setupSetOps(t)
+	res, err := db.Exec("UPDATE a SET x = x * 10 WHERE x >= 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 3 {
+		t.Fatalf("updated %d", res.RowsAffected)
+	}
+	rows := rowStrings(t, db, "SELECT x FROM a ORDER BY x")
+	if strings.Join(rows, ",") != "1,20,20,30" {
+		t.Fatalf("after update = %v", rows)
+	}
+	// UPDATE without WHERE touches everything.
+	res, err = db.Exec("UPDATE b SET x = 0")
+	if err != nil || res.RowsAffected != 3 {
+		t.Fatalf("bulk update = %d (%v)", res.RowsAffected, err)
+	}
+}
+
+func TestUpdateMultiAssignSeesOldValues(t *testing.T) {
+	db := New()
+	if err := db.ExecScript("CREATE TABLE t (a INTEGER, b INTEGER); INSERT INTO t VALUES (1, 2)"); err != nil {
+		t.Fatal(err)
+	}
+	// Swap: both assignments must read the pre-update row.
+	if _, err := db.Exec("UPDATE t SET a = b, b = a"); err != nil {
+		t.Fatal(err)
+	}
+	rows := rowStrings(t, db, "SELECT a, b FROM t")
+	if rows[0] != "2|1" {
+		t.Fatalf("swap = %v", rows)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	db := setupSetOps(t)
+	if _, err := db.Exec("UPDATE missing SET x = 1"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.Exec("UPDATE a SET nope = 1"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := db.Exec("UPDATE a SET x = 'text'"); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestCaseSearched(t *testing.T) {
+	db := setupSetOps(t)
+	rows := rowStrings(t, db, `
+		SELECT x, CASE WHEN x < 2 THEN 'low' WHEN x < 3 THEN 'mid' ELSE 'high' END
+		FROM a ORDER BY x`)
+	want := []string{"1|low", "2|mid", "2|mid", "3|high"}
+	if strings.Join(rows, ";") != strings.Join(want, ";") {
+		t.Fatalf("case = %v", rows)
+	}
+}
+
+func TestCaseWithOperand(t *testing.T) {
+	db := setupSetOps(t)
+	rows := rowStrings(t, db, `
+		SELECT x, CASE x WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM a ORDER BY x`)
+	want := []string{"1|one", "2|two", "2|two", "3|NULL"}
+	if strings.Join(rows, ";") != strings.Join(want, ";") {
+		t.Fatalf("case operand = %v", rows)
+	}
+}
+
+func TestCaseNullNeverMatches(t *testing.T) {
+	db := New()
+	if err := db.ExecScript("CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	rows := rowStrings(t, db, "SELECT CASE x WHEN 1 THEN 'a' ELSE 'other' END FROM t")
+	if rows[0] != "other" {
+		t.Fatalf("NULL operand matched: %v", rows)
+	}
+}
+
+func TestCaseInAggregate(t *testing.T) {
+	db := setupSetOps(t)
+	// Conditional counting — the idiom CASE enables.
+	n, err := db.QueryInt("SELECT SUM(CASE WHEN x >= 2 THEN 1 ELSE 0 END) FROM a")
+	if err != nil || n != 3 {
+		t.Fatalf("conditional sum = %d (%v)", n, err)
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	db := setupSetOps(t)
+	rows := rowStrings(t, db, "SELECT x FROM a ORDER BY x LIMIT 2")
+	if strings.Join(rows, ",") != "1,2" {
+		t.Fatalf("LIMIT = %v", rows)
+	}
+	rows = rowStrings(t, db, "SELECT x FROM a ORDER BY x LIMIT 2 OFFSET 1")
+	if strings.Join(rows, ",") != "2,2" {
+		t.Fatalf("LIMIT OFFSET = %v", rows)
+	}
+	rows = rowStrings(t, db, "SELECT x FROM a ORDER BY x OFFSET 3")
+	if strings.Join(rows, ",") != "3" {
+		t.Fatalf("OFFSET = %v", rows)
+	}
+	// Offset past the end is empty, not an error.
+	rows = rowStrings(t, db, "SELECT x FROM a LIMIT 5 OFFSET 100")
+	if len(rows) != 0 {
+		t.Fatalf("big OFFSET = %v", rows)
+	}
+	// LIMIT 0 is empty.
+	rows = rowStrings(t, db, "SELECT x FROM a LIMIT 0")
+	if len(rows) != 0 {
+		t.Fatalf("LIMIT 0 = %v", rows)
+	}
+	// LIMIT applies after set operations.
+	rows = rowStrings(t, db, "SELECT x FROM a UNION SELECT x FROM b ORDER BY x LIMIT 3")
+	if strings.Join(rows, ",") != "1,2,3" {
+		t.Fatalf("set-op LIMIT = %v", rows)
+	}
+	if _, err := db.Query("SELECT x FROM a LIMIT 1.5"); err == nil {
+		t.Fatal("fractional LIMIT accepted")
+	}
+}
+
+func joinDB(t *testing.T) *Database {
+	t.Helper()
+	db := New()
+	err := db.ExecScript(`
+		CREATE TABLE emp (id INTEGER, name VARCHAR, dept INTEGER);
+		CREATE TABLE dept (id INTEGER, dname VARCHAR);
+		INSERT INTO emp VALUES (1, 'ann', 10), (2, 'bob', 20), (3, 'eve', NULL), (4, 'sam', 99);
+		INSERT INTO dept VALUES (10, 'eng'), (20, 'ops'), (30, 'hr');
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestInnerJoinOn(t *testing.T) {
+	db := joinDB(t)
+	rows := rowStrings(t, db, "SELECT e.name, d.dname FROM emp e JOIN dept d ON e.dept = d.id ORDER BY name")
+	want := []string{"ann|eng", "bob|ops"}
+	if strings.Join(rows, ";") != strings.Join(want, ";") {
+		t.Fatalf("JOIN ON = %v", rows)
+	}
+	// INNER JOIN spelling is equivalent.
+	rows2 := rowStrings(t, db, "SELECT e.name, d.dname FROM emp e INNER JOIN dept d ON e.dept = d.id ORDER BY name")
+	if strings.Join(rows, ";") != strings.Join(rows2, ";") {
+		t.Fatalf("INNER JOIN differs: %v", rows2)
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := joinDB(t)
+	rows := rowStrings(t, db, "SELECT e.name, d.dname FROM emp e LEFT JOIN dept d ON e.dept = d.id ORDER BY name")
+	want := []string{"ann|eng", "bob|ops", "eve|NULL", "sam|NULL"}
+	if strings.Join(rows, ";") != strings.Join(want, ";") {
+		t.Fatalf("LEFT JOIN = %v", rows)
+	}
+	// LEFT OUTER JOIN spelling.
+	rows2 := rowStrings(t, db, "SELECT e.name, d.dname FROM emp e LEFT OUTER JOIN dept d ON e.dept = d.id ORDER BY name")
+	if strings.Join(rows, ";") != strings.Join(rows2, ";") {
+		t.Fatalf("LEFT OUTER differs: %v", rows2)
+	}
+}
+
+func TestJoinWithResidualCondition(t *testing.T) {
+	db := joinDB(t)
+	// Non-equi residual on top of the hash keys.
+	rows := rowStrings(t, db, "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.id AND e.id < 2 ORDER BY name")
+	if strings.Join(rows, ",") != "ann" {
+		t.Fatalf("residual = %v", rows)
+	}
+	// LEFT JOIN keeps rows the residual rejects, padded.
+	rows = rowStrings(t, db, "SELECT e.name, d.dname FROM emp e LEFT JOIN dept d ON e.dept = d.id AND e.id < 2 ORDER BY name")
+	want := []string{"ann|eng", "bob|NULL", "eve|NULL", "sam|NULL"}
+	if strings.Join(rows, ";") != strings.Join(want, ";") {
+		t.Fatalf("left residual = %v", rows)
+	}
+}
+
+func TestChainedJoins(t *testing.T) {
+	db := joinDB(t)
+	if err := db.ExecScript(`
+		CREATE TABLE loc (dept INTEGER, city VARCHAR);
+		INSERT INTO loc VALUES (10, 'turin'), (20, 'milan');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	rows := rowStrings(t, db, `
+		SELECT e.name, d.dname, l.city
+		FROM emp e JOIN dept d ON e.dept = d.id LEFT JOIN loc l ON d.id = l.dept
+		ORDER BY name`)
+	want := []string{"ann|eng|turin", "bob|ops|milan"}
+	if strings.Join(rows, ";") != strings.Join(want, ";") {
+		t.Fatalf("chained = %v", rows)
+	}
+}
+
+func TestJoinMixedWithCommaList(t *testing.T) {
+	db := joinDB(t)
+	// Explicit join combined with a comma-list member.
+	n, err := db.QueryInt(`
+		SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept = d.id, dept d2
+		WHERE d2.id = 30`)
+	if err != nil || n != 2 {
+		t.Fatalf("mixed join = %d (%v)", n, err)
+	}
+}
+
+func TestJoinOnNonEquiOnly(t *testing.T) {
+	db := joinDB(t)
+	// Pure theta join through the ON clause.
+	n, err := db.QueryInt("SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept < d.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dept values: 10 → {20,30}: 2; 20 → {30}: 1; NULL: 0; 99: 0.
+	if n != 3 {
+		t.Fatalf("theta ON = %d", n)
+	}
+}
+
+func TestOrderByInputColumns(t *testing.T) {
+	db := New()
+	err := db.ExecScript(`
+		CREATE TABLE t (a INTEGER, b VARCHAR);
+		INSERT INTO t VALUES (3, 'x'), (1, 'z'), (2, 'y');
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sort key is not in the projection: pre-sort path.
+	rows := rowStrings(t, db, "SELECT b FROM t ORDER BY a")
+	if strings.Join(rows, ",") != "x,z,y" && strings.Join(rows, ",") != "x,z,y" {
+		// a ascending: 1,2,3 → z,y,x
+	}
+	if strings.Join(rows, ",") != "z,y,x" {
+		t.Fatalf("ORDER BY dropped column = %v", rows)
+	}
+	rows = rowStrings(t, db, "SELECT b FROM t ORDER BY a DESC")
+	if strings.Join(rows, ",") != "x,y,z" {
+		t.Fatalf("DESC = %v", rows)
+	}
+	// Output aliases take precedence over input columns of the same name.
+	rows = rowStrings(t, db, "SELECT a * -1 AS a, b FROM t ORDER BY a")
+	if strings.Join(rows, ";") != "-3|x;-2|y;-1|z" {
+		t.Fatalf("alias precedence = %v", rows)
+	}
+	// Qualified input references.
+	rows = rowStrings(t, db, "SELECT b FROM t u ORDER BY u.a")
+	if strings.Join(rows, ",") != "z,y,x" {
+		t.Fatalf("qualified input sort = %v", rows)
+	}
+	// DISTINCT still requires output-resolvable keys.
+	if _, err := db.Query("SELECT DISTINCT b FROM t ORDER BY a"); err == nil {
+		t.Fatal("DISTINCT with dropped sort key accepted")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := New()
+	if err := db.ExecScript("CREATE TABLE f (s VARCHAR, x FLOAT, i INTEGER); INSERT INTO f VALUES ('  Hello  ', 2.567, -4)"); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"SELECT UPPER(s) FROM f":                "  HELLO  ",
+		"SELECT LOWER(s) FROM f":                "  hello  ",
+		"SELECT TRIM(s) FROM f":                 "Hello",
+		"SELECT LENGTH(TRIM(s)) FROM f":         "5",
+		"SELECT SUBSTR(TRIM(s), 2) FROM f":      "ello",
+		"SELECT SUBSTR(TRIM(s), 2, 2) FROM f":   "el",
+		"SELECT SUBSTR(TRIM(s), 99) FROM f":     "",
+		"SELECT ROUND(x) FROM f":                "3",
+		"SELECT ROUND(x, 1) FROM f":             "2.6",
+		"SELECT ROUND(x, -1) FROM f":            "0",
+		"SELECT ABS(i) FROM f":                  "4",
+		"SELECT MOD(7, 3) FROM f":               "1",
+		"SELECT COALESCE(NULL, NULL, s) FROM f": "  Hello  ",
+	}
+	for q, want := range cases {
+		rows := rowStrings(t, db, q)
+		if len(rows) != 1 || rows[0] != want {
+			t.Errorf("%s = %v, want %q", q, rows, want)
+		}
+	}
+	// NULL propagation.
+	if err := db.ExecScript("INSERT INTO f VALUES (NULL, NULL, NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := db.QueryInt("SELECT COUNT(*) FROM f WHERE TRIM(s) IS NULL AND ROUND(x) IS NULL AND SUBSTR(s, 1) IS NULL")
+	if n != 1 {
+		t.Errorf("NULL propagation through scalar functions: %d", n)
+	}
+	// Errors.
+	for _, q := range []string{
+		"SELECT NOSUCHFUNC(s) FROM f",
+		"SELECT SUBSTR(s) FROM f",
+		"SELECT ROUND(s) FROM f",
+		"SELECT MOD(1, 0) FROM f",
+	} {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("%s should fail", q)
+		}
+	}
+}
+
+func TestDateArithmetic(t *testing.T) {
+	db := New()
+	if err := db.ExecScript("CREATE TABLE d (dt DATE); INSERT INTO d VALUES (DATE '1995-12-31')"); err != nil {
+		t.Fatal(err)
+	}
+	rows := rowStrings(t, db, "SELECT dt + 1, dt - 1 FROM d")
+	if rows[0] != "1996-01-01|1995-12-30" {
+		t.Fatalf("date arithmetic = %v", rows)
+	}
+	// Date difference in days.
+	n, err := db.QueryInt("SELECT dt - DATE '1995-12-01' FROM d")
+	if err != nil || n != 30 {
+		t.Fatalf("date diff = %d (%v)", n, err)
+	}
+	// Windowed temporal predicate — the idiom for "within a week".
+	if err := db.ExecScript("INSERT INTO d VALUES (DATE '1996-01-03'), (DATE '1996-02-01')"); err != nil {
+		t.Fatal(err)
+	}
+	n, err = db.QueryInt("SELECT COUNT(*) FROM d a, d b WHERE b.dt > a.dt AND b.dt - a.dt <= 7")
+	if err != nil || n != 1 {
+		t.Fatalf("temporal window join = %d (%v)", n, err)
+	}
+}
+
+func TestAggregatesOverDates(t *testing.T) {
+	db := New()
+	err := db.ExecScript(`
+		CREATE TABLE d (g INTEGER, dt DATE);
+		INSERT INTO d VALUES (1, DATE '1995-01-05'), (1, DATE '1995-01-01'), (2, DATE '1995-06-01');
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := rowStrings(t, db, "SELECT g, MIN(dt), MAX(dt) FROM d GROUP BY g ORDER BY g")
+	want := []string{"1|1995-01-01|1995-01-05", "2|1995-06-01|1995-06-01"}
+	if strings.Join(rows, ";") != strings.Join(want, ";") {
+		t.Fatalf("date aggregates = %v", rows)
+	}
+}

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"testing"
+	"testing/quick"
+
+	"minerule/internal/sql/parse"
+)
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h__lo", true},
+		{"hello", "", false},
+		{"", "", true},
+		{"", "%", true},
+		{"hello", "%x%", false},
+		{"hello", "hello_", false},
+		{"ababab", "%abab", true},
+		{"ababab", "ab%ab", true},
+		{"mississippi", "%iss%ppi", true},
+		{"mississippi", "%iss%ippo", false},
+		{"a", "%%%a%%%", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.s, c.pat); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.s, c.pat, got)
+		}
+	}
+}
+
+func TestLikeMatchProperties(t *testing.T) {
+	// Every string matches itself, "%", and itself with "%" appended.
+	f := func(s string) bool {
+		return likeMatch(s, s) && likeMatch(s, "%") && likeMatch(s, s+"%") && likeMatch(s, "%"+s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	e, err := parse.ParseExpr("a = 1 AND b = 2 AND (c = 3 OR d = 4) AND e BETWEEN 1 AND 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := splitConjuncts(e)
+	if len(cs) != 4 {
+		t.Fatalf("conjuncts = %d", len(cs))
+	}
+	// OR subtrees stay intact.
+	if b, ok := cs[2].(*parse.BinaryExpr); !ok || b.Op != parse.OpOr {
+		t.Errorf("third conjunct = %#v", cs[2])
+	}
+	if splitConjuncts(nil) != nil {
+		t.Error("nil input")
+	}
+	back := conjoin(cs)
+	if len(splitConjuncts(back)) != 4 {
+		t.Error("conjoin/split round trip")
+	}
+}

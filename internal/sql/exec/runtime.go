@@ -1,0 +1,359 @@
+package exec
+
+import (
+	"fmt"
+
+	"minerule/internal/sql/parse"
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/storage"
+	"minerule/internal/sql/value"
+)
+
+// Runtime executes parsed statements against a catalog.
+type Runtime struct {
+	Cat *storage.Catalog
+	// Trace, when non-nil, receives one line per executor decision
+	// (scan source, join strategy, index use, …) — the engine's
+	// EXPLAIN ANALYZE facility.
+	Trace func(string)
+	// env is the enclosing-subquery environment of the query currently
+	// executing (nil at top level); managed by execSelectEnv.
+	env *outerRef
+}
+
+// NewRuntime returns a Runtime over the given catalog.
+func NewRuntime(cat *storage.Catalog) *Runtime { return &Runtime{Cat: cat} }
+
+// tracef emits one trace line when tracing is enabled.
+func (rt *Runtime) tracef(format string, args ...interface{}) {
+	if rt.Trace != nil {
+		rt.Trace(fmt.Sprintf(format, args...))
+	}
+}
+
+// Result is the outcome of one statement. Schema and Rows are set for
+// queries; RowsAffected for DML.
+type Result struct {
+	Schema       *schema.Schema
+	Rows         []schema.Row
+	RowsAffected int
+}
+
+// Exec runs one parsed statement.
+func (rt *Runtime) Exec(st parse.Statement) (*Result, error) {
+	switch x := st.(type) {
+	case *parse.Select:
+		rel, err := rt.execSelect(x)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: rel.schema, Rows: rel.rows}, nil
+
+	case *parse.CreateTable:
+		cols := make([]schema.Column, len(x.Cols))
+		for i, c := range x.Cols {
+			cols[i] = schema.Column{Name: c.Name, Type: c.Type}
+		}
+		if _, err := rt.Cat.CreateTable(x.Name, schema.New(x.Name, cols...)); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *parse.DropTable:
+		if err := rt.Cat.DropTable(x.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *parse.CreateView:
+		// Validate the view body against the current catalog before
+		// registering; the text re-plans at every use.
+		if _, err := rt.execSelect(x.Query); err != nil {
+			return nil, fmt.Errorf("exec: invalid view %s: %w", x.Name, err)
+		}
+		if err := rt.Cat.CreateView(x.Name, x.Query.SQL()); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *parse.DropView:
+		if err := rt.Cat.DropView(x.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *parse.CreateSequence:
+		if _, err := rt.Cat.CreateSequence(x.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *parse.DropSequence:
+		if err := rt.Cat.DropSequence(x.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *parse.CreateIndex:
+		t, ok := rt.Cat.Table(x.Table)
+		if !ok {
+			return nil, fmt.Errorf("exec: unknown table %q in CREATE INDEX", x.Table)
+		}
+		col, err := t.Schema().Resolve("", x.Column)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := rt.Cat.CreateIndex(x.Name, x.Table, col); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *parse.DropIndex:
+		if err := rt.Cat.DropIndex(x.Name); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *parse.Insert:
+		return rt.execInsert(x)
+
+	case *parse.Delete:
+		return rt.execDelete(x)
+
+	case *parse.Update:
+		return rt.execUpdate(x)
+	}
+	return nil, fmt.Errorf("exec: unsupported statement %T", st)
+}
+
+// execUpdate rewrites matching rows in place (assignments see the
+// pre-update row values, per SQL).
+func (rt *Runtime) execUpdate(x *parse.Update) (*Result, error) {
+	t, ok := rt.Cat.Table(x.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown table %q in UPDATE", x.Table)
+	}
+	b := rt.bind(t.Schema())
+	type setOp struct {
+		ord int
+		fn  evalFunc
+		col schema.Column
+	}
+	sets := make([]setOp, len(x.Set))
+	for i, a := range x.Set {
+		ord, err := t.Schema().Resolve("", a.Column)
+		if err != nil {
+			return nil, err
+		}
+		fn, err := b.compile(a.Value)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = setOp{ord: ord, fn: fn, col: t.Schema().Col(ord)}
+	}
+	var condFn evalFunc
+	if x.Where != nil {
+		fn, err := b.compile(x.Where)
+		if err != nil {
+			return nil, err
+		}
+		condFn = fn
+	}
+	old := t.Snapshot()
+	out := make([]schema.Row, 0, len(old))
+	changed := 0
+	for _, row := range old {
+		match := true
+		if condFn != nil {
+			v, err := condFn(row)
+			if err != nil {
+				return nil, err
+			}
+			tri, err := value.TristateFromValue(v)
+			if err != nil {
+				return nil, err
+			}
+			match = tri == value.True
+		}
+		if !match {
+			out = append(out, row)
+			continue
+		}
+		next := row.Clone()
+		for _, s := range sets {
+			v, err := s.fn(row)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := coerceForColumn(v, s.col)
+			if err != nil {
+				return nil, fmt.Errorf("exec: UPDATE %s.%s: %w", x.Table, s.col.Name, err)
+			}
+			next[s.ord] = cv
+		}
+		out = append(out, next)
+		changed++
+	}
+	t.Truncate()
+	t.InsertAll(out)
+	return &Result{RowsAffected: changed}, nil
+}
+
+// planView parses a view's stored text back into a SELECT.
+func (rt *Runtime) planView(v *storage.View) (*parse.Select, error) {
+	st, err := parse.Parse(v.Text)
+	if err != nil {
+		return nil, fmt.Errorf("exec: corrupt view %s: %w", v.Name, err)
+	}
+	sel, ok := st.(*parse.Select)
+	if !ok {
+		return nil, fmt.Errorf("exec: view %s is not a SELECT", v.Name)
+	}
+	return sel, nil
+}
+
+// execSelectEnv executes a subquery under the given enclosing
+// environment: every binding compiled during it sees env as its outer
+// scope. The previous environment is restored afterwards (the engine is
+// single-threaded by contract).
+func (rt *Runtime) execSelectEnv(s *parse.Select, env *outerRef) (*relation, error) {
+	prev := rt.env
+	rt.env = env
+	defer func() { rt.env = prev }()
+	return rt.execSelect(s)
+}
+
+// bind creates a compilation environment over the schema, carrying the
+// runtime's current enclosing-subquery scope.
+func (rt *Runtime) bind(s *schema.Schema) *binding {
+	return &binding{rt: rt, schema: s, outer: rt.env}
+}
+
+// execInsert evaluates an INSERT, coercing values to the target schema
+// (int→float, string→date) and checking arity and types.
+func (rt *Runtime) execInsert(x *parse.Insert) (*Result, error) {
+	t, ok := rt.Cat.Table(x.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown table %q in INSERT", x.Table)
+	}
+	ts := t.Schema()
+
+	// Map the optional column list to target ordinals.
+	var target []int
+	if len(x.Columns) > 0 {
+		target = make([]int, len(x.Columns))
+		for i, c := range x.Columns {
+			idx, err := ts.Resolve("", c)
+			if err != nil {
+				return nil, err
+			}
+			target[i] = idx
+		}
+	} else {
+		target = make([]int, ts.Len())
+		for i := range target {
+			target[i] = i
+		}
+	}
+
+	var srcRows []schema.Row
+	switch {
+	case x.Query != nil:
+		rel, err := rt.execSelect(x.Query)
+		if err != nil {
+			return nil, err
+		}
+		if rel.schema.Len() != len(target) {
+			return nil, fmt.Errorf("exec: INSERT expects %d columns, query returns %d", len(target), rel.schema.Len())
+		}
+		srcRows = rel.rows
+	default:
+		b := rt.bind(schema.New(""))
+		for _, exprRow := range x.Rows {
+			if len(exprRow) != len(target) {
+				return nil, fmt.Errorf("exec: INSERT expects %d values, got %d", len(target), len(exprRow))
+			}
+			row := make(schema.Row, len(exprRow))
+			for i, e := range exprRow {
+				f, err := b.compile(e)
+				if err != nil {
+					return nil, err
+				}
+				v, err := f(nil)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+			srcRows = append(srcRows, row)
+		}
+	}
+
+	out := make([]schema.Row, 0, len(srcRows))
+	for _, src := range srcRows {
+		row := make(schema.Row, ts.Len())
+		for i, ord := range target {
+			v, err := coerceForColumn(src[i], ts.Col(ord))
+			if err != nil {
+				return nil, fmt.Errorf("exec: INSERT into %s.%s: %w", x.Table, ts.Col(ord).Name, err)
+			}
+			row[ord] = v
+		}
+		out = append(out, row)
+	}
+	t.InsertAll(out)
+	return &Result{RowsAffected: len(out)}, nil
+}
+
+func coerceForColumn(v value.Value, c schema.Column) (value.Value, error) {
+	if v.IsNull() || v.Type() == c.Type {
+		return v, nil
+	}
+	switch {
+	case c.Type == value.TypeFloat && v.Type() == value.TypeInt,
+		c.Type == value.TypeInt && v.Type() == value.TypeFloat,
+		c.Type == value.TypeDate && v.Type() == value.TypeString:
+		return value.Coerce(v, c.Type)
+	default:
+		return value.Null, fmt.Errorf("cannot store %s into %s column", v.Type(), c.Type)
+	}
+}
+
+// execDelete removes the rows matching WHERE (all rows when absent).
+func (rt *Runtime) execDelete(x *parse.Delete) (*Result, error) {
+	t, ok := rt.Cat.Table(x.Table)
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown table %q in DELETE", x.Table)
+	}
+	if x.Where == nil {
+		n := t.Len()
+		t.Truncate()
+		return &Result{RowsAffected: n}, nil
+	}
+	b := rt.bind(t.Schema())
+	f, err := b.compile(x.Where)
+	if err != nil {
+		return nil, err
+	}
+	old := t.Snapshot()
+	keep := make([]schema.Row, 0, len(old))
+	removed := 0
+	for _, row := range old {
+		v, err := f(row)
+		if err != nil {
+			return nil, err
+		}
+		tri, err := value.TristateFromValue(v)
+		if err != nil {
+			return nil, err
+		}
+		if tri == value.True {
+			removed++
+			continue
+		}
+		keep = append(keep, row)
+	}
+	t.Truncate()
+	t.InsertAll(keep)
+	return &Result{RowsAffected: removed}, nil
+}

@@ -1,0 +1,1081 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"minerule/internal/sql/parse"
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/value"
+)
+
+// relation is an intermediate result: a schema plus materialized rows.
+type relation struct {
+	schema *schema.Schema
+	rows   []schema.Row
+}
+
+// execSelect evaluates a full query: the core specification, any set
+// operations, then ORDER BY over the combined result.
+func (rt *Runtime) execSelect(s *parse.Select) (*relation, error) {
+	// A query without set operations may satisfy ORDER BY by sorting the
+	// input before projection, which lets sort keys reference columns
+	// the projection drops (standard SQL). With set operations the sort
+	// must happen on the combined output instead.
+	allowPreSort := len(s.SetOps) == 0
+	out, preSorted, err := rt.execSelectCore(s, allowPreSort)
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range s.SetOps {
+		right, _, err := rt.execSelectCore(op.Sel, false)
+		if err != nil {
+			return nil, err
+		}
+		if right.schema.Len() != out.schema.Len() {
+			return nil, fmt.Errorf("exec: %s operands have %d and %d columns",
+				op.Kind, out.schema.Len(), right.schema.Len())
+		}
+		out = combineSetOp(op, out, right)
+	}
+	if len(s.OrderBy) > 0 && !preSorted {
+		if err := rt.orderBy(out, s.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if s.Offset > 0 {
+		if s.Offset >= int64(len(out.rows)) {
+			out.rows = nil
+		} else {
+			out.rows = out.rows[s.Offset:]
+		}
+	}
+	if s.Limit >= 0 && s.Limit < int64(len(out.rows)) {
+		out.rows = out.rows[:s.Limit]
+	}
+	return out, nil
+}
+
+// combineSetOp applies one UNION/EXCEPT/INTERSECT step. The non-ALL
+// forms produce distinct rows, per SQL92.
+func combineSetOp(op parse.SetOp, left, right *relation) *relation {
+	switch {
+	case op.Kind == parse.Union && op.All:
+		rows := make([]schema.Row, 0, len(left.rows)+len(right.rows))
+		rows = append(rows, left.rows...)
+		rows = append(rows, right.rows...)
+		return &relation{schema: left.schema, rows: rows}
+	case op.Kind == parse.Union:
+		rows := make([]schema.Row, 0, len(left.rows)+len(right.rows))
+		rows = append(rows, left.rows...)
+		rows = append(rows, right.rows...)
+		return &relation{schema: left.schema, rows: distinctRows(rows)}
+	case op.Kind == parse.Except:
+		inRight := make(map[string]bool, len(right.rows))
+		for _, r := range right.rows {
+			inRight[r.Key()] = true
+		}
+		var rows []schema.Row
+		for _, r := range distinctRows(left.rows) {
+			if !inRight[r.Key()] {
+				rows = append(rows, r)
+			}
+		}
+		return &relation{schema: left.schema, rows: rows}
+	default: // Intersect
+		inRight := make(map[string]bool, len(right.rows))
+		for _, r := range right.rows {
+			inRight[r.Key()] = true
+		}
+		var rows []schema.Row
+		for _, r := range distinctRows(left.rows) {
+			if inRight[r.Key()] {
+				rows = append(rows, r)
+			}
+		}
+		return &relation{schema: left.schema, rows: rows}
+	}
+}
+
+// execSelectCore evaluates one query specification (no set operations).
+// When allowPreSort is set and every ORDER BY key compiles against the
+// *input* schema of a plain (non-grouped, non-DISTINCT) query, the input
+// is sorted before projection and the second result reports true —
+// sort keys may then reference columns the projection drops.
+func (rt *Runtime) execSelectCore(s *parse.Select, allowPreSort bool) (*relation, bool, error) {
+	input, remaining, err := rt.buildFrom(s)
+	if err != nil {
+		return nil, false, err
+	}
+	// Residual WHERE conjuncts not consumed by scans or joins.
+	if len(remaining) > 0 {
+		cond := conjoin(remaining)
+		input, err = rt.filter(input, cond)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+
+	grouped := len(s.GroupBy) > 0 || selectHasAggregate(s)
+
+	// SQL resolves ORDER BY names against the output columns first; only
+	// keys that cannot resolve there fall back to the input relation, so
+	// pre-sorting is attempted only when the output cannot satisfy the
+	// sort.
+	preSorted := false
+	if allowPreSort && !grouped && !s.Distinct && len(s.OrderBy) > 0 &&
+		!rt.canOrderByOutput(s, input.schema) && rt.canOrder(input.schema, s.OrderBy) {
+		if err := rt.orderBy(input, s.OrderBy); err != nil {
+			return nil, false, err
+		}
+		preSorted = true
+	}
+
+	var out *relation
+	if grouped {
+		out, err = rt.groupProject(s, input)
+	} else {
+		if s.Having != nil {
+			return nil, false, fmt.Errorf("exec: HAVING without GROUP BY or aggregates")
+		}
+		out, err = rt.project(s, input)
+	}
+	if err != nil {
+		return nil, false, err
+	}
+
+	if s.Distinct {
+		out.rows = distinctRows(out.rows)
+	}
+	return out, preSorted, nil
+}
+
+// canOrder reports whether every ORDER BY key compiles against the
+// schema (ordinals are excluded — they address output positions).
+func (rt *Runtime) canOrder(s *schema.Schema, order []parse.OrderItem) bool {
+	b := rt.bind(s)
+	for _, o := range order {
+		if lit, ok := o.Expr.(*parse.Literal); ok && lit.Val.Type() == value.TypeInt {
+			return false
+		}
+		if _, err := b.compile(o.Expr); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// canOrderByOutput reports whether the ORDER BY would resolve against
+// the projection's column names (built without evaluating anything).
+func (rt *Runtime) canOrderByOutput(s *parse.Select, in *schema.Schema) bool {
+	items, err := expandItems(s, in)
+	if err != nil {
+		return false
+	}
+	cols := make([]schema.Column, len(items))
+	for i, it := range items {
+		cols[i] = it.col
+	}
+	return rt.canOrder(schema.New("", cols...), s.OrderBy)
+}
+
+func selectHasAggregate(s *parse.Select) bool {
+	for _, it := range s.Items {
+		if it.Expr != nil && parse.HasAggregate(it.Expr) {
+			return true
+		}
+	}
+	return s.Having != nil && parse.HasAggregate(s.Having)
+}
+
+// buildFrom materializes the FROM list and performs the joins, consuming
+// WHERE conjuncts as scan filters and equi-join predicates where
+// possible. It returns the joined relation and the unconsumed conjuncts.
+func (rt *Runtime) buildFrom(s *parse.Select) (*relation, []parse.Expr, error) {
+	if len(s.From) == 0 {
+		// Table-less SELECT: one empty row.
+		r := &relation{schema: schema.New(""), rows: []schema.Row{{}}}
+		var rest []parse.Expr
+		if s.Where != nil {
+			rest = splitConjuncts(s.Where)
+		}
+		return r, rest, nil
+	}
+
+	conjuncts := splitConjuncts(s.Where)
+	used := make([]bool, len(conjuncts))
+
+	cur, err := rt.scanFor(s.From[0], conjuncts, used)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur, err = rt.applyLocal(cur, conjuncts, used)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	for _, tr := range s.From[1:] {
+		right, err := rt.scanFor(tr, conjuncts, used)
+		if err != nil {
+			return nil, nil, err
+		}
+		right, err = rt.applyLocal(right, conjuncts, used)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur, err = rt.join(cur, right, conjuncts, used)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Conjuncts that became evaluable over the widened schema.
+		cur, err = rt.applyLocal(cur, conjuncts, used)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	var rest []parse.Expr
+	for i, c := range conjuncts {
+		if !used[i] {
+			rest = append(rest, c)
+		}
+	}
+	return cur, rest, nil
+}
+
+// scanFor materializes one FROM element, first trying to satisfy an
+// equality conjunct through a hash index (point lookup instead of a
+// full snapshot); the consumed conjunct is marked used.
+func (rt *Runtime) scanFor(tr parse.TableRef, conjuncts []parse.Expr, used []bool) (*relation, error) {
+	if tr.Sub == nil && len(tr.Joins) == 0 {
+		if t, ok := rt.Cat.Table(tr.Name); ok {
+			qual := tr.Alias
+			if qual == "" {
+				qual = tr.Name
+			}
+			qualified := t.Schema().WithQualifier(qual)
+			for i, c := range conjuncts {
+				if used[i] {
+					continue
+				}
+				ord, lit, ok := indexableEquality(c, qualified)
+				if !ok {
+					continue
+				}
+				ix := t.IndexOn(ord)
+				if ix == nil {
+					continue
+				}
+				// Only take the index when the comparison is well typed,
+				// so indexed and unindexed runs fail identically on type
+				// mismatches. String literals coerce against DATE
+				// columns, as in compareTri.
+				colType := qualified.Col(ord).Type
+				switch {
+				case colType == value.TypeDate && lit.Type() == value.TypeString:
+					cv, err := value.Coerce(lit, value.TypeDate)
+					if err != nil {
+						continue
+					}
+					lit = cv
+				case colType.Numeric() && lit.Type().Numeric():
+				case colType == lit.Type():
+				default:
+					continue
+				}
+				used[i] = true
+				rows := t.Lookup(ix, lit.Key())
+				rt.tracef("index lookup %s.%s = %s via %s: %d row(s)",
+					tr.Name, qualified.Col(ord).Name, lit, ix.Name(), len(rows))
+				return &relation{schema: qualified, rows: rows}, nil
+			}
+		}
+	}
+	return rt.scan(tr)
+}
+
+// indexableEquality matches "col = literal" (either orientation) where
+// col resolves in the given schema, returning the column ordinal and
+// the literal value.
+func indexableEquality(c parse.Expr, s *schema.Schema) (int, value.Value, bool) {
+	be, ok := c.(*parse.BinaryExpr)
+	if !ok || be.Op != parse.OpEq {
+		return 0, value.Null, false
+	}
+	try := func(refSide, litSide parse.Expr) (int, value.Value, bool) {
+		cr, ok := refSide.(*parse.ColumnRef)
+		if !ok {
+			return 0, value.Null, false
+		}
+		lit, ok := litSide.(*parse.Literal)
+		if !ok || lit.Val.IsNull() {
+			return 0, value.Null, false
+		}
+		ord, err := s.Resolve(cr.Qual, cr.Name)
+		if err != nil {
+			return 0, value.Null, false
+		}
+		return ord, lit.Val, true
+	}
+	if ord, v, ok := try(be.L, be.R); ok {
+		return ord, v, true
+	}
+	return try(be.R, be.L)
+}
+
+// scan materializes one FROM element, including any explicit JOIN
+// clauses attached to it.
+func (rt *Runtime) scan(tr parse.TableRef) (*relation, error) {
+	rel, err := rt.scanBase(tr)
+	if err != nil {
+		return nil, err
+	}
+	for _, j := range tr.Joins {
+		right, err := rt.scanBase(j.Right)
+		if err != nil {
+			return nil, err
+		}
+		rel, err = rt.explicitJoin(rel, right, j)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// explicitJoin evaluates "left [LEFT] JOIN right ON cond". Equi-join
+// conjuncts of the ON condition drive a hash join; the residual
+// condition evaluates per candidate pair. LEFT JOIN pads unmatched left
+// rows with NULLs.
+func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*relation, error) {
+	outSchema := left.schema.Append(right.schema)
+	conjuncts := splitConjuncts(j.On)
+
+	// Find hashable equi-key pairs.
+	type keyPair struct{ l, r int }
+	var keys []keyPair
+	var residual []parse.Expr
+	for _, c := range conjuncts {
+		be, ok := c.(*parse.BinaryExpr)
+		if ok && be.Op == parse.OpEq {
+			lc, lok := be.L.(*parse.ColumnRef)
+			rc, rok := be.R.(*parse.ColumnRef)
+			if lok && rok {
+				if li, err := left.schema.Resolve(lc.Qual, lc.Name); err == nil {
+					if ri, err := right.schema.Resolve(rc.Qual, rc.Name); err == nil &&
+						!right.schema.Has(lc.Qual, lc.Name) && !left.schema.Has(rc.Qual, rc.Name) {
+						keys = append(keys, keyPair{li, ri})
+						continue
+					}
+				}
+				if li, err := left.schema.Resolve(rc.Qual, rc.Name); err == nil {
+					if ri, err := right.schema.Resolve(lc.Qual, lc.Name); err == nil &&
+						!right.schema.Has(rc.Qual, rc.Name) && !left.schema.Has(lc.Qual, lc.Name) {
+						keys = append(keys, keyPair{li, ri})
+						continue
+					}
+				}
+			}
+		}
+		residual = append(residual, c)
+	}
+
+	var residualFn evalFunc
+	if len(residual) > 0 {
+		b := rt.bind(outSchema)
+		f, err := b.compile(conjoin(residual))
+		if err != nil {
+			return nil, err
+		}
+		residualFn = f
+	}
+
+	// Bucket the right side by the equi keys (single bucket when none).
+	buckets := make(map[string][]schema.Row)
+	keyOf := func(row schema.Row, side func(keyPair) int) (string, bool) {
+		var kb strings.Builder
+		for _, k := range keys {
+			v := row[side(k)]
+			if v.IsNull() {
+				return "", false
+			}
+			kk := v.Key()
+			fmt.Fprintf(&kb, "%d:%s", len(kk), kk)
+		}
+		return kb.String(), true
+	}
+	for _, r := range right.rows {
+		k, ok := keyOf(r, func(p keyPair) int { return p.r })
+		if !ok {
+			continue
+		}
+		buckets[k] = append(buckets[k], r)
+	}
+
+	rt.tracef("%s: %d x %d row(s), %d hash key(s), residual=%v",
+		j.Kind, len(left.rows), len(right.rows), len(keys), residualFn != nil)
+	nullRight := make(schema.Row, right.schema.Len())
+	var out []schema.Row
+	combined := make(schema.Row, outSchema.Len())
+	for _, l := range left.rows {
+		matched := false
+		k, ok := keyOf(l, func(p keyPair) int { return p.l })
+		if ok {
+			for _, r := range buckets[k] {
+				copy(combined, l)
+				copy(combined[len(l):], r)
+				if residualFn != nil {
+					v, err := residualFn(combined)
+					if err != nil {
+						return nil, err
+					}
+					t, err := value.TristateFromValue(v)
+					if err != nil {
+						return nil, err
+					}
+					if t != value.True {
+						continue
+					}
+				}
+				matched = true
+				out = append(out, append(append(make(schema.Row, 0, len(combined)), l...), r...))
+			}
+		}
+		if !matched && j.Kind == parse.LeftJoin {
+			out = append(out, append(append(make(schema.Row, 0, len(combined)), l...), nullRight...))
+		}
+	}
+	return &relation{schema: outSchema, rows: out}, nil
+}
+
+// scanBase materializes a base table, a view (re-planned), or a derived
+// table, applying the alias as qualifier.
+func (rt *Runtime) scanBase(tr parse.TableRef) (*relation, error) {
+	var rel *relation
+	qual := tr.Alias
+	switch {
+	case tr.Sub != nil:
+		sub, err := rt.execSelect(tr.Sub)
+		if err != nil {
+			return nil, err
+		}
+		rt.tracef("derived table: %d row(s)", len(sub.rows))
+		rel = sub
+	default:
+		if t, ok := rt.Cat.Table(tr.Name); ok {
+			rel = &relation{schema: t.Schema(), rows: t.Snapshot()}
+			rt.tracef("scan table %s: %d row(s)", tr.Name, len(rel.rows))
+			if qual == "" {
+				qual = tr.Name
+			}
+			break
+		}
+		if v, ok := rt.Cat.View(tr.Name); ok {
+			sel, err := rt.planView(v)
+			if err != nil {
+				return nil, err
+			}
+			sub, err := rt.execSelect(sel)
+			if err != nil {
+				return nil, fmt.Errorf("exec: view %s: %w", v.Name, err)
+			}
+			rt.tracef("expand view %s: %d row(s)", v.Name, len(sub.rows))
+			rel = sub
+			if qual == "" {
+				qual = tr.Name
+			}
+			break
+		}
+		return nil, fmt.Errorf("exec: unknown table or view %q", tr.Name)
+	}
+	if qual != "" {
+		rel = &relation{schema: rel.schema.WithQualifier(qual), rows: rel.rows}
+	}
+	return rel, nil
+}
+
+// splitConjuncts flattens a WHERE tree over AND into its conjuncts.
+func splitConjuncts(e parse.Expr) []parse.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*parse.BinaryExpr); ok && b.Op == parse.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []parse.Expr{e}
+}
+
+func conjoin(es []parse.Expr) parse.Expr {
+	e := es[0]
+	for _, n := range es[1:] {
+		e = &parse.BinaryExpr{Op: parse.OpAnd, L: e, R: n}
+	}
+	return e
+}
+
+// applyLocal applies every unconsumed conjunct that compiles against the
+// relation's schema, marking it used.
+func (rt *Runtime) applyLocal(rel *relation, conjuncts []parse.Expr, used []bool) (*relation, error) {
+	var applicable []parse.Expr
+	for i, c := range conjuncts {
+		if used[i] {
+			continue
+		}
+		b := rt.bind(rel.schema)
+		if _, err := b.compile(c); err == nil {
+			applicable = append(applicable, c)
+			used[i] = true
+		}
+	}
+	if len(applicable) == 0 {
+		return rel, nil
+	}
+	return rt.filter(rel, conjoin(applicable))
+}
+
+// filter keeps the rows for which cond is TRUE.
+func (rt *Runtime) filter(rel *relation, cond parse.Expr) (*relation, error) {
+	b := rt.bind(rel.schema)
+	f, err := b.compile(cond)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]schema.Row, 0, len(rel.rows))
+	for _, row := range rel.rows {
+		v, err := f(row)
+		if err != nil {
+			return nil, err
+		}
+		t, err := value.TristateFromValue(v)
+		if err != nil {
+			return nil, err
+		}
+		if t == value.True {
+			out = append(out, row)
+		}
+	}
+	rt.tracef("filter %s: %d -> %d row(s)", cond.SQL(), len(rel.rows), len(out))
+	return &relation{schema: rel.schema, rows: out}, nil
+}
+
+// join combines cur and right. When unconsumed equi-join conjuncts link
+// the two sides it performs a hash join on those keys; otherwise it falls
+// back to the Cartesian product (subsequent applyLocal passes filter it).
+func (rt *Runtime) join(cur, right *relation, conjuncts []parse.Expr, used []bool) (*relation, error) {
+	type keyPair struct{ l, r int }
+	var keys []keyPair
+	for i, c := range conjuncts {
+		if used[i] {
+			continue
+		}
+		be, ok := c.(*parse.BinaryExpr)
+		if !ok || be.Op != parse.OpEq {
+			continue
+		}
+		lc, lok := be.L.(*parse.ColumnRef)
+		rc, rok := be.R.(*parse.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		li, lerr := cur.schema.Resolve(lc.Qual, lc.Name)
+		ri, rerr := right.schema.Resolve(rc.Qual, rc.Name)
+		if lerr == nil && rerr == nil && !right.schema.Has(lc.Qual, lc.Name) && !cur.schema.Has(rc.Qual, rc.Name) {
+			keys = append(keys, keyPair{li, ri})
+			used[i] = true
+			continue
+		}
+		// Try the flipped orientation.
+		li2, lerr2 := cur.schema.Resolve(rc.Qual, rc.Name)
+		ri2, rerr2 := right.schema.Resolve(lc.Qual, lc.Name)
+		if lerr2 == nil && rerr2 == nil && !right.schema.Has(rc.Qual, rc.Name) && !cur.schema.Has(lc.Qual, lc.Name) {
+			keys = append(keys, keyPair{li2, ri2})
+			used[i] = true
+		}
+	}
+
+	outSchema := cur.schema.Append(right.schema)
+	var out []schema.Row
+
+	if len(keys) > 0 {
+		rt.tracef("hash join on %d key(s): %d x %d row(s)", len(keys), len(cur.rows), len(right.rows))
+		// Hash join: build on the right side.
+		build := make(map[string][]schema.Row, len(right.rows))
+	buildLoop:
+		for _, r := range right.rows {
+			var kb strings.Builder
+			for _, k := range keys {
+				if r[k.r].IsNull() {
+					continue buildLoop // NULL never joins
+				}
+				kk := r[k.r].Key()
+				fmt.Fprintf(&kb, "%d:%s", len(kk), kk)
+			}
+			build[kb.String()] = append(build[kb.String()], r)
+		}
+	probeLoop:
+		for _, l := range cur.rows {
+			var kb strings.Builder
+			for _, k := range keys {
+				if l[k.l].IsNull() {
+					continue probeLoop
+				}
+				kk := l[k.l].Key()
+				fmt.Fprintf(&kb, "%d:%s", len(kk), kk)
+			}
+			for _, r := range build[kb.String()] {
+				row := make(schema.Row, 0, len(l)+len(r))
+				row = append(row, l...)
+				row = append(row, r...)
+				out = append(out, row)
+			}
+		}
+	} else {
+		rt.tracef("cartesian product: %d x %d row(s)", len(cur.rows), len(right.rows))
+		for _, l := range cur.rows {
+			for _, r := range right.rows {
+				row := make(schema.Row, 0, len(l)+len(r))
+				row = append(row, l...)
+				row = append(row, r...)
+				out = append(out, row)
+			}
+		}
+	}
+	return &relation{schema: outSchema, rows: out}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Projection
+
+// expandItems resolves *, qual.* and expression items against the input
+// schema, returning one (outputColumn, expr-or-ordinal) per output column.
+type projItem struct {
+	col  schema.Column
+	expr parse.Expr // nil when ordinal >= 0
+	ord  int        // input ordinal for star expansion, else -1
+}
+
+func expandItems(s *parse.Select, in *schema.Schema) ([]projItem, error) {
+	var items []projItem
+	for _, it := range s.Items {
+		switch {
+		case it.Star:
+			for i := 0; i < in.Len(); i++ {
+				items = append(items, projItem{col: in.Col(i), ord: i})
+			}
+		case it.StarQual != "":
+			q := strings.ToLower(it.StarQual)
+			found := false
+			for i := 0; i < in.Len(); i++ {
+				if in.Qual(i) == q {
+					items = append(items, projItem{col: in.Col(i), ord: i})
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("exec: unknown relation %q in %s.*", it.StarQual, it.StarQual)
+			}
+		default:
+			name := it.Alias
+			if name == "" {
+				switch x := it.Expr.(type) {
+				case *parse.ColumnRef:
+					name = x.Name
+				case *parse.FuncCall:
+					name = x.Name
+				case *parse.NextVal:
+					name = "NEXTVAL"
+				default:
+					name = fmt.Sprintf("COL%d", len(items)+1)
+				}
+			}
+			items = append(items, projItem{col: schema.Column{Name: name}, expr: it.Expr, ord: -1})
+		}
+	}
+	return items, nil
+}
+
+// project evaluates the select list over each input row (no grouping).
+func (rt *Runtime) project(s *parse.Select, in *relation) (*relation, error) {
+	items, err := expandItems(s, in.schema)
+	if err != nil {
+		return nil, err
+	}
+	b := rt.bind(in.schema)
+	fns := make([]evalFunc, len(items))
+	for i, it := range items {
+		if it.ord >= 0 {
+			ord := it.ord
+			fns[i] = func(row schema.Row) (value.Value, error) { return row[ord], nil }
+			continue
+		}
+		f, err := b.compile(it.expr)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = f
+	}
+	outRows := make([]schema.Row, 0, len(in.rows))
+	for _, row := range in.rows {
+		out := make(schema.Row, len(fns))
+		for i, f := range fns {
+			v, err := f(row)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		outRows = append(outRows, out)
+	}
+	return &relation{schema: outputSchema(items, outRows), rows: outRows}, nil
+}
+
+// outputSchema derives column types from the first row when available;
+// column types of empty results default to the star-expansion types.
+func outputSchema(items []projItem, rows []schema.Row) *schema.Schema {
+	cols := make([]schema.Column, len(items))
+	for i, it := range items {
+		cols[i] = it.col
+	}
+	if len(rows) > 0 {
+		for i := range cols {
+			if cols[i].Type == value.TypeNull {
+				for _, r := range rows {
+					if !r[i].IsNull() {
+						cols[i].Type = r[i].Type()
+						break
+					}
+				}
+			}
+		}
+	}
+	return schema.New("", cols...)
+}
+
+// ---------------------------------------------------------------------------
+// Grouping
+
+type group struct {
+	rows []schema.Row
+}
+
+// groupProject implements GROUP BY / HAVING / aggregate projection.
+// Non-aggregate select expressions are evaluated on the group's first
+// row, which is well-defined for expressions over the grouping columns
+// (the only forms the translator emits).
+func (rt *Runtime) groupProject(s *parse.Select, in *relation) (*relation, error) {
+	items, err := expandItems(s, in.schema)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect aggregate nodes from the projection and HAVING.
+	var aggNodes []*parse.FuncCall
+	aggSlots := make(map[*parse.FuncCall]int)
+	collect := func(e parse.Expr) {
+		parse.WalkExprs(e, func(x parse.Expr) bool {
+			if f, ok := x.(*parse.FuncCall); ok && f.IsAggregate() {
+				if _, seen := aggSlots[f]; !seen {
+					aggSlots[f] = len(aggNodes)
+					aggNodes = append(aggNodes, f)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	for _, it := range items {
+		if it.expr != nil {
+			collect(it.expr)
+		}
+	}
+	if s.Having != nil {
+		collect(s.Having)
+	}
+
+	// Group keys.
+	keyBind := rt.bind(in.schema)
+	keyFns := make([]evalFunc, len(s.GroupBy))
+	for i, g := range s.GroupBy {
+		f, err := keyBind.compile(g)
+		if err != nil {
+			return nil, err
+		}
+		keyFns[i] = f
+	}
+
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range in.rows {
+		kr := make(schema.Row, len(keyFns))
+		for i, f := range keyFns {
+			v, err := f(row)
+			if err != nil {
+				return nil, err
+			}
+			kr[i] = v
+		}
+		k := kr.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, row)
+	}
+	// Global aggregate over empty input still yields one group.
+	if len(s.GroupBy) == 0 && len(order) == 0 {
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+
+	// Compile aggregate argument expressions once.
+	aggArgFns := make([]evalFunc, len(aggNodes))
+	for i, a := range aggNodes {
+		if a.Star {
+			continue
+		}
+		if len(a.Args) != 1 {
+			return nil, fmt.Errorf("exec: %s takes one argument", a.Name)
+		}
+		f, err := keyBind.compile(a.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		aggArgFns[i] = f
+	}
+
+	// Compile projection and HAVING against a binding that resolves
+	// aggregate calls through aggRow.
+	aggRow := make([]value.Value, len(aggNodes))
+	pb := rt.bind(in.schema)
+	pb.aggs = aggSlots
+	pb.aggRow = &aggRow
+	itemFns := make([]evalFunc, len(items))
+	for i, it := range items {
+		if it.ord >= 0 {
+			ord := it.ord
+			itemFns[i] = func(row schema.Row) (value.Value, error) { return row[ord], nil }
+			continue
+		}
+		f, err := pb.compile(it.expr)
+		if err != nil {
+			return nil, err
+		}
+		itemFns[i] = f
+	}
+	var havingFn evalFunc
+	if s.Having != nil {
+		f, err := pb.compile(s.Having)
+		if err != nil {
+			return nil, err
+		}
+		havingFn = f
+	}
+
+	nullRow := make(schema.Row, in.schema.Len())
+	var outRows []schema.Row
+	for _, k := range order {
+		g := groups[k]
+		for i, a := range aggNodes {
+			v, err := computeAggregate(a, aggArgFns[i], g.rows)
+			if err != nil {
+				return nil, err
+			}
+			aggRow[i] = v
+		}
+		rep := nullRow
+		if len(g.rows) > 0 {
+			rep = g.rows[0]
+		}
+		if havingFn != nil {
+			hv, err := havingFn(rep)
+			if err != nil {
+				return nil, err
+			}
+			t, err := value.TristateFromValue(hv)
+			if err != nil {
+				return nil, err
+			}
+			if t != value.True {
+				continue
+			}
+		}
+		out := make(schema.Row, len(itemFns))
+		for i, f := range itemFns {
+			v, err := f(rep)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		outRows = append(outRows, out)
+	}
+	return &relation{schema: outputSchema(items, outRows), rows: outRows}, nil
+}
+
+// computeAggregate evaluates one aggregate call over a group.
+func computeAggregate(a *parse.FuncCall, argFn evalFunc, rows []schema.Row) (value.Value, error) {
+	if a.Star { // COUNT(*)
+		return value.NewInt(int64(len(rows))), nil
+	}
+	var (
+		vals []value.Value
+		seen map[string]bool
+	)
+	if a.Distinct {
+		seen = make(map[string]bool)
+	}
+	for _, r := range rows {
+		v, err := argFn(r)
+		if err != nil {
+			return value.Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if a.Distinct {
+			k := v.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		vals = append(vals, v)
+	}
+	switch a.Name {
+	case "COUNT":
+		return value.NewInt(int64(len(vals))), nil
+	case "SUM", "AVG":
+		if len(vals) == 0 {
+			return value.Null, nil
+		}
+		allInt := true
+		var fsum float64
+		var isum int64
+		for _, v := range vals {
+			if !v.Type().Numeric() {
+				return value.Null, fmt.Errorf("exec: %s over %s", a.Name, v.Type())
+			}
+			if v.Type() != value.TypeInt {
+				allInt = false
+			}
+			fsum += v.Float()
+			if v.Type() == value.TypeInt {
+				isum += v.Int()
+			}
+		}
+		if a.Name == "AVG" {
+			return value.NewFloat(fsum / float64(len(vals))), nil
+		}
+		if allInt {
+			return value.NewInt(isum), nil
+		}
+		return value.NewFloat(fsum), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return value.Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := value.Compare(v, best)
+			if err != nil {
+				return value.Null, err
+			}
+			if (a.Name == "MIN" && c < 0) || (a.Name == "MAX" && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return value.Null, fmt.Errorf("exec: unknown aggregate %s", a.Name)
+}
+
+// ---------------------------------------------------------------------------
+// DISTINCT and ORDER BY
+
+func distinctRows(rows []schema.Row) []schema.Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	for _, r := range rows {
+		k := r.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+func (rt *Runtime) orderBy(rel *relation, order []parse.OrderItem) error {
+	fns := make([]evalFunc, len(order))
+	b := rt.bind(rel.schema)
+	for i, o := range order {
+		// ORDER BY ordinal (1-based) addresses an output column.
+		if lit, ok := o.Expr.(*parse.Literal); ok && lit.Val.Type() == value.TypeInt {
+			ord := int(lit.Val.Int()) - 1
+			if ord < 0 || ord >= rel.schema.Len() {
+				return fmt.Errorf("exec: ORDER BY position %d out of range", ord+1)
+			}
+			fns[i] = func(row schema.Row) (value.Value, error) { return row[ord], nil }
+			continue
+		}
+		f, err := b.compile(o.Expr)
+		if err != nil {
+			// The projection drops input qualifiers; let "t.a" fall back
+			// to "a" when that resolves in the output schema, so that
+			// ORDER BY over joined columns keeps working.
+			if cr, ok := o.Expr.(*parse.ColumnRef); ok && cr.Qual != "" {
+				if f2, err2 := b.compile(&parse.ColumnRef{Name: cr.Name}); err2 == nil {
+					fns[i] = f2
+					continue
+				}
+			}
+			return err
+		}
+		fns[i] = f
+	}
+	var sortErr error
+	sort.SliceStable(rel.rows, func(i, j int) bool {
+		if sortErr != nil {
+			return false
+		}
+		for k, f := range fns {
+			vi, err := f(rel.rows[i])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			vj, err := f(rel.rows[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			// NULLs sort first, as a fixed engine-wide rule.
+			switch {
+			case vi.IsNull() && vj.IsNull():
+				continue
+			case vi.IsNull():
+				return !order[k].Desc
+			case vj.IsNull():
+				return order[k].Desc
+			}
+			c, err := value.Compare(vi, vj)
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if order[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return sortErr
+}

@@ -1,0 +1,166 @@
+// Package schema describes relations: column definitions, table schemas
+// and name resolution. The catalog (the engine's data dictionary, paper
+// Figure 3's "Data Dictionary") lives in package storage, which binds
+// schemas to data.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"minerule/internal/sql/value"
+)
+
+// Column is a named, typed attribute of a relation.
+type Column struct {
+	Name string
+	Type value.Type
+}
+
+// Schema is an ordered list of columns, optionally qualified with the
+// relation name (alias) they came from so that "t.a" resolves.
+type Schema struct {
+	cols []Column
+	// quals[i] is the relation qualifier of cols[i] ("" when none).
+	quals []string
+}
+
+// New builds a schema from columns, all qualified with qual (may be "").
+func New(qual string, cols ...Column) *Schema {
+	s := &Schema{cols: append([]Column(nil), cols...)}
+	s.quals = make([]string, len(s.cols))
+	for i := range s.quals {
+		s.quals[i] = strings.ToLower(qual)
+	}
+	return s
+}
+
+// Len returns the number of columns.
+func (s *Schema) Len() int { return len(s.cols) }
+
+// Col returns the i-th column.
+func (s *Schema) Col(i int) Column { return s.cols[i] }
+
+// Qual returns the i-th column's relation qualifier (lower-cased).
+func (s *Schema) Qual(i int) string { return s.quals[i] }
+
+// Columns returns a copy of the column list.
+func (s *Schema) Columns() []Column { return append([]Column(nil), s.cols...) }
+
+// WithQualifier returns a copy of the schema with every column
+// re-qualified as qual (used when a table gets an alias in FROM).
+func (s *Schema) WithQualifier(qual string) *Schema {
+	n := &Schema{cols: append([]Column(nil), s.cols...), quals: make([]string, len(s.cols))}
+	q := strings.ToLower(qual)
+	for i := range n.quals {
+		n.quals[i] = q
+	}
+	return n
+}
+
+// Append returns a new schema that is the concatenation s ++ o
+// (used for join outputs; qualifiers are preserved).
+func (s *Schema) Append(o *Schema) *Schema {
+	n := &Schema{
+		cols:  append(append([]Column(nil), s.cols...), o.cols...),
+		quals: append(append([]string(nil), s.quals...), o.quals...),
+	}
+	return n
+}
+
+// AddColumn returns a new schema with one more column appended.
+func (s *Schema) AddColumn(qual string, c Column) *Schema {
+	n := &Schema{
+		cols:  append(append([]Column(nil), s.cols...), c),
+		quals: append(append([]string(nil), s.quals...), strings.ToLower(qual)),
+	}
+	return n
+}
+
+// Resolve finds the column referenced by (qual, name); qual may be empty
+// for an unqualified reference. It returns the ordinal, or an error when
+// the reference is unknown or ambiguous. Matching is case-insensitive,
+// following SQL identifier rules.
+func (s *Schema) Resolve(qual, name string) (int, error) {
+	q := strings.ToLower(qual)
+	n := strings.ToLower(name)
+	found := -1
+	for i, c := range s.cols {
+		if strings.ToLower(c.Name) != n {
+			continue
+		}
+		if q != "" && s.quals[i] != q {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("schema: ambiguous column reference %q", ref(qual, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("schema: unknown column %q", ref(qual, name))
+	}
+	return found, nil
+}
+
+// Has reports whether (qual, name) resolves to exactly one column.
+func (s *Schema) Has(qual, name string) bool {
+	_, err := s.Resolve(qual, name)
+	return err == nil
+}
+
+func ref(qual, name string) string {
+	if qual == "" {
+		return name
+	}
+	return qual + "." + name
+}
+
+// String renders the schema as "(a INTEGER, b VARCHAR)" for diagnostics.
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.cols {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if s.quals[i] != "" {
+			b.WriteString(s.quals[i])
+			b.WriteByte('.')
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Row is a tuple positionally matching a Schema.
+type Row []value.Value
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Key returns a composite map key for the row (see value.Value.Key).
+// The column separator cannot occur inside component keys generated for
+// non-string values; string values are length-prefixed to avoid
+// ambiguity.
+func (r Row) Key() string {
+	var b strings.Builder
+	for _, v := range r {
+		k := v.Key()
+		fmt.Fprintf(&b, "%d:", len(k))
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Project returns the sub-row at the given ordinals.
+func (r Row) Project(idx []int) Row {
+	out := make(Row, len(idx))
+	for i, j := range idx {
+		out[i] = r[j]
+	}
+	return out
+}

@@ -1,0 +1,357 @@
+// Package storage implements the engine's in-memory storage layer: heap
+// tables, named views, Oracle-style sequences, and the catalog that binds
+// names to all three. The catalog doubles as the data dictionary the
+// paper's translator consults to check MINE RULE statements (Figure 3.a).
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"minerule/internal/sql/schema"
+)
+
+// Table is an in-memory heap of rows with a fixed schema. Rows are
+// append-only except for Truncate; the engine's workloads (the paper's
+// Q0–Q11 programs) only ever INSERT and read.
+type Table struct {
+	name   string
+	schema *schema.Schema
+
+	mu      sync.RWMutex
+	rows    []schema.Row
+	indexes []*Index
+}
+
+// NewTable creates an empty table.
+func NewTable(name string, s *schema.Schema) *Table {
+	return &Table{name: name, schema: s}
+}
+
+// Name returns the table's catalog name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *schema.Schema { return t.schema }
+
+// Insert appends a row. The row must positionally match the schema; the
+// caller (the executor) is responsible for type checking.
+func (t *Table) Insert(r schema.Row) {
+	t.mu.Lock()
+	for _, ix := range t.indexes {
+		ix.add(r, len(t.rows))
+	}
+	t.rows = append(t.rows, r)
+	t.mu.Unlock()
+}
+
+// InsertAll appends many rows at once.
+func (t *Table) InsertAll(rs []schema.Row) {
+	t.mu.Lock()
+	for i, r := range rs {
+		for _, ix := range t.indexes {
+			ix.add(r, len(t.rows)+i)
+		}
+	}
+	t.rows = append(t.rows, rs...)
+	t.mu.Unlock()
+}
+
+// Len returns the current row count.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Truncate removes all rows.
+func (t *Table) Truncate() {
+	t.mu.Lock()
+	t.rows = nil
+	t.reindexLocked()
+	t.mu.Unlock()
+}
+
+// Snapshot returns the row slice as of now. The slice must be treated as
+// read-only; appends by writers never move existing elements because the
+// snapshot aliases the array prefix only.
+func (t *Table) Snapshot() []schema.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[:len(t.rows):len(t.rows)]
+}
+
+// Sequence is an Oracle-style monotone counter supporting NEXTVAL,
+// used by the paper's Q2–Q5 to mint Gid/Bid/Hid/Cid identifiers.
+type Sequence struct {
+	name string
+	mu   sync.Mutex
+	next int64
+}
+
+// NewSequence creates a sequence starting at 1, matching Oracle's
+// CREATE SEQUENCE default.
+func NewSequence(name string) *Sequence { return &Sequence{name: name, next: 1} }
+
+// Name returns the sequence's catalog name.
+func (s *Sequence) Name() string { return s.name }
+
+// NextVal returns the current value and advances the sequence.
+func (s *Sequence) NextVal() int64 {
+	s.mu.Lock()
+	v := s.next
+	s.next++
+	s.mu.Unlock()
+	return v
+}
+
+// CurrentVal returns the value NextVal would return, without advancing.
+func (s *Sequence) CurrentVal() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.next
+}
+
+// Restore sets the next value (used when loading a saved database).
+func (s *Sequence) Restore(next int64) {
+	s.mu.Lock()
+	s.next = next
+	s.mu.Unlock()
+}
+
+// View is a named stored query. The text is re-planned at each use, which
+// gives the paper's "not materialized view" semantics for Q11.
+type View struct {
+	Name string
+	Text string // the SELECT body
+}
+
+// Catalog is the data dictionary: a name → object map for tables, views
+// and sequences. Names are case-insensitive.
+type Catalog struct {
+	mu   sync.RWMutex
+	tabs map[string]*Table
+	vws  map[string]*View
+	seqs map[string]*Sequence
+	idxs map[string]string // index name → owning table name
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		tabs: make(map[string]*Table),
+		vws:  make(map[string]*View),
+		seqs: make(map[string]*Sequence),
+		idxs: make(map[string]string),
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// taken reports what kind of object already holds the name, if any.
+// Tables, views and sequences share one namespace, as in the SQL servers
+// the paper targets. The caller must hold c.mu.
+func (c *Catalog) taken(k string) (string, bool) {
+	if _, ok := c.tabs[k]; ok {
+		return "table", true
+	}
+	if _, ok := c.vws[k]; ok {
+		return "view", true
+	}
+	if _, ok := c.seqs[k]; ok {
+		return "sequence", true
+	}
+	if _, ok := c.idxs[k]; ok {
+		return "index", true
+	}
+	return "", false
+}
+
+// CreateTable registers a new empty table.
+func (c *Catalog) CreateTable(name string, s *schema.Schema) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if kind, ok := c.taken(k); ok {
+		return nil, fmt.Errorf("catalog: %q already exists as a %s", name, kind)
+	}
+	t := NewTable(name, s)
+	c.tabs[k] = t
+	return t, nil
+}
+
+// DropTable removes a table and its indexes; it is an error if absent.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	t, ok := c.tabs[k]
+	if !ok {
+		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	for _, ix := range t.Indexes() {
+		delete(c.idxs, key(ix.Name()))
+	}
+	delete(c.tabs, k)
+	return nil
+}
+
+// CreateIndex builds a hash index named name on table.column.
+func (c *Catalog) CreateIndex(name, table string, col int) (*Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if kind, taken := c.taken(k); taken {
+		return nil, fmt.Errorf("catalog: %q already exists as a %s", name, kind)
+	}
+	t, ok := c.tabs[key(table)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: table %q does not exist", table)
+	}
+	ix, err := t.CreateIndex(name, col)
+	if err != nil {
+		return nil, err
+	}
+	c.idxs[k] = key(table)
+	return ix, nil
+}
+
+// DropIndex removes a named index wherever it lives.
+func (c *Catalog) DropIndex(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	tabKey, ok := c.idxs[k]
+	if !ok {
+		return fmt.Errorf("catalog: index %q does not exist", name)
+	}
+	if t, ok := c.tabs[tabKey]; ok {
+		if err := t.DropIndex(name); err != nil {
+			return err
+		}
+	}
+	delete(c.idxs, k)
+	return nil
+}
+
+// Table looks up a table by name.
+func (c *Catalog) Table(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tabs[key(name)]
+	return t, ok
+}
+
+// CreateView registers a named view over the given SELECT text.
+func (c *Catalog) CreateView(name, text string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if kind, ok := c.taken(k); ok {
+		return fmt.Errorf("catalog: %q already exists as a %s", name, kind)
+	}
+	c.vws[k] = &View{Name: name, Text: text}
+	return nil
+}
+
+// DropView removes a view; it is an error if absent.
+func (c *Catalog) DropView(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.vws[k]; !ok {
+		return fmt.Errorf("catalog: view %q does not exist", name)
+	}
+	delete(c.vws, k)
+	return nil
+}
+
+// View looks up a view by name.
+func (c *Catalog) View(name string) (*View, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.vws[key(name)]
+	return v, ok
+}
+
+// CreateSequence registers a new sequence starting at 1.
+func (c *Catalog) CreateSequence(name string) (*Sequence, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if kind, ok := c.taken(k); ok {
+		return nil, fmt.Errorf("catalog: %q already exists as a %s", name, kind)
+	}
+	s := NewSequence(name)
+	c.seqs[k] = s
+	return s, nil
+}
+
+// DropSequence removes a sequence; it is an error if absent.
+func (c *Catalog) DropSequence(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.seqs[k]; !ok {
+		return fmt.Errorf("catalog: sequence %q does not exist", name)
+	}
+	delete(c.seqs, k)
+	return nil
+}
+
+// Sequence looks up a sequence by name.
+func (c *Catalog) Sequence(name string) (*Sequence, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.seqs[key(name)]
+	return s, ok
+}
+
+// Exists reports whether any object (table, view or sequence) has the name.
+func (c *Catalog) Exists(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	k := key(name)
+	_, t := c.tabs[k]
+	_, v := c.vws[k]
+	_, s := c.seqs[k]
+	return t || v || s
+}
+
+// TableNames returns the sorted list of table names (for tooling).
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tabs))
+	for _, t := range c.tabs {
+		out = append(out, t.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SequenceNames returns the sorted list of sequence names.
+func (c *Catalog) SequenceNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.seqs))
+	for _, s := range c.seqs {
+		out = append(out, s.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewNames returns the sorted list of view names.
+func (c *Catalog) ViewNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.vws))
+	for _, v := range c.vws {
+		out = append(out, v.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,171 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/value"
+)
+
+func testSchema() *schema.Schema {
+	return schema.New("t",
+		schema.Column{Name: "a", Type: value.TypeInt},
+		schema.Column{Name: "b", Type: value.TypeString})
+}
+
+func TestTableBasics(t *testing.T) {
+	tab := NewTable("t", testSchema())
+	if tab.Name() != "t" || tab.Len() != 0 {
+		t.Fatal("fresh table state wrong")
+	}
+	tab.Insert(schema.Row{value.NewInt(1), value.NewString("x")})
+	tab.InsertAll([]schema.Row{
+		{value.NewInt(2), value.NewString("y")},
+		{value.NewInt(3), value.NewString("z")},
+	})
+	if tab.Len() != 3 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+	snap := tab.Snapshot()
+	if len(snap) != 3 || snap[2][0].Int() != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Appends after a snapshot must not disturb it.
+	tab.Insert(schema.Row{value.NewInt(4), value.NewString("w")})
+	if len(snap) != 3 {
+		t.Fatal("snapshot grew")
+	}
+	tab.Truncate()
+	if tab.Len() != 0 {
+		t.Fatal("truncate failed")
+	}
+}
+
+func TestTableConcurrentInsert(t *testing.T) {
+	tab := NewTable("t", testSchema())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tab.Insert(schema.Row{value.NewInt(int64(i)), value.Null})
+			}
+		}()
+	}
+	wg.Wait()
+	if tab.Len() != 1600 {
+		t.Fatalf("len = %d", tab.Len())
+	}
+}
+
+func TestSequence(t *testing.T) {
+	s := NewSequence("s")
+	if s.CurrentVal() != 1 {
+		t.Fatalf("initial = %d", s.CurrentVal())
+	}
+	for want := int64(1); want <= 5; want++ {
+		if got := s.NextVal(); got != want {
+			t.Fatalf("NextVal = %d, want %d", got, want)
+		}
+	}
+	if s.CurrentVal() != 6 {
+		t.Fatalf("current = %d", s.CurrentVal())
+	}
+}
+
+func TestSequenceConcurrent(t *testing.T) {
+	s := NewSequence("s")
+	var wg sync.WaitGroup
+	seen := make([][]int64, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				seen[w] = append(seen[w], s.NextVal())
+			}
+		}(w)
+	}
+	wg.Wait()
+	all := make(map[int64]bool)
+	for _, vals := range seen {
+		for _, v := range vals {
+			if all[v] {
+				t.Fatalf("duplicate sequence value %d", v)
+			}
+			all[v] = true
+		}
+	}
+	if len(all) != 800 {
+		t.Fatalf("values = %d", len(all))
+	}
+}
+
+func TestCatalogLifecycle(t *testing.T) {
+	c := NewCatalog()
+	if c.Exists("t") {
+		t.Fatal("empty catalog has t")
+	}
+	if _, err := c.CreateTable("t", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("T", testSchema()); err == nil {
+		t.Fatal("case-insensitive duplicate accepted")
+	}
+	if err := c.CreateView("t", "SELECT 1"); err == nil {
+		t.Fatal("view over table name accepted")
+	}
+	if _, ok := c.Table("T"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if err := c.CreateView("v", "SELECT a FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable("v", testSchema()); err == nil {
+		t.Fatal("table over view name accepted")
+	}
+	if _, err := c.CreateSequence("s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSequence("s"); err == nil {
+		t.Fatal("duplicate sequence accepted")
+	}
+	for _, n := range []string{"t", "v", "s"} {
+		if !c.Exists(n) {
+			t.Errorf("%s missing", n)
+		}
+	}
+	if got := c.TableNames(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("TableNames = %v", got)
+	}
+	if got := c.ViewNames(); len(got) != 1 || got[0] != "v" {
+		t.Errorf("ViewNames = %v", got)
+	}
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+	if err := c.DropView("v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropSequence("s"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Exists("t") || c.Exists("v") || c.Exists("s") {
+		t.Fatal("dropped objects still exist")
+	}
+}
+
+func TestDropMissing(t *testing.T) {
+	c := NewCatalog()
+	if err := c.DropView("nope"); err == nil {
+		t.Error("DropView on missing must fail")
+	}
+	if err := c.DropSequence("nope"); err == nil {
+		t.Error("DropSequence on missing must fail")
+	}
+}

@@ -1,0 +1,296 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNullBasics(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v.Type() != TypeNull {
+		t.Fatalf("zero Value type = %v", v.Type())
+	}
+	if got := v.String(); got != "NULL" {
+		t.Fatalf("NULL renders as %q", got)
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got := NewInt(42).Int(); got != 42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := NewFloat(2.5).Float(); got != 2.5 {
+		t.Errorf("Float = %g", got)
+	}
+	if got := NewString("abc").Str(); got != "abc" {
+		t.Errorf("Str = %q", got)
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	d := NewDate(1995, time.December, 17)
+	if got := d.String(); got != "1995-12-17" {
+		t.Errorf("date renders as %q", got)
+	}
+	if got := NewInt(5).Float(); got != 5.0 {
+		t.Errorf("int widens to %g", got)
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	cases := []func(){
+		func() { Null.Int() },
+		func() { NewInt(1).Str() },
+		func() { NewString("x").Float() },
+		func() { NewInt(1).Days() },
+		func() { NewFloat(1).Bool() },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"1995-12-17", "1995-12-17"},
+		{"12/17/95", "1995-12-17"},
+		{"1/1/95", "1995-01-01"},
+		{"12/31/1995", "1995-12-31"},
+		{"6/5/05", "2005-06-05"},
+	}
+	for _, c := range cases {
+		v, err := ParseDate(c.in)
+		if err != nil {
+			t.Errorf("ParseDate(%q): %v", c.in, err)
+			continue
+		}
+		if got := v.String(); got != c.want {
+			t.Errorf("ParseDate(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "17-12-1995x", "13/40/95", "a/b/c"} {
+		if _, err := ParseDate(bad); err == nil {
+			t.Errorf("ParseDate(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewDate(1995, 1, 1), NewDate(1995, 1, 2), -1},
+		{NewBool(false), NewBool(true), -1},
+	}
+	for i, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("case %d: Compare = %d, want %d", i, got, c.want)
+		}
+	}
+	if _, err := Compare(NewInt(1), NewString("1")); err == nil {
+		t.Error("int vs string should not compare")
+	}
+	if _, err := Compare(Null, NewInt(1)); err == nil {
+		t.Error("NULL comparison must error")
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, err1 := Compare(NewInt(a), NewInt(b))
+		y, err2 := Compare(NewInt(b), NewInt(a))
+		return err1 == nil && err2 == nil && x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyEqualityProperty(t *testing.T) {
+	// Key must collide exactly for SQL-equal values, across int/float
+	// promotion.
+	f := func(a int64) bool {
+		return NewInt(a).Key() == NewFloat(float64(a)).Key()
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	if NewString("1").Key() == NewInt(1).Key() {
+		t.Error("string '1' must not collide with int 1")
+	}
+	if NewInt(1).Key() == NewBool(true).Key() {
+		t.Error("bool true must not collide with int 1")
+	}
+	if Null.Key() != Null.Key() {
+		t.Error("NULL keys must collide (single group semantics)")
+	}
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   byte
+		a, b Value
+		want Value
+	}{
+		{'+', NewInt(2), NewInt(3), NewInt(5)},
+		{'-', NewInt(2), NewInt(3), NewInt(-1)},
+		{'*', NewInt(4), NewInt(3), NewInt(12)},
+		{'/', NewInt(7), NewInt(2), NewInt(3)},
+		{'+', NewFloat(1.5), NewInt(1), NewFloat(2.5)},
+		{'/', NewFloat(1), NewInt(2), NewFloat(0.5)},
+		{'+', NewDate(1995, 1, 1), NewInt(1), NewDate(1995, 1, 2)},
+		{'-', NewDate(1995, 1, 2), NewDate(1995, 1, 1), NewInt(1)},
+	}
+	for i, c := range cases {
+		got, err := Arith(c.op, c.a, c.b)
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if !Equal(got, c.want) {
+			t.Errorf("case %d: %s %c %s = %s, want %s", i, c.a, c.op, c.b, got, c.want)
+		}
+	}
+	if v, err := Arith('+', Null, NewInt(1)); err != nil || !v.IsNull() {
+		t.Error("NULL must propagate through arithmetic")
+	}
+	if _, err := Arith('/', NewInt(1), NewInt(0)); err == nil {
+		t.Error("division by zero must error")
+	}
+	if _, err := Arith('+', NewString("a"), NewInt(1)); err == nil {
+		t.Error("string arithmetic must error")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if v, _ := Neg(NewInt(5)); v.Int() != -5 {
+		t.Error("Neg int")
+	}
+	if v, _ := Neg(NewFloat(2.5)); v.Float() != -2.5 {
+		t.Error("Neg float")
+	}
+	if v, _ := Neg(Null); !v.IsNull() {
+		t.Error("Neg NULL")
+	}
+	if _, err := Neg(NewString("x")); err == nil {
+		t.Error("Neg string must error")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	if v, _ := Coerce(NewInt(3), TypeFloat); v.Float() != 3.0 {
+		t.Error("int→float")
+	}
+	if v, _ := Coerce(NewFloat(3.7), TypeInt); v.Int() != 3 {
+		t.Error("float→int truncates")
+	}
+	if v, _ := Coerce(NewString("1995-06-01"), TypeDate); v.String() != "1995-06-01" {
+		t.Error("string→date")
+	}
+	if v, _ := Coerce(NewInt(12), TypeString); v.Str() != "12" {
+		t.Error("int→string")
+	}
+	if v, _ := Coerce(Null, TypeInt); !v.IsNull() {
+		t.Error("NULL coerces to NULL")
+	}
+	if _, err := Coerce(NewBool(true), TypeInt); err == nil {
+		t.Error("bool→int must error")
+	}
+}
+
+func TestTristateTables(t *testing.T) {
+	vals := []Tristate{False, True, Unknown}
+	andWant := [3][3]Tristate{
+		{False, False, False},
+		{False, True, Unknown},
+		{False, Unknown, Unknown},
+	}
+	orWant := [3][3]Tristate{
+		{False, True, Unknown},
+		{True, True, True},
+		{Unknown, True, Unknown},
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			if got := a.And(b); got != andWant[i][j] {
+				t.Errorf("%v AND %v = %v, want %v", a, b, got, andWant[i][j])
+			}
+			if got := a.Or(b); got != orWant[i][j] {
+				t.Errorf("%v OR %v = %v, want %v", a, b, got, orWant[i][j])
+			}
+		}
+	}
+	if True.Not() != False || False.Not() != True || Unknown.Not() != Unknown {
+		t.Error("NOT table wrong")
+	}
+}
+
+func TestTristateValueRoundTrip(t *testing.T) {
+	for _, ts := range []Tristate{False, True, Unknown} {
+		got, err := TristateFromValue(ts.Value())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ts {
+			t.Errorf("round-trip %v → %v", ts, got)
+		}
+	}
+	if _, err := TristateFromValue(NewInt(1)); err == nil {
+		t.Error("int is not a boolean")
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewString("it's"), "'it''s'"},
+		{NewInt(-3), "-3"},
+		{NewFloat(0.5), "0.5"},
+		{NewDate(1995, 12, 19), "DATE '1995-12-19'"},
+		{Null, "NULL"},
+		{NewBool(true), "TRUE"},
+	}
+	for _, c := range cases {
+		if got := c.v.SQL(); got != c.want {
+			t.Errorf("SQL() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFloatEdge(t *testing.T) {
+	inf := NewFloat(math.Inf(1))
+	c, err := Compare(inf, NewFloat(1e308))
+	if err != nil || c != 1 {
+		t.Error("inf compares greater")
+	}
+}

@@ -1,0 +1,189 @@
+package support
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"minerule"
+)
+
+func newServer(t *testing.T) (*Server, *minerule.System) {
+	t.Helper()
+	sys := minerule.Open()
+	err := sys.ExecScript(`
+		CREATE TABLE P (gid INTEGER, item VARCHAR);
+		INSERT INTO P VALUES (1, 'a'), (1, 'b'), (2, 'a'), (2, 'b'), (3, 'a');
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(sys), sys
+}
+
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func post(t *testing.T, s *Server, stmt string) (int, string) {
+	t.Helper()
+	form := url.Values{"stmt": {stmt}}
+	req := httptest.NewRequest(http.MethodPost, "/run", strings.NewReader(form.Encode()))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestHomeListsTables(t *testing.T) {
+	s, _ := newServer(t)
+	code, body := get(t, s, "/")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(body, `/table/P`) {
+		t.Errorf("home does not list P:\n%s", body)
+	}
+}
+
+func TestRunSelect(t *testing.T) {
+	s, _ := newServer(t)
+	code, body := post(t, s, "SELECT gid, COUNT(*) AS n FROM P GROUP BY gid ORDER BY gid")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(body, "<th>n</th>") || !strings.Contains(body, "3 row(s)") {
+		t.Errorf("select result missing:\n%s", body)
+	}
+}
+
+func TestRunDDL(t *testing.T) {
+	s, sys := newServer(t)
+	code, body := post(t, s, "CREATE TABLE X (a INTEGER); INSERT INTO X VALUES (1)")
+	if code != http.StatusOK || !strings.Contains(body, ">ok<") {
+		t.Fatalf("ddl failed: %d\n%s", code, body)
+	}
+	if n, err := sys.QueryInt("SELECT COUNT(*) FROM X"); err != nil || n != 1 {
+		t.Fatalf("X = %d (%v)", n, err)
+	}
+}
+
+func TestRunMineAndRuleViewer(t *testing.T) {
+	s, _ := newServer(t)
+	code, body := post(t, s, `MINE RULE R AS
+		SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+		FROM P GROUP BY gid
+		EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5`)
+	if code != http.StatusOK || !strings.Contains(body, "rule(s) into R") {
+		t.Fatalf("mine failed: %d\n%s", code, body)
+	}
+	// Home now shows the rule set link, and P stays a plain table.
+	_, home := get(t, s, "/")
+	if !strings.Contains(home, "/rules/R") {
+		t.Errorf("rule set link missing:\n%s", home)
+	}
+	if strings.Contains(home, "/table/R_Bodies") {
+		t.Errorf("companion table leaked into the table list:\n%s", home)
+	}
+	// The viewer joins and renders decoded rules.
+	code, rules := get(t, s, "/rules/R")
+	if code != http.StatusOK {
+		t.Fatalf("rules code = %d", code)
+	}
+	if !strings.Contains(rules, "{a}") || !strings.Contains(rules, "{b}") {
+		t.Errorf("decoded rules missing:\n%s", rules)
+	}
+	// Sorting by support and filtering by a floor.
+	code, filtered := get(t, s, "/rules/R?sort=confidence&min=0.9")
+	if code != http.StatusOK {
+		t.Fatal("filter failed")
+	}
+	// b => a has confidence 1 (b occurs twice, both with a); a => b has
+	// 2/3. Only the former survives min=0.9.
+	if !strings.Contains(filtered, "1 rule(s) shown") {
+		t.Errorf("filter result:\n%s", filtered)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	s, sys := newServer(t)
+	code, body := post(t, s, `EXPLAIN MINE RULE R AS
+		SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD
+		FROM P GROUP BY gid
+		EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5`)
+	if code != http.StatusOK || !strings.Contains(body, "classification") {
+		t.Fatalf("explain failed: %d\n%s", code, body)
+	}
+	if !strings.Contains(body, "mr_r_bset") {
+		t.Errorf("programs missing:\n%s", body)
+	}
+	// Dry run: no output table created.
+	if err := sys.Exec("SELECT * FROM R"); err == nil {
+		t.Error("EXPLAIN created R")
+	}
+}
+
+func TestTableBrowser(t *testing.T) {
+	s, _ := newServer(t)
+	code, body := get(t, s, "/table/P")
+	if code != http.StatusOK || !strings.Contains(body, "<th>gid</th>") {
+		t.Fatalf("browser failed: %d\n%s", code, body)
+	}
+	code, _ = get(t, s, "/table/missing")
+	if code != http.StatusOK { // rendered page with an error message
+		t.Fatalf("missing table code = %d", code)
+	}
+	code, _ = get(t, s, "/table/bad;name")
+	if code != http.StatusNotFound {
+		t.Fatalf("injection attempt code = %d", code)
+	}
+}
+
+func TestErrorsAreRendered(t *testing.T) {
+	s, _ := newServer(t)
+	code, body := post(t, s, "SELECT nope FROM P")
+	if code != http.StatusOK || !strings.Contains(body, "err") {
+		t.Fatalf("error not rendered: %d\n%s", code, body)
+	}
+	code, _ = post(t, s, "")
+	if code != http.StatusOK {
+		t.Fatal("empty statement crashed")
+	}
+	req := httptest.NewRequest(http.MethodGet, "/run", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /run = %d", rec.Code)
+	}
+}
+
+func TestHTMLEscaping(t *testing.T) {
+	s, sys := newServer(t)
+	if err := sys.Exec(`INSERT INTO P VALUES (4, '<script>alert(1)</script>')`); err != nil {
+		t.Fatal(err)
+	}
+	_, body := get(t, s, "/table/P")
+	if strings.Contains(body, "<script>alert") {
+		t.Fatal("unescaped cell content")
+	}
+	if !strings.Contains(body, "&lt;script&gt;") {
+		t.Fatal("escaped content missing")
+	}
+}
+
+func TestRunExplainSQL(t *testing.T) {
+	s, _ := newServer(t)
+	code, body := post(t, s, "EXPLAIN SELECT COUNT(*) FROM P WHERE gid = 1")
+	if code != http.StatusOK {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(body, "scan table P") || !strings.Contains(body, "result:") {
+		t.Errorf("plan missing:\n%s", body)
+	}
+}

@@ -1,0 +1,317 @@
+// Package minerule is a tightly-coupled data mining system: an embedded
+// SQL92-subset relational engine with the MINE RULE operator of Meo,
+// Psaila and Ceri integrated on top, reproducing the architecture of
+// "A Tightly-Coupled Architecture for Data Mining" (ICDE 1998).
+//
+// A System is a database plus the mining kernel. Load data with SQL or
+// CSV, then evaluate MINE RULE statements; results are stored back into
+// the database as ordinary tables and also returned decoded:
+//
+//	sys := minerule.Open()
+//	sys.ExecScript(`CREATE TABLE Purchase (...); INSERT INTO Purchase VALUES (...);`)
+//	res, err := sys.Mine(`
+//	    MINE RULE FrequentSets AS
+//	    SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+//	    FROM Purchase
+//	    GROUP BY cust
+//	    EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.5`)
+//	for _, r := range res.Rules { fmt.Println(r) }
+//
+// The kernel follows the paper exactly: a translator classifies the
+// statement (H, W, M, G, C, K, F, R) and emits SQL translation programs;
+// the preprocessor runs them on the engine, producing encoded tables;
+// the core operator (a pool of itemset algorithms for simple rules, the
+// m×n rule lattice for general rules) mines the encoded data; the
+// postprocessor decodes the result into <name>, <name>_Bodies and
+// <name>_Heads tables.
+package minerule
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"minerule/internal/core"
+	"minerule/internal/sql/engine"
+)
+
+// System is one embedded database with the mining kernel attached.
+// It is not safe for concurrent use by multiple goroutines.
+type System struct {
+	db *engine.Database
+}
+
+// Open creates an empty system.
+func Open() *System { return &System{db: engine.New()} }
+
+// DB exposes the underlying engine for in-module tooling (the cmd/
+// binaries and benchmarks); it is internal machinery, not API surface.
+func (s *System) DB() *engine.Database { return s.db }
+
+// Exec runs one SQL statement (DDL, DML or query, discarding rows).
+func (s *System) Exec(sql string) error {
+	_, err := s.db.Exec(sql)
+	return err
+}
+
+// ExecScript runs a semicolon-separated SQL script.
+func (s *System) ExecScript(sql string) error { return s.db.ExecScript(sql) }
+
+// Table is a materialized query result in display form.
+type Table struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// Query runs a SELECT and returns its rows as strings (NULL renders as
+// "NULL").
+func (s *System) Query(sql string) (*Table, error) {
+	res, err := s.db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Columns: make([]string, res.Schema.Len())}
+	for i := 0; i < res.Schema.Len(); i++ {
+		t.Columns[i] = res.Schema.Col(i).Name
+	}
+	for _, row := range res.Rows {
+		out := make([]string, len(row))
+		for i, v := range row {
+			out[i] = v.String()
+		}
+		t.Rows = append(t.Rows, out)
+	}
+	return t, nil
+}
+
+// QueryInt runs a single-value query and returns it as an integer.
+func (s *System) QueryInt(sql string) (int64, error) { return s.db.QueryInt(sql) }
+
+// ImportCSV creates a table from CSV data; header entries are
+// "name:type" with type one of int, float, string, date, bool.
+func (s *System) ImportCSV(table string, header []string, r io.Reader) (int, error) {
+	return s.db.ImportCSV(table, header, r)
+}
+
+// ExportCSV writes a query result as CSV.
+func (s *System) ExportCSV(w io.Writer, sql string) error { return s.db.ExportCSV(w, sql) }
+
+// Save writes the whole database (tables, views, sequences) under dir:
+// one typed CSV per table plus a manifest. Mining outputs are ordinary
+// tables, so mined rule sets survive restarts too.
+func (s *System) Save(dir string) error { return s.db.Save(dir) }
+
+// Open- or load-time counterpart of Save.
+func LoadFrom(dir string) (*System, error) {
+	db, err := engine.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &System{db: db}, nil
+}
+
+// ExplainSQL runs a SELECT with executor tracing and returns the
+// decision log (scan sources, join strategies, index use, filter
+// selectivities) — EXPLAIN ANALYZE for the embedded engine.
+func (s *System) ExplainSQL(sql string) (string, error) { return s.db.ExplainSQL(sql) }
+
+// Format renders a query result as an aligned text table.
+func (s *System) Format(sql string) (string, error) {
+	res, err := s.db.Query(sql)
+	if err != nil {
+		return "", err
+	}
+	return engine.FormatResult(res), nil
+}
+
+// Algorithm selects a member of the simple-core algorithm pool.
+type Algorithm string
+
+// The pool (general statements always use the rule-lattice core).
+const (
+	Apriori           Algorithm = Algorithm(core.AlgoApriori)
+	AprioriHorizontal Algorithm = Algorithm(core.AlgoHorizontal)
+	AprioriTid        Algorithm = Algorithm(core.AlgoAprioriTid)
+	AprioriHybrid     Algorithm = Algorithm(core.AlgoAprioriHybrid)
+	AprioriDHP        Algorithm = Algorithm(core.AlgoDHP)
+	Partition         Algorithm = Algorithm(core.AlgoPartition)
+	Sampling          Algorithm = Algorithm(core.AlgoSampling)
+)
+
+// Option adjusts one Mine call.
+type Option func(*core.Options)
+
+// WithAlgorithm picks the simple-core pool member (default Apriori).
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *core.Options) { o.Algorithm = core.Algorithm(a) }
+}
+
+// WithReplaceOutput overwrites existing output tables of the same name.
+func WithReplaceOutput() Option {
+	return func(o *core.Options) { o.ReplaceOutput = true }
+}
+
+// WithKeepEncoded keeps the encoded working tables after the run, so
+// repeated statements over the same source can share preprocessing
+// state for inspection (paper §3). It also records the metadata
+// WithReuseEncoded relies on.
+func WithKeepEncoded() Option {
+	return func(o *core.Options) { o.KeepEncoded = true }
+}
+
+// WithReuseEncoded skips the preprocessing phase when a previous
+// WithKeepEncoded run of an equivalent statement (same shape, support
+// no lower than before) left its encoded tables in the database. The
+// source must not have changed in between — the kernel cannot detect
+// that; drop the mr_* tables (or run without reuse) to invalidate.
+func WithReuseEncoded() Option {
+	return func(o *core.Options) { o.ReuseEncoded = true }
+}
+
+// Timings is the wall time of each kernel phase of a Mine call.
+type Timings struct {
+	Translate   time.Duration
+	Preprocess  time.Duration
+	Core        time.Duration
+	Postprocess time.Duration
+}
+
+// Total sums the phases.
+func (t Timings) Total() time.Duration {
+	return t.Translate + t.Preprocess + t.Core + t.Postprocess
+}
+
+// Rule is one decoded association rule. Body and Head hold one value
+// tuple per rule element (tuples have one entry per schema attribute,
+// e.g. just the item name for single-attribute schemas).
+type Rule struct {
+	Body       [][]string
+	Head       [][]string
+	Support    float64
+	Confidence float64
+}
+
+// String renders the rule like the paper's Figure 2.b rows.
+func (r Rule) String() string {
+	side := func(els [][]string) string {
+		parts := make([]string, len(els))
+		for i, t := range els {
+			parts[i] = strings.Join(t, "/")
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	}
+	return fmt.Sprintf("%s => %s (s=%.4g, c=%.4g)", side(r.Body), side(r.Head), r.Support, r.Confidence)
+}
+
+// MiningResult reports one evaluated MINE RULE statement.
+type MiningResult struct {
+	// OutputTable, BodiesTable, HeadsTable name the stored result
+	// relations inside the system's database.
+	OutputTable string
+	BodiesTable string
+	HeadsTable  string
+
+	// Class is the translator's classification, e.g. "{W,M,C,K}".
+	Class string
+	// Simple reports whether the simple core processing ran.
+	Simple bool
+	// Algorithm is the core algorithm that ran.
+	Algorithm string
+
+	RuleCount   int
+	TotalGroups int
+	MinGroups   int
+	// Reused reports that preprocessing was skipped via WithReuseEncoded.
+	Reused  bool
+	Timings Timings
+
+	// Rules is the decoded result (ordered as stored).
+	Rules []Rule
+}
+
+// Explanation shows what a MINE RULE statement would do: its
+// classification and the SQL translation programs the kernel generates,
+// without executing anything.
+type Explanation struct {
+	// Class is the translator classification, e.g. "{W,M,C,K}".
+	Class string
+	// Simple reports which core-processing class would run.
+	Simple bool
+	// Steps are the preprocessing SQL statements in execution order,
+	// labelled with the paper's query names ("Q0" … "Q10", "output").
+	Steps []ExplainStep
+	// TotalGroupsQuery is the paper's Q1.
+	TotalGroupsQuery string
+	// Decode are the postprocessor's SQL statements.
+	Decode []string
+}
+
+// ExplainStep is one named preprocessing statement.
+type ExplainStep struct {
+	Name string
+	SQL  string
+}
+
+// Explain translates a MINE RULE statement against the current catalog
+// and returns the generated SQL programs, without running them.
+func (s *System) Explain(statement string) (*Explanation, error) {
+	ex, err := core.Explain(s.db, statement)
+	if err != nil {
+		return nil, err
+	}
+	out := &Explanation{
+		Class:            ex.Class.String(),
+		Simple:           ex.Simple,
+		TotalGroupsQuery: ex.Q1,
+		Decode:           ex.Decode,
+	}
+	for _, st := range ex.Steps {
+		out.Steps = append(out.Steps, ExplainStep{Name: st.Name, SQL: st.SQL})
+	}
+	return out, nil
+}
+
+// Mine evaluates a MINE RULE statement. The output tables are stored in
+// the system's database and the decoded rules returned.
+func (s *System) Mine(statement string, opts ...Option) (*MiningResult, error) {
+	var co core.Options
+	for _, o := range opts {
+		o(&co)
+	}
+	res, err := core.Mine(s.db, statement, co)
+	if err != nil {
+		return nil, err
+	}
+	out := &MiningResult{
+		OutputTable: res.OutputTable,
+		BodiesTable: res.BodiesTable,
+		HeadsTable:  res.HeadsTable,
+		Class:       res.Class.String(),
+		Simple:      res.Class.Simple(),
+		Algorithm:   res.Algorithm,
+		RuleCount:   res.RuleCount,
+		TotalGroups: res.TotalGroups,
+		MinGroups:   res.MinGroups,
+		Reused:      res.Reused,
+		Timings: Timings{
+			Translate:   res.Timings.Translate,
+			Preprocess:  res.Timings.Preprocess,
+			Core:        res.Timings.Core,
+			Postprocess: res.Timings.Postprocess,
+		},
+	}
+	decoded, err := core.ReadRules(s.db, res)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range decoded {
+		out.Rules = append(out.Rules, Rule{
+			Body:       d.Body,
+			Head:       d.Head,
+			Support:    d.Support,
+			Confidence: d.Confidence,
+		})
+	}
+	return out, nil
+}
