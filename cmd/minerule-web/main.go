@@ -6,12 +6,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"minerule"
 	"minerule/internal/support"
@@ -53,6 +58,34 @@ func main() {
 		}
 	}
 
+	// Slow-client hardening: a stuck reader or writer cannot pin a
+	// connection (and, through the server-wide mutex, the whole UI)
+	// forever.
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           support.NewServer(sys),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute, // long MINE RULE runs stream late
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
 	fmt.Printf("minerule user support on http://%s\n", *listen)
-	log.Fatal(http.ListenAndServe(*listen, support.NewServer(sys)))
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		fmt.Println("minerule-web: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("minerule-web: shutdown: %v", err)
+		}
+	}
 }

@@ -7,7 +7,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"minerule/internal/kernel/postproc"
@@ -16,6 +18,7 @@ import (
 	"minerule/internal/minerule/ast"
 	mrparse "minerule/internal/minerule/parse"
 	"minerule/internal/mining"
+	"minerule/internal/resource"
 	"minerule/internal/sql/engine"
 )
 
@@ -53,6 +56,13 @@ type Options struct {
 	// encoded tables behind. The caller is responsible for not mutating
 	// the source between runs — the kernel cannot detect that.
 	ReuseEncoded bool
+	// Limits bounds the run: MaxRows caps the rows any one SQL step may
+	// materialize, MaxCandidates caps the mining candidate count, and
+	// MaxRuntime deadline-bounds the whole evaluation. The zero value is
+	// unbounded. A tripped limit fails the run with an error matching
+	// resource.ErrBudgetExceeded or resource.ErrCanceled, and the
+	// working and output tables are rolled back as on any failure.
+	Limits resource.Limits
 }
 
 // Timings is the per-phase wall time of one run: the process flow of
@@ -143,16 +153,54 @@ func Explain(db *engine.Database, statement string) (*Explanation, error) {
 
 // Mine evaluates one MINE RULE statement text against the database.
 func Mine(db *engine.Database, statement string, opts Options) (*Result, error) {
+	return MineContext(context.Background(), db, statement, opts)
+}
+
+// MineContext is Mine under a cancellation context: the deadline or
+// cancellation is observed between pipeline phases, between Q-steps,
+// inside SQL execution and between mining passes, and a canceled run
+// rolls its working and output tables back.
+func MineContext(ctx context.Context, db *engine.Database, statement string, opts Options) (*Result, error) {
 	st, err := mrparse.Parse(statement)
 	if err != nil {
 		return nil, err
 	}
-	return MineStatement(db, st, opts)
+	return MineStatementContext(ctx, db, st, opts)
 }
 
 // MineStatement evaluates an already-parsed statement.
 func MineStatement(db *engine.Database, st *ast.Statement, opts Options) (*Result, error) {
-	res := &Result{Statement: st}
+	return MineStatementContext(context.Background(), db, st, opts)
+}
+
+// MineStatementContext evaluates an already-parsed statement under a
+// cancellation context and opts.Limits. It is the kernel's outermost
+// recover boundary: a panic anywhere in the pipeline surfaces as a
+// *resource.InternalError instead of crashing the embedding process.
+func MineStatementContext(ctx context.Context, db *engine.Database, st *ast.Statement, opts Options) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opts.Limits.MaxRuntime > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Limits.MaxRuntime)
+		defer cancel()
+	}
+	// Bound the kernel's own SQL with the run's limits, restoring the
+	// database's configured bounds afterwards.
+	prev := db.Limits()
+	db.SetLimits(opts.Limits)
+	defer db.SetLimits(prev)
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, resource.NewInternalError("core", p, debug.Stack())
+		}
+	}()
+	return mineStatement(ctx, db, st, opts)
+}
+
+func mineStatement(ctx context.Context, db *engine.Database, st *ast.Statement, opts Options) (res *Result, err error) {
+	res = &Result{Statement: st}
 
 	// ---- Translator ------------------------------------------------------
 	start := time.Now()
@@ -169,6 +217,21 @@ func MineStatement(db *engine.Database, st *ast.Statement, opts Options) (*Resul
 	}
 	res.Timings.Translate = time.Since(start)
 
+	// From here on the pipeline creates working and output objects; any
+	// failure — error or panic — must leave the catalog as it was before
+	// the run. (Pre-existing output tables dropped under ReplaceOutput
+	// are gone by now and cannot be restored; that is the documented
+	// limit of the rollback.)
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = nil, resource.NewInternalError("core", p, debug.Stack())
+		}
+		if err != nil {
+			res = nil
+			cleanupFailed(db, tr)
+		}
+	}()
+
 	// ---- Preprocessor ----------------------------------------------------
 	start = time.Now()
 	var pre *preproc.Result
@@ -177,7 +240,7 @@ func MineStatement(db *engine.Database, st *ast.Statement, opts Options) (*Resul
 		pre, reused = preproc.TryReuse(db, tr)
 	}
 	if !reused {
-		pre, err = preproc.Run(db, tr)
+		pre, err = preproc.Run(ctx, db, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -189,45 +252,57 @@ func MineStatement(db *engine.Database, st *ast.Statement, opts Options) (*Resul
 	res.Timings.Preprocess = time.Since(start)
 
 	// ---- Core operator ----------------------------------------------------
+	if err = resource.Check(ctx); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	start = time.Now()
+	bud := mining.NewBudget(ctx, opts.Limits.MaxCandidates)
 	mopts := mining.Options{
 		MinSupport:    st.MinSupport,
 		MinConfidence: st.MinConfidence,
 		BodyCard:      mining.Card{Min: st.Body.Card.Min, Max: st.Body.Card.Max},
 		HeadCard:      mining.Card{Min: st.Head.Card.Min, Max: st.Head.Card.Max},
+		Budget:        bud,
 	}
 	var rules []mining.Rule
 	if tr.Class.Simple() {
 		miner := poolMiner(opts.Algorithm)
 		res.Algorithm = miner.Name()
-		in, err := readSimpleInput(db, tr, pre.Totg)
+		var in *mining.SimpleInput
+		in, err = readSimpleInput(ctx, db, tr, pre.Totg)
 		if err != nil {
 			return nil, err
 		}
 		rules = mining.MineSimple(miner, in, mopts)
 	} else {
 		res.Algorithm = "rule-lattice"
-		in, err := readGeneralInput(db, tr, pre.Totg)
+		var in *mining.GeneralInput
+		in, err = readGeneralInput(ctx, db, tr, pre.Totg)
 		if err != nil {
 			return nil, err
 		}
 		rules = mining.MineGeneral(in, mopts)
+	}
+	if berr := bud.Err(); berr != nil {
+		err = fmt.Errorf("core: mining: %w", berr)
+		return nil, err
 	}
 	res.RuleCount = len(rules)
 	res.Timings.Core = time.Since(start)
 
 	// ---- Postprocessor ----------------------------------------------------
 	start = time.Now()
-	if err := postproc.StoreEncoded(db, tr, rules); err != nil {
+	if err = postproc.StoreEncoded(ctx, db, tr, rules); err != nil {
 		return nil, err
 	}
-	if err := postproc.Decode(db, tr); err != nil {
+	if err = postproc.Decode(ctx, db, tr); err != nil {
 		return nil, err
 	}
 	if opts.KeepEncoded {
 		if !reused {
-			if err := preproc.WriteMeta(db, tr, pre); err != nil {
-				return nil, fmt.Errorf("core: recording reuse metadata: %w", err)
+			if err = preproc.WriteMeta(db, tr, pre); err != nil {
+				err = fmt.Errorf("core: recording reuse metadata: %w", err)
+				return nil, err
 			}
 		}
 	} else {
@@ -235,6 +310,18 @@ func MineStatement(db *engine.Database, st *ast.Statement, opts Options) (*Resul
 	}
 	res.Timings.Postprocess = time.Since(start)
 	return res, nil
+}
+
+// cleanupFailed rolls a failed run back: every working table of the
+// translation and any (possibly partial) output table is dropped, so the
+// catalog holds exactly the pre-run objects. It deliberately does not
+// use the run's context — cleanup must proceed even when the failure is
+// a cancellation.
+func cleanupFailed(db *engine.Database, tr *translator.Translation) {
+	preproc.Drop(db, tr)
+	for _, t := range []string{tr.Names.Output, tr.Names.OutputBodyT, tr.Names.OutputHeadT, tr.Names.Meta} {
+		_, _ = db.Exec("DROP TABLE " + t)
+	}
 }
 
 func poolMiner(a Algorithm) mining.ItemsetMiner {
@@ -272,8 +359,8 @@ func prepareOutputs(db *engine.Database, tr *translator.Translation, opts Option
 
 // readSimpleInput loads CodedSource (Gid, Bid) into the simple-core
 // input format.
-func readSimpleInput(db *engine.Database, tr *translator.Translation, totg int) (*mining.SimpleInput, error) {
-	res, err := db.Query("SELECT mr_gid, mr_bid FROM " + tr.Names.CodedSource)
+func readSimpleInput(ctx context.Context, db *engine.Database, tr *translator.Translation, totg int) (*mining.SimpleInput, error) {
+	res, err := db.QueryContext(ctx, "SELECT mr_gid, mr_bid FROM "+tr.Names.CodedSource)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +373,7 @@ func readSimpleInput(db *engine.Database, tr *translator.Translation, totg int) 
 
 // readGeneralInput loads CodedSource (plus ClusterCouples and InputRules
 // when present) into the general-core input format.
-func readGeneralInput(db *engine.Database, tr *translator.Translation, totg int) (*mining.GeneralInput, error) {
+func readGeneralInput(ctx context.Context, db *engine.Database, tr *translator.Translation, totg int) (*mining.GeneralInput, error) {
 	cl := tr.Class
 	in := &mining.GeneralInput{
 		TotalGroups: totg,
@@ -301,7 +388,7 @@ func readGeneralInput(db *engine.Database, tr *translator.Translation, totg int)
 		in.PairPolicy = mining.SelfPairs
 	}
 
-	res, err := db.Query("SELECT * FROM " + tr.Names.CodedSource)
+	res, err := db.QueryContext(ctx, "SELECT * FROM "+tr.Names.CodedSource)
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +447,7 @@ func readGeneralInput(db *engine.Database, tr *translator.Translation, totg int)
 	}
 
 	if cl.K {
-		cres, err := db.Query("SELECT mr_gid, mr_bcid, mr_hcid FROM " + tr.Names.ClusterCouples)
+		cres, err := db.QueryContext(ctx, "SELECT mr_gid, mr_bcid, mr_hcid FROM "+tr.Names.ClusterCouples)
 		if err != nil {
 			return nil, err
 		}
@@ -378,7 +465,7 @@ func readGeneralInput(db *engine.Database, tr *translator.Translation, totg int)
 		if cl.C {
 			sel = "SELECT mr_gid, mr_bid, mr_hid, mr_bcid, mr_hcid FROM " + tr.Names.InputRules
 		}
-		ires, err := db.Query(sel)
+		ires, err := db.QueryContext(ctx, sel)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,103 @@
+// Package fault is a test-only fault injector for the engine's
+// pre-statement hook (engine.SetExecHook): it arms exactly one failure —
+// by SQL substring or by statement ordinal — and disarms after firing,
+// so the kernel's failure-cleanup statements (which run after the fault)
+// are not re-broken by the injector itself.
+package fault
+
+import (
+	"errors"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the error an armed Injector returns from the hook.
+var ErrInjected = errors.New("injected fault")
+
+// Injector is one armed failure. The zero value is inert; arm it with
+// FailOnMatch, FailNth or PanicNth. Safe for concurrent use.
+type Injector struct {
+	mu        sync.Mutex
+	match     string // fail the first statement containing this substring
+	nth       int    // fail the nth statement seen (1-based)
+	panicMode bool   // panic instead of returning an error
+	seen      int
+	fired     bool
+}
+
+// New returns an inert Injector.
+func New() *Injector { return &Injector{} }
+
+// Hook adapts the injector to engine.SetExecHook.
+func (in *Injector) Hook() func(sql string) error {
+	return func(sql string) error { return in.check(sql) }
+}
+
+// FailOnMatch arms the injector: the first statement whose SQL contains
+// substr fails with ErrInjected, then the injector disarms.
+func (in *Injector) FailOnMatch(substr string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.match, in.nth, in.panicMode, in.seen, in.fired = substr, 0, false, 0, false
+}
+
+// FailNth arms the injector: the n-th statement (1-based, counted from
+// arming) fails with ErrInjected, then the injector disarms.
+func (in *Injector) FailNth(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.match, in.nth, in.panicMode, in.seen, in.fired = "", n, false, 0, false
+}
+
+// PanicNth arms the injector like FailNth but panics instead of
+// returning an error, exercising the recover-to-error boundaries.
+func (in *Injector) PanicNth(n int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.match, in.nth, in.panicMode, in.seen, in.fired = "", n, true, 0, false
+}
+
+// Fired reports whether the armed fault has gone off.
+func (in *Injector) Fired() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}
+
+// Seen returns how many statements the hook has observed since arming.
+func (in *Injector) Seen() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seen
+}
+
+// Reset disarms the injector.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.match, in.nth, in.panicMode, in.seen, in.fired = "", 0, false, 0, false
+}
+
+func (in *Injector) check(sql string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.fired {
+		return nil
+	}
+	in.seen++
+	hit := false
+	switch {
+	case in.match != "":
+		hit = strings.Contains(sql, in.match)
+	case in.nth > 0:
+		hit = in.seen == in.nth
+	}
+	if !hit {
+		return nil
+	}
+	in.fired = true
+	if in.panicMode {
+		panic("fault: injected panic")
+	}
+	return ErrInjected
+}

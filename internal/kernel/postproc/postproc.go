@@ -5,10 +5,12 @@
 package postproc
 
 import (
+	"context"
 	"fmt"
 
 	"minerule/internal/kernel/translator"
 	"minerule/internal/mining"
+	"minerule/internal/resource"
 	"minerule/internal/sql/engine"
 	"minerule/internal/sql/schema"
 	"minerule/internal/sql/value"
@@ -20,7 +22,10 @@ import (
 // itemsets across rules share one identifier, as §4.4's normalized form
 // intends. Rows go through the storage layer directly — the paper's core
 // operator likewise hands its result to the DBMS without re-parsing SQL.
-func StoreEncoded(db *engine.Database, tr *translator.Translation, rules []mining.Rule) error {
+func StoreEncoded(ctx context.Context, db *engine.Database, tr *translator.Translation, rules []mining.Rule) error {
+	if err := resource.Check(ctx); err != nil {
+		return fmt.Errorf("postproc: %w", err)
+	}
 	n := tr.Names
 	rulesT, ok := db.Catalog().Table(n.OutputRules)
 	if !ok {
@@ -83,9 +88,9 @@ func itemsKey(items []mining.Item) string {
 
 // Decode runs the translator's decode programs, producing the
 // user-readable output tables.
-func Decode(db *engine.Database, tr *translator.Translation) error {
+func Decode(ctx context.Context, db *engine.Database, tr *translator.Translation) error {
 	for _, q := range tr.Program.Decode {
-		if _, err := db.Exec(q); err != nil {
+		if _, err := db.ExecContext(ctx, q); err != nil {
 			return fmt.Errorf("postproc: %w", err)
 		}
 	}

@@ -1,6 +1,7 @@
 package postproc
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -32,7 +33,7 @@ func setup(t *testing.T) (*engine.Database, *translator.Translation) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := preproc.Run(db, tr); err != nil {
+	if _, err := preproc.Run(context.Background(), db, tr); err != nil {
 		t.Fatal(err)
 	}
 	return db, tr
@@ -59,7 +60,7 @@ func TestStoreAndDecode(t *testing.T) {
 		// must reuse the BodyId.
 		{Body: []mining.Item{a}, Head: []mining.Item{a}, Support: 1, Confidence: 1},
 	}
-	if err := StoreEncoded(db, tr, rules); err != nil {
+	if err := StoreEncoded(context.Background(), db, tr, rules); err != nil {
 		t.Fatal(err)
 	}
 	n, _ := db.QueryInt("SELECT COUNT(*) FROM " + tr.Names.OutputRules)
@@ -72,7 +73,7 @@ func TestStoreAndDecode(t *testing.T) {
 		t.Fatalf("distinct bodies = %d", n)
 	}
 
-	if err := Decode(db, tr); err != nil {
+	if err := Decode(context.Background(), db, tr); err != nil {
 		t.Fatal(err)
 	}
 	res, err := db.Query("SELECT R.SUPPORT, B.item, H.item FROM Out R, Out_Bodies B, Out_Heads H WHERE R.BodyId = B.BodyId AND R.HeadId = H.HeadId ORDER BY 1, 2, 3")
@@ -114,17 +115,17 @@ func TestStoreWithoutPreprocFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := StoreEncoded(db, tr, nil); err == nil {
+	if err := StoreEncoded(context.Background(), db, tr, nil); err == nil {
 		t.Fatal("StoreEncoded without preprocessing must fail")
 	}
 }
 
 func TestEmptyRuleSetStillDecodes(t *testing.T) {
 	db, tr := setup(t)
-	if err := StoreEncoded(db, tr, nil); err != nil {
+	if err := StoreEncoded(context.Background(), db, tr, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := Decode(db, tr); err != nil {
+	if err := Decode(context.Background(), db, tr); err != nil {
 		t.Fatal(err)
 	}
 	n, err := db.QueryInt("SELECT COUNT(*) FROM Out")

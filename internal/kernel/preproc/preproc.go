@@ -6,6 +6,7 @@
 package preproc
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -13,6 +14,7 @@ import (
 
 	"minerule/internal/kernel/translator"
 	"minerule/internal/mining"
+	"minerule/internal/resource"
 	"minerule/internal/sql/engine"
 )
 
@@ -33,10 +35,15 @@ type StepDuration struct {
 	Duration time.Duration
 }
 
-// Run executes the full preprocessing for the translation. Cleanup
-// errors (objects that do not exist yet) are ignored; everything else is
-// fatal.
-func Run(db *engine.Database, tr *translator.Translation) (*Result, error) {
+// Run executes the full preprocessing for the translation, checking the
+// context between Q-steps so a cancellation lands at the next step
+// boundary (and, via the executor's own polling, inside long steps).
+// Cleanup errors (objects that do not exist yet) are ignored; everything
+// else is fatal.
+func Run(ctx context.Context, db *engine.Database, tr *translator.Translation) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	p := &tr.Program
 	for _, drop := range p.Cleanup {
 		_, _ = db.Exec(drop) // first run: nothing to drop
@@ -47,10 +54,13 @@ func Run(db *engine.Database, tr *translator.Translation) (*Result, error) {
 		if len(sqls) == 0 {
 			return nil
 		}
+		if err := resource.Check(ctx); err != nil {
+			return fmt.Errorf("preproc: step %s: %w", name, err)
+		}
 		start := time.Now()
 		for _, q := range sqls {
 			q = strings.ReplaceAll(q, translator.MinGroupsPlaceholder, strconv.Itoa(res.MinGroups))
-			if _, err := db.Exec(q); err != nil {
+			if _, err := db.ExecContext(ctx, q); err != nil {
 				return fmt.Errorf("preproc: step %s: %w", name, err)
 			}
 		}
@@ -63,8 +73,11 @@ func Run(db *engine.Database, tr *translator.Translation) (*Result, error) {
 	}
 
 	// Q1: the paper's SELECT COUNT(*) INTO :totg.
+	if err := resource.Check(ctx); err != nil {
+		return nil, fmt.Errorf("preproc: step Q1: %w", err)
+	}
 	start := time.Now()
-	totg, err := db.QueryInt(p.Q1)
+	totg, err := db.QueryIntContext(ctx, p.Q1)
 	if err != nil {
 		return nil, fmt.Errorf("preproc: step Q1: %w", err)
 	}

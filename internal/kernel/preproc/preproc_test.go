@@ -1,6 +1,7 @@
 package preproc
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -50,7 +51,7 @@ const generalStmt = `MINE RULE G AS
 
 func TestSimplePreprocessing(t *testing.T) {
 	db, tr := setup(t, simpleStmt)
-	res, err := Run(db, tr)
+	res, err := Run(context.Background(), db, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestSimplePreprocessing(t *testing.T) {
 
 func TestGeneralPreprocessing(t *testing.T) {
 	db, tr := setup(t, generalStmt)
-	res, err := Run(db, tr)
+	res, err := Run(context.Background(), db, tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,12 +113,12 @@ func TestGeneralPreprocessing(t *testing.T) {
 
 func TestStepTraceAndRerun(t *testing.T) {
 	db, tr := setup(t, simpleStmt)
-	if _, err := Run(db, tr); err != nil {
+	if _, err := Run(context.Background(), db, tr); err != nil {
 		t.Fatal(err)
 	}
 	// Running again must succeed: the cleanup drops the previous
 	// objects.
-	res, err := Run(db, tr)
+	res, err := Run(context.Background(), db, tr)
 	if err != nil {
 		t.Fatalf("second run: %v", err)
 	}
@@ -146,7 +147,7 @@ func TestRunFailureSurfacesStep(t *testing.T) {
 	if _, err := db.Catalog().CreateSequence("mr_s_bset"); err != nil {
 		t.Fatal(err)
 	}
-	_, err := Run(db, tr)
+	_, err := Run(context.Background(), db, tr)
 	if err == nil {
 		t.Fatal("expected failure")
 	}

@@ -11,6 +11,16 @@ func FuzzMineRule(f *testing.F) {
 		"MINE RULE R AS SELECT DISTINCT 2..3 a, b AS BODY, 1..n c AS HEAD, SUPPORT FROM t, u WHERE t.x = u.y GROUP BY g HAVING COUNT(*) > 1 CLUSTER BY w HAVING BODY.w < HEAD.w EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.9",
 		"mine rule lower AS select distinct item as body, item as head from t group by g extracting rules with support: 1, confidence: 0",
 		"MINE RULE bad AS SELECT",
+		// Parseable statements that exercise the translator's semantic
+		// checks downstream: inverted/zero cardinalities, measures
+		// without thresholds, mining the output into a grouped source,
+		// cluster predicates without CLUSTER BY, self-referencing joins.
+		"MINE RULE R AS SELECT DISTINCT 3..2 item AS BODY, 0..0 item AS HEAD FROM t GROUP BY g EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.1",
+		"MINE RULE R AS SELECT DISTINCT item AS BODY, other AS HEAD, SUPPORT, CONFIDENCE FROM t GROUP BY item EXTRACTING RULES WITH SUPPORT: 2, CONFIDENCE: -1",
+		"MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..n item AS HEAD WHERE BODY.dt < HEAD.dt FROM t GROUP BY c EXTRACTING RULES WITH SUPPORT: 0.2, CONFIDENCE: 0.3",
+		"MINE RULE R AS SELECT DISTINCT 1..n t.a, u.b AS BODY, 1..1 t.a AS HEAD FROM t, u WHERE t.k = u.k GROUP BY t.g HAVING SUM(u.b) > 10 EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.1",
+		"MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD FROM R GROUP BY R EXTRACTING RULES WITH SUPPORT: 0.0, CONFIDENCE: 0.0",
+		"MINE RULE R AS SELECT DISTINCT item AS BODY, item AS HEAD FROM t GROUP BY g CLUSTER BY g HAVING BODY.g <> HEAD.g EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5",
 	}
 	for _, s := range seeds {
 		f.Add(s)

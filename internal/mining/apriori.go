@@ -19,13 +19,18 @@ type node struct {
 	gids  []int32
 }
 
-// LargeItemsets implements ItemsetMiner.
-func (Apriori) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
+// LargeItemsets implements ItemsetMiner. The budget is charged once per
+// level with the level's size, so a trip stops the levelwise growth at
+// the next pass boundary.
+func (Apriori) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []Itemset {
 	level := firstLevel(in, minCount)
 	var out []Itemset
 	for len(level) > 0 {
 		for _, n := range level {
 			out = append(out, Itemset{Items: n.items, Count: len(n.gids)})
+		}
+		if !bud.Charge(len(level)) {
+			break
 		}
 		level = nextLevel(level, minCount)
 	}

@@ -19,8 +19,9 @@ type tidEntry struct {
 	cands []int32 // indexes into the current level's candidate slice
 }
 
-// LargeItemsets implements ItemsetMiner.
-func (AprioriTid) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
+// LargeItemsets implements ItemsetMiner. The budget is charged per level
+// with the generated candidate count.
+func (AprioriTid) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []Itemset {
 	// Pass 1: count singletons, build L1 and the initial C̄1.
 	counts := make(map[Item]int)
 	for _, tx := range in.Groups {
@@ -61,6 +62,10 @@ func (AprioriTid) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 	}
 
 	out = append(out, level...) // L1
+	if !bud.Charge(len(level)) {
+		sortItemsets(out)
+		return out
+	}
 	for len(level) > 0 && len(cbar) > 0 {
 		// Candidate generation with the standard prune.
 		supp := make(map[string]int, len(level))
@@ -68,7 +73,7 @@ func (AprioriTid) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 			supp[key(s.Items)] = s.Count
 		}
 		cands := joinCandidates(level, supp)
-		if len(cands) == 0 {
+		if len(cands) == 0 || !bud.Charge(len(cands)) {
 			break
 		}
 		// For counting through C̄, each candidate must know which two
@@ -164,7 +169,7 @@ func (AprioriHybrid) Name() string { return "apriori-hybrid" }
 // at its largest) and runs whichever algorithm the switch rule picks
 // for the whole mining — the crossover the original's cost model
 // decides per pass.
-func (h AprioriHybrid) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
+func (h AprioriHybrid) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []Itemset {
 	threshold := h.SwitchBelow
 	if threshold <= 0 {
 		threshold = 1000
@@ -184,7 +189,7 @@ func (h AprioriHybrid) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 	// C2 candidates ~ large²/2: when that dwarfs the threshold the TID
 	// set would thrash; use horizontal counting instead.
 	if large*large/2 > threshold {
-		return Horizontal{}.LargeItemsets(in, minCount)
+		return Horizontal{}.LargeItemsets(in, minCount, bud)
 	}
-	return AprioriTid{}.LargeItemsets(in, minCount)
+	return AprioriTid{}.LargeItemsets(in, minCount, bud)
 }

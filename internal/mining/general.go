@@ -182,8 +182,12 @@ func MineGeneral(in *GeneralInput, opts Options) []Rule {
 	}
 	sort.Slice(bodyItems, func(i, j int) bool { return bodyItems[i] < bodyItems[j] })
 
+	bud := opts.Budget
 	queue := level
 	for len(queue) > 0 {
+		if !bud.Charge(1) {
+			break // budget tripped: stop the descent, keep rules so far
+		}
 		r := queue[0]
 		queue = queue[1:]
 		emit(r)

@@ -23,8 +23,9 @@ func (h Horizontal) Name() string {
 	return "apriori-horizontal"
 }
 
-// LargeItemsets implements ItemsetMiner.
-func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
+// LargeItemsets implements ItemsetMiner. The budget is charged at every
+// pass boundary with the pass's candidate count.
+func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []Itemset {
 	buckets := h.HashBuckets
 	if buckets <= 0 {
 		buckets = 1 << 16
@@ -60,6 +61,10 @@ func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 		out = append(out, Itemset{Items: []Item{it}, Count: counts[it]})
 		supp[key([]Item{it})] = counts[it]
 	}
+	if !bud.Charge(len(large)) {
+		sortItemsets(out)
+		return out
+	}
 
 	// Pass 2: pairs of large items (bucket-filtered when hashing).
 	largeSet := make(map[Item]bool, len(large))
@@ -90,6 +95,11 @@ func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 		}
 	}
 	sortItemsets(level)
+	if !bud.Charge(len(pairCounts)) {
+		out = append(out, level...)
+		sortItemsets(out)
+		return out
+	}
 
 	// Passes k ≥ 3: Apriori join over the previous level, subset prune,
 	// then one counting scan per level.
@@ -99,7 +109,7 @@ func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 			supp[key(s.Items)] = s.Count
 		}
 		cands := joinCandidates(level, supp)
-		if len(cands) == 0 {
+		if len(cands) == 0 || !bud.Charge(len(cands)) {
 			break
 		}
 		counts := make([]int, len(cands))

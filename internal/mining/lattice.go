@@ -164,12 +164,17 @@ func mineBidirectional(in *GeneralInput, opts Options, elem map[pairKey][]Ctx, b
 	}
 	emitSet(top)
 
+	bud := opts.Budget
 	for d := 3; ; d++ {
 		any := false
 		for m := 1; m < d; m++ {
 			n := d - m
 			if m < 1 || n < 1 {
 				continue
+			}
+			if bud.Stop() {
+				SortRules(rules)
+				return rules
 			}
 			if !opts.BodyCard.allows(m) || !opts.HeadCard.allows(n) {
 				continue
@@ -195,6 +200,10 @@ func mineBidirectional(in *GeneralInput, opts Options, elem map[pairKey][]Ctx, b
 			}
 			if len(set) == 0 {
 				continue
+			}
+			if !bud.Charge(len(set)) {
+				SortRules(rules)
+				return rules
 			}
 			sets[ruleSetKey{m, n}] = set
 			emitSet(set)

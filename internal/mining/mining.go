@@ -15,11 +15,16 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+
+	"minerule/internal/resource"
 )
 
 // Item is an encoded item identifier (a Bid or Hid minted by the
@@ -48,6 +53,78 @@ type Options struct {
 	// Lattice selects the general-core search strategy (see
 	// LatticeStrategy); the zero value is the canonical path.
 	Lattice LatticeStrategy
+	// Budget, when non-nil, bounds the mining: cancellation and the
+	// candidate ceiling are checked between levelwise passes and lattice
+	// nodes. Algorithms return their partial result when it trips; the
+	// caller reads the trip reason from Budget.Err.
+	Budget *Budget
+}
+
+// Budget carries cancellation and the candidate ceiling into the mining
+// algorithms. A nil *Budget never trips, so every method is nil-safe.
+// The state is shared by Partition's parallel phase-1 workers, so the
+// counters are atomic.
+type Budget struct {
+	ctx     context.Context
+	max     int64
+	used    atomic.Int64
+	stopped atomic.Bool
+	mu      sync.Mutex
+	err     error
+}
+
+// NewBudget builds a budget from a cancellation context and a candidate
+// ceiling (0 = unlimited). Both zero arguments yield a budget that never
+// trips.
+func NewBudget(ctx context.Context, maxCandidates int) *Budget {
+	return &Budget{ctx: ctx, max: int64(maxCandidates)}
+}
+
+// Charge accounts n generated candidates and polls the context. It
+// returns false once the budget has tripped; the algorithm should then
+// stop growing and return what it has.
+func (b *Budget) Charge(n int) bool {
+	if b == nil {
+		return true
+	}
+	if b.stopped.Load() {
+		return false
+	}
+	if used := b.used.Add(int64(n)); b.max > 0 && used > b.max {
+		b.trip(&resource.BudgetError{Resource: "candidates", Limit: int(b.max)})
+		return false
+	}
+	if b.ctx != nil {
+		if err := b.ctx.Err(); err != nil {
+			b.trip(resource.Canceled(err))
+			return false
+		}
+	}
+	return true
+}
+
+// Stop reports whether the budget has tripped; inner loops consult it to
+// wind down early without charging anything.
+func (b *Budget) Stop() bool { return b != nil && b.stopped.Load() }
+
+// Err returns the trip reason (a *resource.BudgetError or CancelError),
+// or nil while the budget holds.
+func (b *Budget) Err() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+func (b *Budget) trip(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+	b.stopped.Store(true)
 }
 
 // MinCount converts the relative support into the minimum number of
@@ -176,8 +253,10 @@ func key(items []Item) string {
 type ItemsetMiner interface {
 	// Name identifies the algorithm for directives and reporting.
 	Name() string
-	// LargeItemsets mines in; the result is sorted canonically.
-	LargeItemsets(in *SimpleInput, minCount int) []Itemset
+	// LargeItemsets mines in; the result is sorted canonically. A nil
+	// bud is unbounded; when it trips the partial result so far is
+	// returned and the trip reason is available from bud.Err.
+	LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []Itemset
 }
 
 // sortItemsets orders itemsets canonically (by size then lexicographic).

@@ -30,7 +30,7 @@ func BenchmarkLargeItemsets(b *testing.B) {
 	} {
 		b.Run(m.Name(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				m.LargeItemsets(in, 40)
+				m.LargeItemsets(in, 40, nil)
 			}
 		})
 	}
@@ -44,7 +44,7 @@ func BenchmarkDHPBuckets(b *testing.B) {
 		b.Run(fmt.Sprintf("buckets=%d", buckets), func(b *testing.B) {
 			m := Horizontal{Hashing: true, HashBuckets: buckets}
 			for i := 0; i < b.N; i++ {
-				m.LargeItemsets(in, 40)
+				m.LargeItemsets(in, 40, nil)
 			}
 		})
 	}
@@ -57,7 +57,7 @@ func BenchmarkPartitionCount(b *testing.B) {
 		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
 			m := Partition{Partitions: parts}
 			for i := 0; i < b.N; i++ {
-				m.LargeItemsets(in, 40)
+				m.LargeItemsets(in, 40, nil)
 			}
 		})
 	}
@@ -67,7 +67,7 @@ func BenchmarkPartitionCount(b *testing.B) {
 // itemsets.
 func BenchmarkRuleGeneration(b *testing.B) {
 	in := benchInput(2000, 120, 10, 2)
-	sets := Apriori{}.LargeItemsets(in, 20)
+	sets := Apriori{}.LargeItemsets(in, 20, nil)
 	opts := Options{MinSupport: 0.01, MinConfidence: 0.3,
 		BodyCard: Card{Min: 1}, HeadCard: Card{Min: 1, Max: 2}}
 	b.ResetTimer()

@@ -47,7 +47,7 @@ func uniqueSets(t *testing.T, name string, sets []Itemset) map[string]int {
 }
 
 func TestAprioriClassic(t *testing.T) {
-	sets := Apriori{}.LargeItemsets(classicInput(), 2)
+	sets := Apriori{}.LargeItemsets(classicInput(), 2, nil)
 	got := setCounts(sets)
 	want := map[string]int{
 		"1": 2, "2": 3, "3": 3, "5": 3,
@@ -85,9 +85,9 @@ func TestPoolAlgorithmsAgree(t *testing.T) {
 		Sampling{Fraction: 0.4, Seed: 42},
 	}
 	for _, minCount := range []int{2, 5, 12, 30} {
-		ref := uniqueSets(t, miners[0].Name(), miners[0].LargeItemsets(in, minCount))
+		ref := uniqueSets(t, miners[0].Name(), miners[0].LargeItemsets(in, minCount, nil))
 		for _, m := range miners[1:] {
-			got := uniqueSets(t, m.Name(), m.LargeItemsets(in, minCount))
+			got := uniqueSets(t, m.Name(), m.LargeItemsets(in, minCount, nil))
 			if !reflect.DeepEqual(got, ref) {
 				t.Errorf("minCount=%d: %s disagrees with apriori: %d vs %d sets",
 					minCount, m.Name(), len(got), len(ref))
@@ -112,17 +112,17 @@ func TestPoolAgreementProperty(t *testing.T) {
 		}
 		in := txInput(txs...)
 		minCount := 1 + rng.Intn(6)
-		ref := setCounts(Apriori{}.LargeItemsets(in, minCount))
-		if !reflect.DeepEqual(ref, setCounts((Partition{Partitions: 3}).LargeItemsets(in, minCount))) {
+		ref := setCounts(Apriori{}.LargeItemsets(in, minCount, nil))
+		if !reflect.DeepEqual(ref, setCounts((Partition{Partitions: 3}).LargeItemsets(in, minCount, nil))) {
 			return false
 		}
-		if !reflect.DeepEqual(ref, setCounts((Horizontal{Hashing: true, HashBuckets: 64}).LargeItemsets(in, minCount))) {
+		if !reflect.DeepEqual(ref, setCounts((Horizontal{Hashing: true, HashBuckets: 64}).LargeItemsets(in, minCount, nil))) {
 			return false
 		}
-		if !reflect.DeepEqual(ref, setCounts(AprioriTid{}.LargeItemsets(in, minCount))) {
+		if !reflect.DeepEqual(ref, setCounts(AprioriTid{}.LargeItemsets(in, minCount, nil))) {
 			return false
 		}
-		return reflect.DeepEqual(ref, setCounts((Sampling{Fraction: 0.5, Seed: seed + 1}).LargeItemsets(in, minCount)))
+		return reflect.DeepEqual(ref, setCounts((Sampling{Fraction: 0.5, Seed: seed + 1}).LargeItemsets(in, minCount, nil)))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -131,7 +131,7 @@ func TestPoolAgreementProperty(t *testing.T) {
 
 func TestGenerateRulesClassic(t *testing.T) {
 	in := classicInput()
-	sets := Apriori{}.LargeItemsets(in, 2)
+	sets := Apriori{}.LargeItemsets(in, 2, nil)
 	rules := GenerateRules(sets, Options{
 		MinSupport:    0.5,
 		MinConfidence: 0.9,
@@ -161,7 +161,7 @@ func TestGenerateRulesClassic(t *testing.T) {
 
 func TestCardinalityBounds(t *testing.T) {
 	in := classicInput()
-	sets := Apriori{}.LargeItemsets(in, 2)
+	sets := Apriori{}.LargeItemsets(in, 2, nil)
 	// Bodies of exactly 2, heads of exactly 1.
 	rules := GenerateRules(sets, Options{
 		MinSupport: 0.5, MinConfidence: 0,
@@ -501,8 +501,8 @@ func TestPartitionParallelAgrees(t *testing.T) {
 	}
 	in := txInput(txs...)
 	for _, minCount := range []int{2, 8, 20} {
-		seq := setCounts((Partition{Partitions: 6}).LargeItemsets(in, minCount))
-		par := setCounts((Partition{Partitions: 6, Parallel: true}).LargeItemsets(in, minCount))
+		seq := setCounts((Partition{Partitions: 6}).LargeItemsets(in, minCount, nil))
+		par := setCounts((Partition{Partitions: 6, Parallel: true}).LargeItemsets(in, minCount, nil))
 		if !reflect.DeepEqual(seq, par) {
 			t.Errorf("minCount=%d: parallel partition diverged", minCount)
 		}

@@ -21,8 +21,11 @@ type Partition struct {
 // Name implements ItemsetMiner.
 func (p Partition) Name() string { return "partition" }
 
-// LargeItemsets implements ItemsetMiner.
-func (p Partition) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
+// LargeItemsets implements ItemsetMiner. The budget is shared by the
+// phase-1 workers (its counters are atomic): once it trips, no further
+// partition is launched, already-running workers wind down at their next
+// pass boundary, and phase 2 is skipped.
+func (p Partition) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []Itemset {
 	nparts := p.Partitions
 	if nparts <= 0 {
 		nparts = 4
@@ -31,7 +34,7 @@ func (p Partition) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 		nparts = len(in.Groups)
 	}
 	if nparts <= 1 {
-		return Apriori{}.LargeItemsets(in, minCount)
+		return Apriori{}.LargeItemsets(in, minCount, bud)
 	}
 
 	// Phase 1: local large itemsets per partition. The local threshold
@@ -48,15 +51,21 @@ func (p Partition) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 		}
 		part := &SimpleInput{Groups: in.Groups[start:end], TotalGroups: end - start}
 		localMin := MinCount(float64(minCount)/float64(len(in.Groups)), end-start)
-		return Apriori{}.LargeItemsets(part, localMin)
+		return Apriori{}.LargeItemsets(part, localMin, bud)
 	}
 	if p.Parallel {
 		var wg sync.WaitGroup
 		var mu sync.Mutex
 		for start := 0; start < len(in.Groups); start += per {
+			if bud.Stop() {
+				break // budget tripped: launch no further workers
+			}
 			wg.Add(1)
 			go func(start int) {
 				defer wg.Done()
+				if bud.Stop() {
+					return
+				}
 				local := minePart(start)
 				mu.Lock()
 				for _, s := range local {
@@ -68,10 +77,16 @@ func (p Partition) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 		wg.Wait()
 	} else {
 		for start := 0; start < len(in.Groups); start += per {
+			if bud.Stop() {
+				break
+			}
 			for _, s := range minePart(start) {
 				candidates[key(s.Items)] = s.Items
 			}
 		}
+	}
+	if bud.Stop() {
+		return nil // phase 1 incomplete; phase-2 counting would be wrong
 	}
 
 	// Phase 2: one global counting pass over the candidate union.
@@ -79,8 +94,14 @@ func (p Partition) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 	for _, items := range candidates {
 		cands = append(cands, items)
 	}
+	if !bud.Charge(len(cands)) {
+		return nil
+	}
 	counts := make([]int, len(cands))
 	for _, tx := range in.Groups {
+		if bud.Stop() {
+			return nil
+		}
 		for ci, c := range cands {
 			if containsAll(tx, c) {
 				counts[ci]++

@@ -17,6 +17,9 @@ func GenerateRules(itemsets []Itemset, opts Options, totalGroups int) []Rule {
 	body := make([]Item, 0, 16)
 	head := make([]Item, 0, 16)
 	for _, s := range itemsets {
+		if opts.Budget.Stop() {
+			break
+		}
 		l := s.Items
 		if len(l) < 2 || s.Count < minCount {
 			continue
@@ -77,9 +80,10 @@ func maxBound(c Card) int {
 }
 
 // MineSimple runs one pool algorithm end to end: large itemsets, then
-// rule generation.
+// rule generation. When opts.Budget trips mid-run the partial rules are
+// returned; the caller must consult opts.Budget.Err.
 func MineSimple(m ItemsetMiner, in *SimpleInput, opts Options) []Rule {
 	minCount := MinCount(opts.MinSupport, in.TotalGroups)
-	sets := m.LargeItemsets(in, minCount)
+	sets := m.LargeItemsets(in, minCount, opts.Budget)
 	return GenerateRules(sets, opts, in.TotalGroups)
 }

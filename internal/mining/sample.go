@@ -22,8 +22,9 @@ type Sampling struct {
 // Name implements ItemsetMiner.
 func (s Sampling) Name() string { return "sampling" }
 
-// LargeItemsets implements ItemsetMiner.
-func (s Sampling) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
+// LargeItemsets implements ItemsetMiner. The budget flows into the
+// delegated Apriori runs and is charged for the verification candidates.
+func (s Sampling) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []Itemset {
 	frac := s.Fraction
 	if frac <= 0 || frac > 1 {
 		frac = 0.25
@@ -38,7 +39,7 @@ func (s Sampling) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 	}
 	sampleSize := int(frac * float64(len(in.Groups)))
 	if sampleSize < 1 {
-		return Apriori{}.LargeItemsets(in, minCount)
+		return Apriori{}.LargeItemsets(in, minCount, bud)
 	}
 
 	rng := rand.New(rand.NewSource(seed))
@@ -51,7 +52,7 @@ func (s Sampling) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 	// Mine the sample at the lowered threshold.
 	globalSupp := float64(minCount) / float64(len(in.Groups))
 	localMin := MinCount(lowered*globalSupp, sampleSize)
-	sampleLarge := Apriori{}.LargeItemsets(sample, localMin)
+	sampleLarge := Apriori{}.LargeItemsets(sample, localMin, bud)
 
 	// Candidates: the sample-large sets plus their negative border (the
 	// minimal sets not in the collection, obtained by one Apriori join
@@ -72,6 +73,9 @@ func (s Sampling) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 		all = append(all, items)
 		inBorder = append(inBorder, true)
 	}
+	if !bud.Charge(len(all)) {
+		return nil
+	}
 
 	// Full-data verification pass.
 	counts := make([]int, len(all))
@@ -87,7 +91,7 @@ func (s Sampling) LargeItemsets(in *SimpleInput, minCount int) []Itemset {
 			// A border set is globally large: the sample was unlucky.
 			// Fall back to the exact algorithm for a guaranteed-complete
 			// answer.
-			return Apriori{}.LargeItemsets(in, minCount)
+			return Apriori{}.LargeItemsets(in, minCount, bud)
 		}
 	}
 	var out []Itemset

@@ -1,0 +1,119 @@
+// Package resource defines the typed failure taxonomy and the resource
+// limits of the resilient execution layer. The paper's kernel lives on
+// top of a relational server (Figure 3); a runaway or failing MINE RULE
+// evaluation must surface as a typed error the embedding application can
+// classify — never as a crash or an unbounded allocation.
+//
+// The taxonomy:
+//
+//   - ErrCanceled — the run was stopped by its context (user cancel or
+//     deadline). errors.Is matches both ErrCanceled and the underlying
+//     context error (context.Canceled / context.DeadlineExceeded).
+//   - ErrBudgetExceeded — a Limits ceiling tripped; the concrete
+//     *BudgetError names the resource and the limit.
+//   - *InternalError — a bug: a panic recovered at a kernel or engine
+//     entry boundary, with the stack preserved for the report.
+package resource
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Limits bounds one run. The zero value means unlimited.
+type Limits struct {
+	// MaxRows caps the rows materialized by any single SQL statement
+	// across its operators (scans, joins, grouping, projection).
+	MaxRows int
+	// MaxCandidates caps the candidate itemsets / lattice nodes the
+	// mining core may generate.
+	MaxCandidates int
+	// MaxRuntime is the wall-clock ceiling for a whole run.
+	MaxRuntime time.Duration
+}
+
+// ErrCanceled is the sentinel matched by every cancellation error.
+var ErrCanceled = errors.New("canceled")
+
+// ErrBudgetExceeded is the sentinel matched by every budget error.
+var ErrBudgetExceeded = errors.New("resource budget exceeded")
+
+// CancelError wraps the context error that stopped a run. errors.Is
+// matches ErrCanceled (via Is) and the context cause (via Unwrap).
+type CancelError struct {
+	Cause error
+}
+
+// Canceled wraps a context error into a CancelError. A nil cause
+// defaults to context.Canceled.
+func Canceled(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return &CancelError{Cause: cause}
+}
+
+// Check returns a CancelError when ctx is already done, nil otherwise.
+// A nil ctx never trips.
+func Check(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return Canceled(err)
+	}
+	return nil
+}
+
+func (e *CancelError) Error() string { return "canceled: " + e.Cause.Error() }
+
+// Unwrap exposes the context cause.
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrCanceled sentinel.
+func (e *CancelError) Is(target error) bool { return target == ErrCanceled }
+
+// BudgetError reports which Limits ceiling tripped.
+type BudgetError struct {
+	// Resource names the exhausted budget ("rows", "candidates").
+	Resource string
+	// Limit is the configured ceiling.
+	Limit int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("%s budget exceeded (limit %d)", e.Resource, e.Limit)
+}
+
+// Is matches the ErrBudgetExceeded sentinel.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// InternalError is a recovered panic: an engine or kernel bug surfaced
+// as an error instead of a crash, with the stack preserved.
+type InternalError struct {
+	// Op is the boundary that recovered ("exec", "core").
+	Op string
+	// Recovered is the panic value.
+	Recovered interface{}
+	// Stack is the goroutine stack at recovery time.
+	Stack []byte
+}
+
+// NewInternalError builds an InternalError from a recovered panic value.
+func NewInternalError(op string, recovered interface{}, stack []byte) *InternalError {
+	return &InternalError{Op: op, Recovered: recovered, Stack: stack}
+}
+
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("%s: internal error: %v", e.Op, e.Recovered)
+}
+
+// Unwrap exposes a panic value that was itself an error.
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.Recovered.(error); ok {
+		return err
+	}
+	return nil
+}

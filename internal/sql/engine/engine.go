@@ -6,12 +6,14 @@
 package engine
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 
+	"minerule/internal/resource"
 	"minerule/internal/sql/exec"
 	"minerule/internal/sql/parse"
 	"minerule/internal/sql/schema"
@@ -23,6 +25,10 @@ import (
 type Database struct {
 	cat *storage.Catalog
 	rt  *exec.Runtime
+	// hook, when set, runs before every statement with its SQL text;
+	// returning an error aborts the statement. Test-only fault injection
+	// — see internal/fault.
+	hook func(sql string) error
 }
 
 // New returns an empty database.
@@ -35,13 +41,37 @@ func New() *Database {
 // translator for semantic checks).
 func (db *Database) Catalog() *storage.Catalog { return db.cat }
 
+// SetLimits bounds subsequent statement execution (rows materialized per
+// statement); the zero Limits removes all bounds.
+func (db *Database) SetLimits(l resource.Limits) { db.rt.Limits = l }
+
+// Limits returns the currently configured execution bounds.
+func (db *Database) Limits() resource.Limits { return db.rt.Limits }
+
+// SetExecHook installs (or, with nil, removes) a pre-statement hook used
+// by fault-injection tests; the hook receives each statement's SQL text
+// before execution and may abort it by returning an error.
+func (db *Database) SetExecHook(hook func(sql string) error) { db.hook = hook }
+
 // Exec parses and executes one SQL statement.
 func (db *Database) Exec(sql string) (*exec.Result, error) {
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext parses and executes one SQL statement under a cancellation
+// context. Execution is bounded by the database Limits and guarded by
+// the executor's panic-containment boundary.
+func (db *Database) ExecContext(ctx context.Context, sql string) (*exec.Result, error) {
 	st, err := parse.Parse(sql)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
 	}
-	res, err := db.rt.Exec(st)
+	if db.hook != nil {
+		if err := db.hook(sql); err != nil {
+			return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
+		}
+	}
+	res, err := db.rt.ExecContext(ctx, st)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
 	}
@@ -51,12 +81,23 @@ func (db *Database) Exec(sql string) (*exec.Result, error) {
 // ExecScript executes a semicolon-separated sequence of statements,
 // stopping at the first error.
 func (db *Database) ExecScript(sql string) error {
+	return db.ExecScriptContext(context.Background(), sql)
+}
+
+// ExecScriptContext is ExecScript under a cancellation context, checked
+// before (and during) every statement.
+func (db *Database) ExecScriptContext(ctx context.Context, sql string) error {
 	sts, err := parse.ParseScript(sql)
 	if err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}
 	for _, st := range sts {
-		if _, err := db.rt.Exec(st); err != nil {
+		if db.hook != nil {
+			if err := db.hook(st.SQL()); err != nil {
+				return fmt.Errorf("engine: %w\n  in: %s", err, compact(st.SQL()))
+			}
+		}
+		if _, err := db.rt.ExecContext(ctx, st); err != nil {
 			return fmt.Errorf("engine: %w\n  in: %s", err, compact(st.SQL()))
 		}
 	}
@@ -65,7 +106,12 @@ func (db *Database) ExecScript(sql string) error {
 
 // Query executes a SELECT and returns its result.
 func (db *Database) Query(sql string) (*exec.Result, error) {
-	res, err := db.Exec(sql)
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext executes a SELECT under a cancellation context.
+func (db *Database) QueryContext(ctx context.Context, sql string) (*exec.Result, error) {
+	res, err := db.ExecContext(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +145,12 @@ func (db *Database) ExplainSQL(sql string) (string, error) {
 // QueryInt runs a single-row single-column query and returns the integer
 // result (the idiom behind the paper's "SELECT COUNT(*) INTO :totg").
 func (db *Database) QueryInt(sql string) (int64, error) {
-	res, err := db.Query(sql)
+	return db.QueryIntContext(context.Background(), sql)
+}
+
+// QueryIntContext is QueryInt under a cancellation context.
+func (db *Database) QueryIntContext(ctx context.Context, sql string) (int64, error) {
+	res, err := db.QueryContext(ctx, sql)
 	if err != nil {
 		return 0, err
 	}

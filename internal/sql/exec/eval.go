@@ -616,6 +616,9 @@ func (b *binding) compileScalarFunc(x *parse.FuncCall) (evalFunc, error) {
 			if vs[0].IsNull() {
 				return value.Null, nil
 			}
+			if vs[0].Type() != value.TypeString {
+				return value.Null, fmt.Errorf("exec: %s on %s", x.Name, vs[0].Type())
+			}
 			s := vs[0].Str()
 			if upper {
 				return value.NewString(strings.ToUpper(s)), nil
@@ -633,6 +636,9 @@ func (b *binding) compileScalarFunc(x *parse.FuncCall) (evalFunc, error) {
 			}
 			if vs[0].IsNull() {
 				return value.Null, nil
+			}
+			if vs[0].Type() != value.TypeString {
+				return value.Null, fmt.Errorf("exec: LENGTH on %s", vs[0].Type())
 			}
 			return value.NewInt(int64(len(vs[0].Str()))), nil
 		}, nil
@@ -683,6 +689,9 @@ func (b *binding) compileScalarFunc(x *parse.FuncCall) (evalFunc, error) {
 			}
 			if vs[0].IsNull() {
 				return value.Null, nil
+			}
+			if vs[0].Type() != value.TypeString {
+				return value.Null, fmt.Errorf("exec: TRIM on %s", vs[0].Type())
 			}
 			return value.NewString(strings.TrimSpace(vs[0].Str())), nil
 		}, nil

@@ -1,8 +1,11 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 
+	"minerule/internal/resource"
 	"minerule/internal/sql/parse"
 	"minerule/internal/sql/schema"
 	"minerule/internal/sql/storage"
@@ -16,13 +19,78 @@ type Runtime struct {
 	// (scan source, join strategy, index use, …) — the engine's
 	// EXPLAIN ANALYZE facility.
 	Trace func(string)
+	// Limits bounds the rows any single statement may materialize;
+	// exceeding it fails with a *resource.BudgetError.
+	Limits resource.Limits
 	// env is the enclosing-subquery environment of the query currently
 	// executing (nil at top level); managed by execSelectEnv.
 	env *outerRef
+
+	// ctx is the statement's cancellation context; rows and ops track
+	// the materialized-row budget and the down-sampled context polling.
+	ctx  context.Context
+	rows int
+	ops  int
 }
 
 // NewRuntime returns a Runtime over the given catalog.
 func NewRuntime(cat *storage.Catalog) *Runtime { return &Runtime{Cat: cat} }
+
+// pollEvery is how many charged operations pass between context polls;
+// checking ctx.Err on every row would dominate tight scan loops.
+const pollEvery = 1024
+
+// charge accounts n materialized rows against the statement budget and
+// polls the context every pollEvery operations.
+func (rt *Runtime) charge(n int) error {
+	rt.rows += n
+	if rt.Limits.MaxRows > 0 && rt.rows > rt.Limits.MaxRows {
+		return &resource.BudgetError{Resource: "rows", Limit: rt.Limits.MaxRows}
+	}
+	rt.ops += n
+	if rt.ops >= pollEvery {
+		rt.ops = 0
+		return resource.Check(rt.ctx)
+	}
+	return nil
+}
+
+// poll checks the statement context (down-sampled) without charging the
+// row budget; used in loops that compare rather than materialize.
+func (rt *Runtime) poll() error {
+	rt.ops++
+	if rt.ops >= pollEvery {
+		rt.ops = 0
+		return resource.Check(rt.ctx)
+	}
+	return nil
+}
+
+// ExecContext runs one parsed statement under a cancellation context and
+// the runtime's Limits, with a panic-containment boundary: a bug below
+// this point surfaces as a *resource.InternalError (or, for mistyped
+// value accessors, the *value.TypeError itself) instead of crashing the
+// process.
+func (rt *Runtime) ExecContext(ctx context.Context, st parse.Statement) (res *Result, err error) {
+	prev := rt.ctx
+	rt.ctx = ctx
+	rt.rows, rt.ops = 0, 0
+	defer func() {
+		rt.ctx = prev
+		if p := recover(); p != nil {
+			res = nil
+			if te, ok := p.(*value.TypeError); ok {
+				err = fmt.Errorf("exec: %w", te)
+				return
+			}
+			err = resource.NewInternalError("exec", p, debug.Stack())
+		}
+	}()
+	if cerr := resource.Check(ctx); cerr != nil {
+		return nil, cerr
+	}
+	return rt.Exec(st)
+}
 
 // tracef emits one trace line when tracing is enabled.
 func (rt *Runtime) tracef(format string, args ...interface{}) {
@@ -163,6 +231,9 @@ func (rt *Runtime) execUpdate(x *parse.Update) (*Result, error) {
 	out := make([]schema.Row, 0, len(old))
 	changed := 0
 	for _, row := range old {
+		if err := rt.poll(); err != nil {
+			return nil, err
+		}
 		match := true
 		if condFn != nil {
 			v, err := condFn(row)
@@ -291,6 +362,9 @@ func (rt *Runtime) execInsert(x *parse.Insert) (*Result, error) {
 
 	out := make([]schema.Row, 0, len(srcRows))
 	for _, src := range srcRows {
+		if err := rt.charge(1); err != nil {
+			return nil, err
+		}
 		row := make(schema.Row, ts.Len())
 		for i, ord := range target {
 			v, err := coerceForColumn(src[i], ts.Col(ord))
@@ -339,6 +413,9 @@ func (rt *Runtime) execDelete(x *parse.Delete) (*Result, error) {
 	keep := make([]schema.Row, 0, len(old))
 	removed := 0
 	for _, row := range old {
+		if err := rt.poll(); err != nil {
+			return nil, err
+		}
 		v, err := f(row)
 		if err != nil {
 			return nil, err

@@ -438,11 +438,17 @@ func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*rel
 						continue
 					}
 				}
+				if err := rt.charge(1); err != nil {
+					return nil, err
+				}
 				matched = true
 				out = append(out, append(append(make(schema.Row, 0, len(combined)), l...), r...))
 			}
 		}
 		if !matched && j.Kind == parse.LeftJoin {
+			if err := rt.charge(1); err != nil {
+				return nil, err
+			}
 			out = append(out, append(append(make(schema.Row, 0, len(combined)), l...), nullRight...))
 		}
 	}
@@ -465,6 +471,9 @@ func (rt *Runtime) scanBase(tr parse.TableRef) (*relation, error) {
 	default:
 		if t, ok := rt.Cat.Table(tr.Name); ok {
 			rel = &relation{schema: t.Schema(), rows: t.Snapshot()}
+			if err := rt.poll(); err != nil {
+				return nil, err
+			}
 			rt.tracef("scan table %s: %d row(s)", tr.Name, len(rel.rows))
 			if qual == "" {
 				qual = tr.Name
@@ -543,6 +552,9 @@ func (rt *Runtime) filter(rel *relation, cond parse.Expr) (*relation, error) {
 	}
 	out := make([]schema.Row, 0, len(rel.rows))
 	for _, row := range rel.rows {
+		if err := rt.poll(); err != nil {
+			return nil, err
+		}
 		v, err := f(row)
 		if err != nil {
 			return nil, err
@@ -624,6 +636,9 @@ func (rt *Runtime) join(cur, right *relation, conjuncts []parse.Expr, used []boo
 				fmt.Fprintf(&kb, "%d:%s", len(kk), kk)
 			}
 			for _, r := range build[kb.String()] {
+				if err := rt.charge(1); err != nil {
+					return nil, err
+				}
 				row := make(schema.Row, 0, len(l)+len(r))
 				row = append(row, l...)
 				row = append(row, r...)
@@ -634,6 +649,9 @@ func (rt *Runtime) join(cur, right *relation, conjuncts []parse.Expr, used []boo
 		rt.tracef("cartesian product: %d x %d row(s)", len(cur.rows), len(right.rows))
 		for _, l := range cur.rows {
 			for _, r := range right.rows {
+				if err := rt.charge(1); err != nil {
+					return nil, err
+				}
 				row := make(schema.Row, 0, len(l)+len(r))
 				row = append(row, l...)
 				row = append(row, r...)
@@ -717,6 +735,9 @@ func (rt *Runtime) project(s *parse.Select, in *relation) (*relation, error) {
 	}
 	outRows := make([]schema.Row, 0, len(in.rows))
 	for _, row := range in.rows {
+		if err := rt.charge(1); err != nil {
+			return nil, err
+		}
 		out := make(schema.Row, len(fns))
 		for i, f := range fns {
 			v, err := f(row)
@@ -807,6 +828,9 @@ func (rt *Runtime) groupProject(s *parse.Select, in *relation) (*relation, error
 	groups := make(map[string]*group)
 	var order []string
 	for _, row := range in.rows {
+		if err := rt.charge(1); err != nil {
+			return nil, err
+		}
 		kr := make(schema.Row, len(keyFns))
 		for i, f := range keyFns {
 			v, err := f(row)
@@ -1040,6 +1064,10 @@ func (rt *Runtime) orderBy(rel *relation, order []parse.OrderItem) error {
 	var sortErr error
 	sort.SliceStable(rel.rows, func(i, j int) bool {
 		if sortErr != nil {
+			return false
+		}
+		if err := rt.poll(); err != nil {
+			sortErr = err
 			return false
 		}
 		for k, f := range fns {

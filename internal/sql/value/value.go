@@ -96,26 +96,39 @@ func (v Value) Type() Type { return v.typ }
 // IsNull reports whether the value is SQL NULL.
 func (v Value) IsNull() bool { return v.typ == TypeNull }
 
-// Bool returns the boolean content. It panics unless the value is a
-// non-null BOOLEAN.
+// TypeError reports an accessor called on a value of the wrong type.
+// Accessors panic with a *TypeError; executor entry points recover it
+// into an ordinary typed error, so a mistyped expression surfaces as an
+// error instead of crashing the process.
+type TypeError struct {
+	// Op is the accessor name ("Bool", "Int", "Float", "Str", "Days").
+	Op string
+	// Type is the value's actual type.
+	Type Type
+}
+
+func (e *TypeError) Error() string { return fmt.Sprintf("value: %s() on %s", e.Op, e.Type) }
+
+// Bool returns the boolean content. It panics with a *TypeError unless
+// the value is a non-null BOOLEAN.
 func (v Value) Bool() bool {
 	if v.typ != TypeBool {
-		panic(fmt.Sprintf("value: Bool() on %s", v.typ))
+		panic(&TypeError{Op: "Bool", Type: v.typ})
 	}
 	return v.i != 0
 }
 
-// Int returns the integer content. It panics unless the value is a
-// non-null INTEGER.
+// Int returns the integer content. It panics with a *TypeError unless
+// the value is a non-null INTEGER.
 func (v Value) Int() int64 {
 	if v.typ != TypeInt {
-		panic(fmt.Sprintf("value: Int() on %s", v.typ))
+		panic(&TypeError{Op: "Int", Type: v.typ})
 	}
 	return v.i
 }
 
 // Float returns the numeric content widened to float64. It accepts both
-// INTEGER and FLOAT values and panics otherwise.
+// INTEGER and FLOAT values and panics with a *TypeError otherwise.
 func (v Value) Float() float64 {
 	switch v.typ {
 	case TypeFloat:
@@ -123,24 +136,24 @@ func (v Value) Float() float64 {
 	case TypeInt:
 		return float64(v.i)
 	default:
-		panic(fmt.Sprintf("value: Float() on %s", v.typ))
+		panic(&TypeError{Op: "Float", Type: v.typ})
 	}
 }
 
-// Str returns the string content. It panics unless the value is a
-// non-null VARCHAR.
+// Str returns the string content. It panics with a *TypeError unless
+// the value is a non-null VARCHAR.
 func (v Value) Str() string {
 	if v.typ != TypeString {
-		panic(fmt.Sprintf("value: Str() on %s", v.typ))
+		panic(&TypeError{Op: "Str", Type: v.typ})
 	}
 	return v.s
 }
 
 // Days returns the DATE content as days since the Unix epoch. It panics
-// unless the value is a non-null DATE.
+// with a *TypeError unless the value is a non-null DATE.
 func (v Value) Days() int64 {
 	if v.typ != TypeDate {
-		panic(fmt.Sprintf("value: Days() on %s", v.typ))
+		panic(&TypeError{Op: "Days", Type: v.typ})
 	}
 	return v.i
 }

@@ -27,14 +27,41 @@
 package minerule
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
 	"time"
 
 	"minerule/internal/core"
+	"minerule/internal/resource"
 	"minerule/internal/sql/engine"
 )
+
+// Limits bounds the resources one Mine, Exec or Query call may consume:
+// MaxRows caps the rows any one SQL statement materializes, MaxCandidates
+// caps the mining candidate count, and MaxRuntime deadline-bounds a Mine
+// call. The zero value is unbounded.
+type Limits = resource.Limits
+
+// Error taxonomy. A failed call wraps exactly one of these sentinels (or
+// is an *InternalError), so callers can dispatch with errors.Is:
+//
+//   - ErrCanceled — the context was canceled or a deadline (including
+//     Limits.MaxRuntime) expired;
+//   - ErrBudgetExceeded — a Limits bound tripped (errors.As to
+//     *resource.BudgetError tells which);
+//   - *InternalError — a panic inside the kernel was contained at the
+//     recover boundary and converted to an error.
+var (
+	ErrCanceled       = resource.ErrCanceled
+	ErrBudgetExceeded = resource.ErrBudgetExceeded
+)
+
+// InternalError is a contained kernel panic: Op names the boundary that
+// recovered it, Recovered holds the panic value and Stack the goroutine
+// stack at recovery.
+type InternalError = resource.InternalError
 
 // System is one embedded database with the mining kernel attached.
 // It is not safe for concurrent use by multiple goroutines.
@@ -49,9 +76,21 @@ func Open() *System { return &System{db: engine.New()} }
 // binaries and benchmarks); it is internal machinery, not API surface.
 func (s *System) DB() *engine.Database { return s.db }
 
+// SetLimits bounds every subsequent SQL statement the system executes
+// (including the kernel's own steps, unless a Mine call carries its own
+// WithLimits). The zero Limits removes all bounds.
+func (s *System) SetLimits(l Limits) { s.db.SetLimits(l) }
+
 // Exec runs one SQL statement (DDL, DML or query, discarding rows).
 func (s *System) Exec(sql string) error {
-	_, err := s.db.Exec(sql)
+	return s.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec under a cancellation context: execution aborts at
+// the next operator row batch once ctx is done, failing with an error
+// matching ErrCanceled.
+func (s *System) ExecContext(ctx context.Context, sql string) error {
+	_, err := s.db.ExecContext(ctx, sql)
 	return err
 }
 
@@ -67,7 +106,12 @@ type Table struct {
 // Query runs a SELECT and returns its rows as strings (NULL renders as
 // "NULL").
 func (s *System) Query(sql string) (*Table, error) {
-	res, err := s.db.Query(sql)
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a cancellation context.
+func (s *System) QueryContext(ctx context.Context, sql string) (*Table, error) {
+	res, err := s.db.QueryContext(ctx, sql)
 	if err != nil {
 		return nil, err
 	}
@@ -158,6 +202,13 @@ func WithReplaceOutput() Option {
 // WithReuseEncoded relies on.
 func WithKeepEncoded() Option {
 	return func(o *core.Options) { o.KeepEncoded = true }
+}
+
+// WithLimits bounds one Mine call (see Limits). A tripped bound fails
+// the run with an error matching ErrBudgetExceeded or ErrCanceled, and
+// the run's working and output tables are rolled back.
+func WithLimits(l Limits) Option {
+	return func(o *core.Options) { o.Limits = l }
 }
 
 // WithReuseEncoded skips the preprocessing phase when a previous
@@ -275,11 +326,20 @@ func (s *System) Explain(statement string) (*Explanation, error) {
 // Mine evaluates a MINE RULE statement. The output tables are stored in
 // the system's database and the decoded rules returned.
 func (s *System) Mine(statement string, opts ...Option) (*MiningResult, error) {
+	return s.MineContext(context.Background(), statement, opts...)
+}
+
+// MineContext is Mine under a cancellation context: the deadline or
+// cancellation is observed between kernel phases, between preprocessing
+// Q-steps, inside SQL execution and between mining passes. A canceled
+// run fails with an error matching ErrCanceled and rolls back its
+// working and output tables, leaving the catalog as it was before.
+func (s *System) MineContext(ctx context.Context, statement string, opts ...Option) (*MiningResult, error) {
 	var co core.Options
 	for _, o := range opts {
 		o(&co)
 	}
-	res, err := core.Mine(s.db, statement, co)
+	res, err := core.MineContext(ctx, s.db, statement, co)
 	if err != nil {
 		return nil, err
 	}

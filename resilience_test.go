@@ -1,0 +1,180 @@
+package minerule_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"minerule"
+	"minerule/internal/sql/value"
+)
+
+const simpleMine = `
+MINE RULE ConcAssoc AS
+SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+FROM Purchase
+GROUP BY tr
+EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.8`
+
+// TestConcurrentQueryAndMine runs independent Systems in parallel —
+// queries against one, mining against the other — under the race
+// detector (the CI satellite runs go test -race). Each System is
+// single-user, but separate Systems must never share mutable state.
+func TestConcurrentQueryAndMine(t *testing.T) {
+	querySystems := make([]*minerule.System, 4)
+	for i := range querySystems {
+		querySystems[i] = newSystem(t)
+	}
+	sysM := newSystem(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func(sysQ *minerule.System) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := sysQ.QueryInt("SELECT COUNT(*) FROM Purchase"); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(querySystems[w])
+		go func(w int) {
+			defer wg.Done()
+			sys := minerule.Open()
+			if err := sys.ExecScript(`
+				CREATE TABLE Purchase (tr INTEGER, cust VARCHAR, item VARCHAR, dt DATE, price FLOAT, qty INTEGER);
+				INSERT INTO Purchase VALUES
+					(1, 'c1', 'a', DATE '1995-12-17', 10, 1),
+					(1, 'c1', 'b', DATE '1995-12-17', 10, 1),
+					(2, 'c2', 'a', DATE '1995-12-18', 10, 1),
+					(2, 'c2', 'b', DATE '1995-12-18', 10, 1);
+			`); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := sys.Mine(simpleMine); err != nil {
+				errs <- err
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := sysM.Mine(simpleMine, minerule.WithAlgorithm(minerule.Partition)); err != nil {
+			errs <- err
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestNoPanicFromSQLTypeMismatch drives value accessor mismatches
+// through the executor: scalar functions applied to the wrong type must
+// come back as errors, never as panics escaping Exec.
+func TestNoPanicFromSQLTypeMismatch(t *testing.T) {
+	sys := newSystem(t)
+	for _, q := range []string{
+		"SELECT UPPER(tr) FROM Purchase",
+		"SELECT LOWER(price) FROM Purchase",
+		"SELECT LENGTH(dt) FROM Purchase",
+		"SELECT TRIM(qty) FROM Purchase",
+		"SELECT SUBSTR(tr, 1, 2) FROM Purchase",
+		"SELECT ABS(item) FROM Purchase",
+		"SELECT MOD(item, 2) FROM Purchase",
+		"SELECT item FROM Purchase WHERE item LIKE 5",
+	} {
+		if _, err := sys.Query(q); err == nil {
+			t.Errorf("%s: expected a type error", q)
+		}
+	}
+}
+
+// TestAccessorPanicIsTyped pins the contract the executor's recover
+// boundary relies on: a mismatched accessor panics with *value.TypeError.
+func TestAccessorPanicIsTyped(t *testing.T) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("expected a panic")
+		}
+		te, ok := p.(*value.TypeError)
+		if !ok {
+			t.Fatalf("panic value is %T, want *value.TypeError", p)
+		}
+		if te.Op != "Int" {
+			t.Errorf("TypeError.Op = %q, want Int", te.Op)
+		}
+	}()
+	_ = value.NewString("x").Int()
+}
+
+// TestPublicCancellation exercises the exported context API and error
+// taxonomy end to end.
+func TestPublicCancellation(t *testing.T) {
+	sys := newSystem(t)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	if _, err := sys.MineContext(ctx, simpleMine); !errors.Is(err, minerule.ErrCanceled) {
+		t.Fatalf("MineContext error = %v, want ErrCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("expired deadline surfaced after %v, want <100ms", elapsed)
+	}
+	if err := sys.ExecContext(ctx, "SELECT * FROM Purchase"); !errors.Is(err, minerule.ErrCanceled) {
+		t.Fatalf("ExecContext error = %v, want ErrCanceled", err)
+	}
+	if _, err := sys.QueryContext(ctx, "SELECT * FROM Purchase"); !errors.Is(err, minerule.ErrCanceled) {
+		t.Fatalf("QueryContext error = %v, want ErrCanceled", err)
+	}
+	// The canceled attempts must not have left partial outputs behind.
+	if _, err := sys.Query("SELECT * FROM ConcAssoc"); err == nil {
+		t.Error("output table exists after canceled mine")
+	}
+	// And the system still works afterwards.
+	if _, err := sys.Mine(simpleMine); err != nil {
+		t.Fatalf("mine after cancellation: %v", err)
+	}
+}
+
+// TestPublicLimits exercises WithLimits and the budget taxonomy through
+// the public API.
+func TestPublicLimits(t *testing.T) {
+	sys := newSystem(t)
+	_, err := sys.Mine(simpleMine, minerule.WithLimits(minerule.Limits{MaxCandidates: 1}))
+	if !errors.Is(err, minerule.ErrBudgetExceeded) {
+		t.Fatalf("Mine error = %v, want ErrBudgetExceeded", err)
+	}
+	_, err = sys.Mine(simpleMine, minerule.WithLimits(minerule.Limits{MaxRows: 1}))
+	if !errors.Is(err, minerule.ErrBudgetExceeded) {
+		t.Fatalf("Mine error = %v, want ErrBudgetExceeded", err)
+	}
+	// System-wide statement limits, removable again.
+	sys.SetLimits(minerule.Limits{MaxRows: 2})
+	if _, err := sys.Query("SELECT * FROM Purchase"); !errors.Is(err, minerule.ErrBudgetExceeded) {
+		t.Fatalf("Query under MaxRows=2 = %v, want ErrBudgetExceeded", err)
+	}
+	sys.SetLimits(minerule.Limits{})
+	if _, err := sys.Query("SELECT * FROM Purchase"); err != nil {
+		t.Fatalf("Query after limits removed: %v", err)
+	}
+	// After the failed budget runs the statement still works.
+	if res, err := sys.Mine(simpleMine); err != nil || res.RuleCount == 0 {
+		t.Fatalf("mine after budget failures: res=%v err=%v", res, err)
+	}
+}
+
+// TestInternalErrorString sanity-checks the re-exported error type.
+func TestInternalErrorString(t *testing.T) {
+	ie := &minerule.InternalError{Op: "core", Recovered: "boom"}
+	if !strings.Contains(ie.Error(), "internal error") || !strings.Contains(ie.Error(), "boom") {
+		t.Errorf("InternalError.Error() = %q", ie.Error())
+	}
+}
