@@ -35,6 +35,7 @@ func runMine(b *testing.B, db *engine.Database, stmt string, algo core.Algorithm
 // BenchmarkE1PaperExample runs the paper's §2 statement end to end on
 // the Figure 1 table (reproducing Figure 2.b each iteration).
 func BenchmarkE1PaperExample(b *testing.B) {
+	b.ReportAllocs()
 	db := mustDB(b, bench.PaperDB)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -48,8 +49,10 @@ func BenchmarkE1PaperExample(b *testing.B) {
 // BenchmarkE2PhaseSplit measures the whole pipeline as group count
 // grows (Figure 3.a's process flow).
 func BenchmarkE2PhaseSplit(b *testing.B) {
+	b.ReportAllocs()
 	for _, groups := range []int{500, 2000} {
 		b.Run(fmt.Sprintf("groups=%d", groups), func(b *testing.B) {
+			b.ReportAllocs()
 			db := mustDB(b, func() (*engine.Database, error) { return bench.BasketDB(groups, 10, 4, 500, 42) })
 			stmt := bench.BasketStatement("E2", 0.02, 0.2)
 			b.ResetTimer()
@@ -64,6 +67,7 @@ func BenchmarkE2PhaseSplit(b *testing.B) {
 // Figure 3.b on identical semantics (an always-true mining condition
 // forces the general path).
 func BenchmarkE3SimpleVsGeneral(b *testing.B) {
+	b.ReportAllocs()
 	db := mustDB(b, func() (*engine.Database, error) { return bench.PurchaseDB(200, 3, 5, 80, 7) })
 	simple := `MINE RULE E3S AS
 		SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
@@ -75,11 +79,13 @@ func BenchmarkE3SimpleVsGeneral(b *testing.B) {
 		FROM Purchase GROUP BY cust
 		EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.3`
 	b.Run("simple", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runMine(b, db, simple, core.AlgoApriori)
 		}
 	})
 	b.Run("general", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			runMine(b, db, general, "")
 		}
@@ -89,13 +95,15 @@ func BenchmarkE3SimpleVsGeneral(b *testing.B) {
 // BenchmarkE4AlgorithmPool races the simple-core pool at two supports
 // (§3 algorithm interoperability).
 func BenchmarkE4AlgorithmPool(b *testing.B) {
+	b.ReportAllocs()
 	db := mustDB(b, func() (*engine.Database, error) { return bench.BasketDB(1500, 10, 4, 600, 42) })
 	for _, algo := range []core.Algorithm{
-		core.AlgoApriori, core.AlgoHorizontal, core.AlgoDHP,
+		core.AlgoApriori, core.AlgoBitmap, core.AlgoHorizontal, core.AlgoDHP,
 		core.AlgoPartition, core.AlgoSampling,
 	} {
 		for _, s := range []float64{0.02, 0.005} {
 			b.Run(fmt.Sprintf("%s/s=%g", algo, s), func(b *testing.B) {
+				b.ReportAllocs()
 				stmt := bench.BasketStatement("E4", s, 0.2)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
@@ -109,6 +117,7 @@ func BenchmarkE4AlgorithmPool(b *testing.B) {
 // BenchmarkE5PreprocSimple exercises the Figure 4.a translation
 // programs under the W and G toggles.
 func BenchmarkE5PreprocSimple(b *testing.B) {
+	b.ReportAllocs()
 	variants := map[string]string{
 		"plain": `MINE RULE E5 AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD
 			FROM Baskets GROUP BY gid EXTRACTING RULES WITH SUPPORT: 0.02, CONFIDENCE: 0.2`,
@@ -120,6 +129,7 @@ func BenchmarkE5PreprocSimple(b *testing.B) {
 	db := mustDB(b, func() (*engine.Database, error) { return bench.BasketDB(1500, 10, 4, 500, 42) })
 	for _, name := range []string{"plain", "W", "G"} {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				runMine(b, db, variants[name], core.AlgoApriori)
 			}
@@ -130,6 +140,7 @@ func BenchmarkE5PreprocSimple(b *testing.B) {
 // BenchmarkE6PreprocGeneral exercises the Figure 4.b translation
 // programs under the C, K, M and H toggles.
 func BenchmarkE6PreprocGeneral(b *testing.B) {
+	b.ReportAllocs()
 	variants := []struct{ name, stmt string }{
 		{"C", `MINE RULE E6 AS SELECT DISTINCT 1..1 item AS BODY, 1..1 item AS HEAD
 			FROM Purchase GROUP BY cust CLUSTER BY dt
@@ -149,6 +160,7 @@ func BenchmarkE6PreprocGeneral(b *testing.B) {
 	db := mustDB(b, func() (*engine.Database, error) { return bench.PurchaseDB(200, 3, 5, 80, 7) })
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				runMine(b, db, v.stmt, "")
 			}
@@ -159,8 +171,10 @@ func BenchmarkE6PreprocGeneral(b *testing.B) {
 // BenchmarkE7Lattice scales the rule-lattice core with the number of
 // clusters per group (§4.3.2).
 func BenchmarkE7Lattice(b *testing.B) {
+	b.ReportAllocs()
 	for _, dates := range []int{2, 4, 6} {
 		b.Run(fmt.Sprintf("dates=%d", dates), func(b *testing.B) {
+			b.ReportAllocs()
 			db := mustDB(b, func() (*engine.Database, error) { return bench.PurchaseDB(150, dates, 4, 60, 7) })
 			stmt := `MINE RULE E7 AS
 				SELECT DISTINCT 1..2 item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
@@ -178,9 +192,11 @@ func BenchmarkE7Lattice(b *testing.B) {
 
 // BenchmarkE8SupportSweep runs the pipeline across the support axis.
 func BenchmarkE8SupportSweep(b *testing.B) {
+	b.ReportAllocs()
 	db := mustDB(b, func() (*engine.Database, error) { return bench.BasketDB(1500, 10, 4, 500, 42) })
 	for _, s := range []float64{0.05, 0.02, 0.01} {
 		b.Run(fmt.Sprintf("s=%g", s), func(b *testing.B) {
+			b.ReportAllocs()
 			stmt := bench.BasketStatement("E8", s, 0.2)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -193,6 +209,7 @@ func BenchmarkE8SupportSweep(b *testing.B) {
 // BenchmarkE9Reuse compares a fresh pipeline run against one reusing
 // the kept encoded tables (§3 preprocessing sharing).
 func BenchmarkE9Reuse(b *testing.B) {
+	b.ReportAllocs()
 	db := mustDB(b, func() (*engine.Database, error) { return bench.BasketDB(1500, 10, 4, 500, 42) })
 	stmt := bench.BasketStatement("E9", 0.02, 0.2)
 	// Seed the encoded tables once.
@@ -200,6 +217,7 @@ func BenchmarkE9Reuse(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := core.Mine(db, stmt, core.Options{KeepEncoded: true, ReplaceOutput: true}); err != nil {
 				b.Fatal(err)
@@ -207,6 +225,7 @@ func BenchmarkE9Reuse(b *testing.B) {
 		}
 	})
 	b.Run("reused", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := core.Mine(db, stmt, core.Options{KeepEncoded: true, ReuseEncoded: true, ReplaceOutput: true})
 			if err != nil {

@@ -1,8 +1,10 @@
 // Command minerule-bench regenerates the experiment tables of
 // EXPERIMENTS.md (DESIGN.md §5, experiments E1–E8).
 //
-//	minerule-bench            # all experiments
-//	minerule-bench -exp E4    # one experiment
+//	minerule-bench                  # all experiments
+//	minerule-bench -exp E4          # one experiment
+//	minerule-bench -json            # write BENCH_baseline.json
+//	minerule-bench -json -out FILE  # write the baseline elsewhere
 package main
 
 import (
@@ -16,7 +18,25 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: E1…E8 or all")
+	jsonOut := flag.Bool("json", false, "measure the regression baseline and write it as JSON")
+	out := flag.String("out", "BENCH_baseline.json", "baseline output path (with -json)")
 	flag.Parse()
+
+	if *jsonOut {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := bench.WriteBaseline(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+		return
+	}
 
 	runners := map[string]func() (*bench.Table, error){
 		"E1": bench.E1,

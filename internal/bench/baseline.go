@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"minerule/internal/core"
+	"minerule/internal/mining"
+	"minerule/internal/sql/engine"
+)
+
+// BaselineEntry is one benchmark's recorded cost. The committed
+// BENCH_baseline.json holds a list of these; CI and future perf work
+// diff fresh runs against it to catch regressions.
+type BaselineEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Baseline measures the regression-tracked workloads — the E1 paper
+// example, the E2 pipeline at two sizes, and the pure-algorithm
+// large-itemset pass per pool miner — with testing.Benchmark, and
+// returns one entry per workload.
+func Baseline() ([]BaselineEntry, error) {
+	var out []BaselineEntry
+	var failed error
+	record := func(name string, fn func(b *testing.B)) {
+		if failed != nil {
+			return
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		if r.N == 0 {
+			failed = fmt.Errorf("bench: %s did not run", name)
+			return
+		}
+		out = append(out, BaselineEntry{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	mustMine := func(b *testing.B, db *engine.Database, stmt string, algo core.Algorithm) {
+		if _, err := Mine(db, stmt, algo); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	db, err := PaperDB()
+	if err != nil {
+		return nil, err
+	}
+	record("E1PaperExample", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mustMine(b, db, PaperStatement, "")
+		}
+	})
+
+	for _, groups := range []int{500, 2000} {
+		db, err := BasketDB(groups, 10, 4, 500, 42)
+		if err != nil {
+			return nil, err
+		}
+		stmt := BasketStatement("E2", 0.02, 0.2)
+		record(fmt.Sprintf("E2PhaseSplit/groups=%d", groups), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				mustMine(b, db, stmt, core.AlgoApriori)
+			}
+		})
+	}
+
+	in := minerBenchInput(2000, 300, 8, 1)
+	for _, m := range []mining.ItemsetMiner{
+		mining.Apriori{}, mining.Bitmap{}, mining.Horizontal{},
+		mining.Horizontal{Hashing: true}, mining.Partition{Partitions: 4},
+		mining.Sampling{Fraction: 0.3, Seed: 7},
+	} {
+		m := m
+		record("LargeItemsets/"+m.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m.LargeItemsets(in, 40, nil)
+			}
+		})
+	}
+	return out, failed
+}
+
+// minerBenchInput mirrors the mining package's benchmark input
+// generator (same distribution and seed handling) so the recorded
+// LargeItemsets baselines match the in-package benchmarks.
+func minerBenchInput(groups, items, avg int, seed int64) *mining.SimpleInput {
+	rng := rand.New(rand.NewSource(seed))
+	byGroup := make(map[int64][]mining.Item, groups)
+	for g := int64(1); g <= int64(groups); g++ {
+		n := 1 + rng.Intn(2*avg)
+		tx := make([]mining.Item, n)
+		for i := range tx {
+			tx[i] = mining.Item(rng.Intn(items))
+		}
+		byGroup[g] = tx
+	}
+	return mining.NewSimpleInput(byGroup, groups)
+}
+
+// WriteBaseline runs Baseline and writes the entries as indented JSON.
+func WriteBaseline(w io.Writer) error {
+	entries, err := Baseline()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}

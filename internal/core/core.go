@@ -35,6 +35,7 @@ const (
 	AlgoDHP           Algorithm = "apriori-dhp"        // hash-filtered [12]
 	AlgoPartition     Algorithm = "partition"          // two passes [13]
 	AlgoSampling      Algorithm = "sampling"           // Toivonen [7]
+	AlgoBitmap        Algorithm = "bitmap"             // vertical packed bitsets
 )
 
 // Options tunes a pipeline run.
@@ -338,6 +339,8 @@ func poolMiner(a Algorithm) mining.ItemsetMiner {
 		return mining.Partition{}
 	case AlgoSampling:
 		return mining.Sampling{}
+	case AlgoBitmap:
+		return mining.Bitmap{}
 	default:
 		return mining.Apriori{}
 	}

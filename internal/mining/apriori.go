@@ -32,7 +32,7 @@ func (Apriori) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []Items
 		if !bud.Charge(len(level)) {
 			break
 		}
-		level = nextLevel(level, minCount)
+		level = nextLevel(level, minCount, bud)
 	}
 	sortItemsets(out)
 	return out
@@ -64,26 +64,49 @@ func firstLevel(in *SimpleInput, minCount int) []node {
 // k-1 items generate a k+1 candidate, whose gid list is the intersection
 // of the parents'. Candidates below minCount are pruned immediately; the
 // classic all-subsets-large prune is implied by the lattice search
-// because every prefix-sharing pair is tried.
-func nextLevel(level []node, minCount int) []node {
-	// The level is sorted lexicographically, so prefix-sharing runs are
-	// contiguous.
-	var next []node
-	for i := 0; i < len(level); i++ {
-		for j := i + 1; j < len(level); j++ {
-			a, b := level[i], level[j]
-			if !samePrefix(a.items, b.items) {
+// because every prefix-sharing pair is tried. The level is sorted
+// lexicographically, so prefix-sharing runs are contiguous and
+// independent; large levels fan them out over the worker pool and merge
+// per-run outputs in run order, matching the sequential candidate order.
+func nextLevel(level []node, minCount int, bud *Budget) []node {
+	runs := prefixRuns(len(level), func(i int) []Item { return level[i].items })
+	mineRun := func(ri int) []node {
+		var out []node
+		s, e := runs[ri][0], runs[ri][1]
+		for i := s; i < e; i++ {
+			if !bud.Charge(0) { // poll cancellation between rows of the run
+				return out
+			}
+			for j := i + 1; j < e; j++ {
+				a, b := level[i], level[j]
+				g := intersect32(a.gids, b.gids)
+				if len(g) < minCount {
+					continue
+				}
+				items := make([]Item, len(a.items)+1)
+				copy(items, a.items)
+				items[len(a.items)] = b.items[len(b.items)-1]
+				out = append(out, node{items: items, gids: g})
+			}
+		}
+		return out
+	}
+
+	if len(level) < minParallelLevel {
+		var next []node
+		for ri := range runs {
+			if bud.Stop() {
 				break
 			}
-			g := intersect32(a.gids, b.gids)
-			if len(g) < minCount {
-				continue
-			}
-			items := make([]Item, len(a.items)+1)
-			copy(items, a.items)
-			items[len(a.items)] = b.items[len(b.items)-1]
-			next = append(next, node{items: items, gids: g})
+			next = append(next, mineRun(ri)...)
 		}
+		return next
+	}
+	results := make([][]node, len(runs))
+	parallelFor(len(runs), bud, func(ri int) { results[ri] = mineRun(ri) })
+	var next []node
+	for _, r := range results {
+		next = append(next, r...)
 	}
 	return next
 }

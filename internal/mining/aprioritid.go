@@ -72,7 +72,7 @@ func (AprioriTid) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []It
 		for _, s := range level {
 			supp[key(s.Items)] = s.Count
 		}
-		cands := joinCandidates(level, supp)
+		cands := joinCandidates(level, supp, bud)
 		if len(cands) == 0 || !bud.Charge(len(cands)) {
 			break
 		}

@@ -66,27 +66,46 @@ func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []
 		return out
 	}
 
-	// Pass 2: pairs of large items (bucket-filtered when hashing).
+	// Pass 2: pairs of large items (bucket-filtered when hashing). The
+	// scan partitions the groups over the worker pool, each worker
+	// counting into a private map; the merged sums are order-independent,
+	// so the result is identical to the sequential scan.
 	largeSet := make(map[Item]bool, len(large))
 	for _, it := range large {
 		largeSet[it] = true
 	}
-	pairCounts := make(map[[2]Item]int)
-	for _, tx := range in.Groups {
-		for i, a := range tx {
-			if !largeSet[a] {
-				continue
-			}
-			for _, b := range tx[i+1:] {
-				if !largeSet[b] {
+	countChunk := func(groups [][]Item, into map[[2]Item]int) {
+		for _, tx := range groups {
+			for i, a := range tx {
+				if !largeSet[a] {
 					continue
 				}
-				if h.Hashing && bucketCount[pairBucket(a, b, buckets)] < int32(minCount) {
-					continue
+				for _, b := range tx[i+1:] {
+					if !largeSet[b] {
+						continue
+					}
+					if h.Hashing && bucketCount[pairBucket(a, b, buckets)] < int32(minCount) {
+						continue
+					}
+					into[[2]Item{a, b}]++
 				}
-				pairCounts[[2]Item{a, b}]++
 			}
 		}
+	}
+	pairCounts := make(map[[2]Item]int)
+	if chunks := groupChunks(in.Groups); len(chunks) > 1 {
+		partial := make([]map[[2]Item]int, len(chunks))
+		parallelFor(len(chunks), bud, func(ci int) {
+			partial[ci] = make(map[[2]Item]int)
+			countChunk(chunks[ci], partial[ci])
+		})
+		for _, p := range partial {
+			for pair, c := range p {
+				pairCounts[pair] += c
+			}
+		}
+	} else {
+		countChunk(in.Groups, pairCounts)
 	}
 	var level []Itemset
 	for p, c := range pairCounts {
@@ -102,23 +121,41 @@ func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []
 	}
 
 	// Passes k ≥ 3: Apriori join over the previous level, subset prune,
-	// then one counting scan per level.
+	// then one counting scan per level. The scan fans candidate chunks
+	// out over the pool: each worker scans every group for its disjoint
+	// candidate range, so the shared counts slice needs no locking.
 	for len(level) > 0 {
 		out = append(out, level...)
 		for _, s := range level {
 			supp[key(s.Items)] = s.Count
 		}
-		cands := joinCandidates(level, supp)
+		cands := joinCandidates(level, supp, bud)
 		if len(cands) == 0 || !bud.Charge(len(cands)) {
 			break
 		}
 		counts := make([]int, len(cands))
-		for _, tx := range in.Groups {
-			for ci, c := range cands {
-				if containsAll(tx, c) {
-					counts[ci]++
+		countRange := func(lo, hi int) {
+			for _, tx := range in.Groups {
+				for ci := lo; ci < hi; ci++ {
+					if containsAll(tx, cands[ci]) {
+						counts[ci]++
+					}
 				}
 			}
+		}
+		if len(cands) >= minParallelLevel {
+			per := (len(cands) + maxWorkers() - 1) / maxWorkers()
+			nchunks := (len(cands) + per - 1) / per
+			parallelFor(nchunks, bud, func(ci int) {
+				lo := ci * per
+				hi := lo + per
+				if hi > len(cands) {
+					hi = len(cands)
+				}
+				countRange(lo, hi)
+			})
+		} else {
+			countRange(0, len(cands))
 		}
 		level = level[:0]
 		for ci, c := range cands {
@@ -133,22 +170,40 @@ func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []
 }
 
 // joinCandidates applies the Apriori candidate generation with the
-// all-subsets-large prune against supp.
-func joinCandidates(level []Itemset, supp map[string]int) [][]Item {
-	var cands [][]Item
-	for i := 0; i < len(level); i++ {
-		for j := i + 1; j < len(level); j++ {
-			a, b := level[i].Items, level[j].Items
-			if !samePrefix(a, b) {
-				break
-			}
-			c := make([]Item, len(a)+1)
-			copy(c, a)
-			c[len(a)] = b[len(b)-1]
-			if allSubsetsLarge(c, supp) {
-				cands = append(cands, c)
+// all-subsets-large prune against supp. Prefix runs are independent and
+// supp is only read, so large levels fan out over the worker pool;
+// per-run outputs merge in run order, reproducing the sequential
+// candidate order.
+func joinCandidates(level []Itemset, supp map[string]int, bud *Budget) [][]Item {
+	runs := prefixRuns(len(level), func(i int) []Item { return level[i].Items })
+	joinRun := func(ri int) [][]Item {
+		var cands [][]Item
+		s, e := runs[ri][0], runs[ri][1]
+		for i := s; i < e; i++ {
+			for j := i + 1; j < e; j++ {
+				a, b := level[i].Items, level[j].Items
+				c := make([]Item, len(a)+1)
+				copy(c, a)
+				c[len(a)] = b[len(b)-1]
+				if allSubsetsLarge(c, supp) {
+					cands = append(cands, c)
+				}
 			}
 		}
+		return cands
+	}
+	if len(level) < minParallelLevel {
+		var cands [][]Item
+		for ri := range runs {
+			cands = append(cands, joinRun(ri)...)
+		}
+		return cands
+	}
+	results := make([][][]Item, len(runs))
+	parallelFor(len(runs), bud, func(ri int) { results[ri] = joinRun(ri) })
+	var cands [][]Item
+	for _, r := range results {
+		cands = append(cands, r...)
 	}
 	return cands
 }

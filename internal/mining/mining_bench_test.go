@@ -23,12 +23,14 @@ func benchInput(groups, items, avg int, seed int64) *SimpleInput {
 // BenchmarkLargeItemsets isolates the core algorithms from the SQL
 // pipeline (the pure-algorithm view of experiment E4).
 func BenchmarkLargeItemsets(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput(2000, 300, 8, 1)
 	for _, m := range []ItemsetMiner{
-		Apriori{}, Horizontal{}, Horizontal{Hashing: true},
+		Apriori{}, Bitmap{}, Horizontal{}, Horizontal{Hashing: true},
 		Partition{Partitions: 4}, Sampling{Fraction: 0.3, Seed: 7},
 	} {
 		b.Run(m.Name(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				m.LargeItemsets(in, 40, nil)
 			}
@@ -39,9 +41,11 @@ func BenchmarkLargeItemsets(b *testing.B) {
 // BenchmarkDHPBuckets ablates the DHP hash-table size: too few buckets
 // lose the filter's selectivity, too many waste cache.
 func BenchmarkDHPBuckets(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput(2000, 300, 8, 1)
 	for _, buckets := range []int{1 << 8, 1 << 12, 1 << 16, 1 << 20} {
 		b.Run(fmt.Sprintf("buckets=%d", buckets), func(b *testing.B) {
+			b.ReportAllocs()
 			m := Horizontal{Hashing: true, HashBuckets: buckets}
 			for i := 0; i < b.N; i++ {
 				m.LargeItemsets(in, 40, nil)
@@ -52,9 +56,11 @@ func BenchmarkDHPBuckets(b *testing.B) {
 
 // BenchmarkPartitionCount ablates the partition count of [13].
 func BenchmarkPartitionCount(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput(2000, 300, 8, 1)
 	for _, parts := range []int{2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
+			b.ReportAllocs()
 			m := Partition{Partitions: parts}
 			for i := 0; i < b.N; i++ {
 				m.LargeItemsets(in, 40, nil)
@@ -66,6 +72,7 @@ func BenchmarkPartitionCount(b *testing.B) {
 // BenchmarkRuleGeneration measures subset enumeration over the large
 // itemsets.
 func BenchmarkRuleGeneration(b *testing.B) {
+	b.ReportAllocs()
 	in := benchInput(2000, 120, 10, 2)
 	sets := Apriori{}.LargeItemsets(in, 20, nil)
 	opts := Options{MinSupport: 0.01, MinConfidence: 0.3,
@@ -79,8 +86,10 @@ func BenchmarkRuleGeneration(b *testing.B) {
 // BenchmarkGeneralLattice measures the m×n descent as clusters per
 // group grow.
 func BenchmarkGeneralLattice(b *testing.B) {
+	b.ReportAllocs()
 	for _, clusters := range []int{1, 3, 6} {
 		b.Run(fmt.Sprintf("clusters=%d", clusters), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(3))
 			var groups []GroupData
 			for g := int64(1); g <= 300; g++ {
@@ -110,6 +119,7 @@ func BenchmarkGeneralLattice(b *testing.B) {
 // canonical unique-path descent vs the paper's lower-cardinality-parent
 // scheme with dedup.
 func BenchmarkLatticeStrategy(b *testing.B) {
+	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(5))
 	var groups []GroupData
 	for g := int64(1); g <= 400; g++ {
@@ -130,6 +140,7 @@ func BenchmarkLatticeStrategy(b *testing.B) {
 		strat LatticeStrategy
 	}{{"canonical", CanonicalPath}, {"lower-parent", LowerCardinalityParent}} {
 		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := Options{MinSupport: 0.05, MinConfidence: 0.2,
 				BodyCard: Card{Min: 1, Max: 3}, HeadCard: Card{Min: 1, Max: 2},
 				Lattice: s.strat}

@@ -1,0 +1,114 @@
+package mining
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// minParallelLevel is the smallest levelwise pass (measured in level
+// entries) worth fanning out: below it the goroutine hand-off costs more
+// than the pass itself, so the algorithms fall back to their sequential
+// loops. Tiny inputs therefore run exactly the pre-parallel code path.
+const minParallelLevel = 64
+
+// parallelFor runs fn(i) for every i in [0, n) on a bounded worker pool
+// sized by runtime.GOMAXPROCS. Work is handed out through an atomic
+// cursor, so uneven unit costs balance automatically. The callers keep
+// output deterministic by writing into per-index slots and merging in
+// index order afterwards.
+//
+// A tripped budget stops the hand-out: workers drain (no new unit starts
+// once bud.Stop reports true) and the call returns with the remaining
+// units unprocessed — the same partial-result contract the sequential
+// passes have at their budget checks. A nil bud never stops.
+//
+// A panic inside fn is captured and re-raised on the calling goroutine
+// after all workers have stopped, so the recover boundaries at the exec
+// and core layers keep containing mining bugs.
+func parallelFor(n int, bud *Budget, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if bud.Stop() {
+				return
+			}
+			fn(i)
+		}
+		return
+	}
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panicked.CompareAndSwap(nil, p)
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n || bud.Stop() || panicked.Load() != nil {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p)
+	}
+}
+
+// maxWorkers is the pool width: one worker per available CPU.
+func maxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// groupChunks splits the group list into one contiguous chunk per
+// worker, or a single chunk when the input is too small to be worth
+// fanning out (counting a few hundred groups is cheaper than the merge).
+func groupChunks(groups [][]Item) [][][]Item {
+	workers := maxWorkers()
+	const minGroupsPerChunk = 256
+	if workers <= 1 || len(groups) < 2*minGroupsPerChunk {
+		return [][][]Item{groups}
+	}
+	per := (len(groups) + workers - 1) / workers
+	if per < minGroupsPerChunk {
+		per = minGroupsPerChunk
+	}
+	var chunks [][][]Item
+	for start := 0; start < len(groups); start += per {
+		end := start + per
+		if end > len(groups) {
+			end = len(groups)
+		}
+		chunks = append(chunks, groups[start:end])
+	}
+	return chunks
+}
+
+// prefixRuns partitions the canonically-sorted level [0, n) into maximal
+// runs of entries sharing their first k-1 items — the unit the levelwise
+// join fans out over, because candidates are only generated within a
+// run. items(i) returns the i-th entry's itemset.
+func prefixRuns(n int, items func(int) []Item) [][2]int {
+	var runs [][2]int
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && samePrefix(items(i), items(j)) {
+			j++
+		}
+		runs = append(runs, [2]int{i, j})
+		i = j
+	}
+	return runs
+}

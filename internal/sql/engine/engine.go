@@ -15,7 +15,6 @@ import (
 
 	"minerule/internal/resource"
 	"minerule/internal/sql/exec"
-	"minerule/internal/sql/parse"
 	"minerule/internal/sql/schema"
 	"minerule/internal/sql/storage"
 	"minerule/internal/sql/value"
@@ -25,6 +24,9 @@ import (
 type Database struct {
 	cat *storage.Catalog
 	rt  *exec.Runtime
+	// cache is the prepared-program cache: each distinct statement text
+	// parses once and re-executes from its AST (see stmtcache.go).
+	cache stmtCache
 	// hook, when set, runs before every statement with its SQL text;
 	// returning an error aborts the statement. Test-only fault injection
 	// — see internal/fault.
@@ -62,7 +64,7 @@ func (db *Database) Exec(sql string) (*exec.Result, error) {
 // context. Execution is bounded by the database Limits and guarded by
 // the executor's panic-containment boundary.
 func (db *Database) ExecContext(ctx context.Context, sql string) (*exec.Result, error) {
-	st, err := parse.Parse(sql)
+	st, err := db.prepare(sql)
 	if err != nil {
 		return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
 	}
@@ -87,7 +89,7 @@ func (db *Database) ExecScript(sql string) error {
 // ExecScriptContext is ExecScript under a cancellation context, checked
 // before (and during) every statement.
 func (db *Database) ExecScriptContext(ctx context.Context, sql string) error {
-	sts, err := parse.ParseScript(sql)
+	sts, err := db.prepareScript(sql)
 	if err != nil {
 		return fmt.Errorf("engine: %w", err)
 	}

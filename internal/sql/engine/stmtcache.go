@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"sync"
+
+	"minerule/internal/sql/parse"
+)
+
+// stmtCacheLimit bounds the number of distinct statement texts kept.
+// The mining kernel's generated SQL cycles through a small set of
+// templates, so the bound exists only to stop pathological workloads
+// (e.g. millions of distinct literal-bearing INSERTs) from growing the
+// cache without end; eviction is a full flush, which is trivially
+// correct and costs one re-parse per live statement afterwards.
+const stmtCacheLimit = 1024
+
+// stmtCache is the engine's prepared-program cache: statement text →
+// parsed form, so each distinct text is parsed once and re-executed
+// many times. Entries are pure syntax — name resolution happens at bind
+// time inside the executor on every execution — so a cached program can
+// never observe a stale catalog and no DDL-based invalidation is
+// needed here. (Catalog-dependent plan state, like resolved view
+// bodies, is cached in the executor keyed by storage.Catalog.Version.)
+type stmtCache struct {
+	mu      sync.Mutex
+	stmts   map[string]parse.Statement
+	scripts map[string][]parse.Statement
+	hits    uint64
+	misses  uint64
+}
+
+// StatementCacheStats reports the prepared-program cache's hit and miss
+// counts since the database was created (for tests and tooling).
+func (db *Database) StatementCacheStats() (hits, misses uint64) {
+	db.cache.mu.Lock()
+	defer db.cache.mu.Unlock()
+	return db.cache.hits, db.cache.misses
+}
+
+// prepare returns the parsed form of one statement, from cache when the
+// exact text has been seen before.
+func (db *Database) prepare(sql string) (parse.Statement, error) {
+	c := &db.cache
+	c.mu.Lock()
+	if st, ok := c.stmts[sql]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return st, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	st, err := parse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.stmts == nil || len(c.stmts) >= stmtCacheLimit {
+		c.stmts = make(map[string]parse.Statement)
+	}
+	c.stmts[sql] = st
+	c.mu.Unlock()
+	return st, nil
+}
+
+// prepareScript is prepare for semicolon-separated scripts.
+func (db *Database) prepareScript(sql string) ([]parse.Statement, error) {
+	c := &db.cache
+	c.mu.Lock()
+	if sts, ok := c.scripts[sql]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return sts, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	sts, err := parse.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.scripts == nil || len(c.scripts) >= stmtCacheLimit {
+		c.scripts = make(map[string][]parse.Statement)
+	}
+	c.scripts[sql] = sts
+	c.mu.Unlock()
+	return sts, nil
+}

@@ -31,6 +31,20 @@ type Runtime struct {
 	ctx  context.Context
 	rows int
 	ops  int
+
+	// viewPlans caches re-parsed view bodies, keyed by view name. An
+	// entry is valid only while the catalog version and view text it was
+	// built under still match — any DDL invalidates it, so a cached plan
+	// can never read a stale dictionary. No lock: the runtime is
+	// single-threaded by contract (see execSelectEnv).
+	viewPlans map[string]viewPlan
+}
+
+// viewPlan is one cached view resolution.
+type viewPlan struct {
+	version uint64 // catalog version the plan was built under
+	text    string // view text the plan was parsed from
+	sel     *parse.Select
 }
 
 // NewRuntime returns a Runtime over the given catalog.
@@ -270,8 +284,16 @@ func (rt *Runtime) execUpdate(x *parse.Update) (*Result, error) {
 	return &Result{RowsAffected: changed}, nil
 }
 
-// planView parses a view's stored text back into a SELECT.
+// planView parses a view's stored text back into a SELECT, consulting
+// the runtime's plan cache first. Hits require both the catalog version
+// and the stored text to match the cached entry, so DDL (including
+// dropping and recreating the view under the same name) always forces a
+// re-parse against the current dictionary.
 func (rt *Runtime) planView(v *storage.View) (*parse.Select, error) {
+	ver := rt.Cat.Version()
+	if p, ok := rt.viewPlans[v.Name]; ok && p.version == ver && p.text == v.Text {
+		return p.sel, nil
+	}
 	st, err := parse.Parse(v.Text)
 	if err != nil {
 		return nil, fmt.Errorf("exec: corrupt view %s: %w", v.Name, err)
@@ -280,6 +302,10 @@ func (rt *Runtime) planView(v *storage.View) (*parse.Select, error) {
 	if !ok {
 		return nil, fmt.Errorf("exec: view %s is not a SELECT", v.Name)
 	}
+	if rt.viewPlans == nil {
+		rt.viewPlans = make(map[string]viewPlan)
+	}
+	rt.viewPlans[v.Name] = viewPlan{version: ver, text: v.Text, sel: sel}
 	return sel, nil
 }
 

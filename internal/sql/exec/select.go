@@ -58,41 +58,68 @@ func (rt *Runtime) execSelect(s *parse.Select) (*relation, error) {
 }
 
 // combineSetOp applies one UNION/EXCEPT/INTERSECT step. The non-ALL
-// forms produce distinct rows, per SQL92.
+// forms produce distinct rows, per SQL92. All variants stream over the
+// operands with one reused key buffer instead of materializing a
+// concatenated copy first.
 func combineSetOp(op parse.SetOp, left, right *relation) *relation {
-	switch {
-	case op.Kind == parse.Union && op.All:
+	if op.Kind == parse.Union && op.All {
 		rows := make([]schema.Row, 0, len(left.rows)+len(right.rows))
 		rows = append(rows, left.rows...)
 		rows = append(rows, right.rows...)
 		return &relation{schema: left.schema, rows: rows}
-	case op.Kind == parse.Union:
-		rows := make([]schema.Row, 0, len(left.rows)+len(right.rows))
-		rows = append(rows, left.rows...)
-		rows = append(rows, right.rows...)
-		return &relation{schema: left.schema, rows: distinctRows(rows)}
-	case op.Kind == parse.Except:
-		inRight := make(map[string]bool, len(right.rows))
-		for _, r := range right.rows {
-			inRight[r.Key()] = true
-		}
-		var rows []schema.Row
-		for _, r := range distinctRows(left.rows) {
-			if !inRight[r.Key()] {
+	}
+	var buf []byte
+	switch op.Kind {
+	case parse.Union:
+		seen := make(map[string]bool, len(left.rows)+len(right.rows))
+		rows := make([]schema.Row, 0, len(left.rows))
+		for _, side := range [][]schema.Row{left.rows, right.rows} {
+			for _, r := range side {
+				buf = r.AppendKey(buf[:0])
+				if seen[string(buf)] {
+					continue
+				}
+				seen[string(buf)] = true
 				rows = append(rows, r)
 			}
+		}
+		return &relation{schema: left.schema, rows: rows}
+	case parse.Except:
+		inRight := make(map[string]bool, len(right.rows))
+		for _, r := range right.rows {
+			buf = r.AppendKey(buf[:0])
+			if !inRight[string(buf)] {
+				inRight[string(buf)] = true
+			}
+		}
+		var rows []schema.Row
+		seen := make(map[string]bool, len(left.rows))
+		for _, r := range left.rows {
+			buf = r.AppendKey(buf[:0])
+			if seen[string(buf)] || inRight[string(buf)] {
+				continue
+			}
+			seen[string(buf)] = true
+			rows = append(rows, r)
 		}
 		return &relation{schema: left.schema, rows: rows}
 	default: // Intersect
 		inRight := make(map[string]bool, len(right.rows))
 		for _, r := range right.rows {
-			inRight[r.Key()] = true
+			buf = r.AppendKey(buf[:0])
+			if !inRight[string(buf)] {
+				inRight[string(buf)] = true
+			}
 		}
 		var rows []schema.Row
-		for _, r := range distinctRows(left.rows) {
-			if inRight[r.Key()] {
-				rows = append(rows, r)
+		seen := make(map[string]bool, len(left.rows))
+		for _, r := range left.rows {
+			buf = r.AppendKey(buf[:0])
+			if seen[string(buf)] || !inRight[string(buf)] {
+				continue
 			}
+			seen[string(buf)] = true
+			rows = append(rows, r)
 		}
 		return &relation{schema: left.schema, rows: rows}
 	}
@@ -392,25 +419,28 @@ func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*rel
 	}
 
 	// Bucket the right side by the equi keys (single bucket when none).
+	// Key bytes build into one reused buffer; the string materializes only
+	// when a new bucket is created (map lookups on string(buf) are
+	// allocation-free).
 	buckets := make(map[string][]schema.Row)
-	keyOf := func(row schema.Row, side func(keyPair) int) (string, bool) {
-		var kb strings.Builder
+	var kb []byte
+	keyOf := func(dst []byte, row schema.Row, side func(keyPair) int) ([]byte, bool) {
 		for _, k := range keys {
 			v := row[side(k)]
 			if v.IsNull() {
-				return "", false
+				return dst, false
 			}
-			kk := v.Key()
-			fmt.Fprintf(&kb, "%d:%s", len(kk), kk)
+			dst = schema.AppendValueKey(dst, v)
 		}
-		return kb.String(), true
+		return dst, true
 	}
 	for _, r := range right.rows {
-		k, ok := keyOf(r, func(p keyPair) int { return p.r })
+		var ok bool
+		kb, ok = keyOf(kb[:0], r, func(p keyPair) int { return p.r })
 		if !ok {
 			continue
 		}
-		buckets[k] = append(buckets[k], r)
+		buckets[string(kb)] = append(buckets[string(kb)], r)
 	}
 
 	rt.tracef("%s: %d x %d row(s), %d hash key(s), residual=%v",
@@ -420,9 +450,10 @@ func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*rel
 	combined := make(schema.Row, outSchema.Len())
 	for _, l := range left.rows {
 		matched := false
-		k, ok := keyOf(l, func(p keyPair) int { return p.l })
+		var ok bool
+		kb, ok = keyOf(kb[:0], l, func(p keyPair) int { return p.l })
 		if ok {
-			for _, r := range buckets[k] {
+			for _, r := range buckets[string(kb)] {
 				copy(combined, l)
 				copy(combined[len(l):], r)
 				if residualFn != nil {
@@ -611,31 +642,31 @@ func (rt *Runtime) join(cur, right *relation, conjuncts []parse.Expr, used []boo
 
 	if len(keys) > 0 {
 		rt.tracef("hash join on %d key(s): %d x %d row(s)", len(keys), len(cur.rows), len(right.rows))
-		// Hash join: build on the right side.
+		// Hash join: build on the right side. One reused key buffer serves
+		// both phases; probe lookups never materialize a string.
 		build := make(map[string][]schema.Row, len(right.rows))
+		var kb []byte
 	buildLoop:
 		for _, r := range right.rows {
-			var kb strings.Builder
+			kb = kb[:0]
 			for _, k := range keys {
 				if r[k.r].IsNull() {
 					continue buildLoop // NULL never joins
 				}
-				kk := r[k.r].Key()
-				fmt.Fprintf(&kb, "%d:%s", len(kk), kk)
+				kb = schema.AppendValueKey(kb, r[k.r])
 			}
-			build[kb.String()] = append(build[kb.String()], r)
+			build[string(kb)] = append(build[string(kb)], r)
 		}
 	probeLoop:
 		for _, l := range cur.rows {
-			var kb strings.Builder
+			kb = kb[:0]
 			for _, k := range keys {
 				if l[k.l].IsNull() {
 					continue probeLoop
 				}
-				kk := l[k.l].Key()
-				fmt.Fprintf(&kb, "%d:%s", len(kk), kk)
+				kb = schema.AppendValueKey(kb, l[k.l])
 			}
-			for _, r := range build[kb.String()] {
+			for _, r := range build[string(kb)] {
 				if err := rt.charge(1); err != nil {
 					return nil, err
 				}
@@ -827,11 +858,12 @@ func (rt *Runtime) groupProject(s *parse.Select, in *relation) (*relation, error
 
 	groups := make(map[string]*group)
 	var order []string
+	kr := make(schema.Row, len(keyFns))
+	var kbuf []byte
 	for _, row := range in.rows {
 		if err := rt.charge(1); err != nil {
 			return nil, err
 		}
-		kr := make(schema.Row, len(keyFns))
 		for i, f := range keyFns {
 			v, err := f(row)
 			if err != nil {
@@ -839,9 +871,11 @@ func (rt *Runtime) groupProject(s *parse.Select, in *relation) (*relation, error
 			}
 			kr[i] = v
 		}
-		k := kr.Key()
-		g, ok := groups[k]
+		kbuf = kr.AppendKey(kbuf[:0])
+		g, ok := groups[string(kbuf)]
 		if !ok {
+			// Materialize the key string only for new groups.
+			k := string(kbuf)
 			g = &group{}
 			groups[k] = g
 			order = append(order, k)
@@ -947,6 +981,7 @@ func computeAggregate(a *parse.FuncCall, argFn evalFunc, rows []schema.Row) (val
 	var (
 		vals []value.Value
 		seen map[string]bool
+		buf  []byte
 	)
 	if a.Distinct {
 		seen = make(map[string]bool)
@@ -960,11 +995,11 @@ func computeAggregate(a *parse.FuncCall, argFn evalFunc, rows []schema.Row) (val
 			continue
 		}
 		if a.Distinct {
-			k := v.Key()
-			if seen[k] {
+			buf = v.AppendKey(buf[:0])
+			if seen[string(buf)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(buf)] = true
 		}
 		vals = append(vals, v)
 	}
@@ -1022,12 +1057,13 @@ func computeAggregate(a *parse.FuncCall, argFn evalFunc, rows []schema.Row) (val
 func distinctRows(rows []schema.Row) []schema.Row {
 	seen := make(map[string]bool, len(rows))
 	out := rows[:0:0]
+	var buf []byte
 	for _, r := range rows {
-		k := r.Key()
-		if seen[k] {
+		buf = r.AppendKey(buf[:0])
+		if seen[string(buf)] {
 			continue
 		}
-		seen[k] = true
+		seen[string(buf)] = true
 		out = append(out, r)
 	}
 	return out

@@ -143,17 +143,37 @@ type Row []value.Value
 func (r Row) Clone() Row { return append(Row(nil), r...) }
 
 // Key returns a composite map key for the row (see value.Value.Key).
-// The column separator cannot occur inside component keys generated for
-// non-string values; string values are length-prefixed to avoid
-// ambiguity.
+// Every component is length-framed so adjacent values cannot collide.
 func (r Row) Key() string {
-	var b strings.Builder
+	return string(r.AppendKey(make([]byte, 0, 16*len(r))))
+}
+
+// AppendKey appends the row's composite key to dst and returns the
+// extended slice — the buffer-reusing form behind every hash join,
+// DISTINCT, GROUP BY and set operation, so no key strings are rebuilt
+// per row on those paths.
+func (r Row) AppendKey(dst []byte) []byte {
 	for _, v := range r {
-		k := v.Key()
-		fmt.Fprintf(&b, "%d:", len(k))
-		b.WriteString(k)
+		dst = AppendValueKey(dst, v)
 	}
-	return b.String()
+	return dst
+}
+
+// AppendValueKey appends one length-framed component of a composite row
+// key (the framing Row.AppendKey uses): a fixed-width little-endian
+// length header followed by the value's key bytes. Executor code that
+// keys on a column subset builds its keys with this to stay consistent
+// with whole-row keys.
+func AppendValueKey(dst []byte, v value.Value) []byte {
+	mark := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = v.AppendKey(dst)
+	n := len(dst) - mark - 4
+	dst[mark] = byte(n)
+	dst[mark+1] = byte(n >> 8)
+	dst[mark+2] = byte(n >> 16)
+	dst[mark+3] = byte(n >> 24)
+	return dst
 }
 
 // Project returns the sub-row at the given ordinals.

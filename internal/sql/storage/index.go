@@ -11,10 +11,17 @@ import (
 // O(1) instead of a scan. Maintained under the owning table's lock on
 // every mutation; NULLs are not indexed (SQL equality never matches
 // them).
+//
+// Buckets are held by pointer so that appending a position to an
+// existing bucket needs only an allocation-free map lookup — a key
+// string is materialized only when a value is seen for the first time.
+// The scratch buffer is reused across add calls; it is safe because all
+// mutation happens under the owning table's write lock.
 type Index struct {
-	name string
-	col  int
-	m    map[string][]int // value key → row positions
+	name    string
+	col     int
+	m       map[string]*[]int // value key → row positions
+	scratch []byte
 }
 
 // Name returns the index's catalog name.
@@ -36,7 +43,7 @@ func (t *Table) CreateIndex(name string, col int) (*Index, error) {
 			return nil, fmt.Errorf("storage: index %q already exists on %s", name, t.name)
 		}
 	}
-	ix := &Index{name: name, col: col, m: make(map[string][]int)}
+	ix := &Index{name: name, col: col, m: make(map[string]*[]int)}
 	for pos, row := range t.rows {
 		ix.add(row, pos)
 	}
@@ -81,7 +88,11 @@ func (t *Table) Indexes() []*Index {
 func (t *Table) Lookup(ix *Index, key string) []schema.Row {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	positions := ix.m[key]
+	bucket := ix.m[key]
+	if bucket == nil {
+		return nil
+	}
+	positions := *bucket
 	out := make([]schema.Row, len(positions))
 	for i, p := range positions {
 		out[i] = t.rows[p]
@@ -94,14 +105,19 @@ func (ix *Index) add(row schema.Row, pos int) {
 	if v.IsNull() {
 		return
 	}
-	k := v.Key()
-	ix.m[k] = append(ix.m[k], pos)
+	ix.scratch = v.AppendKey(ix.scratch[:0])
+	if bucket := ix.m[string(ix.scratch)]; bucket != nil {
+		*bucket = append(*bucket, pos)
+		return
+	}
+	bucket := []int{pos}
+	ix.m[string(ix.scratch)] = &bucket
 }
 
 // reindex rebuilds every index (after Truncate-and-reload mutations).
 func (t *Table) reindexLocked() {
 	for _, ix := range t.indexes {
-		ix.m = make(map[string][]int)
+		ix.m = make(map[string]*[]int)
 		for pos, row := range t.rows {
 			ix.add(row, pos)
 		}

@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"minerule/internal/sql/schema"
 )
@@ -136,7 +137,18 @@ type Catalog struct {
 	vws  map[string]*View
 	seqs map[string]*Sequence
 	idxs map[string]string // index name → owning table name
+
+	// version counts DDL mutations. Caches of anything derived from the
+	// dictionary (resolved view plans, compiled statements bound to
+	// catalog objects) key on it: a mismatch means the dictionary changed
+	// underneath and the cached artifact must be rebuilt.
+	version atomic.Uint64
 }
+
+// Version returns the catalog's DDL generation counter. Every mutation
+// of the dictionary (create/drop of a table, view, index or sequence)
+// advances it.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
@@ -179,6 +191,7 @@ func (c *Catalog) CreateTable(name string, s *schema.Schema) (*Table, error) {
 	}
 	t := NewTable(name, s)
 	c.tabs[k] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -195,6 +208,7 @@ func (c *Catalog) DropTable(name string) error {
 		delete(c.idxs, key(ix.Name()))
 	}
 	delete(c.tabs, k)
+	c.version.Add(1)
 	return nil
 }
 
@@ -215,6 +229,7 @@ func (c *Catalog) CreateIndex(name, table string, col int) (*Index, error) {
 		return nil, err
 	}
 	c.idxs[k] = key(table)
+	c.version.Add(1)
 	return ix, nil
 }
 
@@ -233,6 +248,7 @@ func (c *Catalog) DropIndex(name string) error {
 		}
 	}
 	delete(c.idxs, k)
+	c.version.Add(1)
 	return nil
 }
 
@@ -253,6 +269,7 @@ func (c *Catalog) CreateView(name, text string) error {
 		return fmt.Errorf("catalog: %q already exists as a %s", name, kind)
 	}
 	c.vws[k] = &View{Name: name, Text: text}
+	c.version.Add(1)
 	return nil
 }
 
@@ -265,6 +282,7 @@ func (c *Catalog) DropView(name string) error {
 		return fmt.Errorf("catalog: view %q does not exist", name)
 	}
 	delete(c.vws, k)
+	c.version.Add(1)
 	return nil
 }
 
@@ -286,6 +304,7 @@ func (c *Catalog) CreateSequence(name string) (*Sequence, error) {
 	}
 	s := NewSequence(name)
 	c.seqs[k] = s
+	c.version.Add(1)
 	return s, nil
 }
 
@@ -298,6 +317,7 @@ func (c *Catalog) DropSequence(name string) error {
 		return fmt.Errorf("catalog: sequence %q does not exist", name)
 	}
 	delete(c.seqs, k)
+	c.version.Add(1)
 	return nil
 }
 

@@ -294,25 +294,33 @@ func Equal(a, b Value) bool {
 // all share one key, which matches SQL GROUP BY/DISTINCT semantics where
 // NULLs form a single group.
 func (v Value) Key() string {
+	return string(v.AppendKey(make([]byte, 0, 24)))
+}
+
+// AppendKey appends Key's bytes to dst and returns the extended slice —
+// the hot-path form: callers that probe maps in a loop reuse one buffer
+// and index with string(buf), which the compiler compiles to an
+// allocation-free map access.
+func (v Value) AppendKey(dst []byte) []byte {
 	switch v.typ {
 	case TypeNull:
-		return "n"
+		return append(dst, 'n')
 	case TypeBool:
 		if v.i != 0 {
-			return "bt"
+			return append(dst, 'b', 't')
 		}
-		return "bf"
+		return append(dst, 'b', 'f')
 	case TypeInt:
 		// Integer-valued floats must collide with equal ints.
-		return "f" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+		return strconv.AppendFloat(append(dst, 'f'), float64(v.i), 'g', -1, 64)
 	case TypeFloat:
-		return "f" + strconv.FormatFloat(v.f, 'g', -1, 64)
+		return strconv.AppendFloat(append(dst, 'f'), v.f, 'g', -1, 64)
 	case TypeString:
-		return "s" + v.s
+		return append(append(dst, 's'), v.s...)
 	case TypeDate:
-		return "d" + strconv.FormatInt(v.i, 10)
+		return strconv.AppendInt(append(dst, 'd'), v.i, 10)
 	default:
-		return "?"
+		return append(dst, '?')
 	}
 }
 

@@ -181,6 +181,7 @@ const (
 	AprioriDHP        Algorithm = Algorithm(core.AlgoDHP)
 	Partition         Algorithm = Algorithm(core.AlgoPartition)
 	Sampling          Algorithm = Algorithm(core.AlgoSampling)
+	Bitmap            Algorithm = Algorithm(core.AlgoBitmap)
 )
 
 // Option adjusts one Mine call.
