@@ -14,13 +14,22 @@ import (
 	"strings"
 
 	"minerule/internal/bench"
+	"minerule/internal/core"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: E1…E8 or all")
 	jsonOut := flag.Bool("json", false, "measure the regression baseline and write it as JSON")
 	out := flag.String("out", "BENCH_baseline.json", "baseline output path (with -json)")
+	trace := flag.Bool("trace", false, "run the paper statement once and print its kernel span tree")
 	flag.Parse()
+
+	if *trace {
+		if err := traceRun(); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *jsonOut {
 		f, err := os.Create(*out)
@@ -71,6 +80,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// traceRun evaluates the §2 FilteredOrderedSets statement on the
+// Figure 1 table with tracing on and prints the span tree — the
+// phase-split view of one kernel run.
+func traceRun() error {
+	db, err := bench.PaperDB()
+	if err != nil {
+		return err
+	}
+	res, err := core.Mine(db, bench.PaperStatement, core.Options{Trace: true})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Trace.String())
+	return nil
 }
 
 func fatal(err error) {

@@ -33,20 +33,11 @@ func main() {
 
 	sys := minerule.Open()
 	if *csvSpec != "" {
-		parts := strings.SplitN(*csvSpec, "=", 2)
-		if len(parts) != 2 || *hdr == "" {
-			log.Fatal("minerule-web: -csv needs table=path and -hdr")
-		}
-		f, err := os.Open(parts[1])
+		table, n, err := preloadCSV(sys, *csvSpec, *hdr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		n, err := sys.ImportCSV(parts[0], strings.Split(*hdr, ","), f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("loaded %d rows into %s\n", n, parts[0])
+		fmt.Printf("loaded %d rows into %s\n", n, table)
 	}
 	if *script != "" {
 		data, err := os.ReadFile(*script)
@@ -71,11 +62,34 @@ func main() {
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	runServer(ctx, stop, srv, *listen)
+}
+
+// preloadCSV loads one "table=path" CSV spec with its "name:type,…"
+// header into the system, returning the table name and row count.
+func preloadCSV(sys *minerule.System, csvSpec, hdr string) (string, int, error) {
+	parts := strings.SplitN(csvSpec, "=", 2)
+	if len(parts) != 2 || hdr == "" {
+		return "", 0, fmt.Errorf("minerule-web: -csv needs table=path and -hdr")
+	}
+	f, err := os.Open(parts[1])
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	n, err := sys.ImportCSV(parts[0], strings.Split(hdr, ","), f)
+	if err != nil {
+		return "", 0, err
+	}
+	return parts[0], n, nil
+}
+
+func runServer(ctx context.Context, stop context.CancelFunc, srv *http.Server, listen string) {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
-	fmt.Printf("minerule user support on http://%s\n", *listen)
+	fmt.Printf("minerule user support on http://%s\n", listen)
 	select {
 	case err := <-errc:
 		log.Fatal(err)

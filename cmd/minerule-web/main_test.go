@@ -1,0 +1,165 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"minerule"
+	"minerule/internal/support"
+)
+
+func testSystem(t *testing.T) *minerule.System {
+	t.Helper()
+	sys := minerule.Open()
+	csv := "1,cust1,ski_pants\n1,cust1,hiking_boots\n2,cust2,col_shirts\n2,cust2,brown_boots\n2,cust2,jackets\n3,cust1,jackets\n"
+	path := filepath.Join(t.TempDir(), "purchase.csv")
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	table, n, err := preloadCSV(sys, "Purchase="+path, "tr:int,cust:string,item:string")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table != "Purchase" || n != 6 {
+		t.Fatalf("preloadCSV = %s/%d, want Purchase/6", table, n)
+	}
+	return sys
+}
+
+func TestPreloadCSVErrors(t *testing.T) {
+	sys := minerule.Open()
+	if _, _, err := preloadCSV(sys, "nopath", "a:int"); err == nil {
+		t.Error("spec without '=' accepted")
+	}
+	if _, _, err := preloadCSV(sys, "T=file.csv", ""); err == nil {
+		t.Error("empty header accepted")
+	}
+	if _, _, err := preloadCSV(sys, "T=/does/not/exist.csv", "a:int"); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWebEndToEnd(t *testing.T) {
+	sys := testSystem(t)
+	ts := httptest.NewServer(support.NewServer(sys))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// The home page lists the preloaded table.
+	code, body := get("/")
+	if code != http.StatusOK || !strings.Contains(body, "/table/Purchase") {
+		t.Fatalf("home = %d:\n%s", code, body)
+	}
+
+	// A MINE RULE through the form endpoint.
+	form := url.Values{"stmt": {`MINE RULE WebRules AS
+		SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+		FROM Purchase GROUP BY tr
+		EXTRACTING RULES WITH SUPPORT: 0.3, CONFIDENCE: 0.5`}}
+	resp, err := http.PostForm(ts.URL+"/run", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(rb), "rule(s) into WebRules") {
+		t.Fatalf("mine = %d:\n%s", resp.StatusCode, rb)
+	}
+
+	// /metrics reflects the run: stmtcache and view-plan traffic, mining
+	// totals, in Prometheus exposition format.
+	code, metrics := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE minerule_stmtcache_hits_total counter",
+		"minerule_stmtcache_misses_total",
+		"minerule_viewplan_misses_total",
+		"minerule_mine_runs_total 1",
+		"minerule_stmt_executed_total",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	// The pprof index and a cheap profile are wired up.
+	code, pprofBody := get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(pprofBody, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	code, _ = get("/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestMetricsConcurrentWithQueries drives the UI and the lock-free
+// observability endpoints from many goroutines at once; under -race it
+// verifies /metrics bypassing the server mutex is sound.
+func TestMetricsConcurrentWithQueries(t *testing.T) {
+	sys := testSystem(t)
+	ts := httptest.NewServer(support.NewServer(sys))
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("/metrics = %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				form := url.Values{"stmt": {"SELECT COUNT(*) FROM Purchase"}}
+				resp, err := http.PostForm(ts.URL+"/run", form)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("/run = %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -31,6 +31,7 @@ func main() {
 		csvSpec = flag.String("csv", "", "preload CSV: table=path")
 		hdr     = flag.String("hdr", "", "CSV header spec: name:type,name:type,…")
 		replace = flag.Bool("replace", true, "MINE RULE replaces existing output tables")
+		trace   = flag.Bool("trace", false, "print the kernel span tree after each MINE RULE run")
 		load    = flag.String("load", "", "load a database directory saved with -save")
 		save    = flag.String("save", "", "save the database to this directory on exit")
 	)
@@ -71,9 +72,10 @@ func main() {
 		fmt.Printf("loaded %d rows into %s\n", n, parts[0])
 	}
 
+	ro := runOpts{replace: *replace, trace: *trace}
 	switch {
 	case *expr != "":
-		if err := runScript(sys, *expr, *replace); err != nil {
+		if err := runScript(sys, *expr, ro); err != nil {
 			fatal(err)
 		}
 	case *file != "":
@@ -81,12 +83,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runScript(sys, string(data), *replace); err != nil {
+		if err := runScript(sys, string(data), ro); err != nil {
 			fatal(err)
 		}
 	default:
-		repl(sys, *replace)
+		repl(sys, ro)
 	}
+}
+
+// runOpts carries the per-statement flags through the script runner.
+type runOpts struct {
+	replace bool // MINE RULE replaces existing output tables
+	trace   bool // print the kernel span tree after each MINE RULE
 }
 
 func fatal(err error) {
@@ -95,29 +103,31 @@ func fatal(err error) {
 }
 
 // runScript executes a ';'-separated mixed script.
-func runScript(sys *minerule.System, script string, replace bool) error {
+func runScript(sys *minerule.System, script string, ro runOpts) error {
 	for _, stmt := range splitStatements(script) {
-		if err := runOne(sys, stmt, replace); err != nil {
+		if err := runOne(sys, stmt, ro); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func runOne(sys *minerule.System, stmt string, replace bool) error {
+func runOne(sys *minerule.System, stmt string, ro runOpts) error {
 	// "EXPLAIN MINE RULE …" prints the classification and the generated
-	// SQL programs instead of running the statement.
+	// SQL programs instead of running the statement. Plain EXPLAIN
+	// [ANALYZE] SELECT goes straight to the engine, which evaluates it
+	// natively and returns the operator tree as QUERY PLAN rows.
 	if trimmed := strings.TrimSpace(stmt); len(trimmed) > 7 && strings.EqualFold(trimmed[:7], "EXPLAIN") {
 		rest := strings.TrimSpace(trimmed[7:])
-		if strings.HasPrefix(strings.ToUpper(rest), "SELECT") {
-			out, err := sys.ExplainSQL(rest)
+		if !mrparse.IsMineRule(rest) {
+			out, err := sys.Format(trimmed)
 			if err != nil {
 				return err
 			}
 			fmt.Print(out)
 			return nil
 		}
-		if mrparse.IsMineRule(rest) {
+		{
 			ex, err := sys.Explain(rest)
 			if err != nil {
 				return err
@@ -140,8 +150,11 @@ func runOne(sys *minerule.System, stmt string, replace bool) error {
 	}
 	if mrparse.IsMineRule(stmt) {
 		var opts []minerule.Option
-		if replace {
+		if ro.replace {
 			opts = append(opts, minerule.WithReplaceOutput())
+		}
+		if ro.trace {
+			opts = append(opts, minerule.WithTrace())
 		}
 		res, err := sys.Mine(stmt, opts...)
 		if err != nil {
@@ -149,6 +162,9 @@ func runOne(sys *minerule.System, stmt string, replace bool) error {
 		}
 		fmt.Printf("-- class %s, core %s, %d rule(s) into %s (+_Bodies, _Heads); %v\n",
 			res.Class, res.Algorithm, res.RuleCount, res.OutputTable, res.Timings.Total().Round(1000))
+		if ro.trace {
+			fmt.Print(res.Stats.Trace.String())
+		}
 		for i, r := range res.Rules {
 			if i == 25 {
 				fmt.Printf("   … and %d more (query %s for the rest)\n", res.RuleCount-25, res.OutputTable)
@@ -199,7 +215,7 @@ func splitStatements(s string) []string {
 
 // repl reads statements from stdin; a statement ends at a line whose
 // last non-space byte is ';'.
-func repl(sys *minerule.System, replace bool) {
+func repl(sys *minerule.System, ro runOpts) {
 	fmt.Println("minerule shell — SQL and MINE RULE statements, ';' terminated. Ctrl-D exits.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -218,7 +234,7 @@ func repl(sys *minerule.System, replace bool) {
 		buf.WriteByte('\n')
 		if strings.HasSuffix(strings.TrimSpace(line), ";") {
 			for _, stmt := range splitStatements(buf.String()) {
-				if err := runOne(sys, stmt, replace); err != nil {
+				if err := runOne(sys, stmt, ro); err != nil {
 					fmt.Fprintln(os.Stderr, "error:", err)
 				}
 			}

@@ -36,7 +36,7 @@ func TestRunScriptMixed(t *testing.T) {
 			FROM P GROUP BY gid EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5;
 		SELECT COUNT(*) FROM R;
 	`
-	if err := runScript(sys, script, true); err != nil {
+	if err := runScript(sys, script, runOpts{replace: true}); err != nil {
 		t.Fatal(err)
 	}
 	n, err := sys.QueryInt("SELECT COUNT(*) FROM R")
@@ -46,15 +46,15 @@ func TestRunScriptMixed(t *testing.T) {
 	// Re-running the MINE RULE with replace succeeds.
 	mine := `MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
 		FROM P GROUP BY gid EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5;`
-	if err := runScript(sys, mine, true); err != nil {
+	if err := runScript(sys, mine, runOpts{replace: true}); err != nil {
 		t.Fatal(err)
 	}
 	// Without replace it fails on the existing output table.
-	if err := runScript(sys, mine, false); err == nil {
+	if err := runScript(sys, mine, runOpts{}); err == nil {
 		t.Error("expected output-exists error without -replace")
 	}
 	// Errors propagate.
-	if err := runScript(sys, "SELECT * FROM missing;", true); err == nil {
+	if err := runScript(sys, "SELECT * FROM missing;", runOpts{replace: true}); err == nil {
 		t.Error("missing table accepted")
 	}
 }
@@ -65,12 +65,43 @@ func TestRunOneExplain(t *testing.T) {
 		t.Fatal(err)
 	}
 	err := runOne(sys, `EXPLAIN MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD
-		FROM P GROUP BY gid EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.1`, true)
+		FROM P GROUP BY gid EXTRACTING RULES WITH SUPPORT: 0.1, CONFIDENCE: 0.1`, runOpts{replace: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Explain must not have created the output table.
 	if err := sys.Exec("SELECT * FROM R"); err == nil {
 		t.Error("EXPLAIN created output tables")
+	}
+}
+
+func TestRunOneTraceDoesNotFail(t *testing.T) {
+	sys := minerule.Open()
+	if err := sys.Exec("CREATE TABLE P (gid INTEGER, item VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Exec("INSERT INTO P VALUES (1, 'a'), (1, 'b'), (2, 'a')"); err != nil {
+		t.Fatal(err)
+	}
+	err := runOne(sys, `MINE RULE TR AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+		FROM P GROUP BY gid EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5`, runOpts{replace: true, trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneEngineExplain(t *testing.T) {
+	sys := minerule.Open()
+	if err := sys.Exec("CREATE TABLE P (gid INTEGER, item VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	// The engine evaluates EXPLAIN [ANALYZE] SELECT natively.
+	for _, stmt := range []string{
+		"EXPLAIN SELECT COUNT(*) FROM P WHERE gid = 1",
+		"EXPLAIN ANALYZE SELECT gid, COUNT(*) FROM P GROUP BY gid",
+	} {
+		if err := runOne(sys, stmt, runOpts{}); err != nil {
+			t.Errorf("%s: %v", stmt, err)
+		}
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"minerule/internal/minerule/ast"
 	mrparse "minerule/internal/minerule/parse"
 	"minerule/internal/mining"
+	"minerule/internal/obsv"
 	"minerule/internal/resource"
 	"minerule/internal/sql/engine"
 )
@@ -64,6 +65,10 @@ type Options struct {
 	// resource.ErrBudgetExceeded or resource.ErrCanceled, and the
 	// working and output tables are rolled back as on any failure.
 	Limits resource.Limits
+	// Trace records a span tree for the run on Result.Trace: one child
+	// per pipeline phase, with per-Q-step and per-mining-pass detail.
+	// Off (nil Trace) costs nothing beyond the always-on counters.
+	Trace bool
 }
 
 // Timings is the per-phase wall time of one run: the process flow of
@@ -103,6 +108,17 @@ type Result struct {
 	Timings Timings
 	// PreprocSteps breaks the preprocessing phase down by Q-step.
 	PreprocSteps []preproc.StepDuration
+	// Candidates counts the candidate itemsets/rules the core examined;
+	// Passes breaks the levelwise algorithms down per pass (empty for
+	// non-levelwise cores); Workers is the widest worker-pool fan-out
+	// (0 = the mining never left the sequential path).
+	Candidates int64
+	Passes     []mining.PassStat
+	Workers    int
+	// Trace is the run's span tree when Options.Trace was set (nil
+	// otherwise): mine → translate/preprocess/core/postprocess, with
+	// Q-steps and levelwise passes as grandchildren.
+	Trace *obsv.Span
 }
 
 // Explanation is the translator's output for one statement, without
@@ -202,8 +218,22 @@ func MineStatementContext(ctx context.Context, db *engine.Database, st *ast.Stat
 
 func mineStatement(ctx context.Context, db *engine.Database, st *ast.Statement, opts Options) (res *Result, err error) {
 	res = &Result{Statement: st}
+	met := db.Metrics()
+	met.MineRuns.Inc()
+	defer func() {
+		if err != nil {
+			met.MineErrors.Inc()
+		}
+	}()
+	var root *obsv.Span
+	if opts.Trace {
+		root = obsv.NewSpan("mine")
+		res.Trace = root
+	}
+	defer root.Finish()
 
 	// ---- Translator ------------------------------------------------------
+	tsp := root.StartChild("translate")
 	start := time.Now()
 	tr, err := translator.Translate(db, st)
 	if err != nil {
@@ -217,6 +247,11 @@ func mineStatement(ctx context.Context, db *engine.Database, st *ast.Statement, 
 		return nil, err
 	}
 	res.Timings.Translate = time.Since(start)
+	met.TranslateNanos.Add(int64(res.Timings.Translate))
+	if tsp != nil {
+		tsp.SetStr("class", tr.Class.String())
+	}
+	tsp.Finish()
 
 	// From here on the pipeline creates working and output objects; any
 	// failure — error or panic — must leave the catalog as it was before
@@ -234,6 +269,7 @@ func mineStatement(ctx context.Context, db *engine.Database, st *ast.Statement, 
 	}()
 
 	// ---- Preprocessor ----------------------------------------------------
+	psp := root.StartChild("preprocess")
 	start = time.Now()
 	var pre *preproc.Result
 	reused := false
@@ -251,11 +287,28 @@ func mineStatement(ctx context.Context, db *engine.Database, st *ast.Statement, 
 	res.MinGroups = pre.MinGroups
 	res.PreprocSteps = pre.StepDurations
 	res.Timings.Preprocess = time.Since(start)
+	met.PreprocNanos.Add(int64(res.Timings.Preprocess))
+	if psp != nil {
+		psp.SetInt("totg", int64(pre.Totg))
+		psp.SetInt("mingroups", int64(pre.MinGroups))
+		if reused {
+			psp.SetStr("reused", "true")
+		}
+		for _, s := range pre.StepDurations {
+			c := psp.StartChild(s.Name)
+			c.SetInt("stmts", int64(s.Stmts))
+			c.SetInt("rows", int64(s.Rows))
+			c.Finish()
+			c.Duration = s.Duration
+		}
+	}
+	psp.Finish()
 
 	// ---- Core operator ----------------------------------------------------
 	if err = resource.Check(ctx); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	csp := root.StartChild("core")
 	start = time.Now()
 	bud := mining.NewBudget(ctx, opts.Limits.MaxCandidates)
 	mopts := mining.Options{
@@ -266,6 +319,7 @@ func mineStatement(ctx context.Context, db *engine.Database, st *ast.Statement, 
 		Budget:        bud,
 	}
 	var rules []mining.Rule
+	groupsRead := 0
 	if tr.Class.Simple() {
 		miner := poolMiner(opts.Algorithm)
 		res.Algorithm = miner.Name()
@@ -274,6 +328,7 @@ func mineStatement(ctx context.Context, db *engine.Database, st *ast.Statement, 
 		if err != nil {
 			return nil, err
 		}
+		groupsRead = len(in.Groups)
 		rules = mining.MineSimple(miner, in, mopts)
 	} else {
 		res.Algorithm = "rule-lattice"
@@ -282,16 +337,41 @@ func mineStatement(ctx context.Context, db *engine.Database, st *ast.Statement, 
 		if err != nil {
 			return nil, err
 		}
+		groupsRead = len(in.Groups)
 		rules = mining.MineGeneral(in, mopts)
 	}
+	met.MineCandidates.Add(bud.Used())
 	if berr := bud.Err(); berr != nil {
 		err = fmt.Errorf("core: mining: %w", berr)
 		return nil, err
 	}
 	res.RuleCount = len(rules)
+	res.Candidates = bud.Used()
+	res.Passes = bud.Passes()
+	res.Workers = bud.Workers()
 	res.Timings.Core = time.Since(start)
+	met.CoreNanos.Add(int64(res.Timings.Core))
+	met.MineRules.Add(int64(len(rules)))
+	if csp != nil {
+		csp.SetStr("algorithm", res.Algorithm)
+		csp.SetInt("groups", int64(groupsRead))
+		csp.SetInt("candidates", bud.Used())
+		csp.SetInt("rules", int64(len(rules)))
+		if w := bud.Workers(); w > 0 {
+			csp.SetInt("workers", int64(w))
+		}
+		for _, p := range bud.Passes() {
+			ps := csp.StartChild("pass")
+			ps.SetInt("level", int64(p.Level))
+			ps.SetInt("candidates", int64(p.Candidates))
+			ps.SetInt("large", int64(p.Large))
+			ps.Finish()
+		}
+	}
+	csp.Finish()
 
 	// ---- Postprocessor ----------------------------------------------------
+	osp := root.StartChild("postprocess")
 	start = time.Now()
 	if err = postproc.StoreEncoded(ctx, db, tr, rules); err != nil {
 		return nil, err
@@ -310,6 +390,10 @@ func mineStatement(ctx context.Context, db *engine.Database, st *ast.Statement, 
 		preproc.Drop(db, tr)
 	}
 	res.Timings.Postprocess = time.Since(start)
+	met.PostprocNanos.Add(int64(res.Timings.Postprocess))
+	osp.SetInt("rules", int64(res.RuleCount))
+	osp.Finish()
+	root.SetInt("rules", int64(res.RuleCount))
 	return res, nil
 }
 

@@ -16,12 +16,28 @@ import (
 	"minerule/internal/sql/value"
 )
 
+// EmptyItemsetError reports a mined rule whose body or head carries no
+// items. Such a rule must not be stored: interning the empty itemset
+// would hand out an id with zero dictionary rows, and the Decode join
+// over <name>_Bodies/<name>_Heads would then silently drop the rule
+// from the user-readable tables. The core boundary rejects it instead.
+type EmptyItemsetError struct {
+	Rule int    // index of the offending rule in the core result
+	Side string // "body" or "head"
+}
+
+func (e *EmptyItemsetError) Error() string {
+	return fmt.Sprintf("postproc: rule %d has an empty %s; MINE RULE itemsets must be non-empty", e.Rule, e.Side)
+}
+
 // StoreEncoded writes the core operator's result into the encoded output
 // tables (OutputRules, OutputBodies, OutputHeads) the preprocessor
 // created. Bodies and heads are dictionary-compressed: identical
 // itemsets across rules share one identifier, as §4.4's normalized form
 // intends. Rows go through the storage layer directly — the paper's core
 // operator likewise hands its result to the DBMS without re-parsing SQL.
+// Rules with an empty body or head fail with *EmptyItemsetError before
+// anything is written.
 func StoreEncoded(ctx context.Context, db *engine.Database, tr *translator.Translation, rules []mining.Rule) error {
 	if err := resource.Check(ctx); err != nil {
 		return fmt.Errorf("postproc: %w", err)
@@ -57,7 +73,13 @@ func StoreEncoded(ctx context.Context, db *engine.Database, tr *translator.Trans
 		return id
 	}
 
-	for _, r := range rules {
+	for i, r := range rules {
+		if len(r.Body) == 0 {
+			return &EmptyItemsetError{Rule: i, Side: "body"}
+		}
+		if len(r.Head) == 0 {
+			return &EmptyItemsetError{Rule: i, Side: "head"}
+		}
 		bid := intern(bodyIDs, r.Body, &bodyRows)
 		hid := intern(headIDs, r.Head, &headRows)
 		ruleRows = append(ruleRows, schema.Row{

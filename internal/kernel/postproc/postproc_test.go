@@ -2,6 +2,7 @@ package postproc
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -141,6 +142,46 @@ func TestEmptyRuleSetStillDecodes(t *testing.T) {
 	}
 }
 
+// TestEmptyItemsetRejected is the regression test for the silent-drop
+// bug: StoreEncoded used to intern an empty body/head as an id with
+// zero dictionary rows, so the rule survived storage but vanished from
+// the decoded output (the Decode join found no dictionary match). The
+// core boundary must now reject it with a typed error — and write
+// nothing, so a failed batch leaves the output tables untouched.
+func TestEmptyItemsetRejected(t *testing.T) {
+	db, tr := setup(t)
+	a := mining.Item(bidOf(t, db, tr, "a"))
+
+	for _, tc := range []struct {
+		name string
+		rule mining.Rule
+		side string
+	}{
+		{"empty body", mining.Rule{Body: nil, Head: []mining.Item{a}, Support: 1, Confidence: 1}, "body"},
+		{"empty head", mining.Rule{Body: []mining.Item{a}, Head: nil, Support: 1, Confidence: 1}, "head"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			good := mining.Rule{Body: []mining.Item{a}, Head: []mining.Item{a}, Support: 1, Confidence: 1}
+			err := StoreEncoded(context.Background(), db, tr, []mining.Rule{good, tc.rule})
+			if err == nil {
+				t.Fatal("StoreEncoded accepted a rule with an empty itemset")
+			}
+			var ee *EmptyItemsetError
+			if !errors.As(err, &ee) {
+				t.Fatalf("error type = %T (%v), want *EmptyItemsetError", err, err)
+			}
+			if ee.Rule != 1 || ee.Side != tc.side {
+				t.Errorf("error = %+v, want Rule=1 Side=%s", ee, tc.side)
+			}
+			// Nothing was stored — not even the valid rule in the batch.
+			n, err2 := db.QueryInt("SELECT COUNT(*) FROM " + tr.Names.OutputRules)
+			if err2 != nil || n != 0 {
+				t.Errorf("OutputRules = %d (%v), want 0 after rejected batch", n, err2)
+			}
+		})
+	}
+}
+
 func TestItemsKeyDistinguishesSplits(t *testing.T) {
 	// Varint packing must not collide across different item splits.
 	a := itemsKey([]mining.Item{1, 2})
@@ -149,7 +190,7 @@ func TestItemsKeyDistinguishesSplits(t *testing.T) {
 	if a == b || a == c {
 		t.Error("itemsKey collision")
 	}
-	if itemsKey([]mining.Item{300}) == itemsKey([]mining.Item{300}) == false {
+	if itemsKey([]mining.Item{300}) != itemsKey([]mining.Item{300}) {
 		t.Error("itemsKey not deterministic")
 	}
 	if itemsKey([]mining.Item{1, 300}) == itemsKey([]mining.Item{301}) {

@@ -29,10 +29,13 @@ type Result struct {
 	StepDurations []StepDuration
 }
 
-// StepDuration is one preprocessing step's wall time.
+// StepDuration is one preprocessing step's wall time, with the number
+// of SQL statements it executed and the rows they wrote.
 type StepDuration struct {
 	Name     string
 	Duration time.Duration
+	Stmts    int
+	Rows     int
 }
 
 // Run executes the full preprocessing for the translation, checking the
@@ -58,13 +61,18 @@ func Run(ctx context.Context, db *engine.Database, tr *translator.Translation) (
 			return fmt.Errorf("preproc: step %s: %w", name, err)
 		}
 		start := time.Now()
+		rows := 0
 		for _, q := range sqls {
 			q = strings.ReplaceAll(q, translator.MinGroupsPlaceholder, strconv.Itoa(res.MinGroups))
-			if _, err := db.ExecContext(ctx, q); err != nil {
+			r, err := db.ExecContext(ctx, q)
+			if err != nil {
 				return fmt.Errorf("preproc: step %s: %w", name, err)
 			}
+			rows += r.RowsAffected
 		}
-		res.StepDurations = append(res.StepDurations, StepDuration{Name: name, Duration: time.Since(start)})
+		res.StepDurations = append(res.StepDurations, StepDuration{
+			Name: name, Duration: time.Since(start), Stmts: len(sqls), Rows: rows,
+		})
 		return nil
 	}
 
@@ -83,7 +91,7 @@ func Run(ctx context.Context, db *engine.Database, tr *translator.Translation) (
 	}
 	res.Totg = int(totg)
 	res.MinGroups = mining.MinCount(tr.Stmt.MinSupport, res.Totg)
-	res.StepDurations = append(res.StepDurations, StepDuration{Name: "Q1", Duration: time.Since(start)})
+	res.StepDurations = append(res.StepDurations, StepDuration{Name: "Q1", Duration: time.Since(start), Stmts: 1})
 
 	for _, s := range []struct {
 		name string

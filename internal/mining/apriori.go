@@ -23,23 +23,26 @@ type node struct {
 // level with the level's size, so a trip stops the levelwise growth at
 // the next pass boundary.
 func (Apriori) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []Itemset {
-	level := firstLevel(in, minCount)
+	level, cand := firstLevel(in, minCount)
 	var out []Itemset
-	for len(level) > 0 {
+	for k := 1; len(level) > 0; k++ {
 		for _, n := range level {
 			out = append(out, Itemset{Items: n.items, Count: len(n.gids)})
 		}
+		bud.NotePass(k, cand, len(level))
 		if !bud.Charge(len(level)) {
 			break
 		}
+		cand = pairCandidates(level, func(n node) []Item { return n.items })
 		level = nextLevel(level, minCount, bud)
 	}
 	sortItemsets(out)
 	return out
 }
 
-// firstLevel builds the singleton gid lists and keeps the large ones.
-func firstLevel(in *SimpleInput, minCount int) []node {
+// firstLevel builds the singleton gid lists and keeps the large ones; it
+// also reports how many distinct items (pass-1 candidates) it examined.
+func firstLevel(in *SimpleInput, minCount int) ([]node, int) {
 	lists := make(map[Item][]int32)
 	for g, tx := range in.Groups {
 		for _, it := range tx {
@@ -57,7 +60,7 @@ func firstLevel(in *SimpleInput, minCount int) []node {
 	for _, it := range items {
 		level = append(level, node{items: []Item{it}, gids: lists[it]})
 	}
-	return level
+	return level, len(lists)
 }
 
 // nextLevel performs the Apriori join: two itemsets sharing their first

@@ -30,15 +30,17 @@ type bitNode struct {
 // minParallelLevel fan their prefix runs out over the shared pool.
 func (Bitmap) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []Itemset {
 	words := (len(in.Groups) + 63) / 64
-	level := firstBitmapLevel(in, words, minCount)
+	level, cand := firstBitmapLevel(in, words, minCount)
 	var out []Itemset
-	for len(level) > 0 {
+	for k := 1; len(level) > 0; k++ {
 		for _, n := range level {
 			out = append(out, Itemset{Items: n.items, Count: n.count})
 		}
+		bud.NotePass(k, cand, len(level))
 		if !bud.Charge(len(level)) {
 			break
 		}
+		cand = pairCandidates(level, func(n bitNode) []Item { return n.items })
 		level = nextBitmapLevel(level, words, minCount, bud)
 	}
 	sortItemsets(out)
@@ -46,8 +48,9 @@ func (Bitmap) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []Itemse
 }
 
 // firstBitmapLevel builds the singleton bitmaps and keeps the large ones
-// in ascending item order.
-func firstBitmapLevel(in *SimpleInput, words, minCount int) []bitNode {
+// in ascending item order; it also reports the pass-1 candidate count
+// (distinct items examined).
+func firstBitmapLevel(in *SimpleInput, words, minCount int) ([]bitNode, int) {
 	covers := make(map[Item][]uint64)
 	for g, tx := range in.Groups {
 		for _, it := range tx {
@@ -71,7 +74,7 @@ func firstBitmapLevel(in *SimpleInput, words, minCount int) []bitNode {
 		bm := covers[it]
 		level = append(level, bitNode{items: []Item{it}, bits: bm, count: popcount(bm)})
 	}
-	return level
+	return level, len(covers)
 }
 
 // nextBitmapLevel performs the levelwise join over prefix runs: within a

@@ -61,6 +61,7 @@ func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []
 		out = append(out, Itemset{Items: []Item{it}, Count: counts[it]})
 		supp[key([]Item{it})] = counts[it]
 	}
+	bud.NotePass(1, len(counts), len(large))
 	if !bud.Charge(len(large)) {
 		sortItemsets(out)
 		return out
@@ -114,6 +115,7 @@ func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []
 		}
 	}
 	sortItemsets(level)
+	bud.NotePass(2, len(pairCounts), len(level))
 	if !bud.Charge(len(pairCounts)) {
 		out = append(out, level...)
 		sortItemsets(out)
@@ -124,7 +126,7 @@ func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []
 	// then one counting scan per level. The scan fans candidate chunks
 	// out over the pool: each worker scans every group for its disjoint
 	// candidate range, so the shared counts slice needs no locking.
-	for len(level) > 0 {
+	for k := 3; len(level) > 0; k++ {
 		out = append(out, level...)
 		for _, s := range level {
 			supp[key(s.Items)] = s.Count
@@ -164,6 +166,7 @@ func (h Horizontal) LargeItemsets(in *SimpleInput, minCount int, bud *Budget) []
 			}
 		}
 		sortItemsets(level)
+		bud.NotePass(k, len(cands), len(level))
 	}
 	sortItemsets(out)
 	return out

@@ -69,8 +69,20 @@ type Budget struct {
 	max     int64
 	used    atomic.Int64
 	stopped atomic.Bool
+	workers atomic.Int64
 	mu      sync.Mutex
 	err     error
+	passes  []PassStat
+}
+
+// PassStat records one levelwise pass for observability: the itemset
+// size mined, how many candidates the pass generated, and how many
+// survived as large. Algorithms without a levelwise shape (the lattice
+// core, partition's merge) record nothing.
+type PassStat struct {
+	Level      int
+	Candidates int
+	Large      int
 }
 
 // NewBudget builds a budget from a cancellation context and a candidate
@@ -116,6 +128,58 @@ func (b *Budget) Err() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.err
+}
+
+// NotePass records one levelwise pass. Nil-safe; called once per pass,
+// so the mutex is not on any hot path.
+func (b *Budget) NotePass(level, candidates, large int) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.passes = append(b.passes, PassStat{Level: level, Candidates: candidates, Large: large})
+	b.mu.Unlock()
+}
+
+// Passes returns a copy of the recorded levelwise passes.
+func (b *Budget) Passes() []PassStat {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]PassStat(nil), b.passes...)
+}
+
+// Used returns the number of candidates charged so far.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// noteWorkers records the widest worker fan-out the mining used; the
+// trace reports it as the pool utilisation.
+func (b *Budget) noteWorkers(n int) {
+	if b == nil {
+		return
+	}
+	for {
+		cur := b.workers.Load()
+		if int64(n) <= cur || b.workers.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// Workers returns the widest worker fan-out recorded (0 when the mining
+// never left the sequential path).
+func (b *Budget) Workers() int {
+	if b == nil {
+		return 0
+	}
+	return int(b.workers.Load())
 }
 
 func (b *Budget) trip(err error) {

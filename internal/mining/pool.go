@@ -40,6 +40,7 @@ func parallelFor(n int, bud *Budget, fn func(i int)) {
 		}
 		return
 	}
+	bud.noteWorkers(workers)
 	var (
 		cursor   atomic.Int64
 		wg       sync.WaitGroup
@@ -111,4 +112,23 @@ func prefixRuns(n int, items func(int) []Item) [][2]int {
 		i = j
 	}
 	return runs
+}
+
+// pairCandidates counts the candidates the next levelwise join will
+// examine: Σ C(runLen, 2) over the level's prefix runs. Used only for
+// pass statistics, so the extra prefix scan is off the join itself.
+// Generic over the level's node type (with a capture-free items
+// accessor) and counting runs inline, so it allocates nothing.
+func pairCandidates[N any](level []N, items func(N) []Item) int {
+	c := 0
+	for i := 0; i < len(level); {
+		j := i + 1
+		for j < len(level) && samePrefix(items(level[i]), items(level[j])) {
+			j++
+		}
+		m := j - i
+		c += m * (m - 1) / 2
+		i = j
+	}
+	return c
 }

@@ -1,0 +1,110 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; Add never allocates, so counting stays on even when
+// tracing is off.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Metrics is the engine- and kernel-wide counter registry. One instance
+// lives on each engine.Database; the cmd binaries export it at /metrics.
+// Every field is safe for concurrent use.
+type Metrics struct {
+	// Statement-level engine stats.
+	StmtExecuted Counter // statements executed (any kind)
+	StmtErrors   Counter // statements that failed
+	ParseNanos   Counter // wall time spent in prepare (parse or cache hit)
+	ExecNanos    Counter // wall time spent executing prepared statements
+
+	// Prepared-program (statement) cache.
+	StmtCacheHits      Counter
+	StmtCacheMisses    Counter
+	StmtCacheEvictions Counter
+
+	// Executor view-plan cache (catalog-version keyed).
+	ViewPlanHits   Counter
+	ViewPlanMisses Counter
+
+	// Row flow through the executor.
+	RowsScanned  Counter // rows materialized out of base-table scans
+	RowsReturned Counter // rows in query results handed back to callers
+
+	// Mining kernel.
+	MineRuns       Counter // MINE RULE evaluations started
+	MineErrors     Counter // evaluations that failed
+	MineRules      Counter // rules produced across all runs
+	MineCandidates Counter // candidates charged against mining budgets
+
+	// Per-phase kernel wall time (Figure 3.a made countable).
+	TranslateNanos Counter
+	PreprocNanos   Counter
+	CoreNanos      Counter
+	PostprocNanos  Counter
+}
+
+// metricDesc maps registry fields to their exposition names, in a fixed
+// order so /metrics output is stable.
+type metricDesc struct {
+	name string
+	help string
+	get  func(*Metrics) int64
+}
+
+var metricDescs = []metricDesc{
+	{"minerule_stmt_executed_total", "SQL statements executed", func(m *Metrics) int64 { return m.StmtExecuted.Load() }},
+	{"minerule_stmt_errors_total", "SQL statements that failed", func(m *Metrics) int64 { return m.StmtErrors.Load() }},
+	{"minerule_stmt_parse_nanoseconds_total", "wall time preparing statements (parse or cache hit)", func(m *Metrics) int64 { return m.ParseNanos.Load() }},
+	{"minerule_stmt_exec_nanoseconds_total", "wall time executing prepared statements", func(m *Metrics) int64 { return m.ExecNanos.Load() }},
+	{"minerule_stmtcache_hits_total", "prepared-program cache hits", func(m *Metrics) int64 { return m.StmtCacheHits.Load() }},
+	{"minerule_stmtcache_misses_total", "prepared-program cache misses", func(m *Metrics) int64 { return m.StmtCacheMisses.Load() }},
+	{"minerule_stmtcache_evictions_total", "prepared-program cache entries evicted (clock second-chance)", func(m *Metrics) int64 { return m.StmtCacheEvictions.Load() }},
+	{"minerule_viewplan_hits_total", "executor view-plan cache hits", func(m *Metrics) int64 { return m.ViewPlanHits.Load() }},
+	{"minerule_viewplan_misses_total", "executor view-plan cache misses", func(m *Metrics) int64 { return m.ViewPlanMisses.Load() }},
+	{"minerule_rows_scanned_total", "rows materialized from base-table scans", func(m *Metrics) int64 { return m.RowsScanned.Load() }},
+	{"minerule_rows_returned_total", "rows returned to engine callers", func(m *Metrics) int64 { return m.RowsReturned.Load() }},
+	{"minerule_mine_runs_total", "MINE RULE evaluations started", func(m *Metrics) int64 { return m.MineRuns.Load() }},
+	{"minerule_mine_errors_total", "MINE RULE evaluations that failed", func(m *Metrics) int64 { return m.MineErrors.Load() }},
+	{"minerule_mine_rules_total", "association rules produced", func(m *Metrics) int64 { return m.MineRules.Load() }},
+	{"minerule_mine_candidates_total", "mining candidates charged against budgets", func(m *Metrics) int64 { return m.MineCandidates.Load() }},
+	{"minerule_phase_translate_nanoseconds_total", "kernel translator phase wall time", func(m *Metrics) int64 { return m.TranslateNanos.Load() }},
+	{"minerule_phase_preprocess_nanoseconds_total", "kernel preprocessor phase wall time", func(m *Metrics) int64 { return m.PreprocNanos.Load() }},
+	{"minerule_phase_core_nanoseconds_total", "kernel core operator phase wall time", func(m *Metrics) int64 { return m.CoreNanos.Load() }},
+	{"minerule_phase_postprocess_nanoseconds_total", "kernel postprocessor phase wall time", func(m *Metrics) int64 { return m.PostprocNanos.Load() }},
+}
+
+// WritePrometheus renders every counter in Prometheus text exposition
+// format (all counters, fixed order).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	for _, d := range metricDescs {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
+			d.name, d.help, d.name, d.name, d.get(m)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot returns every counter keyed by its exposition name.
+func (m *Metrics) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(metricDescs))
+	for _, d := range metricDescs {
+		out[d.name] = d.get(m)
+	}
+	return out
+}

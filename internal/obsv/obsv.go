@@ -1,0 +1,204 @@
+// Package obsv is the kernel-wide observability subsystem: hierarchical
+// spans that time the phases of a MINE RULE evaluation (and the operator
+// tree of a single SQL statement), plus a process-wide metrics registry
+// exported in Prometheus text format.
+//
+// The design constraint is the paper's Figure 3 borderline made visible
+// at zero cost when nobody is looking: every Span method is nil-safe, so
+// instrumented code paths call through a nil *Span when tracing is off
+// and perform no allocation and no work — the "nil-sink fast path"
+// verified by the engine's ReportAllocs benchmarks. Counters are plain
+// atomics that are always on; an atomic add does not allocate.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Span is one timed region of work with ordered attributes and child
+// spans. A nil *Span is a valid no-op sink: StartChild returns nil,
+// every setter returns immediately, so disabled tracing costs one
+// pointer comparison per call site.
+type Span struct {
+	Name string
+	// Duration is set by Finish (zero while the span is open).
+	Duration time.Duration
+	Attrs    []Attr
+	Children []*Span
+
+	start time.Time
+}
+
+// Attr is one key/value annotation on a span. Str is used when it is
+// non-empty; otherwise the attribute is numeric.
+type Attr struct {
+	Key string
+	Int int64
+	Str string
+}
+
+// NewSpan opens a root span.
+func NewSpan(name string) *Span {
+	return &Span{Name: name, start: time.Now()}
+}
+
+// StartChild opens a child span. On a nil receiver it returns nil, so an
+// entire instrumented subtree collapses to no-ops when tracing is off.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := NewSpan(name)
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// Finish closes the span, fixing its Duration. Safe on nil and safe to
+// call more than once (the first call wins).
+func (s *Span) Finish() {
+	if s == nil || s.Duration != 0 {
+		return
+	}
+	s.Duration = time.Since(s.start)
+	if s.Duration == 0 {
+		s.Duration = time.Nanosecond // keep Finish idempotent on coarse clocks
+	}
+}
+
+// SetInt sets (or overwrites) a numeric attribute.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Int = v
+			s.Attrs[i].Str = ""
+			return
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Int: v})
+}
+
+// AddInt adds v to a numeric attribute, creating it at v.
+func (s *Span) AddInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Int += v
+			return
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Int: v})
+}
+
+// SetStr sets (or overwrites) a string attribute.
+func (s *Span) SetStr(key, v string) {
+	if s == nil {
+		return
+	}
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key {
+			s.Attrs[i].Str = v
+			return
+		}
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Str: v})
+}
+
+// Int returns a numeric attribute's value (0 when absent).
+func (s *Span) Int(key string) int64 {
+	if s == nil {
+		return 0
+	}
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Int
+		}
+	}
+	return 0
+}
+
+// Child returns the first child with the given name, or nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	for _, c := range s.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Render writes the span tree as indented text, one line per span:
+//
+//	mine                      1.32ms
+//	  translate               88µs    class={W,M,C,K}
+//	  preprocess              641µs   sql_stmts=14 rows=1290
+//	    Q0                    102µs   sql_stmts=2 rows=400
+func (s *Span) Render(w io.Writer) {
+	if s == nil {
+		return
+	}
+	s.render(w, 0)
+}
+
+// String renders the tree into a string ("" for a nil span).
+func (s *Span) String() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	s.Render(&b)
+	return b.String()
+}
+
+func (s *Span) render(w io.Writer, depth int) {
+	indent := strings.Repeat("  ", depth)
+	label := indent + s.Name
+	dur := ""
+	if s.Duration > 0 {
+		dur = s.Duration.Round(time.Microsecond).String()
+	}
+	fmt.Fprintf(w, "%-32s %-10s%s\n", label, dur, attrsString(s.Attrs))
+	for _, c := range s.Children {
+		c.render(w, depth+1)
+	}
+}
+
+func attrsString(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		if a.Str != "" {
+			parts[i] = a.Key + "=" + a.Str
+		} else {
+			parts[i] = fmt.Sprintf("%s=%d", a.Key, a.Int)
+		}
+	}
+	return " " + strings.Join(parts, " ")
+}
+
+// SortedAttrKeys returns the attribute keys in sorted order (for
+// deterministic test assertions over span trees).
+func (s *Span) SortedAttrKeys() []string {
+	if s == nil {
+		return nil
+	}
+	keys := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		keys[i] = a.Key
+	}
+	sort.Strings(keys)
+	return keys
+}

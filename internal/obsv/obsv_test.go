@@ -1,0 +1,179 @@
+package obsv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	root := NewSpan("mine")
+	tr := root.StartChild("translate")
+	tr.SetStr("class", "{W,M}")
+	tr.Finish()
+	pre := root.StartChild("preprocess")
+	pre.SetInt("sql_stmts", 3)
+	pre.AddInt("rows", 100)
+	pre.AddInt("rows", 29)
+	pre.Finish()
+	root.Finish()
+
+	if root.Duration <= 0 {
+		t.Fatalf("root duration not set: %v", root.Duration)
+	}
+	if got := root.Child("preprocess").Int("rows"); got != 129 {
+		t.Fatalf("rows attr = %d, want 129", got)
+	}
+	if got := root.Child("translate"); got == nil || got.Duration <= 0 {
+		t.Fatalf("translate child missing or unfinished: %+v", got)
+	}
+	if root.Child("nope") != nil {
+		t.Fatalf("Child(nope) should be nil")
+	}
+
+	out := root.String()
+	for _, want := range []string{"mine", "translate", "class={W,M}", "sql_stmts=3", "rows=129"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Children indent two spaces deeper than the root.
+	if !strings.Contains(out, "\n  translate") {
+		t.Fatalf("expected indented child in:\n%s", out)
+	}
+}
+
+func TestSpanSetIntOverwrites(t *testing.T) {
+	s := NewSpan("x")
+	s.SetInt("k", 1)
+	s.SetInt("k", 7)
+	if got := s.Int("k"); got != 7 {
+		t.Fatalf("Int(k) = %d, want 7", got)
+	}
+	if n := len(s.Attrs); n != 1 {
+		t.Fatalf("attrs = %d, want 1", n)
+	}
+	s.SetStr("k", "v")
+	if s.Attrs[0].Str != "v" {
+		t.Fatalf("SetStr did not overwrite: %+v", s.Attrs[0])
+	}
+}
+
+func TestSpanFinishIdempotent(t *testing.T) {
+	s := NewSpan("x")
+	s.Finish()
+	d := s.Duration
+	time.Sleep(time.Millisecond)
+	s.Finish()
+	if s.Duration != d {
+		t.Fatalf("second Finish changed duration: %v -> %v", d, s.Duration)
+	}
+}
+
+func TestNilSpanIsNoOpAndAllocFree(t *testing.T) {
+	var s *Span
+	// Every method must be callable on nil.
+	c := s.StartChild("child")
+	if c != nil {
+		t.Fatalf("nil StartChild returned non-nil")
+	}
+	s.Finish()
+	s.SetInt("k", 1)
+	s.AddInt("k", 1)
+	s.SetStr("k", "v")
+	if s.Int("k") != 0 || s.Child("k") != nil || s.String() != "" || s.SortedAttrKeys() != nil {
+		t.Fatalf("nil span accessors not zero-valued")
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		var sp *Span
+		c := sp.StartChild("phase")
+		c.SetInt("rows", 42)
+		c.AddInt("rows", 1)
+		c.Finish()
+		sp.Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-sink path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	allocs := testing.AllocsPerRun(1000, func() { c.Add(1) })
+	if allocs != 0 {
+		t.Fatalf("Counter.Add allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.StmtExecuted.Inc()
+				m.RowsScanned.Add(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.StmtExecuted.Load(); got != 8000 {
+		t.Fatalf("StmtExecuted = %d, want 8000", got)
+	}
+	if got := m.RowsScanned.Load(); got != 24000 {
+		t.Fatalf("RowsScanned = %d, want 24000", got)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	var m Metrics
+	m.StmtCacheHits.Add(5)
+	m.ViewPlanMisses.Add(2)
+
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP minerule_stmtcache_hits_total",
+		"# TYPE minerule_stmtcache_hits_total counter",
+		"minerule_stmtcache_hits_total 5",
+		"minerule_viewplan_misses_total 2",
+		"minerule_rows_scanned_total 0",
+		"minerule_phase_core_nanoseconds_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Every non-comment line must be "name value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+	}
+
+	snap := m.Snapshot()
+	if snap["minerule_stmtcache_hits_total"] != 5 {
+		t.Fatalf("snapshot = %v", snap["minerule_stmtcache_hits_total"])
+	}
+	if len(snap) != len(metricDescs) {
+		t.Fatalf("snapshot has %d keys, want %d", len(snap), len(metricDescs))
+	}
+}

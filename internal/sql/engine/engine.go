@@ -12,7 +12,9 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"time"
 
+	"minerule/internal/obsv"
 	"minerule/internal/resource"
 	"minerule/internal/sql/exec"
 	"minerule/internal/sql/schema"
@@ -27,6 +29,9 @@ type Database struct {
 	// cache is the prepared-program cache: each distinct statement text
 	// parses once and re-executes from its AST (see stmtcache.go).
 	cache stmtCache
+	// met is the always-on counter registry (statement, cache, and row
+	// stats); atomic adds only, so keeping it on costs no allocation.
+	met *obsv.Metrics
 	// hook, when set, runs before every statement with its SQL text;
 	// returning an error aborts the statement. Test-only fault injection
 	// — see internal/fault.
@@ -36,8 +41,15 @@ type Database struct {
 // New returns an empty database.
 func New() *Database {
 	cat := storage.NewCatalog()
-	return &Database{cat: cat, rt: exec.NewRuntime(cat)}
+	met := &obsv.Metrics{}
+	rt := exec.NewRuntime(cat)
+	rt.Met = met
+	return &Database{cat: cat, rt: rt, met: met}
 }
+
+// Metrics exposes the engine's counter registry (never nil). Callers
+// export it with obsv.Metrics.WritePrometheus.
+func (db *Database) Metrics() *obsv.Metrics { return db.met }
 
 // Catalog exposes the data dictionary (read-mostly; used by the
 // translator for semantic checks).
@@ -64,8 +76,11 @@ func (db *Database) Exec(sql string) (*exec.Result, error) {
 // context. Execution is bounded by the database Limits and guarded by
 // the executor's panic-containment boundary.
 func (db *Database) ExecContext(ctx context.Context, sql string) (*exec.Result, error) {
+	t0 := time.Now()
 	st, err := db.prepare(sql)
+	db.met.ParseNanos.Add(int64(time.Since(t0)))
 	if err != nil {
+		db.met.StmtErrors.Inc()
 		return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
 	}
 	if db.hook != nil {
@@ -73,9 +88,16 @@ func (db *Database) ExecContext(ctx context.Context, sql string) (*exec.Result, 
 			return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
 		}
 	}
+	db.met.StmtExecuted.Inc()
+	t1 := time.Now()
 	res, err := db.rt.ExecContext(ctx, st)
+	db.met.ExecNanos.Add(int64(time.Since(t1)))
 	if err != nil {
+		db.met.StmtErrors.Inc()
 		return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
+	}
+	if res.Schema != nil {
+		db.met.RowsReturned.Add(int64(len(res.Rows)))
 	}
 	return res, nil
 }
@@ -99,7 +121,12 @@ func (db *Database) ExecScriptContext(ctx context.Context, sql string) error {
 				return fmt.Errorf("engine: %w\n  in: %s", err, compact(st.SQL()))
 			}
 		}
-		if _, err := db.rt.ExecContext(ctx, st); err != nil {
+		db.met.StmtExecuted.Inc()
+		t0 := time.Now()
+		_, err := db.rt.ExecContext(ctx, st)
+		db.met.ExecNanos.Add(int64(time.Since(t0)))
+		if err != nil {
+			db.met.StmtErrors.Inc()
 			return fmt.Errorf("engine: %w\n  in: %s", err, compact(st.SQL()))
 		}
 	}

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func obsDB(t *testing.T) *Database {
+	t.Helper()
+	db := New()
+	if err := db.ExecScript(`
+		CREATE TABLE s (tid INTEGER, item VARCHAR, price FLOAT);
+		INSERT INTO s VALUES (1, 'ski_pants', 120.0);
+		INSERT INTO s VALUES (1, 'hiking_boots', 180.0);
+		INSERT INTO s VALUES (2, 'col_shirts', 25.0);
+		INSERT INTO s VALUES (2, 'brown_boots', 150.0);
+		INSERT INTO s VALUES (2, 'jackets', 300.0);
+		INSERT INTO s VALUES (3, 'jackets', 300.0);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestExplainStatement proves EXPLAIN returns the resolved operator tree
+// with per-node row counts instead of the query rows.
+func TestExplainStatement(t *testing.T) {
+	db := obsDB(t)
+	res, err := db.Query("EXPLAIN SELECT item, COUNT(*) FROM s WHERE price > 100 GROUP BY item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Schema.Col(0).Name; got != "QUERY PLAN" {
+		t.Fatalf("column = %q, want QUERY PLAN", got)
+	}
+	var plan strings.Builder
+	for _, r := range res.Rows {
+		plan.WriteString(r[0].String())
+		plan.WriteByte('\n')
+	}
+	out := plan.String()
+	for _, want := range []string{
+		"query rows=4",
+		"select",
+		"scan table=s rows=6",
+		"filter",
+		"rows_in=6 rows=5",
+		"group groups=4 rows=4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "time=") {
+		t.Fatalf("plain EXPLAIN should not include timings:\n%s", out)
+	}
+}
+
+// TestExplainAnalyze proves ANALYZE adds per-node wall time.
+func TestExplainAnalyze(t *testing.T) {
+	db := obsDB(t)
+	res, err := db.Query("EXPLAIN ANALYZE SELECT DISTINCT tid FROM s ORDER BY tid DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan strings.Builder
+	for _, r := range res.Rows {
+		plan.WriteString(r[0].String())
+		plan.WriteByte('\n')
+	}
+	out := plan.String()
+	for _, want := range []string{"scan table=s", "distinct", "sort", "time="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExplainJoinStrategy proves the plan reports the join strategy the
+// executor actually chose.
+func TestExplainJoinStrategy(t *testing.T) {
+	db := obsDB(t)
+	res, err := db.Query(
+		"EXPLAIN SELECT a.item FROM s AS a, s AS b WHERE a.tid = b.tid AND b.item = 'jackets'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan strings.Builder
+	for _, r := range res.Rows {
+		plan.WriteString(r[0].String())
+		plan.WriteByte('\n')
+	}
+	if !strings.Contains(plan.String(), "strategy=hash") {
+		t.Fatalf("expected hash join in plan:\n%s", plan.String())
+	}
+}
+
+// TestMetricsCounters proves the engine registry tracks statements,
+// cache traffic, and row flow.
+func TestMetricsCounters(t *testing.T) {
+	db := obsDB(t)
+	m := db.Metrics()
+	if m == nil {
+		t.Fatal("Metrics() = nil")
+	}
+	base := m.Snapshot()
+
+	const q = "SELECT * FROM s"
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.StmtExecuted.Load() - base["minerule_stmt_executed_total"]; got != 3 {
+		t.Errorf("StmtExecuted delta = %d, want 3", got)
+	}
+	if got := m.StmtCacheHits.Load() - base["minerule_stmtcache_hits_total"]; got != 2 {
+		t.Errorf("StmtCacheHits delta = %d, want 2", got)
+	}
+	if got := m.RowsScanned.Load() - base["minerule_rows_scanned_total"]; got != 18 {
+		t.Errorf("RowsScanned delta = %d, want 18 (3 scans of 6 rows)", got)
+	}
+	if got := m.RowsReturned.Load() - base["minerule_rows_returned_total"]; got != 18 {
+		t.Errorf("RowsReturned delta = %d, want 18", got)
+	}
+	if m.ExecNanos.Load() == 0 || m.ParseNanos.Load() == 0 {
+		t.Errorf("timing counters not advancing: exec=%d parse=%d",
+			m.ExecNanos.Load(), m.ParseNanos.Load())
+	}
+
+	// View-plan cache traffic.
+	if err := db.ExecScript(`CREATE VIEW big AS SELECT * FROM s WHERE price > 100`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query("SELECT COUNT(*) FROM big"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.ViewPlanMisses.Load() == 0 {
+		t.Error("ViewPlanMisses = 0, want first use to miss")
+	}
+	if m.ViewPlanHits.Load() < 2 {
+		t.Errorf("ViewPlanHits = %d, want >= 2", m.ViewPlanHits.Load())
+	}
+
+	// Errors are counted.
+	e0 := m.StmtErrors.Load()
+	if _, err := db.Query("SELECT nope FROM missing"); err == nil {
+		t.Fatal("expected error")
+	}
+	if m.StmtErrors.Load() != e0+1 {
+		t.Errorf("StmtErrors did not advance")
+	}
+}

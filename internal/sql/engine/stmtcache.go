@@ -10,9 +10,70 @@ import (
 // The mining kernel's generated SQL cycles through a small set of
 // templates, so the bound exists only to stop pathological workloads
 // (e.g. millions of distinct literal-bearing INSERTs) from growing the
-// cache without end; eviction is a full flush, which is trivially
-// correct and costs one re-parse per live statement afterwards.
+// cache without end. Eviction is second-chance (clock): entries touched
+// since the hand last passed survive, so the kernel's hot Q0–Q11
+// templates stay cached while one-shot statements cycle through the
+// cold slots.
 const stmtCacheLimit = 1024
+
+// clockEntry is one cached program with its second-chance bit.
+type clockEntry[V any] struct {
+	key string
+	v   V
+	ref bool
+}
+
+// clockCache is a bounded map with second-chance (clock) eviction: get
+// marks the entry referenced; put, when full, sweeps the ring clearing
+// reference bits and replaces the first unreferenced entry. The sweep
+// terminates within two revolutions. Not safe for concurrent use — the
+// owning stmtCache serializes access.
+type clockCache[V any] struct {
+	entries map[string]*clockEntry[V]
+	ring    []*clockEntry[V]
+	hand    int
+}
+
+func (c *clockCache[V]) get(k string) (V, bool) {
+	e, ok := c.entries[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	e.ref = true
+	return e.v, true
+}
+
+// put inserts k→v, evicting one cold entry when the cache is at limit;
+// it reports whether an eviction happened.
+func (c *clockCache[V]) put(k string, v V, limit int) bool {
+	if c.entries == nil {
+		c.entries = make(map[string]*clockEntry[V])
+	}
+	if e, ok := c.entries[k]; ok {
+		e.v = v
+		return false
+	}
+	e := &clockEntry[V]{key: k, v: v}
+	if len(c.ring) < limit {
+		c.entries[k] = e
+		c.ring = append(c.ring, e)
+		return false
+	}
+	for {
+		cand := c.ring[c.hand]
+		if cand.ref {
+			cand.ref = false
+			c.hand = (c.hand + 1) % len(c.ring)
+			continue
+		}
+		delete(c.entries, cand.key)
+		c.ring[c.hand] = e
+		c.entries[k] = e
+		c.hand = (c.hand + 1) % len(c.ring)
+		return true
+	}
+}
 
 // stmtCache is the engine's prepared-program cache: statement text →
 // parsed form, so each distinct text is parsed once and re-executed
@@ -22,11 +83,12 @@ const stmtCacheLimit = 1024
 // needed here. (Catalog-dependent plan state, like resolved view
 // bodies, is cached in the executor keyed by storage.Catalog.Version.)
 type stmtCache struct {
-	mu      sync.Mutex
-	stmts   map[string]parse.Statement
-	scripts map[string][]parse.Statement
-	hits    uint64
-	misses  uint64
+	mu        sync.Mutex
+	stmts     clockCache[parse.Statement]
+	scripts   clockCache[[]parse.Statement]
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 // StatementCacheStats reports the prepared-program cache's hit and miss
@@ -37,28 +99,38 @@ func (db *Database) StatementCacheStats() (hits, misses uint64) {
 	return db.cache.hits, db.cache.misses
 }
 
+// StatementCacheEvictions reports how many cached programs second-chance
+// eviction has discarded since the database was created.
+func (db *Database) StatementCacheEvictions() uint64 {
+	db.cache.mu.Lock()
+	defer db.cache.mu.Unlock()
+	return db.cache.evictions
+}
+
 // prepare returns the parsed form of one statement, from cache when the
 // exact text has been seen before.
 func (db *Database) prepare(sql string) (parse.Statement, error) {
 	c := &db.cache
 	c.mu.Lock()
-	if st, ok := c.stmts[sql]; ok {
+	if st, ok := c.stmts.get(sql); ok {
 		c.hits++
 		c.mu.Unlock()
+		db.met.StmtCacheHits.Inc()
 		return st, nil
 	}
 	c.misses++
 	c.mu.Unlock()
+	db.met.StmtCacheMisses.Inc()
 
 	st, err := parse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
-	if c.stmts == nil || len(c.stmts) >= stmtCacheLimit {
-		c.stmts = make(map[string]parse.Statement)
+	if c.stmts.put(sql, st, stmtCacheLimit) {
+		c.evictions++
+		db.met.StmtCacheEvictions.Inc()
 	}
-	c.stmts[sql] = st
 	c.mu.Unlock()
 	return st, nil
 }
@@ -67,23 +139,25 @@ func (db *Database) prepare(sql string) (parse.Statement, error) {
 func (db *Database) prepareScript(sql string) ([]parse.Statement, error) {
 	c := &db.cache
 	c.mu.Lock()
-	if sts, ok := c.scripts[sql]; ok {
+	if sts, ok := c.scripts.get(sql); ok {
 		c.hits++
 		c.mu.Unlock()
+		db.met.StmtCacheHits.Inc()
 		return sts, nil
 	}
 	c.misses++
 	c.mu.Unlock()
+	db.met.StmtCacheMisses.Inc()
 
 	sts, err := parse.ParseScript(sql)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
-	if c.scripts == nil || len(c.scripts) >= stmtCacheLimit {
-		c.scripts = make(map[string][]parse.Statement)
+	if c.scripts.put(sql, sts, stmtCacheLimit) {
+		c.evictions++
+		db.met.StmtCacheEvictions.Inc()
 	}
-	c.scripts[sql] = sts
 	c.mu.Unlock()
 	return sts, nil
 }

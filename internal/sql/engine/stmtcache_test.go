@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -31,6 +32,49 @@ func TestStatementCacheHits(t *testing.T) {
 	}
 	if misses == 0 {
 		t.Errorf("misses = 0, want at least the first parse")
+	}
+}
+
+// TestStatementCacheHotEntriesSurviveChurn is the regression test for
+// the full-flush eviction bug: a churn of distinct one-shot statements
+// used to wipe the whole cache at the 1024-entry limit, discarding the
+// kernel's hot templates along with the cold junk. Under second-chance
+// eviction a hot statement that keeps being re-executed must never be
+// re-parsed (zero misses after its first insertion) across 10k one-shot
+// inserts.
+func TestStatementCacheHotEntriesSurviveChurn(t *testing.T) {
+	db := New()
+	if err := db.ExecScript(`
+		CREATE TABLE t (a INTEGER);
+		INSERT INTO t VALUES (1);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	const hot = "SELECT COUNT(*) FROM t"
+	if _, err := db.QueryInt(hot); err != nil { // initial parse + insert
+		t.Fatal(err)
+	}
+
+	var hotMisses uint64
+	for i := 0; i < 10000; i++ {
+		// One-shot statement with a distinct literal: never reused.
+		if _, err := db.Query(fmt.Sprintf("SELECT a + %d FROM t", i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%16 == 0 {
+			_, m0 := db.StatementCacheStats()
+			if _, err := db.QueryInt(hot); err != nil {
+				t.Fatal(err)
+			}
+			_, m1 := db.StatementCacheStats()
+			hotMisses += m1 - m0
+		}
+	}
+	if hotMisses != 0 {
+		t.Errorf("hot statement re-parsed %d time(s) during churn; second-chance eviction should keep it cached", hotMisses)
+	}
+	if ev := db.StatementCacheEvictions(); ev == 0 {
+		t.Errorf("evictions = 0, want > 0 after 10k one-shot statements against a %d-entry cache", stmtCacheLimit)
 	}
 }
 

@@ -1,0 +1,58 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"minerule/internal/obsv"
+	"minerule/internal/sql/parse"
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/value"
+)
+
+// execExplain implements EXPLAIN [ANALYZE] select. The engine is an
+// interpreter — the plan is discovered while executing — so EXPLAIN
+// always runs the query with the operator collector installed and
+// returns the resolved tree (one row per node, indented) instead of the
+// query's rows; ANALYZE adds per-node wall time.
+func (rt *Runtime) execExplain(x *parse.Explain) (*Result, error) {
+	root, _, err := rt.CollectPlan(x.Query)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	planLines(root, 0, x.Analyze, &lines)
+	out := make([]schema.Row, len(lines))
+	for i, l := range lines {
+		out[i] = schema.Row{value.NewString(l)}
+	}
+	s := schema.New("", schema.Column{Name: "QUERY PLAN", Type: value.TypeString})
+	return &Result{Schema: s, Rows: out}, nil
+}
+
+// planLines flattens an operator span tree into indented text lines:
+//
+//	query rows=6
+//	  select rows=6
+//	    scan table=Sales rows=20
+//	    filter cond=(price > 10) rows_in=20 rows=6
+func planLines(sp *obsv.Span, depth int, analyze bool, out *[]string) {
+	var b strings.Builder
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(sp.Name)
+	for _, a := range sp.Attrs {
+		if a.Str != "" {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Str)
+		} else {
+			fmt.Fprintf(&b, " %s=%d", a.Key, a.Int)
+		}
+	}
+	if analyze {
+		fmt.Fprintf(&b, " time=%s", sp.Duration.Round(time.Microsecond))
+	}
+	*out = append(*out, b.String())
+	for _, c := range sp.Children {
+		planLines(c, depth+1, analyze, out)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"minerule/internal/obsv"
 	"minerule/internal/resource"
 	"minerule/internal/sql/parse"
 	"minerule/internal/sql/schema"
@@ -19,6 +20,9 @@ type Runtime struct {
 	// (scan source, join strategy, index use, …) — the engine's
 	// EXPLAIN ANALYZE facility.
 	Trace func(string)
+	// Met, when non-nil, receives always-on engine counters (view-plan
+	// cache hits, rows scanned); atomic adds, never allocating.
+	Met *obsv.Metrics
 	// Limits bounds the rows any single statement may materialize;
 	// exceeding it fails with a *resource.BudgetError.
 	Limits resource.Limits
@@ -31,6 +35,12 @@ type Runtime struct {
 	ctx  context.Context
 	rows int
 	ops  int
+
+	// plan is the operator span currently being built (nil unless an
+	// EXPLAIN or a span collector is active). Operators push themselves
+	// as children, so the finished tree mirrors the resolved plan; with
+	// plan nil every pushOp/popOp is a pointer-comparison no-op.
+	plan *obsv.Span
 
 	// viewPlans caches re-parsed view bodies, keyed by view name. An
 	// entry is valid only while the catalog version and view text it was
@@ -113,6 +123,45 @@ func (rt *Runtime) tracef(format string, args ...interface{}) {
 	}
 }
 
+// pushOp opens an operator span as a child of the current plan node and
+// makes it current; popOp finishes it and restores the parent. Both are
+// no-ops (one pointer comparison, zero allocation) when no plan
+// collector is installed.
+func (rt *Runtime) pushOp(name string) (sp, parent *obsv.Span) {
+	if rt.plan == nil {
+		return nil, nil
+	}
+	parent = rt.plan
+	sp = parent.StartChild(name)
+	rt.plan = sp
+	return sp, parent
+}
+
+func (rt *Runtime) popOp(sp, parent *obsv.Span) {
+	if sp == nil {
+		return
+	}
+	sp.Finish()
+	rt.plan = parent
+}
+
+// CollectPlan executes a SELECT with the operator collector installed
+// and returns the resolved operator tree alongside the result. It backs
+// both the EXPLAIN statement and the kernel's -trace span view.
+func (rt *Runtime) CollectPlan(s *parse.Select) (*obsv.Span, *Result, error) {
+	root := obsv.NewSpan("query")
+	prev := rt.plan
+	rt.plan = root
+	rel, err := rt.execSelect(s)
+	rt.plan = prev
+	root.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	root.SetInt("rows", int64(len(rel.rows)))
+	return root, &Result{Schema: rel.schema, Rows: rel.rows}, nil
+}
+
 // Result is the outcome of one statement. Schema and Rows are set for
 // queries; RowsAffected for DML.
 type Result struct {
@@ -130,6 +179,9 @@ func (rt *Runtime) Exec(st parse.Statement) (*Result, error) {
 			return nil, err
 		}
 		return &Result{Schema: rel.schema, Rows: rel.rows}, nil
+
+	case *parse.Explain:
+		return rt.execExplain(x)
 
 	case *parse.CreateTable:
 		cols := make([]schema.Column, len(x.Cols))
@@ -292,7 +344,13 @@ func (rt *Runtime) execUpdate(x *parse.Update) (*Result, error) {
 func (rt *Runtime) planView(v *storage.View) (*parse.Select, error) {
 	ver := rt.Cat.Version()
 	if p, ok := rt.viewPlans[v.Name]; ok && p.version == ver && p.text == v.Text {
+		if m := rt.Met; m != nil {
+			m.ViewPlanHits.Inc()
+		}
 		return p.sel, nil
+	}
+	if m := rt.Met; m != nil {
+		m.ViewPlanMisses.Inc()
 	}
 	st, err := parse.Parse(v.Text)
 	if err != nil {
@@ -316,7 +374,12 @@ func (rt *Runtime) planView(v *storage.View) (*parse.Select, error) {
 func (rt *Runtime) execSelectEnv(s *parse.Select, env *outerRef) (*relation, error) {
 	prev := rt.env
 	rt.env = env
-	defer func() { rt.env = prev }()
+	// Expression-level subqueries run once per candidate row; collecting
+	// an operator span for each execution would grow the plan tree
+	// without bound, so the collector is suspended for their duration.
+	prevPlan := rt.plan
+	rt.plan = nil
+	defer func() { rt.env = prev; rt.plan = prevPlan }()
 	return rt.execSelect(s)
 }
 

@@ -29,20 +29,29 @@ func (rt *Runtime) execSelect(s *parse.Select) (*relation, error) {
 		return nil, err
 	}
 	for _, op := range s.SetOps {
+		sp, parent := rt.pushOp(strings.ToLower(op.Kind.String()))
 		right, _, err := rt.execSelectCore(op.Sel, false)
 		if err != nil {
+			rt.popOp(sp, parent)
 			return nil, err
 		}
 		if right.schema.Len() != out.schema.Len() {
+			rt.popOp(sp, parent)
 			return nil, fmt.Errorf("exec: %s operands have %d and %d columns",
 				op.Kind, out.schema.Len(), right.schema.Len())
 		}
 		out = combineSetOp(op, out, right)
+		sp.SetInt("rows", int64(len(out.rows)))
+		rt.popOp(sp, parent)
 	}
 	if len(s.OrderBy) > 0 && !preSorted {
+		sp, parent := rt.pushOp("sort")
 		if err := rt.orderBy(out, s.OrderBy); err != nil {
+			rt.popOp(sp, parent)
 			return nil, err
 		}
+		sp.SetInt("rows", int64(len(out.rows)))
+		rt.popOp(sp, parent)
 	}
 	if s.Offset > 0 {
 		if s.Offset >= int64(len(out.rows)) {
@@ -131,6 +140,8 @@ func combineSetOp(op parse.SetOp, left, right *relation) *relation {
 // is sorted before projection and the second result reports true —
 // sort keys may then reference columns the projection drops.
 func (rt *Runtime) execSelectCore(s *parse.Select, allowPreSort bool) (*relation, bool, error) {
+	csp, cparent := rt.pushOp("select")
+	defer rt.popOp(csp, cparent)
 	input, remaining, err := rt.buildFrom(s)
 	if err != nil {
 		return nil, false, err
@@ -153,9 +164,13 @@ func (rt *Runtime) execSelectCore(s *parse.Select, allowPreSort bool) (*relation
 	preSorted := false
 	if allowPreSort && !grouped && !s.Distinct && len(s.OrderBy) > 0 &&
 		!rt.canOrderByOutput(s, input.schema) && rt.canOrder(input.schema, s.OrderBy) {
+		ssp, sparent := rt.pushOp("sort")
 		if err := rt.orderBy(input, s.OrderBy); err != nil {
+			rt.popOp(ssp, sparent)
 			return nil, false, err
 		}
+		ssp.SetInt("rows", int64(len(input.rows)))
+		rt.popOp(ssp, sparent)
 		preSorted = true
 	}
 
@@ -173,8 +188,16 @@ func (rt *Runtime) execSelectCore(s *parse.Select, allowPreSort bool) (*relation
 	}
 
 	if s.Distinct {
+		dsp, dparent := rt.pushOp("distinct")
+		n := len(out.rows)
 		out.rows = distinctRows(out.rows)
+		if dsp != nil {
+			dsp.SetInt("rows_in", int64(n))
+			dsp.SetInt("rows", int64(len(out.rows)))
+		}
+		rt.popOp(dsp, dparent)
 	}
+	csp.SetInt("rows", int64(len(out.rows)))
 	return out, preSorted, nil
 }
 
@@ -312,7 +335,17 @@ func (rt *Runtime) scanFor(tr parse.TableRef, conjuncts []parse.Expr, used []boo
 					continue
 				}
 				used[i] = true
+				sp, parent := rt.pushOp("index lookup")
 				rows := t.Lookup(ix, lit.Key())
+				if m := rt.Met; m != nil {
+					m.RowsScanned.Add(int64(len(rows)))
+				}
+				if sp != nil {
+					sp.SetStr("table", tr.Name)
+					sp.SetStr("index", ix.Name())
+					sp.SetInt("rows", int64(len(rows)))
+				}
+				rt.popOp(sp, parent)
 				rt.tracef("index lookup %s.%s = %s via %s: %d row(s)",
 					tr.Name, qualified.Col(ord).Name, lit, ix.Name(), len(rows))
 				return &relation{schema: qualified, rows: rows}, nil
@@ -376,6 +409,8 @@ func (rt *Runtime) scan(tr parse.TableRef) (*relation, error) {
 // condition evaluates per candidate pair. LEFT JOIN pads unmatched left
 // rows with NULLs.
 func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*relation, error) {
+	sp, parent := rt.pushOp("join")
+	defer rt.popOp(sp, parent)
 	outSchema := left.schema.Append(right.schema)
 	conjuncts := splitConjuncts(j.On)
 
@@ -445,6 +480,12 @@ func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*rel
 
 	rt.tracef("%s: %d x %d row(s), %d hash key(s), residual=%v",
 		j.Kind, len(left.rows), len(right.rows), len(keys), residualFn != nil)
+	if sp != nil {
+		sp.SetStr("kind", j.Kind.String())
+		sp.SetInt("keys", int64(len(keys)))
+		sp.SetInt("rows_left", int64(len(left.rows)))
+		sp.SetInt("rows_right", int64(len(right.rows)))
+	}
 	nullRight := make(schema.Row, right.schema.Len())
 	var out []schema.Row
 	combined := make(schema.Row, outSchema.Len())
@@ -483,6 +524,7 @@ func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*rel
 			out = append(out, append(append(make(schema.Row, 0, len(combined)), l...), nullRight...))
 		}
 	}
+	sp.SetInt("rows", int64(len(out)))
 	return &relation{schema: outSchema, rows: out}, nil
 }
 
@@ -493,10 +535,14 @@ func (rt *Runtime) scanBase(tr parse.TableRef) (*relation, error) {
 	qual := tr.Alias
 	switch {
 	case tr.Sub != nil:
+		sp, parent := rt.pushOp("derived")
 		sub, err := rt.execSelect(tr.Sub)
 		if err != nil {
+			rt.popOp(sp, parent)
 			return nil, err
 		}
+		sp.SetInt("rows", int64(len(sub.rows)))
+		rt.popOp(sp, parent)
 		rt.tracef("derived table: %d row(s)", len(sub.rows))
 		rel = sub
 	default:
@@ -505,6 +551,14 @@ func (rt *Runtime) scanBase(tr parse.TableRef) (*relation, error) {
 			if err := rt.poll(); err != nil {
 				return nil, err
 			}
+			if m := rt.Met; m != nil {
+				m.RowsScanned.Add(int64(len(rel.rows)))
+			}
+			if sp, parent := rt.pushOp("scan"); sp != nil {
+				sp.SetStr("table", tr.Name)
+				sp.SetInt("rows", int64(len(rel.rows)))
+				rt.popOp(sp, parent)
+			}
 			rt.tracef("scan table %s: %d row(s)", tr.Name, len(rel.rows))
 			if qual == "" {
 				qual = tr.Name
@@ -512,14 +566,22 @@ func (rt *Runtime) scanBase(tr parse.TableRef) (*relation, error) {
 			break
 		}
 		if v, ok := rt.Cat.View(tr.Name); ok {
+			sp, parent := rt.pushOp("view")
 			sel, err := rt.planView(v)
 			if err != nil {
+				rt.popOp(sp, parent)
 				return nil, err
 			}
 			sub, err := rt.execSelect(sel)
 			if err != nil {
+				rt.popOp(sp, parent)
 				return nil, fmt.Errorf("exec: view %s: %w", v.Name, err)
 			}
+			if sp != nil {
+				sp.SetStr("name", v.Name)
+				sp.SetInt("rows", int64(len(sub.rows)))
+			}
+			rt.popOp(sp, parent)
 			rt.tracef("expand view %s: %d row(s)", v.Name, len(sub.rows))
 			rel = sub
 			if qual == "" {
@@ -576,6 +638,8 @@ func (rt *Runtime) applyLocal(rel *relation, conjuncts []parse.Expr, used []bool
 
 // filter keeps the rows for which cond is TRUE.
 func (rt *Runtime) filter(rel *relation, cond parse.Expr) (*relation, error) {
+	sp, parent := rt.pushOp("filter")
+	defer rt.popOp(sp, parent)
 	b := rt.bind(rel.schema)
 	f, err := b.compile(cond)
 	if err != nil {
@@ -599,6 +663,11 @@ func (rt *Runtime) filter(rel *relation, cond parse.Expr) (*relation, error) {
 		}
 	}
 	rt.tracef("filter %s: %d -> %d row(s)", cond.SQL(), len(rel.rows), len(out))
+	if sp != nil {
+		sp.SetStr("cond", cond.SQL())
+		sp.SetInt("rows_in", int64(len(rel.rows)))
+		sp.SetInt("rows", int64(len(out)))
+	}
 	return &relation{schema: rel.schema, rows: out}, nil
 }
 
@@ -606,6 +675,8 @@ func (rt *Runtime) filter(rel *relation, cond parse.Expr) (*relation, error) {
 // the two sides it performs a hash join on those keys; otherwise it falls
 // back to the Cartesian product (subsequent applyLocal passes filter it).
 func (rt *Runtime) join(cur, right *relation, conjuncts []parse.Expr, used []bool) (*relation, error) {
+	sp, parent := rt.pushOp("join")
+	defer rt.popOp(sp, parent)
 	type keyPair struct{ l, r int }
 	var keys []keyPair
 	for i, c := range conjuncts {
@@ -640,7 +711,15 @@ func (rt *Runtime) join(cur, right *relation, conjuncts []parse.Expr, used []boo
 	outSchema := cur.schema.Append(right.schema)
 	var out []schema.Row
 
+	if sp != nil {
+		sp.SetInt("rows_left", int64(len(cur.rows)))
+		sp.SetInt("rows_right", int64(len(right.rows)))
+	}
 	if len(keys) > 0 {
+		if sp != nil {
+			sp.SetStr("strategy", "hash")
+			sp.SetInt("keys", int64(len(keys)))
+		}
 		rt.tracef("hash join on %d key(s): %d x %d row(s)", len(keys), len(cur.rows), len(right.rows))
 		// Hash join: build on the right side. One reused key buffer serves
 		// both phases; probe lookups never materialize a string.
@@ -677,6 +756,7 @@ func (rt *Runtime) join(cur, right *relation, conjuncts []parse.Expr, used []boo
 			}
 		}
 	} else {
+		sp.SetStr("strategy", "cartesian")
 		rt.tracef("cartesian product: %d x %d row(s)", len(cur.rows), len(right.rows))
 		for _, l := range cur.rows {
 			for _, r := range right.rows {
@@ -690,6 +770,7 @@ func (rt *Runtime) join(cur, right *relation, conjuncts []parse.Expr, used []boo
 			}
 		}
 	}
+	sp.SetInt("rows", int64(len(out)))
 	return &relation{schema: outSchema, rows: out}, nil
 }
 
@@ -746,6 +827,8 @@ func expandItems(s *parse.Select, in *schema.Schema) ([]projItem, error) {
 
 // project evaluates the select list over each input row (no grouping).
 func (rt *Runtime) project(s *parse.Select, in *relation) (*relation, error) {
+	sp, parent := rt.pushOp("project")
+	defer rt.popOp(sp, parent)
 	items, err := expandItems(s, in.schema)
 	if err != nil {
 		return nil, err
@@ -779,6 +862,7 @@ func (rt *Runtime) project(s *parse.Select, in *relation) (*relation, error) {
 		}
 		outRows = append(outRows, out)
 	}
+	sp.SetInt("rows", int64(len(outRows)))
 	return &relation{schema: outputSchema(items, outRows), rows: outRows}, nil
 }
 
@@ -816,6 +900,8 @@ type group struct {
 // row, which is well-defined for expressions over the grouping columns
 // (the only forms the translator emits).
 func (rt *Runtime) groupProject(s *parse.Select, in *relation) (*relation, error) {
+	sp, parent := rt.pushOp("group")
+	defer rt.popOp(sp, parent)
 	items, err := expandItems(s, in.schema)
 	if err != nil {
 		return nil, err
@@ -969,6 +1055,10 @@ func (rt *Runtime) groupProject(s *parse.Select, in *relation) (*relation, error
 			out[i] = v
 		}
 		outRows = append(outRows, out)
+	}
+	if sp != nil {
+		sp.SetInt("groups", int64(len(order)))
+		sp.SetInt("rows", int64(len(outRows)))
 	}
 	return &relation{schema: outputSchema(items, outRows), rows: outRows}, nil
 }

@@ -423,6 +423,15 @@ type Update struct {
 	Where Expr
 }
 
+// Explain is "EXPLAIN [ANALYZE] select". The engine interprets rather
+// than plans ahead, so EXPLAIN executes the query with the operator
+// collector installed and returns the resolved tree with per-node row
+// counts; ANALYZE additionally reports per-node wall time.
+type Explain struct {
+	Analyze bool
+	Query   *Select
+}
+
 func (*Select) stmt()         {}
 func (*CreateTable) stmt()    {}
 func (*DropTable) stmt()      {}
@@ -435,6 +444,7 @@ func (*Delete) stmt()         {}
 func (*Update) stmt()         {}
 func (*CreateIndex) stmt()    {}
 func (*DropIndex) stmt()      {}
+func (*Explain) stmt()        {}
 
 // ---------------------------------------------------------------------------
 // SQL rendering (Node.SQL)
@@ -705,6 +715,14 @@ func (d *Delete) SQL() string {
 		s += " WHERE " + d.Where.SQL()
 	}
 	return s
+}
+
+func (e *Explain) SQL() string {
+	s := "EXPLAIN "
+	if e.Analyze {
+		s += "ANALYZE "
+	}
+	return s + e.Query.SQL()
 }
 
 func (u *Update) SQL() string {

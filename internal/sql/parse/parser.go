@@ -185,6 +185,14 @@ func (p *parser) statement() (Statement, error) {
 		return p.createStmt()
 	case t.IsKeyword("drop"):
 		return p.dropStmt()
+	case t.IsKeyword("explain"):
+		p.next()
+		analyze := p.acceptKw("analyze")
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Analyze: analyze, Query: sel}, nil
 	case t.IsPunct("("):
 		// Parenthesized SELECT at statement level, as the appendix
 		// writes "INSERT INTO t (SELECT …)"-style standalone queries.

@@ -1,0 +1,97 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestKeyAgreesWithCompareOnFloatEdgeCases is the regression test for
+// the -0.0/NaN key bug: AppendKey used to format -0.0 and +0.0 as
+// distinct bytes ("−0" vs "0") while Compare ordered them equal, and
+// cmpFloat64 ordered NaN equal to everything while its key stayed
+// distinct — so GROUP BY/DISTINCT/hash-join buckets disagreed with
+// ORDER BY and predicate equality.
+func TestKeyAgreesWithCompareOnFloatEdgeCases(t *testing.T) {
+	negZero := NewFloat(math.Copysign(0, -1))
+	posZero := NewFloat(0)
+	intZero := NewInt(0)
+	nan := NewFloat(math.NaN())
+	nanPayload := NewFloat(math.Float64frombits(math.Float64bits(math.NaN()) ^ 1))
+	one := NewFloat(1)
+
+	if c, err := Compare(negZero, posZero); err != nil || c != 0 {
+		t.Fatalf("Compare(-0.0, +0.0) = %d, %v; want 0", c, err)
+	}
+	if negZero.Key() != posZero.Key() {
+		t.Errorf("Key(-0.0) = %q != Key(+0.0) = %q while Compare orders them equal",
+			negZero.Key(), posZero.Key())
+	}
+	if intZero.Key() != posZero.Key() {
+		t.Errorf("Key(INT 0) = %q != Key(+0.0) = %q", intZero.Key(), posZero.Key())
+	}
+
+	// NaN is total-ordered: equal to itself (any payload), before all
+	// other numbers.
+	if c, err := Compare(nan, nanPayload); err != nil || c != 0 {
+		t.Fatalf("Compare(NaN, NaN') = %d, %v; want 0", c, err)
+	}
+	if nan.Key() != nanPayload.Key() {
+		t.Errorf("NaN payloads must share one key: %q vs %q", nan.Key(), nanPayload.Key())
+	}
+	if c, _ := Compare(nan, one); c != -1 {
+		t.Errorf("Compare(NaN, 1.0) = %d, want -1 (NaN sorts first)", c)
+	}
+	if c, _ := Compare(one, nan); c != 1 {
+		t.Errorf("Compare(1.0, NaN) = %d, want 1", c)
+	}
+	if nan.Key() == one.Key() {
+		t.Errorf("NaN and 1.0 share a key but compare unequal")
+	}
+}
+
+// TestKeyCompareProperty asserts Compare(a,b)==0 ⇒ Key(a)==Key(b) over
+// randomized numeric values, including the int-widened-to-float key
+// framing: an INT and a FLOAT that compare equal must share key bytes.
+func TestKeyCompareProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+
+	randomValue := func() Value {
+		switch rng.Intn(8) {
+		case 0:
+			return NewInt(rng.Int63n(2000) - 1000)
+		case 1:
+			// Large ints exercise the float64 widening boundary.
+			return NewInt(int64(1)<<53 + rng.Int63n(8) - 4)
+		case 2:
+			return NewFloat(float64(rng.Int63n(2000)-1000) / 8)
+		case 3:
+			// Integer-valued floats collide with equal ints.
+			return NewFloat(float64(rng.Int63n(2000) - 1000))
+		case 4:
+			return NewFloat(math.Copysign(0, -1))
+		case 5:
+			return NewFloat(0)
+		case 6:
+			return NewFloat(math.NaN())
+		default:
+			return NewFloat(math.Inf(1 - 2*rng.Intn(2)))
+		}
+	}
+
+	for i := 0; i < 20000; i++ {
+		a, b := randomValue(), randomValue()
+		c, err := Compare(a, b)
+		if err != nil {
+			t.Fatalf("Compare(%v, %v): %v", a, b, err)
+		}
+		if c == 0 && a.Key() != b.Key() {
+			t.Fatalf("Compare(%v, %v)==0 but keys differ: %q vs %q", a, b, a.Key(), b.Key())
+		}
+		// Compare must be antisymmetric over the same pair.
+		rc, _ := Compare(b, a)
+		if rc != -c {
+			t.Fatalf("Compare(%v, %v)=%d but Compare(%v, %v)=%d", a, b, c, b, a, rc)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package value
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -268,7 +269,18 @@ func cmpInt64(a, b int64) int {
 }
 
 func cmpFloat64(a, b float64) int {
+	// NaN orders before every number and equal to itself, which makes
+	// the order total; without this, NaN vs anything fell through to 0
+	// ("equal") while AppendKey kept NaN distinct, so GROUP BY/DISTINCT
+	// buckets disagreed with ORDER BY and predicate equality.
+	an, bn := math.IsNaN(a), math.IsNaN(b)
 	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
 	case a < b:
 		return -1
 	case a > b:
@@ -312,9 +324,9 @@ func (v Value) AppendKey(dst []byte) []byte {
 		return append(dst, 'b', 'f')
 	case TypeInt:
 		// Integer-valued floats must collide with equal ints.
-		return strconv.AppendFloat(append(dst, 'f'), float64(v.i), 'g', -1, 64)
+		return appendFloatKey(dst, float64(v.i))
 	case TypeFloat:
-		return strconv.AppendFloat(append(dst, 'f'), v.f, 'g', -1, 64)
+		return appendFloatKey(dst, v.f)
 	case TypeString:
 		return append(append(dst, 's'), v.s...)
 	case TypeDate:
@@ -322,6 +334,18 @@ func (v Value) AppendKey(dst []byte) []byte {
 	default:
 		return append(dst, '?')
 	}
+}
+
+// appendFloatKey writes the canonical key bytes of a float: -0.0
+// collapses onto +0.0 (they compare equal, so they must share a key)
+// and every NaN payload shares the single "NaN" spelling, matching the
+// NaN-total order of cmpFloat64. This keeps the invariant
+// Compare(a,b)==0 ⇒ Key(a)==Key(b) over all numeric values.
+func appendFloatKey(dst []byte, f float64) []byte {
+	if f == 0 {
+		f = 0 // true for -0.0 as well; rewrite to +0.0
+	}
+	return strconv.AppendFloat(append(dst, 'f'), f, 'g', -1, 64)
 }
 
 // Arith applies a binary arithmetic operator (+ - * /) with SQL numeric

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"minerule/internal/core"
+	"minerule/internal/obsv"
 	"minerule/internal/resource"
 	"minerule/internal/sql/engine"
 )
@@ -155,6 +156,14 @@ func LoadFrom(dir string) (*System, error) {
 	return &System{db: db}, nil
 }
 
+// WriteMetrics writes the system's always-on counters — statement,
+// cache, row and mining totals plus per-phase wall time — in Prometheus
+// text exposition format (the same body cmd/minerule-web serves on
+// /metrics).
+func (s *System) WriteMetrics(w io.Writer) error {
+	return s.db.Metrics().WritePrometheus(w)
+}
+
 // ExplainSQL runs a SELECT with executor tracing and returns the
 // decision log (scan sources, join strategies, index use, filter
 // selectivities) — EXPLAIN ANALYZE for the embedded engine.
@@ -212,6 +221,14 @@ func WithLimits(l Limits) Option {
 	return func(o *core.Options) { o.Limits = l }
 }
 
+// WithTrace records a span tree for the run on MiningResult.Stats.Trace:
+// one node per kernel phase, with Q-steps and levelwise mining passes as
+// children. Off by default; the always-on counters (see WriteMetrics)
+// are unaffected.
+func WithTrace() Option {
+	return func(o *core.Options) { o.Trace = true }
+}
+
 // WithReuseEncoded skips the preprocessing phase when a previous
 // WithKeepEncoded run of an equivalent statement (same shape, support
 // no lower than before) left its encoded tables in the database. The
@@ -256,6 +273,90 @@ func (r Rule) String() string {
 	return fmt.Sprintf("%s => %s (s=%.4g, c=%.4g)", side(r.Body), side(r.Head), r.Support, r.Confidence)
 }
 
+// PassStat describes one levelwise pass of the core algorithm: the
+// itemset size mined, the candidates examined and the large survivors.
+type PassStat struct {
+	Level      int
+	Candidates int
+	Large      int
+}
+
+// TraceAttr is one key/value annotation on a TraceNode, in the order the
+// kernel recorded it.
+type TraceAttr struct {
+	Key   string
+	Value string
+}
+
+// TraceNode is one span of a traced Mine call: a named timed region with
+// attributes and nested children (phases contain Q-steps and passes).
+type TraceNode struct {
+	Name     string
+	Duration time.Duration
+	Attrs    []TraceAttr
+	Children []*TraceNode
+}
+
+// String renders the subtree as indented text, one line per node — the
+// same form the minerule CLI's -trace flag prints.
+func (n *TraceNode) String() string {
+	if n == nil {
+		return ""
+	}
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *TraceNode) render(b *strings.Builder, depth int) {
+	label := strings.Repeat("  ", depth) + n.Name
+	dur := ""
+	if n.Duration > 0 {
+		dur = n.Duration.Round(time.Microsecond).String()
+	}
+	attrs := ""
+	for _, a := range n.Attrs {
+		attrs += " " + a.Key + "=" + a.Value
+	}
+	fmt.Fprintf(b, "%-32s %-10s%s\n", label, dur, attrs)
+	for _, c := range n.Children {
+		c.render(b, depth+1)
+	}
+}
+
+func traceNode(sp *obsv.Span) *TraceNode {
+	if sp == nil {
+		return nil
+	}
+	n := &TraceNode{Name: sp.Name, Duration: sp.Duration}
+	for _, a := range sp.Attrs {
+		v := a.Str
+		if v == "" {
+			v = fmt.Sprintf("%d", a.Int)
+		}
+		n.Attrs = append(n.Attrs, TraceAttr{Key: a.Key, Value: v})
+	}
+	for _, c := range sp.Children {
+		n.Children = append(n.Children, traceNode(c))
+	}
+	return n
+}
+
+// Stats describes how the core phase of a Mine call executed.
+type Stats struct {
+	// Candidates counts the candidate itemsets/rules the core examined.
+	Candidates int64
+	// Passes breaks the levelwise algorithms down per pass (empty for
+	// non-levelwise cores such as the rule lattice).
+	Passes []PassStat
+	// Workers is the widest worker-pool fan-out the mining used
+	// (0 = the run stayed sequential).
+	Workers int
+	// Trace is the span tree of the whole run when WithTrace was given,
+	// nil otherwise.
+	Trace *TraceNode
+}
+
 // MiningResult reports one evaluated MINE RULE statement.
 type MiningResult struct {
 	// OutputTable, BodiesTable, HeadsTable name the stored result
@@ -277,6 +378,9 @@ type MiningResult struct {
 	// Reused reports that preprocessing was skipped via WithReuseEncoded.
 	Reused  bool
 	Timings Timings
+	// Stats is the core-phase execution detail (always filled; its Trace
+	// is non-nil only under WithTrace).
+	Stats Stats
 
 	// Rules is the decoded result (ordered as stored).
 	Rules []Rule
@@ -361,6 +465,14 @@ func (s *System) MineContext(ctx context.Context, statement string, opts ...Opti
 			Core:        res.Timings.Core,
 			Postprocess: res.Timings.Postprocess,
 		},
+		Stats: Stats{
+			Candidates: res.Candidates,
+			Workers:    res.Workers,
+			Trace:      traceNode(res.Trace),
+		},
+	}
+	for _, p := range res.Passes {
+		out.Stats.Passes = append(out.Stats.Passes, PassStat{Level: p.Level, Candidates: p.Candidates, Large: p.Large})
 	}
 	decoded, err := core.ReadRules(s.db, res)
 	if err != nil {
