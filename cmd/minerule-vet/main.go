@@ -1,0 +1,205 @@
+// Command minerule-vet runs the repository's custom analyzer suite
+// (internal/lint): ctxflow, budgetcharge, spansafe and errtaxon.
+//
+// It speaks two protocols:
+//
+//	minerule-vet [-analyzers=a,b] [packages]   standalone, defaults to ./...
+//	go vet -vettool=$(which minerule-vet) ./...  as a vet tool
+//
+// The vet-tool mode implements the cmd/go unitchecker handshake by hand
+// (-V=full, -flags, then one JSON *.cfg per package) because the module
+// is dependency-free and golang.org/x/tools/go/analysis/unitchecker is
+// not available. Findings print as file:line:col: message and the exit
+// status is 2 when any are reported, mirroring go vet.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"minerule/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Unitchecker handshake: cmd/go probes the tool's version (for build
+	// cache keying) and its flag set before feeding it package configs.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runUnit(args[0]))
+	}
+
+	os.Exit(runStandalone(args))
+}
+
+// printVersion answers the -V=full probe. cmd/go keys its action cache
+// on this line and, for non-release versions, requires a buildID= field
+// — the convention is a digest of the executable itself, so rebuilding
+// the tool invalidates cached vet results.
+func printVersion() {
+	name := "minerule-vet"
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			h := sha256.New()
+			if _, err := io.Copy(h, f); err == nil {
+				id = fmt.Sprintf("%x", h.Sum(nil))
+			}
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", name, id)
+}
+
+// ---------------------------------------------------------------------------
+// Standalone mode
+
+func runStandalone(args []string) int {
+	fs := flag.NewFlagSet("minerule-vet", flag.ExitOnError)
+	sel := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list the analyzer suite and exit")
+	fs.Parse(args)
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	analyzers, err := lint.ByName(*sel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	loaded, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	found := 0
+	for _, l := range loaded {
+		for _, d := range lint.Run(l.Fset, l.Files, l.Pkg, l.Info, analyzers) {
+			fmt.Fprintln(os.Stderr, d)
+			found++
+		}
+	}
+	if found > 0 {
+		return 2
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------------
+// go vet -vettool mode (unitchecker protocol)
+
+// unitConfig is the per-package JSON config cmd/go writes for vet tools.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "minerule-vet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The driver caches a .vetx facts file per package; this suite keeps
+	// no cross-package facts, so an empty file satisfies the contract.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("minerule-vet: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	pkg, info, err := lint.TypeCheck(fset, cfg.ImportPath, files, importer.ForCompiler(fset, compiler, lookup))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "minerule-vet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags := lint.Run(fset, files, pkg, info, lint.All())
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestVettoolProtocol builds the tool and drives it through cmd/go's
+// vettool protocol against the whole module: the handshake (-V=full,
+// -flags, per-package .cfg) must succeed and the repository must be
+// clean under the suite.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the tool and vets the whole module")
+	}
+	tool := filepath.Join(t.TempDir(), "minerule-vet")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building minerule-vet: %v\n%s", err, out)
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool reported findings or failed: %v\n%s", err, out)
+	}
+}

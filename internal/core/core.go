@@ -299,7 +299,7 @@ func mineStatement(ctx context.Context, db *engine.Database, st *ast.Statement, 
 			c.SetInt("stmts", int64(s.Stmts))
 			c.SetInt("rows", int64(s.Rows))
 			c.Finish()
-			c.Duration = s.Duration
+			c.SetDuration(s.Duration)
 		}
 	}
 	psp.Finish()

@@ -280,6 +280,12 @@ func Translate(db *engine.Database, st *ast.Statement) (*Translation, error) {
 	if err := tr.generate(); err != nil {
 		return nil, err
 	}
+	// Every generated program must pass the engine's own prepare-time
+	// semantic analysis before anything executes (paper Figure 3.a: the
+	// translator consults the data dictionary, not the data).
+	if err := tr.selfCheckCached(db.Catalog()); err != nil {
+		return nil, err
+	}
 	return tr, nil
 }
 

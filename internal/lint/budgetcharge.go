@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// BudgetCharge enforces the mining package's resource-accounting
+// invariant: every levelwise mining entry point must charge the Budget,
+// and every pass loop that records progress (NotePass) must also charge
+// or consult the stop flag. A miner that iterates without charging
+// escapes the row budget and the cancellation checks riding on it.
+//
+// Rule A: a function or method named LargeItemsets or MineGeneral must
+// transitively (within its package) reach (*Budget).Charge.
+//
+// Rule B: a for/range loop whose body calls (*Budget).NotePass must
+// also, within the same loop body, call (or transitively reach)
+// (*Budget).Charge or (*Budget).Stop.
+//
+// Function literals are attributed to their enclosing declaration, so
+// charging from a worker closure satisfies Rule A.
+var BudgetCharge = &Analyzer{
+	Name: "budgetcharge",
+	Doc:  "mining entry points and pass loops must charge the Budget",
+	Run:  runBudgetCharge,
+}
+
+func runBudgetCharge(p *Pass) {
+	if !strings.HasSuffix(p.Pkg.Path(), "internal/mining") && p.Pkg.Name() != "mining" {
+		return
+	}
+
+	// calls maps each declared function to the same-package functions it
+	// calls; budgetCalls records which Budget methods it calls directly.
+	type funcInfo struct {
+		calls  map[*types.Func]bool
+		budget map[string]bool
+	}
+	infos := make(map[*types.Func]*funcInfo)
+	decls := make(map[*types.Func]*ast.FuncDecl)
+
+	collect := func(fd *ast.FuncDecl) *funcInfo {
+		fi := &funcInfo{calls: make(map[*types.Func]bool), budget: make(map[string]bool)}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := funcObj(p.Info, call)
+			if f == nil {
+				return true
+			}
+			if recvTypeName(f) == "Budget" {
+				fi.budget[f.Name()] = true
+			}
+			if f.Pkg() == p.Pkg {
+				fi.calls[f] = true
+			}
+			return true
+		})
+		return fi
+	}
+
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			infos[obj] = collect(fd)
+			decls[obj] = fd
+		}
+	}
+
+	// reaches reports whether fn transitively calls a Budget method in
+	// want (method-name set), within the package.
+	var reaches func(fn *types.Func, want map[string]bool, seen map[*types.Func]bool) bool
+	reaches = func(fn *types.Func, want map[string]bool, seen map[*types.Func]bool) bool {
+		if seen[fn] {
+			return false
+		}
+		seen[fn] = true
+		fi := infos[fn]
+		if fi == nil {
+			return false
+		}
+		for m := range fi.budget {
+			if want[m] {
+				return true
+			}
+		}
+		for callee := range fi.calls {
+			if reaches(callee, want, seen) {
+				return true
+			}
+		}
+		return false
+	}
+
+	wantCharge := map[string]bool{"Charge": true}
+	wantChargeOrStop := map[string]bool{"Charge": true, "Stop": true}
+
+	// Rule A.
+	for obj, fd := range decls {
+		name := obj.Name()
+		if name != "LargeItemsets" && name != "MineGeneral" {
+			continue
+		}
+		if !reaches(obj, wantCharge, make(map[*types.Func]bool)) {
+			p.Reportf(fd.Name.Pos(), "%s does not charge the Budget (directly or transitively): unbounded mining pass", name)
+		}
+	}
+
+	// Rule B: scan loops in every declaration.
+	loopBodyCalls := func(body *ast.BlockStmt, want map[string]bool) bool {
+		found := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := funcObj(p.Info, call)
+			if f == nil {
+				return true
+			}
+			if recvTypeName(f) == "Budget" && want[f.Name()] {
+				found = true
+				return false
+			}
+			if f.Pkg() == p.Pkg && reaches(f, want, make(map[*types.Func]bool)) {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+
+	for _, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			if loopBodyCalls(body, map[string]bool{"NotePass": true}) &&
+				!loopBodyCalls(body, wantChargeOrStop) {
+				p.Reportf(n.Pos(), "loop records passes (NotePass) without charging the Budget or checking Stop")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// CtxFlow enforces the kernel's cancellation invariant: contexts flow
+// down from the API layer, they are not minted mid-stack. A call to
+// context.Background() or context.TODO() below the API boundary
+// detaches the work under it from the caller's cancellation — a mining
+// run that keeps executing SQL after its deadline fired.
+//
+// Allowed occurrences:
+//   - package main and test files (entry points own their context);
+//   - the nil-guard idiom `if ctx == nil { ctx = context.Background() }`
+//     at the top of an exported entry point;
+//   - single-statement convenience wrappers that forward to a
+//     context-taking sibling, e.g.
+//     `func (db *DB) Exec(q string) { return db.ExecContext(context.Background(), q) }`.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "flag context.Background()/TODO() below the API layer",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxFlowFunc(p, fd)
+		}
+	}
+}
+
+func checkCtxFlowFunc(p *Pass, fd *ast.FuncDecl) {
+	allowed := make(map[*ast.CallExpr]bool)
+	for _, c := range nilGuardedCtxCalls(p, fd.Body) {
+		allowed[c] = true
+	}
+	if c := wrapperForwardCall(p, fd); c != nil {
+		allowed[c] = true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ctxMintName(p, call)
+		if name == "" || allowed[call] {
+			return true
+		}
+		p.Reportf(call.Pos(), "context.%s() below the API layer: thread the caller's ctx instead", name)
+		return true
+	})
+}
+
+// ctxMintName returns "Background" or "TODO" when the call mints a
+// fresh context, "" otherwise.
+func ctxMintName(p *Pass, call *ast.CallExpr) string {
+	f := funcObj(p.Info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "context" {
+		return ""
+	}
+	if f.Name() == "Background" || f.Name() == "TODO" {
+		return f.Name()
+	}
+	return ""
+}
+
+// nilGuardedCtxCalls collects Background()/TODO() calls that appear as
+// `v = context.Background()` inside `if v == nil { ... }` — the
+// defaulting idiom for optional contexts.
+func nilGuardedCtxCalls(p *Pass, body *ast.BlockStmt) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		cond, ok := ifs.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.EQL || !isNilIdent(cond.Y) {
+			return true
+		}
+		guarded, ok := ast.Unparen(cond.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		for _, st := range ifs.Body.List {
+			as, ok := st.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				continue
+			}
+			lhs, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || lhs.Name != guarded.Name {
+				continue
+			}
+			if call, ok := as.Rhs[0].(*ast.CallExpr); ok && ctxMintName(p, call) != "" {
+				out = append(out, call)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// wrapperForwardCall recognizes the convenience-wrapper shape: a
+// function whose body is a single return (or expression) statement
+// calling another function with context.Background()/TODO() passed
+// directly as an argument. Such wrappers ARE the API layer — they exist
+// to give context-free callers an entry point.
+func wrapperForwardCall(p *Pass, fd *ast.FuncDecl) *ast.CallExpr {
+	if len(fd.Body.List) != 1 {
+		return nil
+	}
+	var call *ast.CallExpr
+	switch st := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(st.Results) != 1 {
+			return nil
+		}
+		call, _ = ast.Unparen(st.Results[0]).(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = st.X.(*ast.CallExpr)
+	}
+	if call == nil {
+		return nil
+	}
+	for _, arg := range call.Args {
+		if inner, ok := ast.Unparen(arg).(*ast.CallExpr); ok && ctxMintName(p, inner) != "" {
+			return inner
+		}
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"strings"
+)
+
+// ErrTaxon enforces the error taxonomy at the public API boundary: the
+// top-level minerule package returns either wrapped errors (%w, so
+// callers can errors.Is/As into the kernel's typed errors) or errors
+// carrying the "minerule: " prefix that names the failing subsystem.
+// A bare fmt.Errorf("something broke") in an exported function leaks an
+// unclassifiable error to library users.
+var ErrTaxon = &Analyzer{
+	Name: "errtaxon",
+	Doc:  "public API errors must wrap (%w) or carry the minerule: prefix",
+	Run:  runErrTaxon,
+}
+
+func runErrTaxon(p *Pass) {
+	if p.Pkg.Name() != "minerule" {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			checkErrTaxonFunc(p, fd)
+		}
+	}
+}
+
+func checkErrTaxonFunc(p *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := funcObj(p.Info, call)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "fmt" || f.Name() != "Errorf" {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		format, ok := constFormat(p, call.Args[0])
+		if !ok {
+			// Non-constant format: cannot classify, leave it alone.
+			return true
+		}
+		if strings.Contains(format, "%w") || strings.HasPrefix(format, "minerule: ") {
+			return true
+		}
+		p.Reportf(call.Pos(), "bare fmt.Errorf at the public API boundary: wrap with %%w or prefix \"minerule: \"")
+		return true
+	})
+}
+
+// constFormat evaluates e as a constant string, following the typed
+// constant value go/types computed (covers literals and named string
+// constants alike).
+func constFormat(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

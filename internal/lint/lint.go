@@ -1,0 +1,159 @@
+// Package lint is a small, dependency-free static-analysis framework in
+// the style of go/analysis, carrying the repository's custom analyzers.
+// Each Analyzer inspects one type-checked package and reports
+// diagnostics; drivers (cmd/minerule-vet) adapt the same analyzers to
+// standalone invocation and to `go vet -vettool`. The framework is
+// hand-rolled because the module is dependency-free by policy —
+// golang.org/x/tools is not available — so the subset of go/analysis
+// the analyzers need (a typed Pass, positional Report) is reimplemented
+// on the standard library's go/ast, go/types and go/token.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// report collects diagnostics; analyzers call Reportf.
+	diags    *[]Diagnostic
+	analyzer string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, with its resolved file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Run applies the analyzers to one type-checked package and returns the
+// findings sorted by position.
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		p := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info, diags: &diags, analyzer: a.Name}
+		a.Run(p)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags
+}
+
+// All returns the repository's analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{CtxFlow, BudgetCharge, SpanSafe, ErrTaxon}
+}
+
+// ByName resolves a comma-separated analyzer selection; empty selects
+// all.
+func ByName(sel string) ([]*Analyzer, error) {
+	if sel == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(sel, ",") {
+		a, ok := byName[strings.TrimSpace(n)]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+// isTestFile reports whether the file's name ends in _test.go.
+func isTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// funcObj resolves a call expression to the *types.Func it invokes, or
+// nil for indirect calls, builtins and conversions.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// recvTypeName returns the bare name of a method's receiver named type
+// ("Budget" for func (b *Budget) Charge), or "" for plain functions.
+func recvTypeName(f *types.Func) string {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// identRoot returns the leftmost identifier of a selector chain (x for
+// x.y.z), or nil when the expression does not start at an identifier.
+func identRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// ---------------------------------------------------------------------------
+// Fixture loading
+
+// stdExports maps stdlib import paths to export-data files, resolved
+// once per test binary via `go list` (modern toolchains ship no
+// pre-built .a files, so importer.Default cannot load stdlib).
+var (
+	stdOnce    sync.Once
+	stdExport  map[string]string
+	stdLoadErr error
+)
+
+func stdLookup(t *testing.T) func(path string) (io.ReadCloser, error) {
+	t.Helper()
+	stdOnce.Do(func() {
+		cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", "context", "fmt", "errors", "strings")
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			stdLoadErr = fmt.Errorf("go list std: %v\n%s", err, errb.String())
+			return
+		}
+		stdExport = make(map[string]string)
+		dec := json.NewDecoder(&out)
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				stdLoadErr = err
+				return
+			}
+			if p.Export != "" {
+				stdExport[p.ImportPath] = p.Export
+			}
+		}
+	})
+	if stdLoadErr != nil {
+		t.Fatalf("resolving stdlib export data: %v", stdLoadErr)
+	}
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := stdExport[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// fixtureImporter resolves fixture-local packages (obsv) before
+// delegating to the gc importer for the standard library.
+type fixtureImporter struct {
+	std   types.Importer
+	extra map[string]*types.Package
+}
+
+func (fi fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.extra[path]; ok {
+		return p, nil
+	}
+	return fi.std.Import(path)
+}
+
+func parseFixture(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	return files
+}
+
+// checkFixture type-checks testdata/src/<name> with the given extra
+// packages available for import and runs one analyzer over it.
+func checkFixture(t *testing.T, name string, a *Analyzer, extra map[string]*types.Package) ([]Diagnostic, *token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files := parseFixture(t, fset, filepath.Join("testdata", "src", name))
+	imp := fixtureImporter{std: importer.ForCompiler(fset, "gc", stdLookup(t)), extra: extra}
+	pkg, info, err := TypeCheck(fset, name, files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	return Run(fset, files, pkg, info, []*Analyzer{a}), fset, files, pkg, info
+}
+
+// wantDiag is one `// want "regex"` expectation from a fixture.
+type wantDiag struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []wantDiag {
+	t.Helper()
+	var wants []wantDiag
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp: %v", pos, err)
+				}
+				wants = append(wants, wantDiag{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// matchWants asserts the diagnostics and the fixture's want comments
+// agree line for line.
+func matchWants(t *testing.T, diags []Diagnostic, wants []wantDiag) {
+	t.Helper()
+	usedW := make([]bool, len(wants))
+	for _, d := range diags {
+		matched := false
+		for i, w := range wants {
+			if usedW[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				usedW[i] = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !usedW[i] {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func runFixtureTest(t *testing.T, name string, a *Analyzer, extra map[string]*types.Package) {
+	diags, fset, files, _, _ := checkFixture(t, name, a, extra)
+	wants := collectWants(t, fset, files)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", name)
+	}
+	matchWants(t, diags, wants)
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer fixture tests
+
+func TestCtxFlowFixture(t *testing.T) {
+	runFixtureTest(t, "ctxflow", CtxFlow, nil)
+}
+
+func TestBudgetChargeFixture(t *testing.T) {
+	runFixtureTest(t, "budgetcharge", BudgetCharge, nil)
+}
+
+func TestSpanSafeFixture(t *testing.T) {
+	// The spansafe fixture imports a fixture-local obsv package; check
+	// that one first and feed it to the importer.
+	fset := token.NewFileSet()
+	files := parseFixture(t, fset, filepath.Join("testdata", "src", "obsv"))
+	obsvPkg, _, err := TypeCheck(fset, "obsv", files, importer.ForCompiler(fset, "gc", stdLookup(t)))
+	if err != nil {
+		t.Fatalf("type-checking obsv fixture: %v", err)
+	}
+	runFixtureTest(t, "spansafe", SpanSafe, map[string]*types.Package{"obsv": obsvPkg})
+}
+
+func TestErrTaxonFixture(t *testing.T) {
+	runFixtureTest(t, "errtaxon", ErrTaxon, nil)
+}
+
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	}
+	two, err := ByName("ctxflow, spansafe")
+	if err != nil || len(two) != 2 || two[0].Name != "ctxflow" || two[1].Name != "spansafe" {
+		t.Fatalf("ByName selection failed: %v %v", two, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName(nope) should fail")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The suite must run clean on the repository itself.
+
+func TestRepoClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repository packages: %v", err)
+	}
+	if len(loaded) == 0 {
+		t.Fatal("Load matched no packages")
+	}
+	for _, l := range loaded {
+		diags := Run(l.Fset, l.Files, l.Pkg, l.Info, All())
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpanSafe enforces the observability contract of obsv.Span: spans are
+// nil when tracing is off, every Span method is nil-safe, and code
+// outside the obsv package that reads Span struct fields directly
+// (Name, Attrs, Children, Duration — which a nil receiver would panic
+// on) must guard the value against nil in the same function. Method
+// calls need no guard — that nil-safety is the package's contract.
+var SpanSafe = &Analyzer{
+	Name: "spansafe",
+	Doc:  "direct obsv.Span field reads outside obsv need a nil guard",
+	Run:  runSpanSafe,
+}
+
+var spanFields = map[string]bool{
+	"Name": true, "Attrs": true, "Children": true, "Duration": true,
+}
+
+func runSpanSafe(p *Pass) {
+	if p.Pkg.Name() == "obsv" {
+		return
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSpanFunc(p, fd)
+		}
+	}
+}
+
+func checkSpanFunc(p *Pass, fd *ast.FuncDecl) {
+	// guarded collects the names of identifiers that appear in any nil
+	// comparison within the function (x == nil, x != nil). One guard
+	// anywhere in the function is accepted — the analyzer checks that
+	// the author thought about nil, not the dominator tree.
+	guarded := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+			return true
+		}
+		for _, side := range []ast.Expr{be.X, be.Y} {
+			if isNilIdent(side) {
+				continue
+			}
+			if id := identRoot(side); id != nil {
+				guarded[id.Name] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || !spanFields[sel.Sel.Name] {
+			return true
+		}
+		if !isSpanPtr(p.Info.Types[sel.X].Type) {
+			return true
+		}
+		// Only direct field selections count; p.Info tells fields from
+		// methods apart.
+		if _, isField := p.Info.Selections[sel]; !isField {
+			return true
+		}
+		if obj := p.Info.Selections[sel].Obj(); obj == nil || !isFieldVar(obj) {
+			return true
+		}
+		root := identRoot(sel.X)
+		if root != nil && guarded[root.Name] {
+			return true
+		}
+		p.Reportf(sel.Pos(), "field %s read on *obsv.Span without a nil guard (spans are nil when tracing is off)", sel.Sel.Name)
+		return true
+	})
+}
+
+func isFieldVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	return ok && v.IsField()
+}
+
+// isSpanPtr reports whether t is *Span of a package named obsv.
+func isSpanPtr(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		p2, ok2 := t.(*types.Pointer)
+		if !ok2 {
+			return false
+		}
+		ptr = p2
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != "Span" || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Name() == "obsv"
+}

@@ -1,0 +1,43 @@
+package mining
+
+type Budget struct{ rows int64 }
+
+func (b *Budget) Charge(n int64) bool { b.rows += n; return true }
+func (b *Budget) Stop() bool          { return false }
+func (b *Budget) NotePass()           {}
+
+type good struct{ bud *Budget }
+
+// LargeItemsets charging transitively through a helper: allowed.
+func (g *good) LargeItemsets() { g.scan() }
+
+func (g *good) scan() { g.bud.Charge(1) }
+
+// MineGeneral charging from a worker closure: allowed.
+func MineGeneral(b *Budget) {
+	work := func() { b.Charge(1) }
+	work()
+}
+
+type bad struct{ bud *Budget }
+
+func (b *bad) LargeItemsets() { // want `LargeItemsets does not charge the Budget`
+	b.helper()
+}
+
+func (b *bad) helper() {}
+
+func passLoop(b *Budget, n int) {
+	for i := 0; i < n; i++ { // want `loop records passes \(NotePass\) without charging`
+		b.NotePass()
+	}
+}
+
+func goodLoop(b *Budget, n int) {
+	for i := 0; i < n; i++ {
+		b.NotePass()
+		if !b.Charge(1) {
+			return
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package ctxflow
+
+import "context"
+
+type DB struct{}
+
+func (db *DB) ExecContext(ctx context.Context, q string) error { return nil }
+
+// Exec is a convenience wrapper: it IS the API layer, so minting a
+// context in the single forwarding statement is allowed.
+func (db *DB) Exec(q string) error {
+	return db.ExecContext(context.Background(), q)
+}
+
+// Run defaults an optional context with the nil-guard idiom: allowed.
+func Run(ctx context.Context, db *DB) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return db.ExecContext(ctx, "SELECT 1")
+}
+
+func deepWorker(db *DB) error {
+	ctx := context.Background() // want `context\.Background\(\) below the API layer`
+	return db.ExecContext(ctx, "SELECT 1")
+}
+
+func todoWorker(db *DB) error {
+	q := "SELECT 1"
+	return db.ExecContext(context.TODO(), q) // want `context\.TODO\(\) below the API layer`
+}

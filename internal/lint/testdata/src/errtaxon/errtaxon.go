@@ -1,0 +1,21 @@
+package minerule
+
+import (
+	"errors"
+	"fmt"
+)
+
+func Public(x int) error {
+	if x < 0 {
+		return fmt.Errorf("bad input %d", x) // want `bare fmt.Errorf at the public API boundary`
+	}
+	if x == 0 {
+		return fmt.Errorf("minerule: zero input")
+	}
+	return fmt.Errorf("run failed: %w", errors.New("inner"))
+}
+
+// Unexported helpers are below the boundary: no diagnostic.
+func internalHelper(x int) error {
+	return fmt.Errorf("anything goes here %d", x)
+}

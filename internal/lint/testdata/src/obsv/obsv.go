@@ -1,0 +1,12 @@
+package obsv
+
+// Span mirrors the repository's obsv.Span shape for the spansafe
+// fixtures: nil when tracing is off, methods nil-safe, fields not.
+type Span struct {
+	Name     string
+	Duration int64
+	Attrs    map[string]string
+	Children []*Span
+}
+
+func (s *Span) Finish() {}

@@ -1,0 +1,30 @@
+package spansafe
+
+import "obsv"
+
+func dumpBad(sp *obsv.Span) string {
+	return sp.Name // want `field Name read on \*obsv\.Span without a nil guard`
+}
+
+func attrsBad(sp *obsv.Span) int {
+	return len(sp.Attrs) // want `field Attrs read on \*obsv\.Span without a nil guard`
+}
+
+func dumpGood(sp *obsv.Span) string {
+	if sp == nil {
+		return ""
+	}
+	return sp.Name
+}
+
+func kidsGood(sp *obsv.Span) int {
+	if sp != nil {
+		return len(sp.Children)
+	}
+	return 0
+}
+
+// Methods are nil-safe by the obsv contract: no guard needed.
+func methodOK(sp *obsv.Span) {
+	sp.Finish()
+}

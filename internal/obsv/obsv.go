@@ -69,6 +69,16 @@ func (s *Span) Finish() {
 	}
 }
 
+// SetDuration overrides the measured duration with an externally
+// recorded one, for spans reconstructed after the fact from step
+// timings. Safe on nil.
+func (s *Span) SetDuration(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Duration = d
+}
+
 // SetInt sets (or overwrites) a numeric attribute.
 func (s *Span) SetInt(key string, v int64) {
 	if s == nil {

@@ -8,6 +8,7 @@ package engine
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -17,7 +18,10 @@ import (
 	"minerule/internal/obsv"
 	"minerule/internal/resource"
 	"minerule/internal/sql/exec"
+	"minerule/internal/sql/lex"
+	"minerule/internal/sql/parse"
 	"minerule/internal/sql/schema"
+	"minerule/internal/sql/semck"
 	"minerule/internal/sql/storage"
 	"minerule/internal/sql/value"
 )
@@ -80,6 +84,16 @@ func (db *Database) ExecContext(ctx context.Context, sql string) (*exec.Result, 
 	st, err := db.prepare(sql)
 	db.met.ParseNanos.Add(int64(time.Since(t0)))
 	if err != nil {
+		// EXPLAIN of a semantically invalid query reports the diagnostic
+		// as its plan instead of failing: the tool's whole purpose is to
+		// show what the engine makes of the statement.
+		var se *semck.Error
+		if _, isExplain := st.(*parse.Explain); isExplain && errors.As(err, &se) {
+			db.met.StmtExecuted.Inc()
+			s := schema.New("", schema.Column{Name: "QUERY PLAN", Type: value.TypeString})
+			row := schema.Row{value.NewString("error: " + se.Error())}
+			return &exec.Result{Schema: s, Rows: []schema.Row{row}}, nil
+		}
 		db.met.StmtErrors.Inc()
 		return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
 	}
@@ -94,7 +108,7 @@ func (db *Database) ExecContext(ctx context.Context, sql string) (*exec.Result, 
 	db.met.ExecNanos.Add(int64(time.Since(t1)))
 	if err != nil {
 		db.met.StmtErrors.Inc()
-		return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
+		return nil, fmt.Errorf("engine: %w%s\n  in: %s", err, posSuffix(err, sql), compact(sql))
 	}
 	if res.Schema != nil {
 		db.met.RowsReturned.Add(int64(len(res.Rows)))
@@ -127,7 +141,7 @@ func (db *Database) ExecScriptContext(ctx context.Context, sql string) error {
 		db.met.ExecNanos.Add(int64(time.Since(t0)))
 		if err != nil {
 			db.met.StmtErrors.Inc()
-			return fmt.Errorf("engine: %w\n  in: %s", err, compact(st.SQL()))
+			return fmt.Errorf("engine: %w%s\n  in: %s", err, posSuffix(err, sql), compact(st.SQL()))
 		}
 	}
 	return nil
@@ -195,6 +209,18 @@ func (db *Database) QueryIntContext(ctx context.Context, sql string) (int64, err
 	default:
 		return 0, fmt.Errorf("engine: expected numeric value, got %s", v.Type())
 	}
+}
+
+// posSuffix renders " (line L, column C)" when the executor tagged err
+// with the source offset of the failing node (exec.PosError); offsets
+// are relative to the statement or script text the engine prepared.
+func posSuffix(err error, src string) string {
+	var pe *exec.PosError
+	if !errors.As(err, &pe) {
+		return ""
+	}
+	line, col := lex.Position(src, pe.Off)
+	return fmt.Sprintf(" (line %d, column %d)", line, col)
 }
 
 func compact(sql string) string {

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"minerule/internal/sql/parse"
+	"minerule/internal/sql/semck"
 )
 
 // stmtCacheLimit bounds the number of distinct statement texts kept.
@@ -75,17 +76,32 @@ func (c *clockCache[V]) put(k string, v V, limit int) bool {
 	}
 }
 
+// prepared is one cached program: the parsed statement(s) plus the
+// result of the prepare-time semantic check, keyed by the catalog
+// version the check ran against. A cache hit at the same version reuses
+// the verdict without touching the dictionary; a hit after DDL rechecks
+// once and re-stamps. err carries the statements themselves untouched —
+// the engine still hands the parsed form out on a failed check so
+// EXPLAIN can report the diagnostic as its plan.
+type prepared struct {
+	st  parse.Statement
+	sts []parse.Statement // script form
+	ver uint64
+	err error
+}
+
 // stmtCache is the engine's prepared-program cache: statement text →
-// parsed form, so each distinct text is parsed once and re-executed
-// many times. Entries are pure syntax — name resolution happens at bind
-// time inside the executor on every execution — so a cached program can
-// never observe a stale catalog and no DDL-based invalidation is
-// needed here. (Catalog-dependent plan state, like resolved view
+// parsed form plus semantic verdict, so each distinct text is parsed
+// once and semantically checked once per catalog version, then
+// re-executed many times. Name resolution still happens at bind time
+// inside the executor on every execution, so a cached program can never
+// observe a stale catalog; the version stamp only guards the cached
+// semck verdict. (Catalog-dependent plan state, like resolved view
 // bodies, is cached in the executor keyed by storage.Catalog.Version.)
 type stmtCache struct {
 	mu        sync.Mutex
-	stmts     clockCache[parse.Statement]
-	scripts   clockCache[[]parse.Statement]
+	stmts     clockCache[*prepared]
+	scripts   clockCache[*prepared]
 	hits      uint64
 	misses    uint64
 	evictions uint64
@@ -108,15 +124,24 @@ func (db *Database) StatementCacheEvictions() uint64 {
 }
 
 // prepare returns the parsed form of one statement, from cache when the
-// exact text has been seen before.
+// exact text has been seen before, together with the prepare-time
+// semantic verdict. On a non-nil error the statement is still returned
+// when parsing succeeded (the error is then a semantic diagnostic, not
+// a syntax failure), so callers can inspect the statement kind.
 func (db *Database) prepare(sql string) (parse.Statement, error) {
 	c := &db.cache
+	ver := db.cat.Version()
 	c.mu.Lock()
-	if st, ok := c.stmts.get(sql); ok {
+	if p, ok := c.stmts.get(sql); ok {
 		c.hits++
+		if p.ver != ver {
+			p.err = semck.Check(semck.FromStorage(db.cat), p.st, sql)
+			p.ver = ver
+		}
+		st, err := p.st, p.err
 		c.mu.Unlock()
 		db.met.StmtCacheHits.Inc()
-		return st, nil
+		return st, err
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -126,23 +151,48 @@ func (db *Database) prepare(sql string) (parse.Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	cerr := semck.Check(semck.FromStorage(db.cat), st, sql)
 	c.mu.Lock()
-	if c.stmts.put(sql, st, stmtCacheLimit) {
+	if c.stmts.put(sql, &prepared{st: st, ver: ver, err: cerr}, stmtCacheLimit) {
 		c.evictions++
 		db.met.StmtCacheEvictions.Inc()
 	}
 	c.mu.Unlock()
-	return st, nil
+	return st, cerr
+}
+
+// checkScript semantically checks a statement sequence in order,
+// threading DDL effects through an overlay so later statements see
+// tables and sequences earlier ones create. Offsets in diagnostics are
+// script-relative, matching how the parser assigned them.
+func (db *Database) checkScript(sts []parse.Statement, src string) error {
+	ov := semck.NewOverlay(semck.FromStorage(db.cat))
+	for _, st := range sts {
+		if err := semck.Check(ov, st, src); err != nil {
+			return err
+		}
+		ov.Apply(st)
+	}
+	return nil
 }
 
 // prepareScript is prepare for semicolon-separated scripts.
 func (db *Database) prepareScript(sql string) ([]parse.Statement, error) {
 	c := &db.cache
+	ver := db.cat.Version()
 	c.mu.Lock()
-	if sts, ok := c.scripts.get(sql); ok {
+	if p, ok := c.scripts.get(sql); ok {
 		c.hits++
+		if p.ver != ver {
+			p.err = db.checkScript(p.sts, sql)
+			p.ver = ver
+		}
+		sts, err := p.sts, p.err
 		c.mu.Unlock()
 		db.met.StmtCacheHits.Inc()
+		if err != nil {
+			return nil, err
+		}
 		return sts, nil
 	}
 	c.misses++
@@ -153,11 +203,15 @@ func (db *Database) prepareScript(sql string) ([]parse.Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	cerr := db.checkScript(sts, sql)
 	c.mu.Lock()
-	if c.scripts.put(sql, sts, stmtCacheLimit) {
+	if c.scripts.put(sql, &prepared{sts: sts, ver: ver, err: cerr}, stmtCacheLimit) {
 		c.evictions++
 		db.met.StmtCacheEvictions.Inc()
 	}
 	c.mu.Unlock()
+	if cerr != nil {
+		return nil, cerr
+	}
 	return sts, nil
 }

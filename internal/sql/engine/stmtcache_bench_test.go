@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"testing"
+)
+
+func hitPathDB(tb testing.TB) *Database {
+	tb.Helper()
+	db := New()
+	if err := db.ExecScript(`
+		CREATE TABLE t (a INTEGER, b VARCHAR);
+		INSERT INTO t VALUES (1, 'x'), (2, 'y');
+	`); err != nil {
+		tb.Fatal(err)
+	}
+	return db
+}
+
+// TestPrepareHitAllocationFree guards the cost model the semantic
+// checker was wired in under: the check runs once per cached program
+// per catalog version, so a statement-cache hit at an unchanged version
+// is a pure lookup — zero heap allocations, no semck work. A regression
+// here means semck (or anything else) leaked onto the per-execution
+// path.
+func TestPrepareHitAllocationFree(t *testing.T) {
+	db := hitPathDB(t)
+	sql := "SELECT a, UPPER(b) FROM t WHERE a > 1 ORDER BY a"
+	if _, err := db.prepare(sql); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := db.prepare(sql); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("prepare() hit path allocates %.1f objects/op, want 0", allocs)
+	}
+
+	// DDL bumps the catalog version: the next hit rechecks once and
+	// re-stamps, after which the path is allocation-free again.
+	if _, err := db.Exec("CREATE TABLE u (x INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.prepare(sql); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(200, func() {
+		if _, err := db.prepare(sql); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("prepare() hit path allocates %.1f objects/op after recheck, want 0", allocs)
+	}
+}
+
+// TestSemCheckOncePerProgram pins the "once per cached program" half of
+// the contract via the cache counters: N executions of one text are one
+// miss (parse + check) and N-1 verdict reuses.
+func TestSemCheckOncePerProgram(t *testing.T) {
+	db := hitPathDB(t)
+	h0, m0 := db.StatementCacheStats()
+	sql := "SELECT COUNT(*) FROM t"
+	for i := 0; i < 50; i++ {
+		if _, err := db.Query(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, m := db.StatementCacheStats()
+	if m-m0 != 1 || h-h0 != 49 {
+		t.Fatalf("50 executions: %d misses, %d hits; want 1 and 49", m-m0, h-h0)
+	}
+}
+
+// BenchmarkPrepareHit measures the statement-cache hit path (lookup +
+// cached semck verdict). Compare against BENCH_baseline.json's
+// end-to-end targets when assessing prepare-time overhead: the hit path
+// must stay allocation-free.
+func BenchmarkPrepareHit(b *testing.B) {
+	db := hitPathDB(b)
+	sql := "SELECT a, UPPER(b) FROM t WHERE a > 1 ORDER BY a"
+	if _, err := db.prepare(sql); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.prepare(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

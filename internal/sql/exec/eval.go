@@ -62,14 +62,14 @@ func (b *binding) compile(e parse.Expr) (evalFunc, error) {
 					}, nil
 				}
 			}
-			return nil, err
+			return nil, &PosError{Err: err, Off: x.Pos}
 		}
 		return func(row schema.Row) (value.Value, error) { return row[idx], nil }, nil
 
 	case *parse.NextVal:
 		seq, ok := b.rt.Cat.Sequence(x.Seq)
 		if !ok {
-			return nil, fmt.Errorf("exec: unknown sequence %q", x.Seq)
+			return nil, &PosError{Err: fmt.Errorf("exec: unknown sequence %q", x.Seq), Off: x.Pos}
 		}
 		return func(schema.Row) (value.Value, error) {
 			return value.NewInt(seq.NextVal()), nil
@@ -294,7 +294,7 @@ func (b *binding) compile(e parse.Expr) (evalFunc, error) {
 	case *parse.FuncCall:
 		if x.IsAggregate() {
 			if b.aggs == nil {
-				return nil, fmt.Errorf("exec: aggregate %s outside GROUP BY context", x.Name)
+				return nil, &PosError{Err: fmt.Errorf("exec: aggregate %s outside GROUP BY context", x.Name), Off: x.Pos}
 			}
 			slot, ok := b.aggs[x]
 			if !ok {
@@ -740,7 +740,7 @@ func (b *binding) compileScalarFunc(x *parse.FuncCall) (evalFunc, error) {
 			return value.Null, nil
 		}, nil
 	}
-	return nil, fmt.Errorf("exec: unknown function %s", x.Name)
+	return nil, &PosError{Err: fmt.Errorf("exec: unknown function %s", x.Name), Off: x.Pos}
 }
 
 // likeMatch implements SQL LIKE with % (any run) and _ (any one byte),

@@ -38,6 +38,9 @@ func (rt *Runtime) execExplain(x *parse.Explain) (*Result, error) {
 //	    scan table=Sales rows=20
 //	    filter cond=(price > 10) rows_in=20 rows=6
 func planLines(sp *obsv.Span, depth int, analyze bool, out *[]string) {
+	if sp == nil { // spans are nil when the collector is off
+		return
+	}
 	var b strings.Builder
 	b.WriteString(strings.Repeat("  ", depth))
 	b.WriteString(sp.Name)

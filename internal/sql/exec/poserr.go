@@ -1,0 +1,18 @@
+package exec
+
+// PosError attaches the byte offset of the AST node a runtime
+// resolution error refers to (an unknown column, table, sequence or
+// function, or a misplaced aggregate). It renders identically to the
+// wrapped error — the position is side-channel data for callers like
+// the engine, which translates the offset to a line/column suffix on
+// the statement text it holds. Most such failures are caught earlier by
+// the prepare-time checker (internal/sql/semck); this covers statements
+// built programmatically and any path that bypasses prepare.
+type PosError struct {
+	Err error
+	Off int
+}
+
+func (e *PosError) Error() string { return e.Err.Error() }
+
+func (e *PosError) Unwrap() error { return e.Err }

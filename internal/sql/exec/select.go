@@ -589,7 +589,7 @@ func (rt *Runtime) scanBase(tr parse.TableRef) (*relation, error) {
 			}
 			break
 		}
-		return nil, fmt.Errorf("exec: unknown table or view %q", tr.Name)
+		return nil, &PosError{Err: fmt.Errorf("exec: unknown table or view %q", tr.Name), Off: tr.Pos}
 	}
 	if qual != "" {
 		rel = &relation{schema: rel.schema.WithQualifier(qual), rows: rel.rows}
@@ -981,7 +981,7 @@ func (rt *Runtime) groupProject(s *parse.Select, in *relation) (*relation, error
 			continue
 		}
 		if len(a.Args) != 1 {
-			return nil, fmt.Errorf("exec: %s takes one argument", a.Name)
+			return nil, &PosError{Err: fmt.Errorf("exec: %s takes one argument", a.Name), Off: a.Pos}
 		}
 		f, err := keyBind.compile(a.Args[0])
 		if err != nil {

@@ -207,6 +207,30 @@ func lexNumber(src string, i int) int {
 	return i
 }
 
+// Position converts a byte offset in src into a 1-based line and column
+// (columns count bytes, which matches the ASCII identifier grammar).
+// Offsets outside [0, len(src)] are clamped, so callers can pass a
+// position from a statement that has since been reformatted without
+// risking a panic — worst case the diagnostic points at the end.
+func Position(src string, offset int) (line, col int) {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(src) {
+		offset = len(src)
+	}
+	line, col = 1, 1
+	for i := 0; i < offset; i++ {
+		if src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return line, col
+}
+
 // Identifiers are ASCII, per SQL92's base character set; scanning is
 // byte-wise, so admitting non-ASCII here would misclassify multi-byte
 // sequences.

@@ -67,6 +67,15 @@ type Expr interface {
 	expr()
 }
 
+// Positioned is implemented by nodes that carry a source position: the
+// byte offset of the node's first token in the statement text. Offsets
+// convert to line/column with lex.Position. Nodes built programmatically
+// (the MINE RULE translator, view expansion) leave the offset at 0,
+// which renders as line 1, column 1.
+type Positioned interface {
+	SrcPos() int
+}
+
 // ---------------------------------------------------------------------------
 // Expressions
 
@@ -74,11 +83,13 @@ type Expr interface {
 type ColumnRef struct {
 	Qual string
 	Name string
+	Pos  int
 }
 
 // Literal is a constant value.
 type Literal struct {
 	Val value.Value
+	Pos int
 }
 
 // BinaryOp enumerates binary operators.
@@ -141,18 +152,26 @@ func (o BinaryOp) Comparison() bool { return o >= OpEq && o <= OpGe }
 type BinaryExpr struct {
 	Op   BinaryOp
 	L, R Expr
+	Pos  int
 }
 
 // NotExpr is logical negation.
-type NotExpr struct{ E Expr }
+type NotExpr struct {
+	E   Expr
+	Pos int
+}
 
 // NegExpr is arithmetic negation.
-type NegExpr struct{ E Expr }
+type NegExpr struct {
+	E   Expr
+	Pos int
+}
 
 // BetweenExpr is "e [NOT] BETWEEN lo AND hi".
 type BetweenExpr struct {
 	E, Lo, Hi Expr
 	Not       bool
+	Pos       int
 }
 
 // InListExpr is "e [NOT] IN (e1, …, en)".
@@ -160,6 +179,7 @@ type InListExpr struct {
 	E    Expr
 	List []Expr
 	Not  bool
+	Pos  int
 }
 
 // InSubquery is "e [NOT] IN (SELECT …)". The subquery may be
@@ -168,30 +188,35 @@ type InSubquery struct {
 	E   Expr
 	Sub *Select
 	Not bool
+	Pos int
 }
 
 // ExistsExpr is "[NOT] EXISTS (SELECT …)", correlated or not.
 type ExistsExpr struct {
 	Sub *Select
 	Not bool
+	Pos int
 }
 
 // ScalarSubquery is "(SELECT …)" used as a scalar; the subquery may be
 // correlated and must produce one column and at most one row.
 type ScalarSubquery struct {
 	Sub *Select
+	Pos int
 }
 
 // IsNullExpr is "e IS [NOT] NULL".
 type IsNullExpr struct {
 	E   Expr
 	Not bool
+	Pos int
 }
 
 // LikeExpr is "e [NOT] LIKE pattern" with % and _ wildcards.
 type LikeExpr struct {
 	E, Pattern Expr
 	Not        bool
+	Pos        int
 }
 
 // FuncCall is a function application. Star marks COUNT(*); Distinct marks
@@ -202,6 +227,7 @@ type FuncCall struct {
 	Args     []Expr
 	Star     bool
 	Distinct bool
+	Pos      int
 }
 
 // IsAggregate reports whether the call is one of the five SQL92
@@ -217,6 +243,7 @@ func (f *FuncCall) IsAggregate() bool {
 // NextVal is Oracle's "seq.NEXTVAL" pseudo-column.
 type NextVal struct {
 	Seq string
+	Pos int
 }
 
 // CaseWhen is one WHEN…THEN arm of a CASE expression.
@@ -232,6 +259,7 @@ type CaseExpr struct {
 	Operand Expr // nil for the searched form
 	Whens   []CaseWhen
 	Else    Expr // nil → NULL
+	Pos     int
 }
 
 func (*ColumnRef) expr()      {}
@@ -250,6 +278,31 @@ func (*FuncCall) expr()       {}
 func (*NextVal) expr()        {}
 func (*CaseExpr) expr()       {}
 
+func (c *ColumnRef) SrcPos() int      { return c.Pos }
+func (l *Literal) SrcPos() int        { return l.Pos }
+func (b *BinaryExpr) SrcPos() int     { return b.Pos }
+func (n *NotExpr) SrcPos() int        { return n.Pos }
+func (n *NegExpr) SrcPos() int        { return n.Pos }
+func (b *BetweenExpr) SrcPos() int    { return b.Pos }
+func (e *InListExpr) SrcPos() int     { return e.Pos }
+func (e *InSubquery) SrcPos() int     { return e.Pos }
+func (e *ExistsExpr) SrcPos() int     { return e.Pos }
+func (e *ScalarSubquery) SrcPos() int { return e.Pos }
+func (e *IsNullExpr) SrcPos() int     { return e.Pos }
+func (e *LikeExpr) SrcPos() int       { return e.Pos }
+func (f *FuncCall) SrcPos() int       { return f.Pos }
+func (n *NextVal) SrcPos() int        { return n.Pos }
+func (c *CaseExpr) SrcPos() int       { return c.Pos }
+
+// ExprOffset returns the expression's source offset, or 0 when the node
+// carries none (every parser-built expression does).
+func ExprOffset(e Expr) int {
+	if p, ok := e.(Positioned); ok {
+		return p.SrcPos()
+	}
+	return 0
+}
+
 // ---------------------------------------------------------------------------
 // SELECT
 
@@ -260,7 +313,11 @@ type SelectItem struct {
 	Alias    string
 	Star     bool   // SELECT *
 	StarQual string // SELECT t.* (Star is false in this case)
+	Pos      int
 }
+
+// SrcPos implements Positioned.
+func (s *SelectItem) SrcPos() int { return s.Pos }
 
 // JoinKind classifies an explicit JOIN clause.
 type JoinKind int
@@ -293,7 +350,11 @@ type TableRef struct {
 	Sub   *Select // derived table, nil for named relations
 	Alias string
 	Joins []JoinClause
+	Pos   int
 }
+
+// SrcPos implements Positioned.
+func (t *TableRef) SrcPos() int { return t.Pos }
 
 // OrderItem is one ORDER BY element.
 type OrderItem struct {
@@ -347,6 +408,8 @@ type Select struct {
 	// Limit and Offset bound the final result; -1 means absent.
 	Limit  int64
 	Offset int64
+	// Pos is the byte offset of the SELECT keyword.
+	Pos int
 }
 
 // ---------------------------------------------------------------------------
@@ -362,10 +425,14 @@ type ColumnDef struct {
 type CreateTable struct {
 	Name string
 	Cols []ColumnDef
+	Pos  int
 }
 
 // DropTable is "DROP TABLE name".
-type DropTable struct{ Name string }
+type DropTable struct {
+	Name string
+	Pos  int
+}
 
 // CreateIndex is "CREATE INDEX name ON table (column)": a single-column
 // hash index accelerating equality predicates.
@@ -373,10 +440,14 @@ type CreateIndex struct {
 	Name   string
 	Table  string
 	Column string
+	Pos    int
 }
 
 // DropIndex is "DROP INDEX name".
-type DropIndex struct{ Name string }
+type DropIndex struct {
+	Name string
+	Pos  int
+}
 
 // CreateView is "CREATE VIEW name AS select". Text preserves the SELECT
 // source so the view re-plans at each use (paper Q11: CodedSource is a
@@ -384,16 +455,26 @@ type DropIndex struct{ Name string }
 type CreateView struct {
 	Name  string
 	Query *Select
+	Pos   int
 }
 
 // DropView is "DROP VIEW name".
-type DropView struct{ Name string }
+type DropView struct {
+	Name string
+	Pos  int
+}
 
 // CreateSequence is Oracle's "CREATE SEQUENCE name".
-type CreateSequence struct{ Name string }
+type CreateSequence struct {
+	Name string
+	Pos  int
+}
 
 // DropSequence is "DROP SEQUENCE name".
-type DropSequence struct{ Name string }
+type DropSequence struct {
+	Name string
+	Pos  int
+}
 
 // Insert is "INSERT INTO table [(cols)] VALUES (…), (…)" or
 // "INSERT INTO table [(cols)] select".
@@ -402,25 +483,32 @@ type Insert struct {
 	Columns []string
 	Rows    [][]Expr
 	Query   *Select
+	Pos     int
 }
 
 // Delete is "DELETE FROM table [WHERE cond]".
 type Delete struct {
 	Table string
 	Where Expr
+	Pos   int
 }
 
 // Assignment is one "col = expr" of an UPDATE.
 type Assignment struct {
 	Column string
 	Value  Expr
+	Pos    int
 }
+
+// SrcPos implements Positioned.
+func (a *Assignment) SrcPos() int { return a.Pos }
 
 // Update is "UPDATE table SET col = expr, … [WHERE cond]".
 type Update struct {
 	Table string
 	Set   []Assignment
 	Where Expr
+	Pos   int
 }
 
 // Explain is "EXPLAIN [ANALYZE] select". The engine interprets rather
@@ -430,6 +518,7 @@ type Update struct {
 type Explain struct {
 	Analyze bool
 	Query   *Select
+	Pos     int
 }
 
 func (*Select) stmt()         {}
@@ -445,6 +534,20 @@ func (*Update) stmt()         {}
 func (*CreateIndex) stmt()    {}
 func (*DropIndex) stmt()      {}
 func (*Explain) stmt()        {}
+
+func (s *Select) SrcPos() int         { return s.Pos }
+func (c *CreateTable) SrcPos() int    { return c.Pos }
+func (d *DropTable) SrcPos() int      { return d.Pos }
+func (c *CreateView) SrcPos() int     { return c.Pos }
+func (d *DropView) SrcPos() int       { return d.Pos }
+func (c *CreateSequence) SrcPos() int { return c.Pos }
+func (d *DropSequence) SrcPos() int   { return d.Pos }
+func (i *Insert) SrcPos() int         { return i.Pos }
+func (d *Delete) SrcPos() int         { return d.Pos }
+func (u *Update) SrcPos() int         { return u.Pos }
+func (c *CreateIndex) SrcPos() int    { return c.Pos }
+func (d *DropIndex) SrcPos() int      { return d.Pos }
+func (e *Explain) SrcPos() int        { return e.Pos }
 
 // ---------------------------------------------------------------------------
 // SQL rendering (Node.SQL)

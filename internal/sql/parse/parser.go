@@ -192,7 +192,7 @@ func (p *parser) statement() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Analyze: analyze, Query: sel}, nil
+		return &Explain{Analyze: analyze, Query: sel, Pos: t.Pos}, nil
 	case t.IsPunct("("):
 		// Parenthesized SELECT at statement level, as the appendix
 		// writes "INSERT INTO t (SELECT …)"-style standalone queries.
@@ -305,10 +305,11 @@ func (p *parser) selectCore() (*Select, error) {
 		return nil, err
 	}
 	defer p.leave()
+	pos := p.peek().Pos
 	if err := p.expectKw("select"); err != nil {
 		return nil, err
 	}
-	s := &Select{Limit: -1}
+	s := &Select{Limit: -1, Pos: pos}
 	if p.acceptKw("distinct") {
 		s.Distinct = true
 	} else {
@@ -369,15 +370,16 @@ func (p *parser) selectCore() (*Select, error) {
 }
 
 func (p *parser) selectItem() (SelectItem, error) {
+	pos := p.peek().Pos
 	if p.accept("*") {
-		return SelectItem{Star: true}, nil
+		return SelectItem{Star: true, Pos: pos}, nil
 	}
 	// "qual.*"
 	if p.peek().Kind == lex.Ident && !isReserved(p.peek().Text) {
 		mark := p.save()
 		q, _ := p.ident()
 		if p.accept(".") && p.accept("*") {
-			return SelectItem{StarQual: q}, nil
+			return SelectItem{StarQual: q, Pos: pos}, nil
 		}
 		p.restore(mark)
 	}
@@ -385,7 +387,7 @@ func (p *parser) selectItem() (SelectItem, error) {
 	if err != nil {
 		return SelectItem{}, err
 	}
-	item := SelectItem{Expr: e}
+	item := SelectItem{Expr: e, Pos: pos}
 	if p.acceptKw("as") {
 		a, err := p.ident()
 		if err != nil {
@@ -444,6 +446,7 @@ func (p *parser) tableRef() (TableRef, error) {
 // JOIN clauses.
 func (p *parser) tableRefBase() (TableRef, error) {
 	var tr TableRef
+	tr.Pos = p.peek().Pos
 	if p.accept("(") {
 		sub, err := p.selectStmt()
 		if err != nil {
@@ -474,6 +477,7 @@ func (p *parser) tableRefBase() (TableRef, error) {
 }
 
 func (p *parser) insertStmt() (Statement, error) {
+	pos := p.peek().Pos
 	if err := p.expectKw("insert"); err != nil {
 		return nil, err
 	}
@@ -484,7 +488,7 @@ func (p *parser) insertStmt() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	ins := &Insert{Table: name}
+	ins := &Insert{Table: name, Pos: pos}
 	// Optional column list — disambiguate from "INSERT INTO t (SELECT…)".
 	if p.peek().IsPunct("(") {
 		mark := p.save()
@@ -563,6 +567,7 @@ func (p *parser) insertStmt() (Statement, error) {
 }
 
 func (p *parser) deleteStmt() (Statement, error) {
+	pos := p.peek().Pos
 	if err := p.expectKw("delete"); err != nil {
 		return nil, err
 	}
@@ -573,7 +578,7 @@ func (p *parser) deleteStmt() (Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &Delete{Table: name}
+	d := &Delete{Table: name, Pos: pos}
 	if p.acceptKw("where") {
 		e, err := p.expr()
 		if err != nil {
@@ -585,6 +590,7 @@ func (p *parser) deleteStmt() (Statement, error) {
 }
 
 func (p *parser) updateStmt() (Statement, error) {
+	pos := p.peek().Pos
 	if err := p.expectKw("update"); err != nil {
 		return nil, err
 	}
@@ -595,8 +601,9 @@ func (p *parser) updateStmt() (Statement, error) {
 	if err := p.expectKw("set"); err != nil {
 		return nil, err
 	}
-	u := &Update{Table: name}
+	u := &Update{Table: name, Pos: pos}
 	for {
+		apos := p.peek().Pos
 		col, err := p.ident()
 		if err != nil {
 			return nil, err
@@ -608,7 +615,7 @@ func (p *parser) updateStmt() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		u.Set = append(u.Set, Assignment{Column: col, Value: e})
+		u.Set = append(u.Set, Assignment{Column: col, Value: e, Pos: apos})
 		if !p.accept(",") {
 			break
 		}
@@ -624,6 +631,7 @@ func (p *parser) updateStmt() (Statement, error) {
 }
 
 func (p *parser) createStmt() (Statement, error) {
+	pos := p.peek().Pos
 	if err := p.expectKw("create"); err != nil {
 		return nil, err
 	}
@@ -636,7 +644,7 @@ func (p *parser) createStmt() (Statement, error) {
 		if err := p.expect("("); err != nil {
 			return nil, err
 		}
-		ct := &CreateTable{Name: name}
+		ct := &CreateTable{Name: name, Pos: pos}
 		for {
 			cn, err := p.ident()
 			if err != nil {
@@ -687,13 +695,13 @@ func (p *parser) createStmt() (Statement, error) {
 				return nil, err
 			}
 		}
-		return &CreateView{Name: name, Query: sub}, nil
+		return &CreateView{Name: name, Query: sub, Pos: pos}, nil
 	case p.acceptKw("sequence"):
 		name, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
-		return &CreateSequence{Name: name}, nil
+		return &CreateSequence{Name: name, Pos: pos}, nil
 	case p.acceptKw("index"):
 		name, err := p.ident()
 		if err != nil {
@@ -716,12 +724,13 @@ func (p *parser) createStmt() (Statement, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		return &CreateIndex{Name: name, Table: table, Column: col}, nil
+		return &CreateIndex{Name: name, Table: table, Column: col, Pos: pos}, nil
 	}
 	return nil, p.errf("expected TABLE, VIEW, SEQUENCE or INDEX after CREATE, got %s", p.peek())
 }
 
 func (p *parser) dropStmt() (Statement, error) {
+	pos := p.peek().Pos
 	if err := p.expectKw("drop"); err != nil {
 		return nil, err
 	}
@@ -731,25 +740,25 @@ func (p *parser) dropStmt() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &DropTable{Name: name}, nil
+		return &DropTable{Name: name, Pos: pos}, nil
 	case p.acceptKw("view"):
 		name, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
-		return &DropView{Name: name}, nil
+		return &DropView{Name: name, Pos: pos}, nil
 	case p.acceptKw("sequence"):
 		name, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
-		return &DropSequence{Name: name}, nil
+		return &DropSequence{Name: name, Pos: pos}, nil
 	case p.acceptKw("index"):
 		name, err := p.ident()
 		if err != nil {
 			return nil, err
 		}
-		return &DropIndex{Name: name}, nil
+		return &DropIndex{Name: name, Pos: pos}, nil
 	}
 	return nil, p.errf("expected TABLE, VIEW, SEQUENCE or INDEX after DROP, got %s", p.peek())
 }
@@ -793,7 +802,7 @@ func (p *parser) orExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &BinaryExpr{Op: OpOr, L: l, R: r}
+		l = &BinaryExpr{Op: OpOr, L: l, R: r, Pos: ExprOffset(l)}
 	}
 	return l, nil
 }
@@ -808,25 +817,26 @@ func (p *parser) andExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = &BinaryExpr{Op: OpAnd, L: l, R: r}
+		l = &BinaryExpr{Op: OpAnd, L: l, R: r, Pos: ExprOffset(l)}
 	}
 	return l, nil
 }
 
 func (p *parser) notExpr() (Expr, error) {
+	pos := p.peek().Pos
 	if p.acceptKw("not") {
 		e, err := p.notExpr()
 		if err != nil {
 			return nil, err
 		}
-		return &NotExpr{E: e}, nil
+		return &NotExpr{E: e, Pos: pos}, nil
 	}
 	return p.predicate()
 }
 
 func (p *parser) predicate() (Expr, error) {
 	if p.peek().IsKeyword("exists") {
-		p.next()
+		pos := p.next().Pos
 		if err := p.expect("("); err != nil {
 			return nil, err
 		}
@@ -837,7 +847,7 @@ func (p *parser) predicate() (Expr, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		return &ExistsExpr{Sub: sub}, nil
+		return &ExistsExpr{Sub: sub, Pos: pos}, nil
 	}
 	l, err := p.addExpr()
 	if err != nil {
@@ -853,7 +863,7 @@ func (p *parser) predicate() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &BinaryExpr{Op: cand.op, L: l, R: r}, nil
+			return &BinaryExpr{Op: cand.op, L: l, R: r, Pos: ExprOffset(l)}, nil
 		}
 	}
 	not := false
@@ -876,7 +886,7 @@ func (p *parser) predicate() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Not: not}, nil
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Not: not, Pos: ExprOffset(l)}, nil
 	case p.acceptKw("in"):
 		if err := p.expect("("); err != nil {
 			return nil, err
@@ -889,7 +899,7 @@ func (p *parser) predicate() (Expr, error) {
 			if err := p.expect(")"); err != nil {
 				return nil, err
 			}
-			return &InSubquery{E: l, Sub: sub, Not: not}, nil
+			return &InSubquery{E: l, Sub: sub, Not: not, Pos: ExprOffset(l)}, nil
 		}
 		var list []Expr
 		for {
@@ -905,13 +915,13 @@ func (p *parser) predicate() (Expr, error) {
 		if err := p.expect(")"); err != nil {
 			return nil, err
 		}
-		return &InListExpr{E: l, List: list, Not: not}, nil
+		return &InListExpr{E: l, List: list, Not: not, Pos: ExprOffset(l)}, nil
 	case p.acceptKw("like"):
 		pat, err := p.addExpr()
 		if err != nil {
 			return nil, err
 		}
-		return &LikeExpr{E: l, Pattern: pat, Not: not}, nil
+		return &LikeExpr{E: l, Pattern: pat, Not: not, Pos: ExprOffset(l)}, nil
 	case p.acceptKw("is"):
 		if not {
 			return nil, p.errf("NOT before IS")
@@ -920,7 +930,7 @@ func (p *parser) predicate() (Expr, error) {
 		if !p.acceptKw("null") {
 			return nil, p.errf("expected NULL after IS")
 		}
-		return &IsNullExpr{E: l, Not: isNot}, nil
+		return &IsNullExpr{E: l, Not: isNot, Pos: ExprOffset(l)}, nil
 	}
 	if not {
 		return nil, p.errf("expected BETWEEN, IN or LIKE after NOT")
@@ -940,19 +950,19 @@ func (p *parser) addExpr() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			l = &BinaryExpr{Op: OpAdd, L: l, R: r}
+			l = &BinaryExpr{Op: OpAdd, L: l, R: r, Pos: ExprOffset(l)}
 		case p.accept("-"):
 			r, err := p.mulExpr()
 			if err != nil {
 				return nil, err
 			}
-			l = &BinaryExpr{Op: OpSub, L: l, R: r}
+			l = &BinaryExpr{Op: OpSub, L: l, R: r, Pos: ExprOffset(l)}
 		case p.accept("||"):
 			r, err := p.mulExpr()
 			if err != nil {
 				return nil, err
 			}
-			l = &BinaryExpr{Op: OpConcat, L: l, R: r}
+			l = &BinaryExpr{Op: OpConcat, L: l, R: r, Pos: ExprOffset(l)}
 		default:
 			return l, nil
 		}
@@ -971,13 +981,13 @@ func (p *parser) mulExpr() (Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			l = &BinaryExpr{Op: OpMul, L: l, R: r}
+			l = &BinaryExpr{Op: OpMul, L: l, R: r, Pos: ExprOffset(l)}
 		case p.accept("/"):
 			r, err := p.unaryExpr()
 			if err != nil {
 				return nil, err
 			}
-			l = &BinaryExpr{Op: OpDiv, L: l, R: r}
+			l = &BinaryExpr{Op: OpDiv, L: l, R: r, Pos: ExprOffset(l)}
 		default:
 			return l, nil
 		}
@@ -985,6 +995,7 @@ func (p *parser) mulExpr() (Expr, error) {
 }
 
 func (p *parser) unaryExpr() (Expr, error) {
+	pos := p.peek().Pos
 	if p.accept("-") {
 		e, err := p.unaryExpr()
 		if err != nil {
@@ -992,10 +1003,10 @@ func (p *parser) unaryExpr() (Expr, error) {
 		}
 		if lit, ok := e.(*Literal); ok {
 			if v, err := value.Neg(lit.Val); err == nil {
-				return &Literal{Val: v}, nil
+				return &Literal{Val: v, Pos: pos}, nil
 			}
 		}
-		return &NegExpr{E: e}, nil
+		return &NegExpr{E: e, Pos: pos}, nil
 	}
 	p.accept("+")
 	return p.primary()
@@ -1011,16 +1022,16 @@ func (p *parser) primary() (Expr, error) {
 			if err != nil {
 				return nil, p.errf("bad number %q", t.Text)
 			}
-			return &Literal{Val: value.NewFloat(f)}, nil
+			return &Literal{Val: value.NewFloat(f), Pos: t.Pos}, nil
 		}
 		i, err := strconv.ParseInt(t.Text, 10, 64)
 		if err != nil {
 			return nil, p.errf("bad number %q", t.Text)
 		}
-		return &Literal{Val: value.NewInt(i)}, nil
+		return &Literal{Val: value.NewInt(i), Pos: t.Pos}, nil
 	case lex.String:
 		p.next()
-		return &Literal{Val: value.NewString(t.Text)}, nil
+		return &Literal{Val: value.NewString(t.Text), Pos: t.Pos}, nil
 	case lex.Punct:
 		if t.Text == "(" {
 			p.next()
@@ -1032,7 +1043,7 @@ func (p *parser) primary() (Expr, error) {
 				if err := p.expect(")"); err != nil {
 					return nil, err
 				}
-				return &ScalarSubquery{Sub: sub}, nil
+				return &ScalarSubquery{Sub: sub, Pos: t.Pos}, nil
 			}
 			e, err := p.expr()
 			if err != nil {
@@ -1047,13 +1058,13 @@ func (p *parser) primary() (Expr, error) {
 		switch {
 		case t.IsKeyword("null"):
 			p.next()
-			return &Literal{Val: value.Null}, nil
+			return &Literal{Val: value.Null, Pos: t.Pos}, nil
 		case t.IsKeyword("true"):
 			p.next()
-			return &Literal{Val: value.NewBool(true)}, nil
+			return &Literal{Val: value.NewBool(true), Pos: t.Pos}, nil
 		case t.IsKeyword("false"):
 			p.next()
-			return &Literal{Val: value.NewBool(false)}, nil
+			return &Literal{Val: value.NewBool(false), Pos: t.Pos}, nil
 		case t.IsKeyword("case"):
 			return p.caseExpr()
 		case t.IsKeyword("date"):
@@ -1066,7 +1077,7 @@ func (p *parser) primary() (Expr, error) {
 				if err != nil {
 					return nil, p.errf("%v", err)
 				}
-				return &Literal{Val: v}, nil
+				return &Literal{Val: v, Pos: t.Pos}, nil
 			}
 			p.restore(mark)
 		}
@@ -1080,10 +1091,11 @@ func (p *parser) primary() (Expr, error) {
 
 // caseExpr parses both CASE forms (searched and with operand).
 func (p *parser) caseExpr() (Expr, error) {
+	pos := p.peek().Pos
 	if err := p.expectKw("case"); err != nil {
 		return nil, err
 	}
-	c := &CaseExpr{}
+	c := &CaseExpr{Pos: pos}
 	if !p.peek().IsKeyword("when") {
 		op, err := p.expr()
 		if err != nil {
@@ -1124,6 +1136,7 @@ func (p *parser) caseExpr() (Expr, error) {
 // identExpr parses identifier-led expressions: column references
 // (qualified or not), function calls, and seq.NEXTVAL.
 func (p *parser) identExpr() (Expr, error) {
+	pos := p.peek().Pos
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
@@ -1131,7 +1144,7 @@ func (p *parser) identExpr() (Expr, error) {
 	// Function call.
 	if p.peek().IsPunct("(") {
 		p.next()
-		f := &FuncCall{Name: strings.ToUpper(name)}
+		f := &FuncCall{Name: strings.ToUpper(name), Pos: pos}
 		if p.accept("*") {
 			f.Star = true
 			if err := p.expect(")"); err != nil {
@@ -1170,9 +1183,9 @@ func (p *parser) identExpr() (Expr, error) {
 			return nil, err
 		}
 		if strings.EqualFold(sub, "nextval") {
-			return &NextVal{Seq: name}, nil
+			return &NextVal{Seq: name, Pos: pos}, nil
 		}
-		return &ColumnRef{Qual: name, Name: sub}, nil
+		return &ColumnRef{Qual: name, Name: sub, Pos: pos}, nil
 	}
-	return &ColumnRef{Name: name}, nil
+	return &ColumnRef{Name: name, Pos: pos}, nil
 }

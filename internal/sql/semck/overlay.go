@@ -1,0 +1,151 @@
+package semck
+
+import (
+	"strings"
+
+	"minerule/internal/sql/parse"
+	"minerule/internal/sql/schema"
+)
+
+// Overlay layers uncommitted DDL effects over a base dictionary, so a
+// script of statements (the translator's generated Q0–Q11 program, a
+// multi-statement setup file) can be checked in order before any of it
+// executes: each statement is Checked against the overlay, then its DDL
+// effect is Applied, and the next statement sees it.
+type Overlay struct {
+	base    Catalog
+	tabs    map[string]*schema.Schema
+	vws     map[string]string
+	seqs    map[string]bool
+	idxs    map[string]string // index name → owning table name (keys lowercased)
+	dropped map[string]bool   // tombstones shadowing base objects
+}
+
+// NewOverlay returns an empty overlay over base.
+func NewOverlay(base Catalog) *Overlay {
+	return &Overlay{
+		base:    base,
+		tabs:    make(map[string]*schema.Schema),
+		vws:     make(map[string]string),
+		seqs:    make(map[string]bool),
+		idxs:    make(map[string]string),
+		dropped: make(map[string]bool),
+	}
+}
+
+func okey(name string) string { return strings.ToLower(name) }
+
+// TableSchema implements Catalog.
+func (o *Overlay) TableSchema(name string) (*schema.Schema, bool) {
+	k := okey(name)
+	if s, ok := o.tabs[k]; ok {
+		return s, true
+	}
+	if o.dropped[k] {
+		return nil, false
+	}
+	return o.base.TableSchema(name)
+}
+
+// ViewText implements Catalog.
+func (o *Overlay) ViewText(name string) (string, bool) {
+	k := okey(name)
+	if t, ok := o.vws[k]; ok {
+		return t, true
+	}
+	if o.dropped[k] {
+		return "", false
+	}
+	return o.base.ViewText(name)
+}
+
+// HasSequence implements Catalog.
+func (o *Overlay) HasSequence(name string) bool {
+	k := okey(name)
+	if o.seqs[k] {
+		return true
+	}
+	if o.dropped[k] {
+		return false
+	}
+	return o.base.HasSequence(name)
+}
+
+// HasIndex implements Catalog.
+func (o *Overlay) HasIndex(name string) bool {
+	k := okey(name)
+	if _, ok := o.idxs[k]; ok {
+		return true
+	}
+	if o.dropped[k] {
+		return false
+	}
+	return o.base.HasIndex(name)
+}
+
+// TableIndexes implements Catalog.
+func (o *Overlay) TableIndexes(table string) []string {
+	tk := okey(table)
+	var out []string
+	for _, ix := range o.base.TableIndexes(table) {
+		if !o.dropped[okey(ix)] {
+			out = append(out, ix)
+		}
+	}
+	for ix, owner := range o.idxs {
+		if owner == tk {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// Apply records the dictionary effect of a DDL statement. Non-DDL
+// statements are no-ops. Apply assumes the statement already passed
+// Check against this overlay; it does not re-validate.
+func (o *Overlay) Apply(st parse.Statement) {
+	switch x := st.(type) {
+	case *parse.CreateTable:
+		cols := make([]schema.Column, len(x.Cols))
+		for i, cd := range x.Cols {
+			cols[i] = schema.Column{Name: cd.Name, Type: cd.Type}
+		}
+		k := okey(x.Name)
+		o.tabs[k] = schema.New(x.Name, cols...)
+		delete(o.dropped, k)
+	case *parse.DropTable:
+		// The table's indexes leave the namespace with it.
+		for _, ix := range o.TableIndexes(x.Name) {
+			ik := okey(ix)
+			delete(o.idxs, ik)
+			o.dropped[ik] = true
+		}
+		k := okey(x.Name)
+		delete(o.tabs, k)
+		o.dropped[k] = true
+	case *parse.CreateView:
+		k := okey(x.Name)
+		o.vws[k] = x.Query.SQL()
+		delete(o.dropped, k)
+	case *parse.DropView:
+		k := okey(x.Name)
+		delete(o.vws, k)
+		o.dropped[k] = true
+	case *parse.CreateSequence:
+		k := okey(x.Name)
+		o.seqs[k] = true
+		delete(o.dropped, k)
+	case *parse.DropSequence:
+		k := okey(x.Name)
+		delete(o.seqs, k)
+		o.dropped[k] = true
+	case *parse.CreateIndex:
+		k := okey(x.Name)
+		o.idxs[k] = okey(x.Table)
+		delete(o.dropped, k)
+	case *parse.DropIndex:
+		k := okey(x.Name)
+		delete(o.idxs, k)
+		o.dropped[k] = true
+	}
+}

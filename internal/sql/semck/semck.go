@@ -1,0 +1,349 @@
+// Package semck implements prepare-time semantic analysis for the SQL
+// subset. It mirrors the resolution and typing rules of the executor
+// (internal/sql/exec) without reading a single row: name resolution
+// against the data dictionary, expression type checking over the value
+// type lattice, aggregate-placement and GROUP BY/HAVING validity, and
+// arity checks for set operations and INSERT … SELECT.
+//
+// The contract is one-directional: a statement semck accepts must never
+// fail name or type resolution in the executor, while semck may reject
+// statements whose runtime failure is data-dependent (a VARCHAR column
+// compared with an INTEGER fails here even though an all-NULL column
+// would execute). Statically unknown types — computed projections,
+// COALESCE over mixed arguments — are TypeNull and never error, so the
+// checker stays permissive exactly where the executor is dynamic.
+package semck
+
+import (
+	"fmt"
+	"strings"
+
+	"minerule/internal/sql/lex"
+	"minerule/internal/sql/parse"
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/storage"
+	"minerule/internal/sql/value"
+)
+
+// Error is a semantic diagnostic with the statement position it points
+// at. Offset is the byte offset in the checked source; Line and Col are
+// the 1-based position derived from it.
+type Error struct {
+	Msg    string
+	Offset int
+	Line   int
+	Col    int
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("semck: %s (line %d, column %d)", e.Msg, e.Line, e.Col)
+}
+
+// Catalog is the slice of the data dictionary the checker consults. It
+// is satisfied by FromStorage over the engine's *storage.Catalog and by
+// Overlay, which layers uncommitted DDL effects on top for script and
+// translator self-checking.
+type Catalog interface {
+	// TableSchema returns the schema of the named base table.
+	TableSchema(name string) (*schema.Schema, bool)
+	// ViewText returns the stored SELECT text of the named view.
+	ViewText(name string) (string, bool)
+	// HasSequence reports whether the named sequence exists.
+	HasSequence(name string) bool
+	// HasIndex reports whether the named index exists.
+	HasIndex(name string) bool
+	// TableIndexes returns the names of the indexes owned by the named
+	// table; they leave the namespace together with it on DROP TABLE.
+	TableIndexes(table string) []string
+}
+
+// storCat adapts *storage.Catalog to the Catalog interface.
+type storCat struct{ c *storage.Catalog }
+
+func (s storCat) TableSchema(name string) (*schema.Schema, bool) {
+	t, ok := s.c.Table(name)
+	if !ok {
+		return nil, false
+	}
+	return t.Schema(), true
+}
+
+func (s storCat) ViewText(name string) (string, bool) {
+	v, ok := s.c.View(name)
+	if !ok {
+		return "", false
+	}
+	return v.Text, true
+}
+
+func (s storCat) HasSequence(name string) bool {
+	_, ok := s.c.Sequence(name)
+	return ok
+}
+
+func (s storCat) HasIndex(name string) bool { return s.c.HasIndex(name) }
+
+func (s storCat) TableIndexes(table string) []string { return s.c.TableIndexes(table) }
+
+// FromStorage wraps the engine's catalog as a checker dictionary.
+func FromStorage(c *storage.Catalog) Catalog { return storCat{c: c} }
+
+// Check validates one parsed statement against the dictionary. src is
+// the statement's source text, used to turn node offsets into
+// line/column positions; it may be empty for programmatically built
+// statements (every diagnostic then points at line 1, column 1). The
+// returned error is nil or a *Error.
+func Check(cat Catalog, st parse.Statement, src string) error {
+	c := &checker{cat: cat, src: src}
+	return c.checkStatement(st)
+}
+
+// maxViewDepth bounds view-in-view expansion; the executor would chase
+// such a chain at plan time, so the checker refuses it first.
+const maxViewDepth = 64
+
+// checker carries one Check invocation's state.
+type checker struct {
+	cat       Catalog
+	src       string
+	viewDepth int
+}
+
+func (c *checker) errf(off int, format string, args ...any) *Error {
+	line, col := lex.Position(c.src, off)
+	return &Error{Msg: fmt.Sprintf(format, args...), Offset: off, Line: line, Col: col}
+}
+
+// schemaErr rewraps a schema.Resolve failure ("schema: unknown column"
+// or "schema: ambiguous column reference") as a positioned diagnostic.
+func (c *checker) schemaErr(off int, err error) *Error {
+	return c.errf(off, "%s", strings.TrimPrefix(err.Error(), "schema: "))
+}
+
+// nameKind reports what kind of dictionary object holds the name, in
+// the same probe order the storage catalog uses for its shared
+// namespace.
+func nameKind(cat Catalog, name string) (string, bool) {
+	if _, ok := cat.TableSchema(name); ok {
+		return "table", true
+	}
+	if _, ok := cat.ViewText(name); ok {
+		return "view", true
+	}
+	if cat.HasSequence(name) {
+		return "sequence", true
+	}
+	if cat.HasIndex(name) {
+		return "index", true
+	}
+	return "", false
+}
+
+func (c *checker) checkStatement(st parse.Statement) error {
+	switch x := st.(type) {
+	case *parse.Select:
+		_, err := c.checkSelect(x, nil)
+		return err
+
+	case *parse.Explain:
+		_, err := c.checkSelect(x.Query, nil)
+		return err
+
+	case *parse.CreateTable:
+		if kind, ok := nameKind(c.cat, x.Name); ok {
+			return c.errf(x.Pos, "%q already exists as a %s", x.Name, kind)
+		}
+		return nil
+
+	case *parse.DropTable:
+		if _, ok := c.cat.TableSchema(x.Name); !ok {
+			return c.errf(x.Pos, "table %q does not exist", x.Name)
+		}
+		return nil
+
+	case *parse.CreateView:
+		if kind, ok := nameKind(c.cat, x.Name); ok {
+			return c.errf(x.Pos, "%q already exists as a %s", x.Name, kind)
+		}
+		// The body is part of this statement's source, so its
+		// diagnostics carry their own positions.
+		_, err := c.checkSelect(x.Query, nil)
+		return err
+
+	case *parse.DropView:
+		if _, ok := c.cat.ViewText(x.Name); !ok {
+			return c.errf(x.Pos, "view %q does not exist", x.Name)
+		}
+		return nil
+
+	case *parse.CreateSequence:
+		if kind, ok := nameKind(c.cat, x.Name); ok {
+			return c.errf(x.Pos, "%q already exists as a %s", x.Name, kind)
+		}
+		return nil
+
+	case *parse.DropSequence:
+		if !c.cat.HasSequence(x.Name) {
+			return c.errf(x.Pos, "sequence %q does not exist", x.Name)
+		}
+		return nil
+
+	case *parse.CreateIndex:
+		if kind, ok := nameKind(c.cat, x.Name); ok {
+			return c.errf(x.Pos, "%q already exists as a %s", x.Name, kind)
+		}
+		ts, ok := c.cat.TableSchema(x.Table)
+		if !ok {
+			return c.errf(x.Pos, "unknown table %q in CREATE INDEX", x.Table)
+		}
+		if _, err := ts.Resolve("", x.Column); err != nil {
+			return c.schemaErr(x.Pos, err)
+		}
+		return nil
+
+	case *parse.DropIndex:
+		if !c.cat.HasIndex(x.Name) {
+			return c.errf(x.Pos, "index %q does not exist", x.Name)
+		}
+		return nil
+
+	case *parse.Insert:
+		return c.checkInsert(x)
+
+	case *parse.Delete:
+		ts, ok := c.cat.TableSchema(x.Table)
+		if !ok {
+			return c.errf(x.Pos, "unknown table %q in DELETE", x.Table)
+		}
+		if x.Where != nil {
+			sc := &scope{s: ts}
+			t, err := c.typeOf(sc, x.Where, false)
+			if err != nil {
+				return err
+			}
+			if e := c.wantBool(x.Where, t); e != nil {
+				return e
+			}
+		}
+		return nil
+
+	case *parse.Update:
+		return c.checkUpdate(x)
+	}
+	off := 0
+	if p, ok := st.(parse.Positioned); ok {
+		off = p.SrcPos()
+	}
+	return c.errf(off, "unsupported statement %T", st)
+}
+
+func (c *checker) checkInsert(x *parse.Insert) error {
+	ts, ok := c.cat.TableSchema(x.Table)
+	if !ok {
+		return c.errf(x.Pos, "unknown table %q in INSERT", x.Table)
+	}
+	var target []schema.Column
+	if len(x.Columns) > 0 {
+		target = make([]schema.Column, len(x.Columns))
+		for i, col := range x.Columns {
+			idx, err := ts.Resolve("", col)
+			if err != nil {
+				return c.schemaErr(x.Pos, err)
+			}
+			target[i] = ts.Col(idx)
+		}
+	} else {
+		target = make([]schema.Column, ts.Len())
+		for i := range target {
+			target[i] = ts.Col(i)
+		}
+	}
+
+	if x.Query != nil {
+		qs, err := c.checkSelect(x.Query, nil)
+		if err != nil {
+			return err
+		}
+		if qs.Len() != len(target) {
+			return c.errf(x.Query.Pos, "INSERT expects %d columns, query returns %d", len(target), qs.Len())
+		}
+		for i := 0; i < qs.Len(); i++ {
+			if !storable(qs.Col(i).Type, target[i].Type) {
+				return c.errf(x.Query.Pos, "INSERT into %s.%s: cannot store %s into %s column",
+					x.Table, target[i].Name, qs.Col(i).Type, target[i].Type)
+			}
+		}
+		return nil
+	}
+
+	// VALUES rows evaluate against an empty schema; the executor coerces
+	// every value to the target column, so a known-type mismatch is a
+	// guaranteed runtime failure.
+	sc := &scope{s: schema.New("")}
+	for _, row := range x.Rows {
+		if len(row) != len(target) {
+			return c.errf(x.Pos, "INSERT expects %d values, got %d", len(target), len(row))
+		}
+		for i, e := range row {
+			t, err := c.typeOf(sc, e, false)
+			if err != nil {
+				return err
+			}
+			if !storable(t, target[i].Type) {
+				return c.errf(parse.ExprOffset(e), "INSERT into %s.%s: cannot store %s into %s column",
+					x.Table, target[i].Name, t, target[i].Type)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkUpdate(x *parse.Update) error {
+	ts, ok := c.cat.TableSchema(x.Table)
+	if !ok {
+		return c.errf(x.Pos, "unknown table %q in UPDATE", x.Table)
+	}
+	sc := &scope{s: ts}
+	for _, a := range x.Set {
+		idx, err := ts.Resolve("", a.Column)
+		if err != nil {
+			return c.schemaErr(a.Pos, err)
+		}
+		t, terr := c.typeOf(sc, a.Value, false)
+		if terr != nil {
+			return terr
+		}
+		if !storable(t, ts.Col(idx).Type) {
+			return c.errf(parse.ExprOffset(a.Value), "UPDATE %s.%s: cannot store %s into %s column",
+				x.Table, ts.Col(idx).Name, t, ts.Col(idx).Type)
+		}
+	}
+	if x.Where != nil {
+		t, err := c.typeOf(sc, x.Where, false)
+		if err != nil {
+			return err
+		}
+		if e := c.wantBool(x.Where, t); e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// storable mirrors the executor's coerceForColumn matrix: NULL stores
+// anywhere, exact matches store, int↔float and string→date coerce, and
+// everything else is rejected. A TypeNull source is statically unknown
+// and passes; a TypeNull column type (never produced by CREATE TABLE)
+// accepts anything.
+func storable(v, col value.Type) bool {
+	if v == value.TypeNull || col == value.TypeNull || v == col {
+		return true
+	}
+	switch {
+	case col == value.TypeFloat && v == value.TypeInt,
+		col == value.TypeInt && v == value.TypeFloat,
+		col == value.TypeDate && v == value.TypeString:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,270 @@
+package semck
+
+import (
+	"strings"
+	"testing"
+
+	"minerule/internal/sql/parse"
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/storage"
+	"minerule/internal/sql/value"
+)
+
+// testCatalog builds the dictionary the table-driven cases run against:
+//
+//	t(a INT, b VARCHAR, d DATE)   s(x INT, y VARCHAR)
+//	sequence seq, view v AS SELECT a FROM t, index ix ON t(a)
+func testCatalog(t *testing.T) Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	mustCreate := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := cat.CreateTable("t", schema.New("t",
+		schema.Column{Name: "a", Type: value.TypeInt},
+		schema.Column{Name: "b", Type: value.TypeString},
+		schema.Column{Name: "d", Type: value.TypeDate},
+	))
+	mustCreate(err)
+	_, err = cat.CreateTable("s", schema.New("s",
+		schema.Column{Name: "x", Type: value.TypeInt},
+		schema.Column{Name: "y", Type: value.TypeString},
+	))
+	mustCreate(err)
+	_, err = cat.CreateSequence("seq")
+	mustCreate(err)
+	mustCreate(cat.CreateView("v", "SELECT a FROM t"))
+	_, err = cat.CreateIndex("ix", "t", 0)
+	mustCreate(err)
+	return FromStorage(cat)
+}
+
+func checkOne(t *testing.T, cat Catalog, sql string) error {
+	t.Helper()
+	st, err := parse.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	return Check(cat, st, sql)
+}
+
+func TestCheckAccepts(t *testing.T) {
+	cat := testCatalog(t)
+	for _, sql := range []string{
+		"SELECT a, b FROM t",
+		"SELECT t.a FROM t WHERE t.b = 'x'",
+		"SELECT * FROM t WHERE a > 1 AND b LIKE 'a%'",
+		"SELECT a FROM t ORDER BY 1",
+		"SELECT a AS q FROM t ORDER BY q DESC",
+		"SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1",
+		"SELECT SUM(a) FROM t",
+		"SELECT ROUND(AVG(a), 2) FROM t GROUP BY b",
+		"SELECT a FROM t WHERE a IN (SELECT x FROM s)",
+		"SELECT a FROM t WHERE EXISTS (SELECT 1 FROM s WHERE s.x = t.a)",
+		"SELECT a FROM t WHERE a = (SELECT MAX(x) FROM s)",
+		"SELECT * FROM t, s WHERE t.a = s.x",
+		"SELECT * FROM t JOIN s ON t.a = s.x",
+		"SELECT * FROM v",
+		"SELECT q.a FROM (SELECT a FROM t) q",
+		"SELECT a FROM t UNION SELECT x FROM s",
+		"SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t",
+		"SELECT seq.NEXTVAL FROM t",
+		"SELECT d + 1 FROM t",
+		"SELECT d - d FROM t",
+		"SELECT a || b FROM t",
+		"SELECT COALESCE(a, 0) FROM t",
+		"SELECT SUBSTR(b, 1, 2) FROM t",
+		"INSERT INTO t VALUES (1, 'x', '2020-01-01')",
+		"INSERT INTO t (a, b) VALUES (1, 'x')",
+		"INSERT INTO s (x) SELECT a FROM t",
+		"UPDATE t SET a = a + 1 WHERE b = 'x'",
+		"DELETE FROM t WHERE a = 3",
+		"CREATE TABLE fresh (z INT)",
+		"CREATE VIEW w AS SELECT b FROM t",
+		"CREATE INDEX jx ON s (x)",
+		"DROP TABLE s",
+		"DROP VIEW v",
+		"DROP SEQUENCE seq",
+		"DROP INDEX ix",
+		"SELECT a FROM t WHERE d = '2020-01-01'",
+		"SELECT a FROM t LIMIT 2 OFFSET 1",
+	} {
+		if err := checkOne(t, cat, sql); err != nil {
+			t.Errorf("Check(%q) = %v, want nil", sql, err)
+		}
+	}
+}
+
+func TestCheckRejects(t *testing.T) {
+	cat := testCatalog(t)
+	for _, tc := range []struct {
+		sql  string
+		want string
+	}{
+		{"SELECT nope FROM t", "unknown column"},
+		{"SELECT z.a FROM t", "unknown column"},
+		{"SELECT a FROM missing", `unknown table or view "missing"`},
+		{"SELECT a FROM t, s WHERE a = y AND x = nosuch", "unknown column"},
+		{"SELECT t.a, s.a FROM t JOIN s ON t.a = s.x", "unknown column"},
+		{"SELECT a FROM t WHERE b > 1", "cannot compare VARCHAR with INTEGER"},
+		{"SELECT a FROM t WHERE a + b > 1", "+ on INTEGER and VARCHAR"},
+		{"SELECT -b FROM t", "unary minus on VARCHAR"},
+		{"SELECT a FROM t WHERE a", "INTEGER where BOOLEAN expected"},
+		{"SELECT NOT a FROM t", "INTEGER where BOOLEAN expected"},
+		{"SELECT SUM(b) FROM t", "SUM over VARCHAR"},
+		{"SELECT AVG(b) FROM t GROUP BY a", "AVG over VARCHAR"},
+		{"SELECT a, SUM(SUM(a)) FROM t GROUP BY a", "aggregate SUM outside GROUP BY context"},
+		{"SELECT a FROM t WHERE SUM(a) > 1", "aggregate SUM outside GROUP BY context"},
+		{"SELECT a FROM t HAVING a > 1", "HAVING without GROUP BY or aggregates"},
+		{"SELECT a FROM t ORDER BY 5", "ORDER BY position 5 out of range"},
+		{"SELECT a FROM t ORDER BY zz", "unknown column"},
+		{"SELECT a FROM t WHERE a IN (SELECT x, y FROM s)", "subquery must return 1 column(s), got 2"},
+		{"SELECT a FROM t WHERE a = (SELECT x, y FROM s)", "subquery must return 1 column(s), got 2"},
+		{"SELECT a FROM t WHERE b IN (SELECT x FROM s)", "cannot compare VARCHAR with INTEGER"},
+		{"SELECT a FROM t UNION SELECT x, y FROM s", "UNION operands have 1 and 2 columns"},
+		{"SELECT z.* FROM t", `unknown relation "z" in z.*`},
+		{"SELECT NOSUCHFUNC(a) FROM t", "unknown function NOSUCHFUNC"},
+		{"SELECT ABS(b) FROM t", "ABS on VARCHAR"},
+		{"SELECT MOD(a, b) FROM t", "MOD requires integers"},
+		{"SELECT UPPER(a) FROM t", "UPPER on INTEGER"},
+		{"SELECT LENGTH(a) FROM t", "LENGTH on INTEGER"},
+		{"SELECT SUBSTR(a, 1) FROM t", "SUBSTR requires (string, int[, int])"},
+		{"SELECT SUBSTR(b, 1, b) FROM t", "SUBSTR length must be an integer"},
+		{"SELECT ROUND(b) FROM t", "ROUND on VARCHAR"},
+		{"SELECT ABS(a, a) FROM t", "ABS takes 1 argument(s), got 2"},
+		{"SELECT a FROM t WHERE b LIKE 1", "LIKE requires strings"},
+		{"SELECT nothere.NEXTVAL FROM t", `unknown sequence "nothere"`},
+		{"SELECT CASE a WHEN 'x' THEN 1 END FROM t", "cannot compare INTEGER with VARCHAR"},
+		{"SELECT CASE WHEN a THEN 1 END FROM t", "INTEGER where BOOLEAN expected"},
+		{"INSERT INTO missing VALUES (1)", `unknown table "missing" in INSERT`},
+		{"INSERT INTO t VALUES (1, 'x')", "INSERT expects 3 values, got 2"},
+		{"INSERT INTO t (a) VALUES ('x')", "cannot store VARCHAR into INTEGER column"},
+		{"INSERT INTO t (nope) VALUES (1)", "unknown column"},
+		{"INSERT INTO s SELECT a FROM t", "INSERT expects 2 columns, query returns 1"},
+		{"INSERT INTO s (x) SELECT b FROM t", "cannot store VARCHAR into INTEGER column"},
+		{"UPDATE missing SET a = 1", `unknown table "missing" in UPDATE`},
+		{"UPDATE t SET nope = 1", "unknown column"},
+		{"UPDATE t SET a = 'x'", "cannot store VARCHAR into INTEGER column"},
+		{"UPDATE t SET a = 1 WHERE b", "VARCHAR where BOOLEAN expected"},
+		{"DELETE FROM missing", `unknown table "missing" in DELETE`},
+		{"DELETE FROM t WHERE nope = 1", "unknown column"},
+		{"CREATE TABLE t (z INT)", `"t" already exists as a table`},
+		{"CREATE TABLE v (z INT)", `"v" already exists as a view`},
+		{"CREATE SEQUENCE ix", `"ix" already exists as a index`},
+		{"CREATE VIEW w AS SELECT nope FROM t", "unknown column"},
+		{"CREATE INDEX jx ON missing (x)", `unknown table "missing" in CREATE INDEX`},
+		{"CREATE INDEX jx ON t (nope)", "unknown column"},
+		{"DROP TABLE missing", `table "missing" does not exist`},
+		{"DROP VIEW missing", `view "missing" does not exist`},
+		{"DROP SEQUENCE missing", `sequence "missing" does not exist`},
+		{"DROP INDEX missing", `index "missing" does not exist`},
+	} {
+		err := checkOne(t, cat, tc.sql)
+		if err == nil {
+			t.Errorf("Check(%q) = nil, want error containing %q", tc.sql, tc.want)
+			continue
+		}
+		se, ok := err.(*Error)
+		if !ok {
+			t.Errorf("Check(%q) returned %T, want *semck.Error", tc.sql, err)
+			continue
+		}
+		if !strings.Contains(se.Msg, tc.want) {
+			t.Errorf("Check(%q) = %q, want message containing %q", tc.sql, se.Msg, tc.want)
+		}
+	}
+}
+
+// TestErrorPositions pins the line/column arithmetic: the diagnostic
+// must point at the offending token, not the statement start.
+func TestErrorPositions(t *testing.T) {
+	cat := testCatalog(t)
+	sql := "SELECT a,\n       nope\nFROM t"
+	err := checkOne(t, cat, sql)
+	se, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("Check = %v (%T), want *semck.Error", err, err)
+	}
+	if se.Line != 2 || se.Col != 8 {
+		t.Errorf("position = line %d col %d, want line 2 col 8", se.Line, se.Col)
+	}
+	if !strings.Contains(se.Error(), "(line 2, column 8)") {
+		t.Errorf("Error() = %q, want position suffix", se.Error())
+	}
+}
+
+// TestCorrelatedViewAndDepth covers view expansion: bodies resolve
+// against the dictionary, diagnostics re-anchor at the referencing
+// table ref, and nesting is bounded.
+func TestViewExpansion(t *testing.T) {
+	cat := storage.NewCatalog()
+	if _, err := cat.CreateTable("t", schema.New("t",
+		schema.Column{Name: "a", Type: value.TypeInt})); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.CreateView("good", "SELECT a FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	// A view whose body no longer resolves (its table was never made).
+	if err := cat.CreateView("stale", "SELECT zz FROM gone"); err != nil {
+		t.Fatal(err)
+	}
+	c := FromStorage(cat)
+
+	if err := checkOne(t, c, "SELECT a FROM good"); err != nil {
+		t.Errorf("good view: %v", err)
+	}
+	err := checkOne(t, c, "SELECT * FROM stale")
+	if err == nil || !strings.Contains(err.Error(), "view stale") {
+		t.Errorf("stale view: %v, want 'view stale' diagnostic", err)
+	}
+
+	// Self-referential chain: v1 -> v1 cannot be created through the
+	// engine, but a dictionary could hold one after manual edits; the
+	// checker must refuse rather than recurse forever.
+	if err := cat.CreateView("loop", "SELECT * FROM loop"); err != nil {
+		t.Fatal(err)
+	}
+	err = checkOne(t, c, "SELECT * FROM loop")
+	if err == nil || !strings.Contains(err.Error(), "nesting exceeds") {
+		t.Errorf("loop view: %v, want nesting-depth diagnostic", err)
+	}
+}
+
+func TestOverlayScript(t *testing.T) {
+	cat := testCatalog(t)
+	ov := NewOverlay(cat)
+	script := []string{
+		"CREATE TABLE stage (g INT, item VARCHAR)",
+		"CREATE SEQUENCE gid",
+		"INSERT INTO stage VALUES (1, 'x')",
+		"SELECT gid.NEXTVAL, item FROM stage",
+		"DROP TABLE stage",
+	}
+	for _, sql := range script {
+		st, err := parse.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		if err := Check(ov, st, sql); err != nil {
+			t.Fatalf("Check(%q) = %v, want nil", sql, err)
+		}
+		ov.Apply(st)
+	}
+	// After DROP TABLE the overlay must shadow nothing and reject reuse.
+	if err := checkOne(t, ov, "SELECT g FROM stage"); err == nil {
+		t.Error("dropped overlay table still visible")
+	}
+	// Tombstones must shadow base objects too.
+	st, _ := parse.Parse("DROP TABLE t")
+	ov.Apply(st)
+	if err := checkOne(t, ov, "SELECT a FROM t"); err == nil {
+		t.Error("tombstoned base table still visible")
+	}
+	if err := checkOne(t, ov, "CREATE TABLE t (a INT)"); err != nil {
+		t.Errorf("recreate after tombstone: %v", err)
+	}
+}

@@ -340,6 +340,32 @@ func (c *Catalog) Exists(name string) bool {
 	return t || v || s
 }
 
+// HasIndex reports whether an index with the given name exists. Indexes
+// live in their own namespace slot of the dictionary (they are owned by
+// tables and dropped with them), so Exists does not cover them.
+func (c *Catalog) HasIndex(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.idxs[key(name)]
+	return ok
+}
+
+// TableIndexes returns the sorted names of the indexes owned by the
+// named table (they leave the namespace together with it on DROP TABLE).
+func (c *Catalog) TableIndexes(table string) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	tk := key(table)
+	var out []string
+	for ix, owner := range c.idxs {
+		if owner == tk {
+			out = append(out, ix)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // TableNames returns the sorted list of table names (for tooling).
 func (c *Catalog) TableNames() []string {
 	c.mu.RLock()
