@@ -18,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: E1…E8 or all")
+	exp := flag.String("exp", "all", "experiment to run: E1…E10 or all")
 	jsonOut := flag.Bool("json", false, "measure the regression baseline and write it as JSON")
 	out := flag.String("out", "BENCH_baseline.json", "baseline output path (with -json)")
 	trace := flag.Bool("trace", false, "run the paper statement once and print its kernel span tree")
@@ -57,6 +57,7 @@ func main() {
 		"E7": bench.E7,
 		"E8": func() (*bench.Table, error) { return bench.E8(nil) },
 		"E9": bench.E9,
+		"E10": func() (*bench.Table, error) { return bench.E10(nil) },
 	}
 
 	if strings.EqualFold(*exp, "all") {
@@ -71,7 +72,7 @@ func main() {
 	}
 	run, ok := runners[strings.ToUpper(*exp)]
 	if !ok {
-		fatal(fmt.Errorf("unknown experiment %q (want E1…E9 or all)", *exp))
+		fatal(fmt.Errorf("unknown experiment %q (want E1…E10 or all)", *exp))
 	}
 	t, err := run()
 	if t != nil {

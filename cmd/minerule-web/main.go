@@ -28,10 +28,21 @@ func main() {
 		csvSpec = flag.String("csv", "", "preload CSV: table=path")
 		hdr     = flag.String("hdr", "", "CSV header spec: name:type,…")
 		script  = flag.String("f", "", "SQL script to run before serving")
+		dbDir   = flag.String("db", "", "durable database directory (WAL-backed; created if missing)")
 	)
 	flag.Parse()
 
-	sys := minerule.Open()
+	var sys *minerule.System
+	if *dbDir != "" {
+		var err error
+		sys, err = minerule.Open(minerule.WithStorage(*dbDir))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer sys.Close()
+	} else {
+		sys, _ = minerule.Open()
+	}
 	if *csvSpec != "" {
 		table, n, err := preloadCSV(sys, *csvSpec, *hdr)
 		if err != nil {

@@ -17,7 +17,7 @@ import (
 
 func testSystem(t *testing.T) *minerule.System {
 	t.Helper()
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	csv := "1,cust1,ski_pants\n1,cust1,hiking_boots\n2,cust2,col_shirts\n2,cust2,brown_boots\n2,cust2,jackets\n3,cust1,jackets\n"
 	path := filepath.Join(t.TempDir(), "purchase.csv")
 	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
@@ -34,7 +34,7 @@ func testSystem(t *testing.T) *minerule.System {
 }
 
 func TestPreloadCSVErrors(t *testing.T) {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	if _, _, err := preloadCSV(sys, "nopath", "a:int"); err == nil {
 		t.Error("spec without '=' accepted")
 	}
@@ -43,6 +43,53 @@ func TestPreloadCSVErrors(t *testing.T) {
 	}
 	if _, _, err := preloadCSV(sys, "T=/does/not/exist.csv", "a:int"); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestDurableRoundTripWeb serves a WAL-backed database, mutates it over
+// HTTP, and checks the mutation survives a close/reopen cycle.
+func TestDurableRoundTripWeb(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := minerule.Open(minerule.WithStorage(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ExecScript("CREATE TABLE P (gid INTEGER, item VARCHAR)"); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(support.NewServer(sys))
+	form := url.Values{"stmt": {"INSERT INTO P VALUES (1, 'a'), (1, 'b'), (2, 'a')"}}
+	resp, err := http.PostForm(ts.URL+"/run", form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert over HTTP = %d", resp.StatusCode)
+	}
+	ts.Close()
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := minerule.Open(minerule.WithStorage(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	ts2 := httptest.NewServer(support.NewServer(sys2))
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/table/P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || strings.Count(string(body), "<tr>") < 3 {
+		t.Fatalf("recovered table page = %d:\n%s", resp.StatusCode, body)
 	}
 }
 

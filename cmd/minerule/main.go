@@ -8,6 +8,7 @@
 //	minerule -f script.sql    # run a script (';'-separated statements)
 //	minerule -e "stmt"        # run one statement string
 //	minerule -csv table=f.csv -hdr "a:int,b:string" ...  # preload CSV
+//	minerule -db dir          # durable database (WAL + checkpointed heap files)
 //
 // MINE RULE statements are detected by their leading keywords; anything
 // else goes to the SQL engine. Query results print as aligned tables.
@@ -34,18 +35,30 @@ func main() {
 		trace   = flag.Bool("trace", false, "print the kernel span tree after each MINE RULE run")
 		load    = flag.String("load", "", "load a database directory saved with -save")
 		save    = flag.String("save", "", "save the database to this directory on exit")
+		dbDir   = flag.String("db", "", "durable database directory (WAL-backed; created if missing)")
 	)
 	flag.Parse()
 
 	var sys *minerule.System
-	if *load != "" {
+	switch {
+	case *dbDir != "":
+		if *load != "" {
+			fatal(fmt.Errorf("-db and -load are mutually exclusive"))
+		}
+		var err error
+		sys, err = minerule.Open(minerule.WithStorage(*dbDir))
+		if err != nil {
+			fatal(err)
+		}
+		defer sys.Close()
+	case *load != "":
 		var err error
 		sys, err = minerule.LoadFrom(*load)
 		if err != nil {
 			fatal(err)
 		}
-	} else {
-		sys = minerule.Open()
+	default:
+		sys, _ = minerule.Open()
 	}
 	if *save != "" {
 		defer func() {

@@ -28,7 +28,7 @@ func TestSplitStatements(t *testing.T) {
 }
 
 func TestRunScriptMixed(t *testing.T) {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	script := `
 		CREATE TABLE P (gid INTEGER, item VARCHAR);
 		INSERT INTO P VALUES (1, 'a'), (1, 'b'), (2, 'a'), (2, 'b');
@@ -60,7 +60,7 @@ func TestRunScriptMixed(t *testing.T) {
 }
 
 func TestRunOneExplain(t *testing.T) {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	if err := sys.Exec("CREATE TABLE P (gid INTEGER, item VARCHAR)"); err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestRunOneExplain(t *testing.T) {
 }
 
 func TestRunOneTraceDoesNotFail(t *testing.T) {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	if err := sys.Exec("CREATE TABLE P (gid INTEGER, item VARCHAR)"); err != nil {
 		t.Fatal(err)
 	}
@@ -90,8 +90,49 @@ func TestRunOneTraceDoesNotFail(t *testing.T) {
 	}
 }
 
+// TestDurableRoundTripCLI exercises the -db path: a script run against
+// a WAL-backed database survives a close/reopen, and the recovered rows
+// feed a MINE RULE run exactly like fresh ones.
+func TestDurableRoundTripCLI(t *testing.T) {
+	dir := t.TempDir()
+	sys, err := minerule.Open(minerule.WithStorage(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := `
+		CREATE TABLE P (gid INTEGER, item VARCHAR);
+		INSERT INTO P VALUES (1, 'a'), (1, 'b'), (2, 'a'), (2, 'b'), (3, 'a');
+		DELETE FROM P WHERE gid = 3;
+	`
+	if err := runScript(sys, script, runOpts{replace: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sys2, err := minerule.Open(minerule.WithStorage(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	n, err := sys2.QueryInt("SELECT COUNT(*) FROM P")
+	if err != nil || n != 4 {
+		t.Fatalf("recovered rows = %d (%v), want 4", n, err)
+	}
+	mine := `MINE RULE R AS SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+		FROM P GROUP BY gid EXTRACTING RULES WITH SUPPORT: 0.5, CONFIDENCE: 0.5;`
+	if err := runScript(sys2, mine, runOpts{replace: true}); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := sys2.QueryInt("SELECT COUNT(*) FROM R")
+	if err != nil || rules != 2 {
+		t.Fatalf("rules over recovered data = %d (%v), want 2", rules, err)
+	}
+}
+
 func TestRunOneEngineExplain(t *testing.T) {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	if err := sys.Exec("CREATE TABLE P (gid INTEGER, item VARCHAR)"); err != nil {
 		t.Fatal(err)
 	}

@@ -10,7 +10,7 @@ import (
 // Example reproduces the paper's worked example: the Figure 1 Purchase
 // table and the §2 FilteredOrderedSets statement, yielding Figure 2.b.
 func Example() {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	err := sys.ExecScript(`
 		CREATE TABLE Purchase (tr INTEGER, cust VARCHAR, item VARCHAR, dt DATE, price FLOAT, qty INTEGER);
 		INSERT INTO Purchase VALUES
@@ -50,7 +50,7 @@ func Example() {
 // ExampleSystem_Query shows that mining output is ordinary relations,
 // queryable with plain SQL.
 func ExampleSystem_Query() {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	if err := sys.ExecScript(`
 		CREATE TABLE T (gid INTEGER, item VARCHAR);
 		INSERT INTO T VALUES (1,'a'), (1,'b'), (2,'a'), (2,'b'), (3,'b');
@@ -78,7 +78,7 @@ func ExampleSystem_Query() {
 // ExampleSystem_Explain prints the classification and the first
 // generated program of the paper's translation scheme.
 func ExampleSystem_Explain() {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	if err := sys.Exec(`CREATE TABLE T (gid INTEGER, item VARCHAR, price FLOAT)`); err != nil {
 		log.Fatal(err)
 	}

@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 
 	// T8.I4, 2000 groups, 200 items: a small classic basket workload.
 	n, err := gen.LoadBaskets(sys.DB(), "Baskets", gen.BasketConfig{

@@ -13,7 +13,7 @@ import (
 )
 
 func main() {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 
 	const items = 80
 	if _, err := gen.LoadPurchases(sys.DB(), "Purchase", gen.PurchaseConfig{

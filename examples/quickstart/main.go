@@ -11,7 +11,7 @@ import (
 )
 
 func main() {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 
 	// Figure 1: the Purchase table of the big-store.
 	err := sys.ExecScript(`

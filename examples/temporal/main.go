@@ -14,7 +14,7 @@ import (
 )
 
 func main() {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 
 	n, err := gen.LoadPurchases(sys.DB(), "Purchase", gen.PurchaseConfig{
 		Customers:    300,

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	if _, err := gen.LoadBaskets(sys.DB(), "Baskets", gen.BasketConfig{
 		Groups: 1500, AvgSize: 8, AvgPatternLen: 4, Items: 150, Seed: 11,
 	}); err != nil {

@@ -62,3 +62,16 @@ func TestTableRendering(t *testing.T) {
 		t.Fatalf("lines = %d: %s", len(lines), s)
 	}
 }
+
+// TestE10DurableSmall runs the durability experiment at a reduced size:
+// it asserts the WAL-on run reproduces the in-memory rule set and that
+// both recovery paths come back with the full dataset.
+func TestE10DurableSmall(t *testing.T) {
+	tab, err := E10([]int{150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}

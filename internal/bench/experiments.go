@@ -2,10 +2,14 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"minerule/internal/core"
+	"minerule/internal/gen"
+	"minerule/internal/sql/engine"
 )
 
 // E1 reproduces the paper's worked example (Figures 1 and 2.b) and
@@ -423,6 +427,7 @@ func All() ([]*Table, error) {
 		{"E7", E7},
 		{"E8", func() (*Table, error) { return E8(nil) }},
 		{"E9", E9},
+		{"E10", func() (*Table, error) { return E10(nil) }},
 	} {
 		t, err := run.fn()
 		if err != nil {
@@ -431,4 +436,98 @@ func All() ([]*Table, error) {
 		out = append(out, t)
 	}
 	return out, nil
+}
+
+// E10 measures the durability tax of the storage subsystem: the same
+// mining workload with the WAL on versus the in-memory engine, then a
+// checkpointed cold open versus a pure-replay crash recovery of the
+// resulting database.
+func E10(sizes []int) (*Table, error) {
+	if len(sizes) == 0 {
+		sizes = []int{500, 2000}
+	}
+	t := &Table{
+		Title:  "E10: durability tax — WAL-on load and mining, cold open, crash recovery",
+		Header: []string{"groups", "rows", "mem mine ms", "wal mine ms", "recovery ms", "replayed recs", "cold open ms"},
+		Notes:  "expected shape: mining is read-heavy so the WAL tax is small; replaying the log costs more than loading a checkpointed snapshot",
+	}
+	for _, d := range sizes {
+		mem, err := BasketDB(d, 10, 4, 500, 42)
+		if err != nil {
+			return nil, err
+		}
+		resMem, err := Mine(mem, BasketStatement("E10", 0.01, 0.2), core.AlgoApriori)
+		if err != nil {
+			return nil, err
+		}
+
+		dir, err := os.MkdirTemp("", "minerule-e10-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		db, err := engine.Open(dir, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := gen.LoadBaskets(db, "Baskets", gen.BasketConfig{
+			Groups: d, AvgSize: 10, AvgPatternLen: 4, Items: 500, Seed: 42,
+		})
+		if err != nil {
+			return nil, err
+		}
+		resWal, err := Mine(db, BasketStatement("E10", 0.01, 0.2), core.AlgoApriori)
+		if err != nil {
+			return nil, err
+		}
+		if resWal.RuleCount != resMem.RuleCount {
+			return nil, fmt.Errorf("E10: durable run changed the result: %d vs %d rules",
+				resWal.RuleCount, resMem.RuleCount)
+		}
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+
+		// Crash recovery: no checkpoint has run, so the open replays the
+		// whole history from the WAL.
+		start := time.Now()
+		db2, err := engine.Open(dir, 0)
+		if err != nil {
+			return nil, err
+		}
+		recoveryMs := time.Since(start)
+		replayed := db2.Metrics().RecoveryRecords.Load()
+		if err := db2.Checkpoint(); err != nil {
+			return nil, err
+		}
+		if err := db2.Close(); err != nil {
+			return nil, err
+		}
+
+		// Cold open: the checkpoint moved everything into heap-file
+		// snapshots, so this open replays (almost) nothing.
+		start = time.Now()
+		db3, err := engine.Open(dir, 0)
+		if err != nil {
+			return nil, err
+		}
+		coldMs := time.Since(start)
+		n, err := db3.QueryInt("SELECT COUNT(*) FROM Baskets")
+		if err != nil {
+			return nil, err
+		}
+		if int(n) != rows {
+			return nil, fmt.Errorf("E10: cold open lost rows: %d vs %d", n, rows)
+		}
+		if err := db3.Close(); err != nil {
+			return nil, err
+		}
+
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(d), fmt.Sprint(rows),
+			ms(resMem.Timings.Total()), ms(resWal.Timings.Total()),
+			ms(recoveryMs), fmt.Sprint(replayed), ms(coldMs),
+		})
+	}
+	return t, nil
 }

@@ -101,3 +101,78 @@ func (in *Injector) check(sql string) error {
 	}
 	return ErrInjected
 }
+
+// ErrKilled is the error a tripped WriteGate returns: it stands in for
+// the process dying mid-write, so callers treat it as unrecoverable.
+var ErrKilled = errors.New("fault: simulated crash")
+
+// WriteGate simulates a power cut at a chosen WAL frame write. Armed
+// with KillNth, it lets n-1 frames through untouched, then delivers
+// only the first keep bytes of frame n and returns ErrKilled — and
+// unlike Injector it stays dead afterwards, failing every later write,
+// because a crashed process does not come back mid-run. Plug the Hook
+// into wal.Writer.WriteHook.
+type WriteGate struct {
+	mu    sync.Mutex
+	nth   int // crash on this frame write (1-based); 0 = inert
+	keep  int // bytes of the fatal frame that still reach the disk
+	seen  int
+	fired bool
+}
+
+// NewWriteGate returns an inert gate: all writes pass through whole.
+func NewWriteGate() *WriteGate { return &WriteGate{} }
+
+// KillNth arms the gate: the n-th frame write (1-based, counted from
+// arming) persists only its first keep bytes (clamped to the frame
+// length) and fails with ErrKilled, as does everything after it.
+func (g *WriteGate) KillNth(n, keep int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nth, g.keep, g.seen, g.fired = n, keep, 0, false
+}
+
+// Fired reports whether the simulated crash has happened.
+func (g *WriteGate) Fired() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.fired
+}
+
+// Seen returns how many frame writes the gate has observed since arming.
+func (g *WriteGate) Seen() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.seen
+}
+
+// Reset disarms the gate and revives the "process".
+func (g *WriteGate) Reset() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nth, g.keep, g.seen, g.fired = 0, 0, 0, false
+}
+
+// Hook adapts the gate to wal.Writer.WriteHook.
+func (g *WriteGate) Hook() func(frame []byte) ([]byte, error) {
+	return func(frame []byte) ([]byte, error) {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if g.fired {
+			return nil, ErrKilled
+		}
+		if g.nth == 0 {
+			return frame, nil
+		}
+		g.seen++
+		if g.seen != g.nth {
+			return frame, nil
+		}
+		g.fired = true
+		keep := g.keep
+		if keep > len(frame) {
+			keep = len(frame)
+		}
+		return frame[:keep], ErrKilled
+	}
+}

@@ -89,10 +89,13 @@ func StoreEncoded(ctx context.Context, db *engine.Database, tr *translator.Trans
 			value.NewFloat(r.Confidence),
 		})
 	}
-	rulesT.InsertAll(ruleRows)
-	bodiesT.InsertAll(bodyRows)
-	headsT.InsertAll(headRows)
-	return nil
+	if err := rulesT.InsertAll(ruleRows); err != nil {
+		return err
+	}
+	if err := bodiesT.InsertAll(bodyRows); err != nil {
+		return err
+	}
+	return headsT.InsertAll(headRows)
 }
 
 func itemsKey(items []mining.Item) string {

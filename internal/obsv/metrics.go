@@ -56,6 +56,18 @@ type Metrics struct {
 	PreprocNanos   Counter
 	CoreNanos      Counter
 	PostprocNanos  Counter
+
+	// Durable storage subsystem (zero and inert on in-memory databases).
+	WalAppends      Counter // WAL records appended
+	WalBytes        Counter // WAL bytes appended (frame + payload)
+	WalFsyncs       Counter // WAL fsync calls (group commits)
+	PageReads       Counter // heap pages read from disk into the pool
+	PageWrites      Counter // heap pages written from the pool to disk
+	PoolHits        Counter // buffer-pool frame hits
+	PoolMisses      Counter // buffer-pool frame misses
+	PoolEvictions   Counter // buffer-pool frames evicted (clock sweep)
+	Checkpoints     Counter // checkpoints taken
+	RecoveryRecords Counter // WAL records replayed during recovery
 }
 
 // metricDesc maps registry fields to their exposition names, in a fixed
@@ -86,6 +98,16 @@ var metricDescs = []metricDesc{
 	{"minerule_phase_preprocess_nanoseconds_total", "kernel preprocessor phase wall time", func(m *Metrics) int64 { return m.PreprocNanos.Load() }},
 	{"minerule_phase_core_nanoseconds_total", "kernel core operator phase wall time", func(m *Metrics) int64 { return m.CoreNanos.Load() }},
 	{"minerule_phase_postprocess_nanoseconds_total", "kernel postprocessor phase wall time", func(m *Metrics) int64 { return m.PostprocNanos.Load() }},
+	{"minerule_wal_appends_total", "WAL records appended", func(m *Metrics) int64 { return m.WalAppends.Load() }},
+	{"minerule_wal_bytes_total", "WAL bytes appended", func(m *Metrics) int64 { return m.WalBytes.Load() }},
+	{"minerule_wal_fsyncs_total", "WAL fsyncs (group commits)", func(m *Metrics) int64 { return m.WalFsyncs.Load() }},
+	{"minerule_page_reads_total", "heap pages read from disk", func(m *Metrics) int64 { return m.PageReads.Load() }},
+	{"minerule_page_writes_total", "heap pages written to disk", func(m *Metrics) int64 { return m.PageWrites.Load() }},
+	{"minerule_pool_hits_total", "buffer-pool frame hits", func(m *Metrics) int64 { return m.PoolHits.Load() }},
+	{"minerule_pool_misses_total", "buffer-pool frame misses", func(m *Metrics) int64 { return m.PoolMisses.Load() }},
+	{"minerule_pool_evictions_total", "buffer-pool frames evicted", func(m *Metrics) int64 { return m.PoolEvictions.Load() }},
+	{"minerule_checkpoints_total", "storage checkpoints taken", func(m *Metrics) int64 { return m.Checkpoints.Load() }},
+	{"minerule_recovery_records_total", "WAL records replayed during recovery", func(m *Metrics) int64 { return m.RecoveryRecords.Load() }},
 }
 
 // WritePrometheus renders every counter in Prometheus text exposition

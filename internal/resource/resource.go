@@ -32,6 +32,10 @@ type Limits struct {
 	MaxCandidates int
 	// MaxRuntime is the wall-clock ceiling for a whole run.
 	MaxRuntime time.Duration
+	// MaxPageIO caps the durable-storage page traffic (WAL page-frames
+	// appended plus heap pages read or written) any single SQL statement
+	// may generate. It has no effect on an in-memory database.
+	MaxPageIO int
 }
 
 // ErrCanceled is the sentinel matched by every cancellation error.
@@ -39,6 +43,11 @@ var ErrCanceled = errors.New("canceled")
 
 // ErrBudgetExceeded is the sentinel matched by every budget error.
 var ErrBudgetExceeded = errors.New("resource budget exceeded")
+
+// ErrIO is the sentinel matched by every durable-storage I/O failure
+// (WAL append or fsync, heap page read/write, checkpoint swap). The
+// concrete *IOError names the operation and wraps the OS error.
+var ErrIO = errors.New("storage I/O failed")
 
 // CancelError wraps the context error that stopped a run. errors.Is
 // matches ErrCanceled (via Is) and the context cause (via Unwrap).
@@ -89,6 +98,29 @@ func (e *BudgetError) Error() string {
 
 // Is matches the ErrBudgetExceeded sentinel.
 func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// IOError reports a failed durable-storage operation. It joins the
+// taxonomy beside CancelError and BudgetError: an embedding application
+// can classify disk trouble (retry, alert, fail over) separately from
+// budget trips and bugs.
+type IOError struct {
+	// Op names the failing operation ("wal append", "wal fsync",
+	// "page read", "page write", "checkpoint").
+	Op string
+	// Err is the underlying error, usually from the OS.
+	Err error
+}
+
+// NewIOError wraps err as a typed storage I/O failure.
+func NewIOError(op string, err error) *IOError { return &IOError{Op: op, Err: err} }
+
+func (e *IOError) Error() string { return fmt.Sprintf("storage: %s: %v", e.Op, e.Err) }
+
+// Unwrap exposes the underlying OS error.
+func (e *IOError) Unwrap() error { return e.Err }
+
+// Is matches the ErrIO sentinel.
+func (e *IOError) Is(target error) bool { return target == ErrIO }
 
 // InternalError is a recovered panic: an engine or kernel bug surfaced
 // as an error instead of a crash, with the stack preserved.

@@ -1,0 +1,652 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"minerule/internal/obsv"
+	"minerule/internal/resource"
+	"minerule/internal/sql/pager"
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/storage"
+	"minerule/internal/sql/wal"
+)
+
+// The durable store keeps a database directory in the LevelDB CURRENT
+// style:
+//
+//	CURRENT      — the live generation number, swapped atomically
+//	gen-N/       — checkpoint N: catalog.json + one heap file per table
+//	wal-N.log    — redo log of everything since checkpoint N
+//
+// Opening loads the generation named by CURRENT, replays wal-N.log over
+// it (skipping records at or below the snapshot's LSN), truncates any
+// torn tail, and attaches itself as the catalog's journal. A checkpoint
+// writes gen-(N+1) and an empty wal-(N+1).log, fsyncs both, and only
+// then swaps CURRENT — a crash at any point leaves the previous
+// generation fully intact. LSNs stay monotone across generations.
+//
+// Tables remain memory-resident: the heap files and buffer pool serve
+// open-time loads and checkpoint writes, while statement reads keep the
+// in-memory fast paths (and their alloc profile) untouched.
+
+const (
+	currentFile = "CURRENT"
+	// autoCheckpointBytes triggers a checkpoint at commit once the live
+	// WAL outgrows it, bounding recovery replay time.
+	autoCheckpointBytes = 4 << 20
+)
+
+// snapTable is one table entry of a checkpoint's catalog.json. Rows live
+// in the named heap file; Heap is relative to the generation directory.
+type snapTable struct {
+	Name string          `json:"name"`
+	Cols []schema.Column `json:"cols"`
+	Heap string          `json:"heap"`
+}
+
+type snapView struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+type snapSequence struct {
+	Name string `json:"name"`
+	Next int64  `json:"next"` // logged ceiling, not the live value
+}
+
+type snapIndex struct {
+	Name  string `json:"name"`
+	Table string `json:"table"`
+	Col   int    `json:"col"`
+}
+
+// snapshot is the catalog.json schema of one checkpoint generation.
+type snapshot struct {
+	LastLSN   uint64         `json:"last_lsn"`
+	Tables    []snapTable    `json:"tables"`
+	Views     []snapView     `json:"views"`
+	Sequences []snapSequence `json:"sequences"`
+	Indexes   []snapIndex    `json:"indexes"`
+}
+
+// store is the durable backend of a Database: it implements
+// storage.Journal, so every catalog and table mutation reaches the WAL
+// before it is applied in memory.
+type store struct {
+	dir  string
+	cat  *storage.Catalog
+	pool *pager.Pool
+	met  *obsv.Metrics
+
+	gen uint64
+	w   *wal.Writer
+	// applied is the LSN of the newest record reflected in the live
+	// catalog (from the snapshot, replay, or an accepted append). Replay
+	// skips records at or below it, which is what makes recovery — and
+	// replaying a log twice — idempotent.
+	applied uint64
+
+	// Statement-window page-I/O budget: pages remaining, or -1 for
+	// unlimited. beginWindow resets it from Limits.MaxPageIO.
+	budget int
+	limit  int
+
+	// sticky is the first journal failure that could not propagate to
+	// its caller (NEXTVAL cannot fail); commit surfaces it and the store
+	// refuses further writes.
+	sticky error
+
+	scratch []byte // payload encode buffer, reused across appends
+}
+
+func genDir(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("gen-%d", gen))
+}
+
+func walPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%d.log", gen))
+}
+
+func heapName(i int) string { return fmt.Sprintf("t%d.heap", i) }
+
+// syncDir fsyncs a directory so renames and creations inside it are
+// durable before the caller proceeds.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return resource.NewIOError("dir open", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return resource.NewIOError("dir fsync", err)
+	}
+	return nil
+}
+
+// openStore opens (creating if empty) the database directory and brings
+// cat to the recovered state. The catalog must be empty. On return the
+// store is attached as cat's journal.
+func openStore(dir string, poolPages int, cat *storage.Catalog, met *obsv.Metrics) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, resource.NewIOError("db dir", err)
+	}
+	s := &store{dir: dir, cat: cat, pool: pager.NewPool(poolPages), met: met, budget: -1}
+	s.pool.Met = met
+
+	cur, err := os.ReadFile(filepath.Join(dir, currentFile))
+	switch {
+	case os.IsNotExist(err):
+		if err := s.initFresh(); err != nil {
+			return nil, err
+		}
+	case err != nil:
+		return nil, resource.NewIOError("read CURRENT", err)
+	default:
+		gen, perr := strconv.ParseUint(strings.TrimSpace(string(cur)), 10, 64)
+		if perr != nil {
+			return nil, fmt.Errorf("engine: corrupt CURRENT file in %s: %w", dir, perr)
+		}
+		s.gen = gen
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+	cat.SetJournal(s)
+	return s, nil
+}
+
+// initFresh lays out generation 1 of a brand-new database: an empty
+// snapshot, an empty log, and a CURRENT file — in that order, so a crash
+// mid-init leaves a directory open treats as still uninitialized.
+func (s *store) initFresh() error {
+	s.gen = 1
+	if err := writeSnapshot(genDir(s.dir, 1), &snapshot{}, nil, s.pool); err != nil {
+		return err
+	}
+	w, err := wal.Create(walPath(s.dir, 1), 0)
+	if err != nil {
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return err
+	}
+	s.w = w
+	s.w.Met = s.met
+	if err := s.swapCurrent(1); err != nil {
+		s.w.Close()
+		return err
+	}
+	return nil
+}
+
+// recover loads generation s.gen and replays its WAL. The journal is
+// still detached, so replayed records mutate memory without re-logging.
+func (s *store) recover() error {
+	snap, err := s.loadSnapshot(genDir(s.dir, s.gen))
+	if err != nil {
+		return err
+	}
+	s.applied = snap.LastLSN
+	validEnd, lastLSN, err := s.replayLog()
+	if err != nil {
+		return err
+	}
+	if lastLSN < s.applied {
+		lastLSN = s.applied
+	}
+	w, err := wal.OpenAppend(walPath(s.dir, s.gen), validEnd, lastLSN)
+	if err != nil {
+		return err
+	}
+	s.w = w
+	s.w.Met = s.met
+	return nil
+}
+
+// replayLog redoes the live generation's log over the catalog, skipping
+// records at or below s.applied and advancing it — so a second call (or
+// a replay over a freshly loaded snapshot that already contains a log
+// prefix) changes nothing.
+func (s *store) replayLog() (validEnd int64, lastLSN uint64, err error) {
+	path := walPath(s.dir, s.gen)
+	validEnd, lastLSN, err = wal.Replay(path, func(r *wal.Record) error {
+		if r.LSN <= s.applied {
+			return nil
+		}
+		if err := applyRecord(s.cat, r); err != nil {
+			return err
+		}
+		s.applied = r.LSN
+		s.met.RecoveryRecords.Inc()
+		return nil
+	})
+	if err != nil {
+		return 0, 0, fmt.Errorf("engine: recovering %s: %w", path, err)
+	}
+	return validEnd, lastLSN, nil
+}
+
+// loadSnapshot reads one generation into the (empty, journal-detached)
+// catalog and returns its manifest.
+func (s *store) loadSnapshot(dir string) (*snapshot, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		return nil, resource.NewIOError("read snapshot", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return nil, fmt.Errorf("engine: corrupt snapshot in %s: %w", dir, err)
+	}
+	for _, st := range snap.Tables {
+		t, err := s.cat.CreateTable(st.Name, schema.New(st.Name, st.Cols...))
+		if err != nil {
+			return nil, err
+		}
+		f, err := pager.OpenFile(filepath.Join(dir, st.Heap))
+		if err != nil {
+			return nil, err
+		}
+		var rows []schema.Row
+		err = pager.ScanHeap(s.pool, f, func(rec []byte) error {
+			row, rest, derr := schema.DecodeRowBinary(rec)
+			if derr != nil {
+				return derr
+			}
+			if len(rest) != 0 {
+				return fmt.Errorf("engine: %d trailing bytes in heap row of %s", len(rest), st.Name)
+			}
+			rows = append(rows, row)
+			return nil
+		})
+		s.pool.DropFile(f)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if err := t.InsertAll(rows); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range snap.Views {
+		if err := s.cat.CreateView(v.Name, v.Text); err != nil {
+			return nil, err
+		}
+	}
+	for _, sq := range snap.Sequences {
+		seq, err := s.cat.CreateSequence(sq.Name)
+		if err != nil {
+			return nil, err
+		}
+		seq.Restore(sq.Next)
+	}
+	for _, ix := range snap.Indexes {
+		if _, err := s.cat.CreateIndex(ix.Name, ix.Table, ix.Col); err != nil {
+			return nil, err
+		}
+	}
+	return &snap, nil
+}
+
+// applyRecord redoes one WAL record against the catalog. It is only
+// called with the journal detached (recovery), so nothing re-logs.
+func applyRecord(cat *storage.Catalog, r *wal.Record) error {
+	table := func() (*storage.Table, error) {
+		t, ok := cat.Table(r.Name)
+		if !ok {
+			return nil, fmt.Errorf("engine: %s record for unknown table %q", r.Kind, r.Name)
+		}
+		return t, nil
+	}
+	switch r.Kind {
+	case wal.KindCreateTable:
+		_, err := cat.CreateTable(r.Name, schema.New(r.Name, r.Cols...))
+		return err
+	case wal.KindDropTable:
+		return cat.DropTable(r.Name)
+	case wal.KindCreateView:
+		return cat.CreateView(r.Name, r.Text)
+	case wal.KindDropView:
+		return cat.DropView(r.Name)
+	case wal.KindCreateSequence:
+		_, err := cat.CreateSequence(r.Name)
+		return err
+	case wal.KindDropSequence:
+		return cat.DropSequence(r.Name)
+	case wal.KindCreateIndex:
+		_, err := cat.CreateIndex(r.Name, r.Table, r.Col)
+		return err
+	case wal.KindDropIndex:
+		return cat.DropIndex(r.Name)
+	case wal.KindInsert:
+		t, err := table()
+		if err != nil {
+			return err
+		}
+		return t.InsertAll(r.Rows)
+	case wal.KindTruncate:
+		t, err := table()
+		if err != nil {
+			return err
+		}
+		return t.Truncate()
+	case wal.KindReplace:
+		t, err := table()
+		if err != nil {
+			return err
+		}
+		return t.Replace(r.Rows)
+	case wal.KindSeqBump:
+		sq, ok := cat.Sequence(r.Name)
+		if !ok {
+			return fmt.Errorf("engine: SEQ BUMP for unknown sequence %q", r.Name)
+		}
+		sq.Restore(r.Next)
+		return nil
+	case wal.KindCheckpoint:
+		return nil // generation marker; state lives in the snapshot
+	default:
+		return fmt.Errorf("engine: unknown WAL record kind %d", r.Kind)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Journal implementation
+
+// append encodes rec, charges the statement's page-I/O budget on the
+// exact frame size, and writes the frame. A budget or I/O error vetoes
+// the in-memory mutation (the storage layer applies only after the
+// journal accepts); I/O errors additionally poison the store.
+func (s *store) append(rec *wal.Record) error {
+	if s.sticky != nil {
+		return s.sticky
+	}
+	rec.LSN = s.w.LastLSN() + 1
+	s.scratch = rec.AppendPayload(s.scratch[:0])
+	frameLen := len(s.scratch) + wal.FrameOverhead
+	if err := s.charge((frameLen + pager.PageSize - 1) / pager.PageSize); err != nil {
+		return err
+	}
+	if _, err := s.w.AppendEncoded(s.scratch); err != nil {
+		s.sticky = err
+		return err
+	}
+	s.applied = rec.LSN // the caller applies in memory upon acceptance
+	return nil
+}
+
+func (s *store) charge(pages int) error {
+	if s.budget < 0 {
+		return nil
+	}
+	s.budget -= pages
+	if s.budget < 0 {
+		return &resource.BudgetError{Resource: "pageio", Limit: s.limit}
+	}
+	return nil
+}
+
+func (s *store) CreateTable(name string, sc *schema.Schema) error {
+	return s.append(&wal.Record{Kind: wal.KindCreateTable, Name: name, Cols: sc.Columns()})
+}
+
+func (s *store) DropTable(name string) error {
+	return s.append(&wal.Record{Kind: wal.KindDropTable, Name: name})
+}
+
+func (s *store) CreateView(name, text string) error {
+	return s.append(&wal.Record{Kind: wal.KindCreateView, Name: name, Text: text})
+}
+
+func (s *store) DropView(name string) error {
+	return s.append(&wal.Record{Kind: wal.KindDropView, Name: name})
+}
+
+func (s *store) CreateSequence(name string) error {
+	return s.append(&wal.Record{Kind: wal.KindCreateSequence, Name: name})
+}
+
+func (s *store) DropSequence(name string) error {
+	return s.append(&wal.Record{Kind: wal.KindDropSequence, Name: name})
+}
+
+func (s *store) CreateIndex(name, table string, col int) error {
+	return s.append(&wal.Record{Kind: wal.KindCreateIndex, Name: name, Table: table, Col: col})
+}
+
+func (s *store) DropIndex(name string) error {
+	return s.append(&wal.Record{Kind: wal.KindDropIndex, Name: name})
+}
+
+func (s *store) Insert(table string, rows []schema.Row) error {
+	return s.append(&wal.Record{Kind: wal.KindInsert, Name: table, Rows: rows})
+}
+
+func (s *store) Truncate(table string) error {
+	return s.append(&wal.Record{Kind: wal.KindTruncate, Name: table})
+}
+
+func (s *store) Replace(table string, rows []schema.Row) error {
+	return s.append(&wal.Record{Kind: wal.KindReplace, Name: table, Rows: rows})
+}
+
+func (s *store) SequenceBump(name string, next int64) error {
+	err := s.append(&wal.Record{Kind: wal.KindSeqBump, Name: name, Next: next})
+	if err != nil && s.sticky == nil {
+		// NEXTVAL cannot surface this error; remember it so commit fails
+		// the statement instead of silently losing durability.
+		s.sticky = err
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Statement windows and commit
+
+// beginWindow starts a statement's page-I/O accounting window.
+func (s *store) beginWindow(maxPages int) {
+	if maxPages <= 0 {
+		s.budget, s.limit = -1, 0
+		return
+	}
+	s.budget, s.limit = maxPages, maxPages
+}
+
+// commit is the statement-boundary durability point: one group fsync
+// covers every record the statement appended. It also surfaces sticky
+// journal failures and rolls the log when it has outgrown the
+// auto-checkpoint threshold.
+func (s *store) commit() error {
+	if s.sticky != nil {
+		return s.sticky
+	}
+	if err := s.w.Sync(); err != nil {
+		s.sticky = err
+		return err
+	}
+	if size, err := s.w.Size(); err == nil && size > autoCheckpointBytes {
+		return s.checkpoint()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+
+// checkpoint writes generation gen+1 (snapshot of the live catalog plus
+// a fresh empty log) and atomically swaps CURRENT to it. A crash at any
+// step leaves the old generation live and complete.
+func (s *store) checkpoint() error {
+	if s.sticky != nil {
+		return s.sticky
+	}
+	if err := s.w.Sync(); err != nil {
+		s.sticky = err
+		return err
+	}
+	newGen := s.gen + 1
+	snap := s.buildManifest()
+	if err := writeSnapshot(genDir(s.dir, newGen), snap, s.cat, s.pool); err != nil {
+		return err
+	}
+	w, err := wal.Create(walPath(s.dir, newGen), s.w.LastLSN())
+	if err != nil {
+		return err
+	}
+	w.Met = s.met
+	if _, err := w.Append(&wal.Record{Kind: wal.KindCheckpoint, Next: int64(newGen)}); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Sync(); err != nil {
+		w.Close()
+		return err
+	}
+	if err := s.swapCurrent(newGen); err != nil {
+		w.Close()
+		return err
+	}
+	// The swap is durable: retire the old generation. Failures past this
+	// point only leak space, never consistency.
+	oldGen, oldW := s.gen, s.w
+	s.gen, s.w = newGen, w
+	oldW.Close()
+	os.Remove(walPath(s.dir, oldGen))
+	os.RemoveAll(genDir(s.dir, oldGen))
+	s.met.Checkpoints.Inc()
+	return nil
+}
+
+// buildManifest snapshots the live catalog's structure. Sequences record
+// their logged ceiling: restoring the live value could re-issue NEXTVALs
+// already handed out before the crash.
+func (s *store) buildManifest() *snapshot {
+	snap := &snapshot{LastLSN: s.w.LastLSN()}
+	for i, name := range s.cat.TableNames() {
+		t, ok := s.cat.Table(name)
+		if !ok {
+			continue
+		}
+		snap.Tables = append(snap.Tables, snapTable{
+			Name: t.Name(),
+			Cols: t.Schema().Columns(),
+			Heap: heapName(i),
+		})
+		for _, ix := range t.Indexes() {
+			snap.Indexes = append(snap.Indexes, snapIndex{Name: ix.Name(), Table: t.Name(), Col: ix.Column()})
+		}
+	}
+	for _, name := range s.cat.ViewNames() {
+		if v, ok := s.cat.View(name); ok {
+			snap.Views = append(snap.Views, snapView{Name: v.Name, Text: v.Text})
+		}
+	}
+	for _, name := range s.cat.SequenceNames() {
+		if sq, ok := s.cat.Sequence(name); ok {
+			snap.Sequences = append(snap.Sequences, snapSequence{Name: sq.Name(), Next: sq.LoggedCeiling()})
+		}
+	}
+	return snap
+}
+
+// writeSnapshot materializes one generation directory: heap files for
+// every table (when cat is non-nil), then catalog.json, each fsynced,
+// then the directory itself. Nothing references the generation until the
+// caller swaps CURRENT.
+func writeSnapshot(dir string, snap *snapshot, cat *storage.Catalog, pool *pager.Pool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return resource.NewIOError("snapshot dir", err)
+	}
+	var enc []byte
+	for _, st := range snap.Tables {
+		t, ok := cat.Table(st.Name)
+		if !ok {
+			return fmt.Errorf("engine: snapshot table %q vanished", st.Name)
+		}
+		f, err := pager.OpenFile(filepath.Join(dir, st.Heap))
+		if err != nil {
+			return err
+		}
+		hw := pager.NewHeapWriter(pool, f)
+		for _, row := range t.Snapshot() {
+			enc = row.AppendBinary(enc[:0])
+			if err := hw.Append(enc); err != nil {
+				pool.DropFile(f)
+				f.Close()
+				return err
+			}
+		}
+		err = hw.Flush()
+		if err == nil {
+			err = f.Sync()
+		}
+		pool.DropFile(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("engine: encode snapshot: %w", err)
+	}
+	path := filepath.Join(dir, "catalog.json")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return resource.NewIOError("snapshot write", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return resource.NewIOError("snapshot write", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return resource.NewIOError("snapshot fsync", err)
+	}
+	if err := f.Close(); err != nil {
+		return resource.NewIOError("snapshot close", err)
+	}
+	return syncDir(dir)
+}
+
+// swapCurrent atomically points CURRENT at gen (write tmp, fsync,
+// rename, fsync dir — the standard crash-safe pointer swap).
+func (s *store) swapCurrent(gen uint64) error {
+	tmp := filepath.Join(s.dir, currentFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return resource.NewIOError("CURRENT write", err)
+	}
+	_, err = f.WriteString(strconv.FormatUint(gen, 10) + "\n")
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return resource.NewIOError("CURRENT write", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, currentFile)); err != nil {
+		return resource.NewIOError("CURRENT swap", err)
+	}
+	return syncDir(s.dir)
+}
+
+// close releases the WAL and heap files. The database directory stays
+// openable; close does not checkpoint (recovery replays the log).
+func (s *store) close() error {
+	if s.w == nil {
+		return nil
+	}
+	err := s.w.Close()
+	s.w = nil
+	return err
+}

@@ -40,6 +40,9 @@ type Database struct {
 	// returning an error aborts the statement. Test-only fault injection
 	// — see internal/fault.
 	hook func(sql string) error
+	// store is the durable backend (WAL + checkpoints); nil on in-memory
+	// databases, which is the default.
+	store *store
 }
 
 // New returns an empty database.
@@ -49,6 +52,67 @@ func New() *Database {
 	rt := exec.NewRuntime(cat)
 	rt.Met = met
 	return &Database{cat: cat, rt: rt, met: met}
+}
+
+// Open returns a database durably backed by the given directory,
+// creating it when empty and otherwise recovering: the last checkpoint
+// generation is loaded and the write-ahead log replayed over it, so any
+// crash-time prefix of the log yields a consistent catalog. poolPages
+// sizes the buffer pool (<= 0 means the default).
+func Open(dir string, poolPages int) (*Database, error) {
+	db := New()
+	st, err := openStore(dir, poolPages, db.cat, db.met)
+	if err != nil {
+		return nil, err
+	}
+	db.store = st
+	return db, nil
+}
+
+// Durable reports whether the database is backed by a storage directory.
+func (db *Database) Durable() bool { return db.store != nil }
+
+// Close releases the durable backend's files after a final group fsync.
+// It does not checkpoint — reopening replays the log — and is a no-op
+// on in-memory databases.
+func (db *Database) Close() error {
+	if db.store == nil {
+		return nil
+	}
+	db.cat.SetJournal(nil)
+	return db.store.close()
+}
+
+// Checkpoint forces a checkpoint: the catalog is snapshotted to a new
+// generation and the log restarted, bounding the next open's replay
+// work. No-op on in-memory databases.
+func (db *Database) Checkpoint() error {
+	if db.store == nil {
+		return nil
+	}
+	return db.store.checkpoint()
+}
+
+// commit finishes a statement on a durable database: one group fsync
+// covers every WAL record the statement appended. The statement's own
+// error wins over a commit error, which would usually be its
+// consequence.
+func (db *Database) commit(stmtErr error) error {
+	if db.store == nil {
+		return stmtErr
+	}
+	cerr := db.store.commit()
+	if stmtErr != nil {
+		return stmtErr
+	}
+	return cerr
+}
+
+// beginWindow opens a statement's page-I/O budget window.
+func (db *Database) beginWindow() {
+	if db.store != nil {
+		db.store.beginWindow(db.rt.Limits.MaxPageIO)
+	}
 }
 
 // Metrics exposes the engine's counter registry (never nil). Callers
@@ -104,7 +168,9 @@ func (db *Database) ExecContext(ctx context.Context, sql string) (*exec.Result, 
 	}
 	db.met.StmtExecuted.Inc()
 	t1 := time.Now()
+	db.beginWindow()
 	res, err := db.rt.ExecContext(ctx, st)
+	err = db.commit(err)
 	db.met.ExecNanos.Add(int64(time.Since(t1)))
 	if err != nil {
 		db.met.StmtErrors.Inc()
@@ -137,7 +203,9 @@ func (db *Database) ExecScriptContext(ctx context.Context, sql string) error {
 		}
 		db.met.StmtExecuted.Inc()
 		t0 := time.Now()
+		db.beginWindow()
 		_, err := db.rt.ExecContext(ctx, st)
+		err = db.commit(err)
 		db.met.ExecNanos.Add(int64(time.Since(t0)))
 		if err != nil {
 			db.met.StmtErrors.Inc()
@@ -258,34 +326,39 @@ func (db *Database) importRecords(name string, header []string, cr *csv.Reader) 
 		}
 		cols[i] = schema.Column{Name: parts[0], Type: t}
 	}
+	// The import runs as one statement: table creation and the row batch
+	// share a page-I/O window and one group fsync at commit.
+	db.beginWindow()
 	tab, err := db.cat.CreateTable(name, schema.New(name, cols...))
 	if err != nil {
-		return 0, err
+		return 0, db.commit(err)
 	}
-	n := 0
+	var rows []schema.Row
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return n, fmt.Errorf("engine: csv: %w", err)
+			return 0, db.commit(fmt.Errorf("engine: csv: %w", err))
 		}
 		if len(rec) != len(cols) {
-			return n, fmt.Errorf("engine: csv record has %d fields, want %d", len(rec), len(cols))
+			return 0, db.commit(fmt.Errorf("engine: csv record has %d fields, want %d", len(rec), len(cols)))
 		}
 		row := make(schema.Row, len(cols))
 		for i, f := range rec {
 			v, err := parseField(f, cols[i].Type)
 			if err != nil {
-				return n, fmt.Errorf("engine: csv field %q: %w", f, err)
+				return 0, db.commit(fmt.Errorf("engine: csv field %q: %w", f, err))
 			}
 			row[i] = v
 		}
-		tab.Insert(row)
-		n++
+		rows = append(rows, row)
 	}
-	return n, nil
+	if err := db.commit(tab.InsertAll(rows)); err != nil {
+		return 0, err
+	}
+	return len(rows), nil
 }
 
 // ExportCSV writes a query result as CSV with a plain column-name header.

@@ -331,8 +331,9 @@ func (rt *Runtime) execUpdate(x *parse.Update) (*Result, error) {
 		out = append(out, next)
 		changed++
 	}
-	t.Truncate()
-	t.InsertAll(out)
+	if err := t.Replace(out); err != nil {
+		return nil, err
+	}
 	return &Result{RowsAffected: changed}, nil
 }
 
@@ -464,7 +465,9 @@ func (rt *Runtime) execInsert(x *parse.Insert) (*Result, error) {
 		}
 		out = append(out, row)
 	}
-	t.InsertAll(out)
+	if err := t.InsertAll(out); err != nil {
+		return nil, err
+	}
 	return &Result{RowsAffected: len(out)}, nil
 }
 
@@ -490,7 +493,9 @@ func (rt *Runtime) execDelete(x *parse.Delete) (*Result, error) {
 	}
 	if x.Where == nil {
 		n := t.Len()
-		t.Truncate()
+		if err := t.Truncate(); err != nil {
+			return nil, err
+		}
 		return &Result{RowsAffected: n}, nil
 	}
 	b := rt.bind(t.Schema())
@@ -519,7 +524,8 @@ func (rt *Runtime) execDelete(x *parse.Delete) (*Result, error) {
 		}
 		keep = append(keep, row)
 	}
-	t.Truncate()
-	t.InsertAll(keep)
+	if err := t.Replace(keep); err != nil {
+		return nil, err
+	}
 	return &Result{RowsAffected: removed}, nil
 }

@@ -1,0 +1,192 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Heap files store one cell per row (schema.Row binary encoding). A row
+// larger than one page's cell capacity is chunked: a start cell carries
+// the total length, continuation cells carry the rest, in order. Cell
+// tags:
+//
+//	'R'  whole row in one cell
+//	'S'  first fragment of a chunked row (uvarint total length follows)
+//	'C'  continuation fragment
+const (
+	cellRow   = 'R'
+	cellStart = 'S'
+	cellCont  = 'C'
+)
+
+// HeapWriter appends encoded rows to a heap file through the pool,
+// filling pages in order. Call Flush when done; the file then holds
+// pages 0..Pages()-1.
+type HeapWriter struct {
+	pool *Pool
+	f    *File
+	no   uint32 // current page number
+	page Page   // current page (resident, dirty)
+	used bool   // a page has been allocated
+	buf  []byte // cell scratch
+}
+
+// NewHeapWriter starts writing f from page 0 (the file is being
+// rewritten; previous content beyond the new length is truncated by
+// the checkpoint that owns it).
+func NewHeapWriter(pool *Pool, f *File) *HeapWriter {
+	return &HeapWriter{pool: pool, f: f}
+}
+
+func (h *HeapWriter) nextPage() error {
+	if h.used {
+		h.no++
+	}
+	pg, err := h.pool.Alloc(h.f, h.no)
+	if err != nil {
+		return err
+	}
+	h.page, h.used = pg, true
+	return nil
+}
+
+// Append writes one encoded row, chunking across pages when needed.
+func (h *HeapWriter) Append(rec []byte) error {
+	if !h.used {
+		if err := h.nextPage(); err != nil {
+			return err
+		}
+	}
+	// Fast path: whole row fits in one cell on the current (or a fresh)
+	// page.
+	h.buf = append(h.buf[:0], cellRow)
+	h.buf = append(h.buf, rec...)
+	if len(h.buf) <= MaxCell {
+		if h.page.Append(h.buf) {
+			h.pool.MarkDirty(h.f, h.no)
+			return nil
+		}
+		if err := h.nextPage(); err != nil {
+			return err
+		}
+		if h.page.Append(h.buf) {
+			h.pool.MarkDirty(h.f, h.no)
+			return nil
+		}
+		return fmt.Errorf("pager: cell of %d bytes does not fit an empty page", len(h.buf))
+	}
+	// Chunked row: start fragment then continuations, each filling
+	// whatever space its page has.
+	rest := rec
+	h.buf = append(h.buf[:0], cellStart)
+	h.buf = binary.AppendUvarint(h.buf, uint64(len(rec)))
+	head := len(h.buf)
+	first := true
+	for len(rest) > 0 || first {
+		room := h.page.FreeSpace() - head
+		if room <= 0 {
+			if err := h.nextPage(); err != nil {
+				return err
+			}
+			continue
+		}
+		n := len(rest)
+		if n > room {
+			n = room
+		}
+		if n > MaxCell-head {
+			n = MaxCell - head
+		}
+		h.buf = append(h.buf[:head], rest[:n]...)
+		if !h.page.Append(h.buf) {
+			if err := h.nextPage(); err != nil {
+				return err
+			}
+			continue
+		}
+		h.pool.MarkDirty(h.f, h.no)
+		rest = rest[n:]
+		first = false
+		h.buf = append(h.buf[:0], cellCont)
+		head = len(h.buf)
+	}
+	return nil
+}
+
+// Pages returns how many pages the writer has filled so far.
+func (h *HeapWriter) Pages() uint32 {
+	if !h.used {
+		return 0
+	}
+	return h.no + 1
+}
+
+// Flush writes the writer's dirty pages back through the pool (the
+// caller fsyncs the file).
+func (h *HeapWriter) Flush() error { return h.pool.FlushFile(h.f) }
+
+// ScanHeap iterates the heap file through the pool, invoking fn with
+// each row's encoded bytes in write order. The slice passed to fn is
+// only valid during the call.
+func ScanHeap(pool *Pool, f *File, fn func(rec []byte) error) error {
+	pages, err := f.Pages()
+	if err != nil {
+		return err
+	}
+	var pending []byte // chunked-row reassembly buffer
+	var want uint64
+	inChunk := false
+	for no := uint32(0); no < pages; no++ {
+		pg, err := pool.Get(f, no)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < pg.NumSlots(); i++ {
+			cell, err := pg.Cell(i)
+			if err != nil {
+				return err
+			}
+			if len(cell) == 0 {
+				return fmt.Errorf("pager: empty cell %d on page %d", i, no)
+			}
+			switch cell[0] {
+			case cellRow:
+				if inChunk {
+					return fmt.Errorf("pager: row cell inside chunked row on page %d", no)
+				}
+				if err := fn(cell[1:]); err != nil {
+					return err
+				}
+			case cellStart:
+				total, n := binary.Uvarint(cell[1:])
+				if n <= 0 {
+					return fmt.Errorf("pager: bad chunk header on page %d", no)
+				}
+				want = total
+				inChunk = true
+				pending = append(pending[:0], cell[1+n:]...)
+			case cellCont:
+				if !inChunk {
+					return fmt.Errorf("pager: continuation without start on page %d", no)
+				}
+				pending = append(pending, cell[1:]...)
+			default:
+				return fmt.Errorf("pager: unknown cell tag %q on page %d", cell[0], no)
+			}
+			if inChunk && uint64(len(pending)) >= want {
+				if uint64(len(pending)) > want {
+					return fmt.Errorf("pager: chunked row overflow on page %d", no)
+				}
+				if err := fn(pending); err != nil {
+					return err
+				}
+				inChunk = false
+				want = 0
+			}
+		}
+	}
+	if inChunk {
+		return fmt.Errorf("pager: truncated chunked row at end of %s", f.Path())
+	}
+	return nil
+}

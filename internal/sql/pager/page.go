@@ -1,0 +1,91 @@
+// Package pager implements the page layer of the durable storage
+// subsystem: fixed-size slotted pages, heap files of row cells, and a
+// fixed-capacity buffer pool with clock (second-chance) eviction —
+// the same discipline as the engine's statement cache, applied to
+// pages instead of programs.
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// PageSize is the fixed on-disk page size. 4 KiB matches the common
+// filesystem block size, so a page write is one block write.
+const PageSize = 4096
+
+// Slotted-page layout:
+//
+//	[0:2]  uint16 slot count
+//	[2:4]  uint16 free offset (start of the unused middle)
+//	[4:…]  cells, appended upward from offset 4
+//	[…:]   slot directory, growing downward from the page end;
+//	       slot i occupies [PageSize-4(i+1) : PageSize-4i] as
+//	       (uint16 cell offset, uint16 cell length)
+//
+// Cells are never deleted in place — the heap is append-only except for
+// whole-table truncation, which rewrites files — so there is no
+// compaction path.
+const pageHeader = 4
+
+const slotSize = 4
+
+// Page is one PageSize-byte slotted page viewed in place.
+type Page []byte
+
+// InitPage formats b (len PageSize) as an empty slotted page.
+func InitPage(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+	binary.LittleEndian.PutUint16(b[2:4], pageHeader)
+}
+
+// NumSlots returns the number of cells on the page.
+func (p Page) NumSlots() int { return int(binary.LittleEndian.Uint16(p[0:2])) }
+
+func (p Page) freeOff() int { return int(binary.LittleEndian.Uint16(p[2:4])) }
+
+// FreeSpace returns the bytes available for one more cell (its slot
+// included).
+func (p Page) FreeSpace() int {
+	free := PageSize - slotSize*p.NumSlots() - p.freeOff() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// MaxCell is the largest cell payload a single page can hold.
+const MaxCell = PageSize - pageHeader - slotSize
+
+// Append places one cell on the page. It reports false when the cell
+// does not fit (the caller then moves to a fresh page).
+func (p Page) Append(cell []byte) bool {
+	if len(cell) > p.FreeSpace() {
+		return false
+	}
+	n := p.NumSlots()
+	off := p.freeOff()
+	copy(p[off:], cell)
+	slot := PageSize - slotSize*(n+1)
+	binary.LittleEndian.PutUint16(p[slot:slot+2], uint16(off))
+	binary.LittleEndian.PutUint16(p[slot+2:slot+4], uint16(len(cell)))
+	binary.LittleEndian.PutUint16(p[0:2], uint16(n+1))
+	binary.LittleEndian.PutUint16(p[2:4], uint16(off+len(cell)))
+	return true
+}
+
+// Cell returns the i-th cell's bytes, in place (read-only).
+func (p Page) Cell(i int) ([]byte, error) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, fmt.Errorf("pager: slot %d out of range (have %d)", i, p.NumSlots())
+	}
+	slot := PageSize - slotSize*(i+1)
+	off := int(binary.LittleEndian.Uint16(p[slot : slot+2]))
+	l := int(binary.LittleEndian.Uint16(p[slot+2 : slot+4]))
+	if off < pageHeader || off+l > PageSize-slotSize*p.NumSlots() {
+		return nil, fmt.Errorf("pager: corrupt slot %d (off %d len %d)", i, off, l)
+	}
+	return p[off : off+l], nil
+}

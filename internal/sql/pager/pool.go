@@ -1,0 +1,231 @@
+package pager
+
+import (
+	"os"
+
+	"minerule/internal/obsv"
+	"minerule/internal/resource"
+)
+
+// File is one page-addressed heap file.
+type File struct {
+	f    *os.File
+	path string
+}
+
+// OpenFile opens (creating if needed) a heap file.
+func OpenFile(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, resource.NewIOError("page open", err)
+	}
+	return &File{f: f, path: path}, nil
+}
+
+// Path returns the file's path.
+func (f *File) Path() string { return f.path }
+
+// Pages returns the number of whole pages in the file.
+func (f *File) Pages() (uint32, error) {
+	st, err := f.f.Stat()
+	if err != nil {
+		return 0, resource.NewIOError("page stat", err)
+	}
+	return uint32(st.Size() / PageSize), nil
+}
+
+// Sync fsyncs the file.
+func (f *File) Sync() error {
+	if err := f.f.Sync(); err != nil {
+		return resource.NewIOError("page fsync", err)
+	}
+	return nil
+}
+
+// Close closes the file (without flushing pool frames; see Pool.FlushFile).
+func (f *File) Close() error {
+	if err := f.f.Close(); err != nil {
+		return resource.NewIOError("page close", err)
+	}
+	return nil
+}
+
+// frame is one resident page with its clock state.
+type frame struct {
+	file  *File
+	no    uint32
+	data  []byte // len PageSize
+	dirty bool
+	ref   bool // second-chance bit
+}
+
+type frameKey struct {
+	file *File
+	no   uint32
+}
+
+// Pool is a fixed-capacity page cache over any number of files, with
+// clock (second-chance) eviction: a miss that finds the pool full
+// sweeps the frame ring clearing reference bits and replaces the first
+// unreferenced frame, writing it back first when dirty. Frames touched
+// since the hand last passed survive — hot pages stay resident while
+// cold scans cycle through the rest.
+//
+// Not safe for concurrent use: the durable store serializes access, as
+// the engine's runtime does for statements.
+type Pool struct {
+	capacity int
+	frames   map[frameKey]*frame
+	ring     []*frame
+	hand     int
+
+	// Met, when non-nil, receives page and pool counters.
+	Met *obsv.Metrics
+}
+
+// DefaultPoolPages is the default buffer-pool capacity (1 MiB of pages).
+const DefaultPoolPages = 256
+
+// NewPool returns an empty pool holding at most capacity pages
+// (DefaultPoolPages when capacity <= 0).
+func NewPool(capacity int) *Pool {
+	if capacity <= 0 {
+		capacity = DefaultPoolPages
+	}
+	return &Pool{capacity: capacity, frames: make(map[frameKey]*frame)}
+}
+
+// Capacity returns the pool's frame limit.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Get returns page no of f, reading it from disk on a miss. The
+// returned bytes are valid until the next pool operation; callers must
+// finish with a page before requesting another.
+func (p *Pool) Get(f *File, no uint32) (Page, error) {
+	fr, err := p.frame(f, no, true)
+	if err != nil {
+		return nil, err
+	}
+	return Page(fr.data), nil
+}
+
+// Alloc returns a zero-initialized resident frame for page no of f
+// without reading the disk (the page is about to be fully written), and
+// marks it dirty.
+func (p *Pool) Alloc(f *File, no uint32) (Page, error) {
+	fr, err := p.frame(f, no, false)
+	if err != nil {
+		return nil, err
+	}
+	InitPage(fr.data)
+	fr.dirty = true
+	return Page(fr.data), nil
+}
+
+// MarkDirty flags page no of f as modified so eviction and FlushFile
+// write it back. The page must be resident (returned by Get or Alloc).
+func (p *Pool) MarkDirty(f *File, no uint32) {
+	if fr, ok := p.frames[frameKey{f, no}]; ok {
+		fr.dirty = true
+	}
+}
+
+func (p *Pool) frame(f *File, no uint32, read bool) (*frame, error) {
+	k := frameKey{f, no}
+	if fr, ok := p.frames[k]; ok {
+		fr.ref = true
+		if m := p.Met; m != nil {
+			m.PoolHits.Inc()
+		}
+		return fr, nil
+	}
+	if m := p.Met; m != nil {
+		m.PoolMisses.Inc()
+	}
+	fr, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	fr.file, fr.no, fr.dirty, fr.ref = f, no, false, true
+	if read {
+		if _, err := f.f.ReadAt(fr.data, int64(no)*PageSize); err != nil {
+			// Leave the frame unmapped so a failed read is retryable.
+			fr.file = nil
+			return nil, resource.NewIOError("page read", err)
+		}
+		if m := p.Met; m != nil {
+			m.PageReads.Inc()
+		}
+	}
+	p.frames[k] = fr
+	return fr, nil
+}
+
+// victim produces a free frame: a fresh one below capacity, otherwise
+// the clock sweep's choice (flushed first when dirty).
+func (p *Pool) victim() (*frame, error) {
+	if len(p.ring) < p.capacity {
+		fr := &frame{data: make([]byte, PageSize)}
+		p.ring = append(p.ring, fr)
+		return fr, nil
+	}
+	for {
+		cand := p.ring[p.hand]
+		p.hand = (p.hand + 1) % len(p.ring)
+		if cand.ref {
+			cand.ref = false
+			continue
+		}
+		if cand.dirty {
+			if err := p.writeFrame(cand); err != nil {
+				return nil, err
+			}
+		}
+		if cand.file != nil {
+			delete(p.frames, frameKey{cand.file, cand.no})
+			if m := p.Met; m != nil {
+				m.PoolEvictions.Inc()
+			}
+		}
+		cand.file = nil
+		return cand, nil
+	}
+}
+
+func (p *Pool) writeFrame(fr *frame) error {
+	if _, err := fr.file.f.WriteAt(fr.data, int64(fr.no)*PageSize); err != nil {
+		return resource.NewIOError("page write", err)
+	}
+	fr.dirty = false
+	if m := p.Met; m != nil {
+		m.PageWrites.Inc()
+	}
+	return nil
+}
+
+// FlushFile writes back every dirty resident page of f (without
+// fsyncing; the caller syncs the file once afterwards).
+func (p *Pool) FlushFile(f *File) error {
+	for _, fr := range p.ring {
+		if fr.file == f && fr.dirty {
+			if err := p.writeFrame(fr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DropFile forgets every resident page of f (dirty pages are discarded;
+// flush first to keep them). Used when a file is closed or replaced by
+// a checkpoint generation swap.
+func (p *Pool) DropFile(f *File) {
+	for _, fr := range p.ring {
+		if fr.file == f {
+			delete(p.frames, frameKey{fr.file, fr.no})
+			fr.file = nil
+			fr.dirty = false
+			fr.ref = false
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package schema
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"minerule/internal/sql/value"
+)
+
+// Row binary codec for the durable storage layer: a row encodes as a
+// uvarint arity followed by each value's binary form (value.AppendBinary).
+// Both WAL insert records and heap-file cells use this encoding, so a
+// row written by either path decodes with the same function.
+
+// AppendBinary appends the row's binary encoding to dst and returns the
+// extended slice.
+func (r Row) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		dst = v.AppendBinary(dst)
+	}
+	return dst
+}
+
+// DecodeRowBinary decodes one row from the front of b, returning the
+// row and the remaining bytes. It fails on truncated or corrupt input.
+func DecodeRowBinary(b []byte) (Row, []byte, error) {
+	arity, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("schema: decode row: bad arity")
+	}
+	if arity > uint64(len(b)) { // each value needs at least one tag byte
+		return nil, nil, fmt.Errorf("schema: decode row: arity %d exceeds input", arity)
+	}
+	rest := b[n:]
+	row := make(Row, arity)
+	for i := range row {
+		var v value.Value
+		var err error
+		v, rest, err = value.DecodeBinary(rest)
+		if err != nil {
+			return nil, nil, fmt.Errorf("schema: decode row col %d: %w", i, err)
+		}
+		row[i] = v
+	}
+	return row, rest, nil
+}

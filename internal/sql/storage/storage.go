@@ -24,6 +24,7 @@ type Table struct {
 	mu      sync.RWMutex
 	rows    []schema.Row
 	indexes []*Index
+	jn      Journal // nil on in-memory databases
 }
 
 // NewTable creates an empty table.
@@ -38,26 +39,43 @@ func (t *Table) Name() string { return t.name }
 func (t *Table) Schema() *schema.Schema { return t.schema }
 
 // Insert appends a row. The row must positionally match the schema; the
-// caller (the executor) is responsible for type checking.
-func (t *Table) Insert(r schema.Row) {
+// caller (the executor) is responsible for type checking. With a journal
+// attached the append is logged first; a journal error (I/O failure,
+// page-I/O budget) vetoes the insert.
+func (t *Table) Insert(r schema.Row) error {
 	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.jn != nil {
+		if err := t.jn.Insert(t.name, []schema.Row{r}); err != nil {
+			return err
+		}
+	}
 	for _, ix := range t.indexes {
 		ix.add(r, len(t.rows))
 	}
 	t.rows = append(t.rows, r)
-	t.mu.Unlock()
+	return nil
 }
 
-// InsertAll appends many rows at once.
-func (t *Table) InsertAll(rs []schema.Row) {
+// InsertAll appends many rows at once (one journal record for the batch).
+func (t *Table) InsertAll(rs []schema.Row) error {
+	if len(rs) == 0 {
+		return nil
+	}
 	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.jn != nil {
+		if err := t.jn.Insert(t.name, rs); err != nil {
+			return err
+		}
+	}
 	for i, r := range rs {
 		for _, ix := range t.indexes {
 			ix.add(r, len(t.rows)+i)
 		}
 	}
 	t.rows = append(t.rows, rs...)
-	t.mu.Unlock()
+	return nil
 }
 
 // Len returns the current row count.
@@ -68,11 +86,35 @@ func (t *Table) Len() int {
 }
 
 // Truncate removes all rows.
-func (t *Table) Truncate() {
+func (t *Table) Truncate() error {
 	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.jn != nil {
+		if err := t.jn.Truncate(t.name); err != nil {
+			return err
+		}
+	}
 	t.rows = nil
 	t.reindexLocked()
-	t.mu.Unlock()
+	return nil
+}
+
+// Replace atomically substitutes the table's contents with rs, taking
+// ownership of the slice. UPDATE and DELETE rewrites use it instead of a
+// Truncate/InsertAll pair so the journal sees one record — a crash
+// between the two halves can never surface an empty table. Existing
+// snapshots stay valid: the old row array is abandoned, never mutated.
+func (t *Table) Replace(rs []schema.Row) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.jn != nil {
+		if err := t.jn.Replace(t.name, rs); err != nil {
+			return err
+		}
+	}
+	t.rows = rs
+	t.reindexLocked()
+	return nil
 }
 
 // Snapshot returns the row slice as of now. The slice must be treated as
@@ -87,21 +129,36 @@ func (t *Table) Snapshot() []schema.Row {
 // Sequence is an Oracle-style monotone counter supporting NEXTVAL,
 // used by the paper's Q2–Q5 to mint Gid/Bid/Hid/Cid identifiers.
 type Sequence struct {
-	name string
-	mu   sync.Mutex
-	next int64
+	name   string
+	mu     sync.Mutex
+	next   int64
+	logged int64   // ceiling already journaled; values below it need no log
+	jn     Journal // nil on in-memory databases
 }
+
+// seqCache is how far past the current value a SeqBump record reaches:
+// one journal append covers the next seqCache NEXTVALs, and a crash
+// skips at most that many values (Oracle's CACHE semantics).
+const seqCache = 32
 
 // NewSequence creates a sequence starting at 1, matching Oracle's
 // CREATE SEQUENCE default.
-func NewSequence(name string) *Sequence { return &Sequence{name: name, next: 1} }
+func NewSequence(name string) *Sequence { return &Sequence{name: name, next: 1, logged: 1} }
 
 // Name returns the sequence's catalog name.
 func (s *Sequence) Name() string { return s.name }
 
-// NextVal returns the current value and advances the sequence.
+// NextVal returns the current value and advances the sequence. NEXTVAL
+// cannot fail, so a journal error here does not surface — the durable
+// store remembers it and fails the statement at its commit point; the
+// ceiling stays unlogged so the bump is retried rather than lost.
 func (s *Sequence) NextVal() int64 {
 	s.mu.Lock()
+	if s.jn != nil && s.next >= s.logged {
+		if err := s.jn.SequenceBump(s.name, s.next+seqCache); err == nil {
+			s.logged = s.next + seqCache
+		}
+	}
 	v := s.next
 	s.next++
 	s.mu.Unlock()
@@ -115,10 +172,24 @@ func (s *Sequence) CurrentVal() int64 {
 	return s.next
 }
 
-// Restore sets the next value (used when loading a saved database).
+// LoggedCeiling returns the highest value covered by a journaled bump —
+// what a checkpoint must persist so NEXTVAL never repeats a value handed
+// out before a crash. On an in-memory database it equals CurrentVal.
+func (s *Sequence) LoggedCeiling() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.logged > s.next {
+		return s.logged
+	}
+	return s.next
+}
+
+// Restore sets the next value (used when loading a saved database or
+// replaying a SeqBump record). The restored value counts as logged.
 func (s *Sequence) Restore(next int64) {
 	s.mu.Lock()
 	s.next = next
+	s.logged = next
 	s.mu.Unlock()
 }
 
@@ -137,6 +208,7 @@ type Catalog struct {
 	vws  map[string]*View
 	seqs map[string]*Sequence
 	idxs map[string]string // index name → owning table name
+	jn   Journal           // nil on in-memory databases
 
 	// version counts DDL mutations. Caches of anything derived from the
 	// dictionary (resolved view plans, compiled statements bound to
@@ -189,7 +261,13 @@ func (c *Catalog) CreateTable(name string, s *schema.Schema) (*Table, error) {
 	if kind, ok := c.taken(k); ok {
 		return nil, fmt.Errorf("catalog: %q already exists as a %s", name, kind)
 	}
+	if c.jn != nil {
+		if err := c.jn.CreateTable(name, s); err != nil {
+			return nil, err
+		}
+	}
 	t := NewTable(name, s)
+	t.jn = c.jn
 	c.tabs[k] = t
 	c.version.Add(1)
 	return t, nil
@@ -203,6 +281,11 @@ func (c *Catalog) DropTable(name string) error {
 	t, ok := c.tabs[k]
 	if !ok {
 		return fmt.Errorf("catalog: table %q does not exist", name)
+	}
+	if c.jn != nil {
+		if err := c.jn.DropTable(name); err != nil {
+			return err
+		}
 	}
 	for _, ix := range t.Indexes() {
 		delete(c.idxs, key(ix.Name()))
@@ -224,6 +307,15 @@ func (c *Catalog) CreateIndex(name, table string, col int) (*Index, error) {
 	if !ok {
 		return nil, fmt.Errorf("catalog: table %q does not exist", table)
 	}
+	if col < 0 || col >= t.Schema().Len() {
+		// Validated here so a journaled record is always replayable.
+		return nil, fmt.Errorf("storage: index column %d out of range", col)
+	}
+	if c.jn != nil {
+		if err := c.jn.CreateIndex(name, table, col); err != nil {
+			return nil, err
+		}
+	}
 	ix, err := t.CreateIndex(name, col)
 	if err != nil {
 		return nil, err
@@ -241,6 +333,11 @@ func (c *Catalog) DropIndex(name string) error {
 	tabKey, ok := c.idxs[k]
 	if !ok {
 		return fmt.Errorf("catalog: index %q does not exist", name)
+	}
+	if c.jn != nil {
+		if err := c.jn.DropIndex(name); err != nil {
+			return err
+		}
 	}
 	if t, ok := c.tabs[tabKey]; ok {
 		if err := t.DropIndex(name); err != nil {
@@ -268,6 +365,11 @@ func (c *Catalog) CreateView(name, text string) error {
 	if kind, ok := c.taken(k); ok {
 		return fmt.Errorf("catalog: %q already exists as a %s", name, kind)
 	}
+	if c.jn != nil {
+		if err := c.jn.CreateView(name, text); err != nil {
+			return err
+		}
+	}
 	c.vws[k] = &View{Name: name, Text: text}
 	c.version.Add(1)
 	return nil
@@ -280,6 +382,11 @@ func (c *Catalog) DropView(name string) error {
 	k := key(name)
 	if _, ok := c.vws[k]; !ok {
 		return fmt.Errorf("catalog: view %q does not exist", name)
+	}
+	if c.jn != nil {
+		if err := c.jn.DropView(name); err != nil {
+			return err
+		}
 	}
 	delete(c.vws, k)
 	c.version.Add(1)
@@ -302,7 +409,13 @@ func (c *Catalog) CreateSequence(name string) (*Sequence, error) {
 	if kind, ok := c.taken(k); ok {
 		return nil, fmt.Errorf("catalog: %q already exists as a %s", name, kind)
 	}
+	if c.jn != nil {
+		if err := c.jn.CreateSequence(name); err != nil {
+			return nil, err
+		}
+	}
 	s := NewSequence(name)
+	s.jn = c.jn
 	c.seqs[k] = s
 	c.version.Add(1)
 	return s, nil
@@ -315,6 +428,11 @@ func (c *Catalog) DropSequence(name string) error {
 	k := key(name)
 	if _, ok := c.seqs[k]; !ok {
 		return fmt.Errorf("catalog: sequence %q does not exist", name)
+	}
+	if c.jn != nil {
+		if err := c.jn.DropSequence(name); err != nil {
+			return err
+		}
 	}
 	delete(c.seqs, k)
 	c.version.Add(1)

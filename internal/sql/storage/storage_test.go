@@ -169,3 +169,79 @@ func TestDropMissing(t *testing.T) {
 		t.Error("DropSequence on missing must fail")
 	}
 }
+
+// TestConcurrentSnapshotAndInsert pins down the two aliasing contracts
+// readers depend on (run under -race): a Snapshot is a stable prefix
+// that concurrent InsertAll calls never move or mutate, and an index
+// Lookup taken mid-append only ever surfaces fully-inserted rows whose
+// indexed column actually matches the key.
+func TestConcurrentSnapshotAndInsert(t *testing.T) {
+	tab := NewTable("t", testSchema())
+	ix, err := tab.CreateIndex("t_a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row i is (i%8, "v<i%8>"): every row with the same a shares one
+	// index bucket, so buckets grow while readers walk them.
+	mk := func(i int) schema.Row {
+		return schema.Row{value.NewInt(int64(i % 8)), value.NewString("v" + string(rune('0'+i%8)))}
+	}
+	const (
+		batches   = 64
+		batchSize = 16
+		readers   = 4
+	)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := tab.Snapshot()
+				for i, row := range snap {
+					want := int64(i % 8)
+					if got := row[0].Int(); got != want {
+						t.Errorf("snapshot[%d].a = %d, want %d", i, got, want)
+						return
+					}
+				}
+				key := value.NewInt(int64((seed + n) % 8)).Key()
+				for _, row := range tab.Lookup(ix, key) {
+					if row[0].Key() != key {
+						t.Errorf("Lookup(%q) returned row with a = %v", key, row[0])
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	next := 0
+	for b := 0; b < batches; b++ {
+		rows := make([]schema.Row, batchSize)
+		for i := range rows {
+			rows[i] = mk(next)
+			next++
+		}
+		if err := tab.InsertAll(rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+	if tab.Len() != batches*batchSize {
+		t.Fatalf("Len = %d, want %d", tab.Len(), batches*batchSize)
+	}
+	// Every bucket is complete once the writers stop.
+	for a := 0; a < 8; a++ {
+		got := len(tab.Lookup(ix, value.NewInt(int64(a)).Key()))
+		if got != batches*batchSize/8 {
+			t.Fatalf("bucket %d has %d rows, want %d", a, got, batches*batchSize/8)
+		}
+	}
+}

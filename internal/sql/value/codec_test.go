@@ -1,0 +1,76 @@
+package value_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"minerule/internal/sql/value"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	vals := []value.Value{
+		value.Null,
+		value.NewBool(false),
+		value.NewBool(true),
+		value.NewInt(0),
+		value.NewInt(1),
+		value.NewInt(-1),
+		value.NewInt(math.MaxInt64),
+		value.NewInt(math.MinInt64),
+		value.NewFloat(0),
+		value.NewFloat(3.25),
+		value.NewFloat(-1e300),
+		value.NewFloat(math.Inf(1)),
+		value.NewString(""),
+		value.NewString("ski_pants"),
+		value.NewString("a\x00b\xffc"),
+		value.NewDate(1995, time.December, 17),
+		value.NewDateFromDays(-1),
+	}
+	var buf []byte
+	for _, v := range vals {
+		buf = v.AppendBinary(buf)
+	}
+	rest := buf
+	for i, want := range vals {
+		var got value.Value
+		var err error
+		got, rest, err = value.DecodeBinary(rest)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("value %d: got %v want %v", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes after decode", len(rest))
+	}
+}
+
+func TestBinaryRoundTripNaN(t *testing.T) {
+	enc := value.NewFloat(math.NaN()).AppendBinary(nil)
+	got, rest, err := value.DecodeBinary(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode NaN: %v (rest %d)", err, len(rest))
+	}
+	if got.Type() != value.TypeFloat || !math.IsNaN(got.Float()) {
+		t.Fatalf("NaN did not round-trip: %v", got)
+	}
+}
+
+func TestDecodeBinaryCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":        {},
+		"unknown tag":  {0x7f},
+		"short float":  {0x04, 1, 2, 3},
+		"short string": {0x05, 10, 'a'},
+		"bad varint":   {0x03, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80},
+	}
+	for name, in := range cases {
+		if _, _, err := value.DecodeBinary(in); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+// Package wal implements the append-only redo log of the durable
+// storage subsystem. Every catalog mutation — DDL, insert batches,
+// truncates/replaces, sequence bumps — appends one typed record; replay
+// of the log over the last checkpoint reconstructs the catalog.
+//
+// Framing is length+CRC: each record is
+//
+//	[4B little-endian payload length][4B CRC-32C of payload][payload]
+//
+// so a reader can always distinguish a clean end-of-log from a torn or
+// corrupt tail: the first frame whose length header is short, whose
+// payload is truncated, or whose CRC mismatches ends the valid prefix.
+// Any prefix of the log is therefore a consistent (if older) database
+// state — the crash-recovery contract the kill-point sweep enforces.
+//
+// Records carry a monotonically increasing LSN. Replay skips records at
+// or below the already-applied LSN, which makes recovery idempotent:
+// replaying a log twice equals replaying it once.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"minerule/internal/obsv"
+	"minerule/internal/resource"
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/value"
+)
+
+// Kind enumerates the record types of the redo log.
+type Kind uint8
+
+// The record types. The numeric values are part of the on-disk format;
+// append only, never renumber.
+const (
+	KindCreateTable Kind = iota + 1
+	KindDropTable
+	KindCreateView
+	KindDropView
+	KindCreateSequence
+	KindDropSequence
+	KindCreateIndex
+	KindDropIndex
+	KindInsert
+	KindTruncate
+	KindReplace
+	KindSeqBump
+	KindCheckpoint
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindCreateTable:
+		return "CREATE TABLE"
+	case KindDropTable:
+		return "DROP TABLE"
+	case KindCreateView:
+		return "CREATE VIEW"
+	case KindDropView:
+		return "DROP VIEW"
+	case KindCreateSequence:
+		return "CREATE SEQUENCE"
+	case KindDropSequence:
+		return "DROP SEQUENCE"
+	case KindCreateIndex:
+		return "CREATE INDEX"
+	case KindDropIndex:
+		return "DROP INDEX"
+	case KindInsert:
+		return "INSERT"
+	case KindTruncate:
+		return "TRUNCATE"
+	case KindReplace:
+		return "REPLACE"
+	case KindSeqBump:
+		return "SEQ BUMP"
+	case KindCheckpoint:
+		return "CHECKPOINT"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Record is one logical redo-log entry. Which fields are meaningful
+// depends on Kind; unused fields are zero.
+type Record struct {
+	LSN  uint64
+	Kind Kind
+
+	// Name is the object the record is about: the table for
+	// CreateTable/DropTable/Insert/Truncate/Replace, the view, sequence
+	// or index for their kinds.
+	Name string
+	// Table is the owning table of a CreateIndex record.
+	Table string
+	// Text is the SELECT body of a CreateView record.
+	Text string
+	// Cols is the schema of a CreateTable record.
+	Cols []schema.Column
+	// Col is the indexed column ordinal of a CreateIndex record.
+	Col int
+	// Rows is the batch of an Insert or Replace record.
+	Rows []schema.Row
+	// Next is the new sequence ceiling of a SeqBump record: recovery
+	// restores the sequence so the next NEXTVAL returns Next (values
+	// skipped by the crash become gaps, the classic sequence-cache
+	// trade).
+	Next int64
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameHeader is the per-record on-disk overhead.
+const frameHeader = 8
+
+// FrameOverhead is frameHeader for callers sizing a frame from its
+// payload (the durable store's page-I/O accounting).
+const FrameOverhead = frameHeader
+
+// appendString appends a uvarint-length-framed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func decodeString(b []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < l {
+		return "", nil, fmt.Errorf("wal: bad string frame")
+	}
+	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}
+
+// AppendPayload serializes the record (everything inside the frame).
+func (r *Record) AppendPayload(dst []byte) []byte {
+	dst = append(dst, byte(r.Kind))
+	dst = binary.AppendUvarint(dst, r.LSN)
+	switch r.Kind {
+	case KindCreateTable:
+		dst = appendString(dst, r.Name)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Cols)))
+		for _, c := range r.Cols {
+			dst = appendString(dst, c.Name)
+			dst = binary.AppendUvarint(dst, uint64(c.Type))
+		}
+	case KindDropTable, KindDropView, KindCreateSequence, KindDropSequence,
+		KindDropIndex, KindTruncate:
+		dst = appendString(dst, r.Name)
+	case KindCreateView:
+		dst = appendString(dst, r.Name)
+		dst = appendString(dst, r.Text)
+	case KindCreateIndex:
+		dst = appendString(dst, r.Name)
+		dst = appendString(dst, r.Table)
+		dst = binary.AppendUvarint(dst, uint64(r.Col))
+	case KindInsert, KindReplace:
+		dst = appendString(dst, r.Name)
+		dst = binary.AppendUvarint(dst, uint64(len(r.Rows)))
+		for _, row := range r.Rows {
+			dst = row.AppendBinary(dst)
+		}
+	case KindSeqBump:
+		dst = appendString(dst, r.Name)
+		dst = binary.AppendVarint(dst, r.Next)
+	case KindCheckpoint:
+		dst = binary.AppendVarint(dst, r.Next)
+	}
+	return dst
+}
+
+// DecodePayload parses one record payload. It fails (never panics) on
+// truncated or unknown input, which replay treats as a torn tail.
+func DecodePayload(b []byte) (*Record, error) {
+	if len(b) < 2 {
+		return nil, fmt.Errorf("wal: short payload")
+	}
+	r := &Record{Kind: Kind(b[0])}
+	lsn, n := binary.Uvarint(b[1:])
+	if n <= 0 {
+		return nil, fmt.Errorf("wal: bad LSN")
+	}
+	r.LSN = lsn
+	rest := b[1+n:]
+	var err error
+	switch r.Kind {
+	case KindCreateTable:
+		if r.Name, rest, err = decodeString(rest); err != nil {
+			return nil, err
+		}
+		ncols, n := binary.Uvarint(rest)
+		if n <= 0 || ncols > uint64(len(rest)) {
+			return nil, fmt.Errorf("wal: bad column count")
+		}
+		rest = rest[n:]
+		r.Cols = make([]schema.Column, ncols)
+		for i := range r.Cols {
+			if r.Cols[i].Name, rest, err = decodeString(rest); err != nil {
+				return nil, err
+			}
+			t, n := binary.Uvarint(rest)
+			if n <= 0 {
+				return nil, fmt.Errorf("wal: bad column type")
+			}
+			r.Cols[i].Type = value.Type(t)
+			rest = rest[n:]
+		}
+	case KindDropTable, KindDropView, KindCreateSequence, KindDropSequence,
+		KindDropIndex, KindTruncate:
+		if r.Name, rest, err = decodeString(rest); err != nil {
+			return nil, err
+		}
+	case KindCreateView:
+		if r.Name, rest, err = decodeString(rest); err != nil {
+			return nil, err
+		}
+		if r.Text, rest, err = decodeString(rest); err != nil {
+			return nil, err
+		}
+	case KindCreateIndex:
+		if r.Name, rest, err = decodeString(rest); err != nil {
+			return nil, err
+		}
+		if r.Table, rest, err = decodeString(rest); err != nil {
+			return nil, err
+		}
+		col, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("wal: bad index column")
+		}
+		r.Col = int(col)
+		rest = rest[n:]
+	case KindInsert, KindReplace:
+		if r.Name, rest, err = decodeString(rest); err != nil {
+			return nil, err
+		}
+		nrows, n := binary.Uvarint(rest)
+		if n <= 0 || nrows > uint64(len(rest)) { // each row needs ≥ 1 byte
+			return nil, fmt.Errorf("wal: bad row count")
+		}
+		rest = rest[n:]
+		if nrows > 0 {
+			r.Rows = make([]schema.Row, nrows)
+			for i := range r.Rows {
+				if r.Rows[i], rest, err = schema.DecodeRowBinary(rest); err != nil {
+					return nil, fmt.Errorf("wal: row %d: %w", i, err)
+				}
+			}
+		}
+	case KindSeqBump:
+		if r.Name, rest, err = decodeString(rest); err != nil {
+			return nil, err
+		}
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("wal: bad sequence value")
+		}
+		r.Next = v
+		rest = rest[n:]
+	case KindCheckpoint:
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			return nil, fmt.Errorf("wal: bad checkpoint value")
+		}
+		r.Next = v
+		rest = rest[n:]
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %d", r.Kind)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("wal: %d trailing payload byte(s)", len(rest))
+	}
+	return r, nil
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+// Writer appends records to one log file. Appends buffer in the OS;
+// Sync is the group-commit point — the engine calls it once per
+// statement, so all records of a multi-row statement share one fsync.
+// Not safe for concurrent use; callers (the storage journal) serialize.
+type Writer struct {
+	f    *os.File
+	lsn  uint64 // last LSN handed out
+	buf  []byte // frame scratch, reused across appends
+	pay  []byte // payload scratch for Append
+	dirt bool   // bytes appended since the last Sync
+
+	// Met, when non-nil, receives WAL counters.
+	Met *obsv.Metrics
+	// WriteHook, when non-nil, intercepts every frame write — test-only
+	// crash injection (internal/fault.WriteGate): it may shorten the
+	// frame to simulate a torn write and return the error that "kills"
+	// the process. Same idiom as engine.SetExecHook.
+	WriteHook func(frame []byte) ([]byte, error)
+}
+
+// Create truncates/creates the log at path. Records appended will carry
+// LSNs above lastLSN.
+func Create(path string, lastLSN uint64) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, resource.NewIOError("wal create", err)
+	}
+	return &Writer{f: f, lsn: lastLSN}, nil
+}
+
+// OpenAppend opens an existing log for appending after recovery has
+// validated it: the file is truncated to validEnd (dropping any torn
+// tail so it can never corrupt later records) and new records carry
+// LSNs above lastLSN.
+func OpenAppend(path string, validEnd int64, lastLSN uint64) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, resource.NewIOError("wal open", err)
+	}
+	if err := f.Truncate(validEnd); err != nil {
+		f.Close()
+		return nil, resource.NewIOError("wal truncate", err)
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, resource.NewIOError("wal seek", err)
+	}
+	return &Writer{f: f, lsn: lastLSN}, nil
+}
+
+// LastLSN returns the LSN of the most recently appended (or recovered)
+// record.
+func (w *Writer) LastLSN() uint64 { return w.lsn }
+
+// Size returns the current log length in bytes.
+func (w *Writer) Size() (int64, error) {
+	st, err := w.f.Stat()
+	if err != nil {
+		return 0, resource.NewIOError("wal stat", err)
+	}
+	return st.Size(), nil
+}
+
+// Append assigns the record the next LSN and writes its frame. The
+// write lands in the OS cache; durability requires a following Sync.
+// It returns the bytes appended (for page-I/O accounting).
+func (w *Writer) Append(r *Record) (int, error) {
+	r.LSN = w.lsn + 1
+	w.pay = r.AppendPayload(w.pay[:0])
+	return w.AppendEncoded(w.pay)
+}
+
+// AppendEncoded frames and writes an already-serialized payload, which
+// must be an AppendPayload result carrying LSN LastLSN()+1. Append does
+// both steps in one call; the split lets the durable store charge its
+// page-I/O budget on the exact frame size before any byte reaches the
+// log.
+func (w *Writer) AppendEncoded(payload []byte) (int, error) {
+	w.buf = append(w.buf[:0], 0, 0, 0, 0, 0, 0, 0, 0)
+	w.buf = append(w.buf, payload...)
+	payload = w.buf[frameHeader:]
+	binary.LittleEndian.PutUint32(w.buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.buf[4:8], crc32.Checksum(payload, crcTable))
+
+	frame := w.buf
+	if w.WriteHook != nil {
+		cut, err := w.WriteHook(frame)
+		if len(cut) > 0 {
+			w.f.Write(cut) // partial (torn) frame reaches the disk
+			w.dirt = true
+		}
+		if err != nil {
+			return 0, resource.NewIOError("wal append", err)
+		}
+		frame = frame[len(cut):]
+		if len(frame) == 0 {
+			w.lsn++
+			return len(cut), nil
+		}
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return 0, resource.NewIOError("wal append", err)
+	}
+	w.dirt = true
+	w.lsn++
+	if m := w.Met; m != nil {
+		m.WalAppends.Inc()
+		m.WalBytes.Add(int64(len(payload) + frameHeader))
+	}
+	return len(payload) + frameHeader, nil
+}
+
+// Sync is the group-commit point: it fsyncs the log iff records were
+// appended since the last Sync, so read-only statements cost nothing
+// and multi-record statements share one fsync.
+func (w *Writer) Sync() error {
+	if !w.dirt {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return resource.NewIOError("wal fsync", err)
+	}
+	w.dirt = false
+	if m := w.Met; m != nil {
+		m.WalFsyncs.Inc()
+	}
+	return nil
+}
+
+// Close syncs and closes the log.
+func (w *Writer) Close() error {
+	if err := w.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return resource.NewIOError("wal close", err)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+// ReplayBytes scans the log image, invoking fn for each intact record
+// in order. It returns the byte length of the valid prefix and the last
+// LSN seen. A torn or corrupt tail (short frame, truncated payload, CRC
+// mismatch, undecodable payload) ends the scan silently — that is the
+// expected shape of a crash — while an error from fn aborts the scan
+// and is returned.
+func ReplayBytes(b []byte, fn func(*Record) error) (validEnd int64, lastLSN uint64, err error) {
+	off := 0
+	for {
+		if len(b)-off < frameHeader {
+			return int64(off), lastLSN, nil
+		}
+		plen := int(binary.LittleEndian.Uint32(b[off : off+4]))
+		want := binary.LittleEndian.Uint32(b[off+4 : off+8])
+		if plen <= 0 || len(b)-off-frameHeader < plen {
+			return int64(off), lastLSN, nil
+		}
+		payload := b[off+frameHeader : off+frameHeader+plen]
+		if crc32.Checksum(payload, crcTable) != want {
+			return int64(off), lastLSN, nil
+		}
+		rec, derr := DecodePayload(payload)
+		if derr != nil {
+			return int64(off), lastLSN, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return int64(off), lastLSN, err
+			}
+		}
+		lastLSN = rec.LSN
+		off += frameHeader + plen
+	}
+}
+
+// Replay reads the log file at path and replays it (see ReplayBytes).
+// A missing file is an empty log, not an error.
+func Replay(path string, fn func(*Record) error) (validEnd int64, lastLSN uint64, err error) {
+	b, rerr := os.ReadFile(path)
+	if rerr != nil {
+		if os.IsNotExist(rerr) {
+			return 0, 0, nil
+		}
+		return 0, 0, resource.NewIOError("wal read", rerr)
+	}
+	return ReplayBytes(b, fn)
+}
+
+// Boundaries returns the end offset of every intact record in the log
+// image, in order — the kill-point sweep truncates at (and between)
+// these offsets.
+func Boundaries(b []byte) []int64 {
+	var out []int64
+	off := int64(0)
+	for {
+		if int64(len(b))-off < frameHeader {
+			return out
+		}
+		plen := int64(binary.LittleEndian.Uint32(b[off : off+4]))
+		if plen <= 0 || int64(len(b))-off-frameHeader < plen {
+			return out
+		}
+		payload := b[off+frameHeader : off+frameHeader+plen]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[off+4:off+8]) {
+			return out
+		}
+		if _, err := DecodePayload(payload); err != nil {
+			return out
+		}
+		off += frameHeader + plen
+		out = append(out, off)
+	}
+}

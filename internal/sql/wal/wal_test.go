@@ -1,0 +1,246 @@
+package wal_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/value"
+	"minerule/internal/sql/wal"
+)
+
+func sampleRecords() []*wal.Record {
+	return []*wal.Record{
+		{Kind: wal.KindCreateTable, Name: "purchase", Cols: []schema.Column{
+			{Name: "tr", Type: value.TypeInt},
+			{Name: "item", Type: value.TypeString},
+			{Name: "price", Type: value.TypeFloat},
+		}},
+		{Kind: wal.KindCreateSequence, Name: "rid"},
+		{Kind: wal.KindInsert, Name: "purchase", Rows: []schema.Row{
+			{value.NewInt(1), value.NewString("ski_pants"), value.NewFloat(140)},
+			{value.NewInt(1), value.NewString("hiking_boots"), value.NewFloat(180)},
+		}},
+		{Kind: wal.KindCreateIndex, Name: "purchase_item", Table: "purchase", Col: 1},
+		{Kind: wal.KindSeqBump, Name: "rid", Next: 33},
+		{Kind: wal.KindCreateView, Name: "v", Text: "SELECT item FROM purchase"},
+		{Kind: wal.KindTruncate, Name: "purchase"},
+		{Kind: wal.KindReplace, Name: "purchase", Rows: []schema.Row{
+			{value.NewInt(2), value.NewString("jackets"), value.Null},
+		}},
+		{Kind: wal.KindDropView, Name: "v"},
+		{Kind: wal.KindCheckpoint, Next: 2},
+	}
+}
+
+func writeLog(t *testing.T, recs []*wal.Record) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := wal.Create(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if _, err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	path := writeLog(t, recs)
+
+	var got []*wal.Record
+	validEnd, lastLSN, err := wal.Replay(path, func(r *wal.Record) error {
+		got = append(got, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := os.Stat(path)
+	if validEnd != st.Size() {
+		t.Fatalf("validEnd %d != file size %d", validEnd, st.Size())
+	}
+	if lastLSN != uint64(len(recs)) {
+		t.Fatalf("lastLSN %d want %d", lastLSN, len(recs))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d: LSN %d want %d", i, r.LSN, i+1)
+		}
+		want := recs[i] // Append stamped LSNs in place
+		if !reflect.DeepEqual(r, want) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, r, want)
+		}
+	}
+}
+
+// TestTornTailPrefix verifies the crash-recovery contract: truncating the
+// log at any byte length recovers exactly the records whose frames fit,
+// never an error, never a partial record.
+func TestTornTailPrefix(t *testing.T) {
+	recs := sampleRecords()
+	path := writeLog(t, recs)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := wal.Boundaries(b)
+	if len(bounds) != len(recs) {
+		t.Fatalf("Boundaries found %d records, want %d", len(bounds), len(recs))
+	}
+	if bounds[len(bounds)-1] != int64(len(b)) {
+		t.Fatalf("last boundary %d != log size %d", bounds[len(bounds)-1], len(b))
+	}
+	for cut := 0; cut <= len(b); cut++ {
+		wantN := 0
+		var wantEnd int64
+		for i, e := range bounds {
+			if int64(cut) >= e {
+				wantN, wantEnd = i+1, e
+			}
+		}
+		n := 0
+		validEnd, lastLSN, err := wal.ReplayBytes(b[:cut], func(*wal.Record) error {
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: replay error %v", cut, err)
+		}
+		if n != wantN || validEnd != wantEnd || lastLSN != uint64(wantN) {
+			t.Fatalf("cut %d: got %d records (validEnd %d, lsn %d), want %d (validEnd %d)",
+				cut, n, validEnd, lastLSN, wantN, wantEnd)
+		}
+	}
+}
+
+// TestCorruptTail flips one byte in the middle of the last record's
+// payload; replay must stop cleanly at the previous boundary.
+func TestCorruptTail(t *testing.T) {
+	recs := sampleRecords()
+	path := writeLog(t, recs)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := wal.Boundaries(b)
+	prev := bounds[len(bounds)-2]
+	b[prev+10] ^= 0xff // inside the last frame's payload
+
+	n := 0
+	validEnd, _, err := wal.ReplayBytes(b, func(*wal.Record) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if validEnd != prev || n != len(recs)-1 {
+		t.Fatalf("corrupt tail: validEnd %d (want %d), %d records (want %d)",
+			validEnd, prev, n, len(recs)-1)
+	}
+}
+
+func TestOpenAppendContinues(t *testing.T) {
+	recs := sampleRecords()
+	path := writeLog(t, recs)
+	b, _ := os.ReadFile(path)
+	bounds := wal.Boundaries(b)
+
+	// Simulate a torn tail, then recovery: truncate mid-record, reopen.
+	tear := bounds[len(bounds)-1] - 3
+	if err := os.Truncate(path, tear); err != nil {
+		t.Fatal(err)
+	}
+	validEnd, lastLSN, err := wal.Replay(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := wal.OpenAppend(path, validEnd, lastLSN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.LastLSN() != uint64(len(recs)-1) {
+		t.Fatalf("recovered LSN %d want %d", w.LastLSN(), len(recs)-1)
+	}
+	if _, err := w.Append(&wal.Record{Kind: wal.KindTruncate, Name: "purchase"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var kinds []wal.Kind
+	_, lastLSN, err = wal.Replay(path, func(r *wal.Record) error {
+		kinds = append(kinds, r.Kind)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != len(recs) || kinds[len(kinds)-1] != wal.KindTruncate {
+		t.Fatalf("after reopen: %d records, tail %v", len(kinds), kinds[len(kinds)-1])
+	}
+	if lastLSN != uint64(len(recs)) {
+		t.Fatalf("lastLSN %d want %d", lastLSN, len(recs))
+	}
+}
+
+func TestWriteHookTornFrame(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	w, err := wal.Create(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Append(&wal.Record{Kind: wal.KindCreateSequence, Name: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	boom := os.ErrClosed
+	w.WriteHook = func(frame []byte) ([]byte, error) {
+		return frame[:len(frame)-2], boom // torn write, then "crash"
+	}
+	if _, err := w.Append(&wal.Record{Kind: wal.KindCreateSequence, Name: "t"}); err == nil {
+		t.Fatal("hooked append did not fail")
+	}
+	w.WriteHook = nil
+	w.Close()
+
+	n := 0
+	validEnd, lastLSN, err := wal.Replay(path, func(*wal.Record) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || lastLSN != 1 {
+		t.Fatalf("after torn frame: %d records (lsn %d), want 1", n, lastLSN)
+	}
+	st, _ := os.Stat(path)
+	if validEnd >= st.Size() {
+		t.Fatalf("torn bytes should trail the valid prefix (validEnd %d, size %d)", validEnd, st.Size())
+	}
+}
+
+func TestDecodePayloadRejectsJunk(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0},
+		{0xee, 1},                 // unknown kind
+		{byte(wal.KindInsert), 1}, // missing body
+	}
+	for i, in := range cases {
+		if _, err := wal.DecodePayload(in); err == nil {
+			t.Errorf("case %d: junk payload accepted", i)
+		}
+	}
+}

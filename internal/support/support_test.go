@@ -12,7 +12,7 @@ import (
 
 func newServer(t *testing.T) (*Server, *minerule.System) {
 	t.Helper()
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	err := sys.ExecScript(`
 		CREATE TABLE P (gid INTEGER, item VARCHAR);
 		INSERT INTO P VALUES (1, 'a'), (1, 'b'), (2, 'a'), (2, 'b'), (3, 'a');

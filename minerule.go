@@ -7,7 +7,7 @@
 // CSV, then evaluate MINE RULE statements; results are stored back into
 // the database as ordinary tables and also returned decoded:
 //
-//	sys := minerule.Open()
+//	sys, _ := minerule.Open()
 //	sys.ExecScript(`CREATE TABLE Purchase (...); INSERT INTO Purchase VALUES (...);`)
 //	res, err := sys.Mine(`
 //	    MINE RULE FrequentSets AS
@@ -41,8 +41,10 @@ import (
 
 // Limits bounds the resources one Mine, Exec or Query call may consume:
 // MaxRows caps the rows any one SQL statement materializes, MaxCandidates
-// caps the mining candidate count, and MaxRuntime deadline-bounds a Mine
-// call. The zero value is unbounded.
+// caps the mining candidate count, MaxRuntime deadline-bounds a Mine
+// call, and MaxPageIO caps the durable-storage page traffic (WAL frames
+// plus heap pages) per statement on systems opened with WithStorage.
+// The zero value is unbounded.
 type Limits = resource.Limits
 
 // Error taxonomy. A failed call wraps exactly one of these sentinels (or
@@ -52,11 +54,14 @@ type Limits = resource.Limits
 //     Limits.MaxRuntime) expired;
 //   - ErrBudgetExceeded — a Limits bound tripped (errors.As to
 //     *resource.BudgetError tells which);
+//   - ErrIO — a durable-storage operation failed (errors.As to *IOError
+//     names the operation and the OS error);
 //   - *InternalError — a panic inside the kernel was contained at the
 //     recover boundary and converted to an error.
 var (
 	ErrCanceled       = resource.ErrCanceled
 	ErrBudgetExceeded = resource.ErrBudgetExceeded
+	ErrIO             = resource.ErrIO
 )
 
 // InternalError is a contained kernel panic: Op names the boundary that
@@ -64,14 +69,112 @@ var (
 // stack at recovery.
 type InternalError = resource.InternalError
 
+// IOError is a failed durable-storage operation (WAL append or fsync,
+// heap page I/O, checkpoint swap); it matches ErrIO and unwraps to the
+// OS error.
+type IOError = resource.IOError
+
 // System is one embedded database with the mining kernel attached.
 // It is not safe for concurrent use by multiple goroutines.
 type System struct {
 	db *engine.Database
 }
 
-// Open creates an empty system.
-func Open() *System { return &System{db: engine.New()} }
+// OpenOption configures Open.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	dir       string
+	poolPages int
+}
+
+// WithStorage backs the system with the durable storage subsystem rooted
+// at dir: every mutation reaches a write-ahead log before it applies,
+// checkpoints bound recovery time, and a crash at any moment — even mid
+// log record — recovers to a consistent catalog on the next Open. An
+// empty dir (or omitting the option) keeps the default in-memory system.
+func WithStorage(dir string) OpenOption {
+	return func(c *openConfig) { c.dir = dir }
+}
+
+// WithBufferPool sizes the durable subsystem's page buffer pool (in
+// 4 KiB pages; <= 0 means the default of 256). Only meaningful together
+// with WithStorage.
+func WithBufferPool(pages int) OpenOption {
+	return func(c *openConfig) { c.poolPages = pages }
+}
+
+// Open creates a system: in-memory by default, durably backed when
+// WithStorage is given (creating the directory on first open and
+// recovering from the log on later ones).
+func Open(opts ...OpenOption) (*System, error) {
+	var c openConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	if c.dir == "" {
+		return &System{db: engine.New()}, nil
+	}
+	db, err := engine.Open(c.dir, c.poolPages)
+	if err != nil {
+		return nil, fmt.Errorf("minerule: open %s: %w", c.dir, err)
+	}
+	return &System{db: db}, nil
+}
+
+// Close releases the durable backend's files after a final group fsync;
+// it is a no-op on in-memory systems. The directory reopens with
+// recovery replaying anything after the last checkpoint.
+func (s *System) Close() error { return s.db.Close() }
+
+// Checkpoint snapshots the database to a fresh generation and restarts
+// the log, bounding the next Open's recovery work. No-op in memory.
+func (s *System) Checkpoint() error { return s.db.Checkpoint() }
+
+// Durable reports whether the system was opened with WithStorage.
+func (s *System) Durable() bool { return s.db.Durable() }
+
+// StorageStats is a point-in-time snapshot of the durable subsystem's
+// counters (all zero on an in-memory system).
+type StorageStats struct {
+	WalAppends      int64 // redo-log records appended
+	WalBytes        int64 // redo-log bytes appended
+	WalFsyncs       int64 // group commits (at most one per statement)
+	PageReads       int64 // heap pages read from disk
+	PageWrites      int64 // heap pages written to disk
+	PoolHits        int64 // buffer-pool frame hits
+	PoolMisses      int64 // buffer-pool frame misses
+	PoolEvictions   int64 // frames evicted by the clock sweep
+	Checkpoints     int64 // checkpoints taken
+	RecoveryRecords int64 // records replayed by the last Open
+}
+
+// PoolHitRatio is hits/(hits+misses), or 0 before any page traffic.
+func (st StorageStats) PoolHitRatio() float64 {
+	total := st.PoolHits + st.PoolMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(st.PoolHits) / float64(total)
+}
+
+// StorageStats reads the durable subsystem's counters (also exported in
+// Prometheus form by WriteMetrics).
+func (s *System) StorageStats() StorageStats {
+	m := s.db.Metrics()
+	return StorageStats{
+		WalAppends:      m.WalAppends.Load(),
+		WalBytes:        m.WalBytes.Load(),
+		WalFsyncs:       m.WalFsyncs.Load(),
+		PageReads:       m.PageReads.Load(),
+		PageWrites:      m.PageWrites.Load(),
+		PoolHits:        m.PoolHits.Load(),
+		PoolMisses:      m.PoolMisses.Load(),
+		PoolEvictions:   m.PoolEvictions.Load(),
+		Checkpoints:     m.Checkpoints.Load(),
+		RecoveryRecords: m.RecoveryRecords.Load(),
+	}
+}
 
 // DB exposes the underlying engine for in-module tooling (the cmd/
 // binaries and benchmarks); it is internal machinery, not API surface.

@@ -9,7 +9,7 @@ import (
 
 func newSystem(t *testing.T) *minerule.System {
 	t.Helper()
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	err := sys.ExecScript(`
 		CREATE TABLE Purchase (tr INTEGER, cust VARCHAR, item VARCHAR, dt DATE, price FLOAT, qty INTEGER);
 		INSERT INTO Purchase VALUES
@@ -130,7 +130,7 @@ func TestPublicAPIKeepEncoded(t *testing.T) {
 }
 
 func TestPublicAPICSV(t *testing.T) {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	n, err := sys.ImportCSV("T", []string{"gid:int", "item:string"},
 		strings.NewReader("1,a\n1,b\n2,a\n2,b\n3,a\n"))
 	if err != nil || n != 5 {
@@ -156,7 +156,7 @@ func TestPublicAPICSV(t *testing.T) {
 }
 
 func TestPublicAPIErrors(t *testing.T) {
-	sys := minerule.Open()
+	sys, _ := minerule.Open()
 	if err := sys.Exec("SELECT * FROM missing"); err == nil {
 		t.Error("Exec on missing table must fail")
 	}

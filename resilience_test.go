@@ -44,7 +44,7 @@ func TestConcurrentQueryAndMine(t *testing.T) {
 		}(querySystems[w])
 		go func(w int) {
 			defer wg.Done()
-			sys := minerule.Open()
+			sys, _ := minerule.Open()
 			if err := sys.ExecScript(`
 				CREATE TABLE Purchase (tr INTEGER, cust VARCHAR, item VARCHAR, dt DATE, price FLOAT, qty INTEGER);
 				INSERT INTO Purchase VALUES
