@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minerule/internal/sql/engine"
+)
+
+func seedDB(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := engine.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.ExecScript(`
+		CREATE TABLE Purchase (tr INTEGER, item VARCHAR(20), price FLOAT);
+		INSERT INTO Purchase VALUES (1, 'ski_pants', 140.0);
+		INSERT INTO Purchase VALUES (1, 'hiking_boots', 180.0);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunHealthy(t *testing.T) {
+	dir := seedDB(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d on healthy db; stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("report missing ok line:\n%s", out.String())
+	}
+}
+
+func TestRunSalvageMissingCurrent(t *testing.T) {
+	dir := seedDB(t)
+	if err := os.Remove(filepath.Join(dir, "CURRENT")); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{dir}, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d on damaged db, want 1\n%s", code, out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-salvage", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("salvage exit %d, want 0\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "CURRENT rebuilt") {
+		t.Fatalf("salvage report missing rebuild line:\n%s", out.String())
+	}
+	db, err := engine.Open(dir, 0)
+	if err != nil {
+		t.Fatalf("open after salvage: %v", err)
+	}
+	defer db.Close()
+	if n, err := db.QueryInt("SELECT COUNT(*) FROM Purchase"); err != nil || n != 2 {
+		t.Fatalf("salvaged db: %d rows, err %v", n, err)
+	}
+}
+
+func TestRunUsage(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d with no args, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "usage:") {
+		t.Fatalf("no usage on stderr: %s", errOut.String())
+	}
+}

@@ -3,35 +3,82 @@ package lint
 import (
 	"go/ast"
 	"go/constant"
+	"go/types"
 	"strings"
 )
 
-// ErrTaxon enforces the error taxonomy at the public API boundary: the
-// top-level minerule package returns either wrapped errors (%w, so
-// callers can errors.Is/As into the kernel's typed errors) or errors
-// carrying the "minerule: " prefix that names the failing subsystem.
-// A bare fmt.Errorf("something broke") in an exported function leaks an
-// unclassifiable error to library users.
+// ErrTaxon enforces the error taxonomy at two boundaries.
+//
+// At the public API (package minerule), exported functions must return
+// either wrapped errors (%w, so callers can errors.Is/As into the
+// kernel's typed errors) or errors carrying the "minerule: " prefix
+// that names the failing subsystem. A bare fmt.Errorf("something
+// broke") in an exported function leaks an unclassifiable error to
+// library users.
+//
+// In the storage subsystem (internal/sql/wal, internal/sql/pager,
+// internal/sql/engine), two stricter rules apply:
+//
+//   - no direct os.* file operations: all storage I/O goes through the
+//     vfs.FS seam, or fault injection and the crash simulation cannot
+//     see it;
+//   - fmt.Errorf must not flatten an error argument with %v/%s — use
+//     %w, or errors.Is can no longer classify the failure (ENOSPC vs
+//     EIO vs corruption drives veto/retry/degrade decisions).
 var ErrTaxon = &Analyzer{
 	Name: "errtaxon",
-	Doc:  "public API errors must wrap (%w) or carry the minerule: prefix",
+	Doc:  "public API errors wrap or carry the minerule: prefix; storage code stays on the vfs seam and keeps error chains intact",
 	Run:  runErrTaxon,
 }
 
-func runErrTaxon(p *Pass) {
-	if p.Pkg.Name() != "minerule" {
-		return
-	}
-	for _, f := range p.Files {
-		if isTestFile(p.Fset, f) {
-			continue
+// storagePackages are the import-path suffixes under the stricter
+// storage rules.
+var storagePackages = []string{
+	"internal/sql/wal",
+	"internal/sql/pager",
+	"internal/sql/engine",
+}
+
+// osFileOps are the package-level os functions that touch the
+// filesystem and therefore must be reached through vfs.FS.
+var osFileOps = map[string]bool{
+	"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+	"ReadFile": true, "WriteFile": true, "Rename": true,
+	"Remove": true, "RemoveAll": true, "Truncate": true,
+	"Mkdir": true, "MkdirAll": true, "MkdirTemp": true, "ReadDir": true,
+	"Link": true, "Symlink": true, "Chtimes": true,
+}
+
+func isStoragePkg(path string) bool {
+	for _, s := range storagePackages {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
 		}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+	}
+	return false
+}
+
+func runErrTaxon(p *Pass) {
+	if p.Pkg.Name() == "minerule" {
+		for _, f := range p.Files {
+			if isTestFile(p.Fset, f) {
 				continue
 			}
-			checkErrTaxonFunc(p, fd)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				checkErrTaxonFunc(p, fd)
+			}
+		}
+	}
+	if isStoragePkg(p.Pkg.Path()) {
+		for _, f := range p.Files {
+			if isTestFile(p.Fset, f) {
+				continue
+			}
+			checkStorageFile(p, f)
 		}
 	}
 }
@@ -60,6 +107,54 @@ func checkErrTaxonFunc(p *Pass, fd *ast.FuncDecl) {
 		p.Reportf(call.Pos(), "bare fmt.Errorf at the public API boundary: wrap with %%w or prefix \"minerule: \"")
 		return true
 	})
+}
+
+// checkStorageFile applies the storage-subsystem rules to one file:
+// every filesystem touch goes through vfs, every wrapped error keeps
+// its chain.
+func checkStorageFile(p *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := funcObj(p.Info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		switch f.Pkg().Path() {
+		case "os":
+			if osFileOps[f.Name()] {
+				p.Reportf(call.Pos(), "direct os.%s bypasses the vfs seam: storage I/O must go through vfs.FS so fault injection and crash simulation cover it", f.Name())
+			}
+		case "fmt":
+			if f.Name() != "Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constFormat(p, call.Args[0])
+			if !ok || strings.Contains(format, "%w") {
+				return true
+			}
+			for _, arg := range call.Args[1:] {
+				if isErrorExpr(p.Info, arg) {
+					p.Reportf(call.Pos(), "error flattened out of the chain: use %%w so errors.Is can still classify the I/O failure")
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isErrorExpr reports whether the expression's static type implements
+// the error interface.
+func isErrorExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return types.Implements(tv.Type, errType)
 }
 
 // constFormat evaluates e as a constant string, following the typed

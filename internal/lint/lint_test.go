@@ -34,7 +34,7 @@ var (
 func stdLookup(t *testing.T) func(path string) (io.ReadCloser, error) {
 	t.Helper()
 	stdOnce.Do(func() {
-		cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", "context", "fmt", "errors", "strings")
+		cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", "context", "fmt", "errors", "strings", "os")
 		var out, errb bytes.Buffer
 		cmd.Stdout = &out
 		cmd.Stderr = &errb
@@ -213,6 +213,12 @@ func TestSpanSafeFixture(t *testing.T) {
 
 func TestErrTaxonFixture(t *testing.T) {
 	runFixtureTest(t, "errtaxon", ErrTaxon, nil)
+}
+
+// The storage rules key on the import-path suffix, so the fixture lives
+// under testdata/src/internal/sql/wal and is checked under that path.
+func TestErrTaxonStorageFixture(t *testing.T) {
+	runFixtureTest(t, "internal/sql/wal", ErrTaxon, nil)
 }
 
 func TestByName(t *testing.T) {

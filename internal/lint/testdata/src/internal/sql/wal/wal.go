@@ -1,0 +1,35 @@
+// Fixture for the errtaxon storage rules: this package's import path
+// ends in internal/sql/wal, so direct os file calls and flattened
+// error wraps must be flagged.
+package wal
+
+import (
+	"fmt"
+	"os"
+)
+
+func badOps(path string) error {
+	f, err := os.Create(path) // want `direct os.Create bypasses the vfs seam`
+	if err != nil {
+		return fmt.Errorf("create %s failed: %v", path, err) // want `error flattened out of the chain`
+	}
+	f.Close()                               // method on *os.File, not a package-level op: fine
+	if err := os.Remove(path); err != nil { // want `direct os.Remove bypasses the vfs seam`
+		return err
+	}
+	_, err = os.ReadFile(path) // want `direct os.ReadFile bypasses the vfs seam`
+	return err
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("wal append broke: %s", err) // want `error flattened out of the chain`
+}
+
+func goodWrap(path string, err error) error {
+	if err != nil {
+		return fmt.Errorf("wal %s: %w", path, err)
+	}
+	// Non-filesystem os calls and non-error Errorf args are fine.
+	_ = os.Getenv("HOME")
+	return fmt.Errorf("torn tail of %d bytes in %s", 7, path)
+}

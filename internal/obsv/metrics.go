@@ -68,6 +68,14 @@ type Metrics struct {
 	PoolEvictions   Counter // buffer-pool frames evicted (clock sweep)
 	Checkpoints     Counter // checkpoints taken
 	RecoveryRecords Counter // WAL records replayed during recovery
+
+	// Storage fault handling and corruption defense.
+	WalTornTruncations Counter // torn WAL tails truncated at recovery
+	PageCRCErrors      Counter // heap pages failing their CRC at read
+	StorageDegraded    Counter // times the store entered degraded mode
+	IORetries          Counter // transient I/O faults retried
+	EnospcVetoes       Counter // mutations vetoed cleanly by ENOSPC
+	CheckpointFailures Counter // checkpoints that failed and were discarded
 }
 
 // metricDesc maps registry fields to their exposition names, in a fixed
@@ -108,6 +116,12 @@ var metricDescs = []metricDesc{
 	{"minerule_pool_evictions_total", "buffer-pool frames evicted", func(m *Metrics) int64 { return m.PoolEvictions.Load() }},
 	{"minerule_checkpoints_total", "storage checkpoints taken", func(m *Metrics) int64 { return m.Checkpoints.Load() }},
 	{"minerule_recovery_records_total", "WAL records replayed during recovery", func(m *Metrics) int64 { return m.RecoveryRecords.Load() }},
+	{"minerule_wal_torn_tail_truncations_total", "torn WAL tails truncated at recovery", func(m *Metrics) int64 { return m.WalTornTruncations.Load() }},
+	{"minerule_page_crc_errors_total", "heap pages failing their CRC-32C at read", func(m *Metrics) int64 { return m.PageCRCErrors.Load() }},
+	{"minerule_storage_degraded_total", "times the store entered degraded (read-only) mode", func(m *Metrics) int64 { return m.StorageDegraded.Load() }},
+	{"minerule_storage_io_retries_total", "transient storage I/O faults retried", func(m *Metrics) int64 { return m.IORetries.Load() }},
+	{"minerule_storage_enospc_vetoes_total", "mutations vetoed cleanly on ENOSPC", func(m *Metrics) int64 { return m.EnospcVetoes.Load() }},
+	{"minerule_storage_checkpoint_failures_total", "checkpoints that failed and were discarded", func(m *Metrics) int64 { return m.CheckpointFailures.Load() }},
 }
 
 // WritePrometheus renders every counter in Prometheus text exposition

@@ -49,6 +49,19 @@ var ErrBudgetExceeded = errors.New("resource budget exceeded")
 // concrete *IOError names the operation and wraps the OS error.
 var ErrIO = errors.New("storage I/O failed")
 
+// ErrDegraded is the sentinel matched when the durable store has lost
+// its durability guarantee — a WAL fsync failed, or the log could not
+// be repaired after a torn append — and has flipped into read-only
+// degraded mode. Queries keep working; every mutation, checkpoint, and
+// close returns the same *DegradedError until the directory is
+// reopened (which re-establishes durability from the on-disk state).
+var ErrDegraded = errors.New("storage degraded: durability lost")
+
+// ErrCorruptPage is the sentinel matched when a heap page fails its
+// CRC32C checksum at read time: the bits on disk are not the bits that
+// were written (rot, torn write, or a lost write reading back zeroes).
+var ErrCorruptPage = errors.New("corrupt page: checksum mismatch")
+
 // CancelError wraps the context error that stopped a run. errors.Is
 // matches ErrCanceled (via Is) and the context cause (via Unwrap).
 type CancelError struct {
@@ -121,6 +134,26 @@ func (e *IOError) Unwrap() error { return e.Err }
 
 // Is matches the ErrIO sentinel.
 func (e *IOError) Is(target error) bool { return target == ErrIO }
+
+// DegradedError is the sticky error of a store that can no longer
+// promise durability (fsyncgate semantics: a failed fsync may or may
+// not have persisted the data, and retrying the fsync cannot tell —
+// the page cache already dropped the dirty flag). errors.Is matches
+// ErrDegraded, and via the wrapped cause usually ErrIO too.
+type DegradedError struct {
+	// Cause is the I/O failure that poisoned the store.
+	Cause error
+}
+
+func (e *DegradedError) Error() string {
+	return "storage degraded (read-only): " + e.Cause.Error()
+}
+
+// Unwrap exposes the poisoning I/O error.
+func (e *DegradedError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrDegraded sentinel.
+func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
 
 // InternalError is a recovered panic: an engine or kernel bug surfaced
 // as an error instead of a crash, with the stack preserved.

@@ -2,17 +2,22 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
+	"log"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"minerule/internal/obsv"
 	"minerule/internal/resource"
 	"minerule/internal/sql/pager"
 	"minerule/internal/sql/schema"
 	"minerule/internal/sql/storage"
+	"minerule/internal/sql/vfs"
 	"minerule/internal/sql/wal"
 )
 
@@ -39,6 +44,10 @@ const (
 	// autoCheckpointBytes triggers a checkpoint at commit once the live
 	// WAL outgrows it, bounding recovery replay time.
 	autoCheckpointBytes = 4 << 20
+	// appendRetries bounds the retry-with-backoff loop for transient EIO
+	// on WAL appends; the first backoff is appendBackoff, doubling.
+	appendRetries = 3
+	appendBackoff = time.Millisecond
 )
 
 // snapTable is one table entry of a checkpoint's catalog.json. Rows live
@@ -78,6 +87,7 @@ type snapshot struct {
 // storage.Journal, so every catalog and table mutation reaches the WAL
 // before it is applied in memory.
 type store struct {
+	fs   vfs.FS
 	dir  string
 	cat  *storage.Catalog
 	pool *pager.Pool
@@ -100,6 +110,21 @@ type store struct {
 	// its caller (NEXTVAL cannot fail); commit surfaces it and the store
 	// refuses further writes.
 	sticky error
+	// degraded is set the moment durability is lost — a WAL fsync
+	// failed, or a torn append could not be repaired. The store stays
+	// queryable but every mutation, checkpoint, and close returns this
+	// same *resource.DegradedError (fsyncgate: a failed fsync is never
+	// followed by a successful write acknowledgment).
+	degraded error
+
+	// touched reports that the current statement reached the journal
+	// (even unsuccessfully). Degraded mode rejects statements by this
+	// flag, not blanket: a store that lost durability still answers
+	// reads — only writes are refused.
+	touched bool
+
+	closed   bool
+	closeErr error
 
 	scratch []byte // payload encode buffer, reused across appends
 }
@@ -114,33 +139,53 @@ func walPath(dir string, gen uint64) string {
 
 func heapName(i int) string { return fmt.Sprintf("t%d.heap", i) }
 
+// listGenerations returns the generation numbers present in dir (from
+// gen-N directory entries), in directory order.
+func listGenerations(fsys vfs.FS, dir string) []uint64 {
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var gens []uint64
+	for _, name := range names {
+		if n, ok := strings.CutPrefix(name, "gen-"); ok {
+			if g, err := strconv.ParseUint(n, 10, 64); err == nil {
+				gens = append(gens, g)
+			}
+		}
+	}
+	return gens
+}
+
 // syncDir fsyncs a directory so renames and creations inside it are
 // durable before the caller proceeds.
-func syncDir(path string) error {
-	d, err := os.Open(path)
-	if err != nil {
-		return resource.NewIOError("dir open", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+func syncDir(fsys vfs.FS, path string) error {
+	if err := fsys.SyncDir(path); err != nil {
 		return resource.NewIOError("dir fsync", err)
 	}
 	return nil
 }
 
-// openStore opens (creating if empty) the database directory and brings
-// cat to the recovered state. The catalog must be empty. On return the
-// store is attached as cat's journal.
-func openStore(dir string, poolPages int, cat *storage.Catalog, met *obsv.Metrics) (*store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// openStore opens (creating if empty) the database directory on fsys
+// and brings cat to the recovered state. The catalog must be empty. On
+// return the store is attached as cat's journal.
+func openStore(fsys vfs.FS, dir string, poolPages int, cat *storage.Catalog, met *obsv.Metrics) (*store, error) {
+	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, resource.NewIOError("db dir", err)
 	}
-	s := &store{dir: dir, cat: cat, pool: pager.NewPool(poolPages), met: met, budget: -1}
+	s := &store{fs: fsys, dir: dir, cat: cat, pool: pager.NewPool(poolPages), met: met, budget: -1}
 	s.pool.Met = met
 
-	cur, err := os.ReadFile(filepath.Join(dir, currentFile))
+	cur, err := fsys.ReadFile(filepath.Join(dir, currentFile))
 	switch {
-	case os.IsNotExist(err):
+	case errors.Is(err, fs.ErrNotExist):
+		// Corruption defense: a directory holding generation data whose
+		// CURRENT pointer is missing is damaged, not fresh — initializing
+		// it would silently wipe the database. minerule-fsck -salvage can
+		// rebuild the pointer.
+		if gens := listGenerations(fsys, dir); len(gens) > 0 {
+			return nil, fmt.Errorf("engine: %s has generation data but no CURRENT pointer; run minerule-fsck -salvage", dir)
+		}
 		if err := s.initFresh(); err != nil {
 			return nil, err
 		}
@@ -165,10 +210,10 @@ func openStore(dir string, poolPages int, cat *storage.Catalog, met *obsv.Metric
 // mid-init leaves a directory open treats as still uninitialized.
 func (s *store) initFresh() error {
 	s.gen = 1
-	if err := writeSnapshot(genDir(s.dir, 1), &snapshot{}, nil, s.pool); err != nil {
+	if err := writeSnapshot(s.fs, genDir(s.dir, 1), &snapshot{}, nil, s.pool); err != nil {
 		return err
 	}
-	w, err := wal.Create(walPath(s.dir, 1), 0)
+	w, err := wal.Create(s.fs, walPath(s.dir, 1), 0)
 	if err != nil {
 		return err
 	}
@@ -200,7 +245,7 @@ func (s *store) recover() error {
 	if lastLSN < s.applied {
 		lastLSN = s.applied
 	}
-	w, err := wal.OpenAppend(walPath(s.dir, s.gen), validEnd, lastLSN)
+	w, err := wal.OpenAppend(s.fs, walPath(s.dir, s.gen), validEnd, lastLSN)
 	if err != nil {
 		return err
 	}
@@ -215,7 +260,7 @@ func (s *store) recover() error {
 // prefix) changes nothing.
 func (s *store) replayLog() (validEnd int64, lastLSN uint64, err error) {
 	path := walPath(s.dir, s.gen)
-	validEnd, lastLSN, err = wal.Replay(path, func(r *wal.Record) error {
+	validEnd, lastLSN, tornTail, err := wal.Replay(s.fs, path, func(r *wal.Record) error {
 		if r.LSN <= s.applied {
 			return nil
 		}
@@ -229,13 +274,18 @@ func (s *store) replayLog() (validEnd int64, lastLSN uint64, err error) {
 	if err != nil {
 		return 0, 0, fmt.Errorf("engine: recovering %s: %w", path, err)
 	}
+	if tornTail > 0 {
+		s.met.WalTornTruncations.Inc()
+		log.Printf("minerule/storage: %s: truncating %d-byte torn tail at offset %d (crash artifact; the valid prefix is the recovered state)",
+			path, tornTail, validEnd)
+	}
 	return validEnd, lastLSN, nil
 }
 
 // loadSnapshot reads one generation into the (empty, journal-detached)
 // catalog and returns its manifest.
 func (s *store) loadSnapshot(dir string) (*snapshot, error) {
-	b, err := os.ReadFile(filepath.Join(dir, "catalog.json"))
+	b, err := s.fs.ReadFile(filepath.Join(dir, "catalog.json"))
 	if err != nil {
 		return nil, resource.NewIOError("read snapshot", err)
 	}
@@ -248,7 +298,7 @@ func (s *store) loadSnapshot(dir string) (*snapshot, error) {
 		if err != nil {
 			return nil, err
 		}
-		f, err := pager.OpenFile(filepath.Join(dir, st.Heap))
+		f, err := pager.OpenFile(s.fs, filepath.Join(dir, st.Heap))
 		if err != nil {
 			return nil, err
 		}
@@ -361,8 +411,21 @@ func applyRecord(cat *storage.Catalog, r *wal.Record) error {
 // append encodes rec, charges the statement's page-I/O budget on the
 // exact frame size, and writes the frame. A budget or I/O error vetoes
 // the in-memory mutation (the storage layer applies only after the
-// journal accepts); I/O errors additionally poison the store.
+// journal accepts — journal-first discipline).
+//
+// Failure classification:
+//   - ENOSPC: the torn frame is truncated off and the mutation vetoed
+//     with a plain I/O error — a full disk rejects writes, it does not
+//     poison the store. After space is freed, writes flow again.
+//   - transient EIO: the tail is repaired and the append retried with
+//     bounded exponential backoff; only a persistent fault degrades.
+//   - anything else (or an unrepairable tail): degraded mode — the
+//     log's tail state is unknown, durability can no longer be claimed.
 func (s *store) append(rec *wal.Record) error {
+	s.touched = true
+	if s.degraded != nil {
+		return s.degraded
+	}
 	if s.sticky != nil {
 		return s.sticky
 	}
@@ -372,12 +435,44 @@ func (s *store) append(rec *wal.Record) error {
 	if err := s.charge((frameLen + pager.PageSize - 1) / pager.PageSize); err != nil {
 		return err
 	}
-	if _, err := s.w.AppendEncoded(s.scratch); err != nil {
-		s.sticky = err
-		return err
+	backoff := appendBackoff
+	for attempt := 0; ; attempt++ {
+		_, err := s.w.AppendEncoded(s.scratch)
+		if err == nil {
+			break
+		}
+		switch {
+		case errors.Is(err, syscall.ENOSPC):
+			if rerr := s.w.Repair(); rerr != nil {
+				return s.degrade(rerr)
+			}
+			s.met.EnospcVetoes.Inc()
+			return err
+		case errors.Is(err, syscall.EIO) && attempt < appendRetries:
+			if rerr := s.w.Repair(); rerr != nil {
+				return s.degrade(rerr)
+			}
+			s.met.IORetries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		default:
+			return s.degrade(err)
+		}
 	}
 	s.applied = rec.LSN // the caller applies in memory upon acceptance
 	return nil
+}
+
+// degrade flips the store into sticky read-only degraded mode (if it
+// is not there already) and returns the typed error every subsequent
+// mutation, checkpoint, and close will see.
+func (s *store) degrade(cause error) error {
+	if s.degraded == nil {
+		s.degraded = &resource.DegradedError{Cause: cause}
+		s.met.StorageDegraded.Inc()
+		log.Printf("minerule/storage: %s: entering degraded (read-only) mode: %v", s.dir, cause)
+	}
+	return s.degraded
 }
 
 func (s *store) charge(pages int) error {
@@ -450,6 +545,7 @@ func (s *store) SequenceBump(name string, next int64) error {
 
 // beginWindow starts a statement's page-I/O accounting window.
 func (s *store) beginWindow(maxPages int) {
+	s.touched = false
 	if maxPages <= 0 {
 		s.budget, s.limit = -1, 0
 		return
@@ -462,15 +558,36 @@ func (s *store) beginWindow(maxPages int) {
 // journal failures and rolls the log when it has outgrown the
 // auto-checkpoint threshold.
 func (s *store) commit() error {
+	if s.degraded != nil {
+		// Read-only statements never reached the journal and need no
+		// durability: degraded mode lets them through — that is what
+		// keeps the store queryable for evacuation.
+		if !s.touched {
+			return nil
+		}
+		return s.degraded
+	}
 	if s.sticky != nil {
 		return s.sticky
 	}
 	if err := s.w.Sync(); err != nil {
-		s.sticky = err
-		return err
+		// fsyncgate: the kernel may have dropped the dirty pages while
+		// reporting the failure, so retrying the fsync could "succeed"
+		// without the data ever reaching disk. Durability is gone for
+		// good — poison the store rather than lie.
+		return s.degrade(err)
 	}
 	if size, err := s.w.Size(); err == nil && size > autoCheckpointBytes {
-		return s.checkpoint()
+		if err := s.checkpoint(); err != nil {
+			if s.degraded != nil {
+				return err
+			}
+			// The statement itself is durable (the group fsync above
+			// succeeded); a failed auto-checkpoint just leaves the log
+			// long. Report it and retry at a later commit.
+			s.met.CheckpointFailures.Inc()
+			log.Printf("minerule/storage: %s: auto-checkpoint failed (will retry): %v", s.dir, err)
+		}
 	}
 	return nil
 }
@@ -480,35 +597,43 @@ func (s *store) commit() error {
 
 // checkpoint writes generation gen+1 (snapshot of the live catalog plus
 // a fresh empty log) and atomically swaps CURRENT to it. A crash at any
-// step leaves the old generation live and complete.
+// step leaves the old generation live and complete; a failure before
+// the swap discards the partial generation so nothing is left behind.
 func (s *store) checkpoint() error {
+	if s.degraded != nil {
+		return s.degraded
+	}
 	if s.sticky != nil {
 		return s.sticky
 	}
 	if err := s.w.Sync(); err != nil {
-		s.sticky = err
-		return err
+		return s.degrade(err)
 	}
 	newGen := s.gen + 1
 	snap := s.buildManifest()
-	if err := writeSnapshot(genDir(s.dir, newGen), snap, s.cat, s.pool); err != nil {
+	if err := writeSnapshot(s.fs, genDir(s.dir, newGen), snap, s.cat, s.pool); err != nil {
+		s.discardGeneration(newGen)
 		return err
 	}
-	w, err := wal.Create(walPath(s.dir, newGen), s.w.LastLSN())
+	w, err := wal.Create(s.fs, walPath(s.dir, newGen), s.w.LastLSN())
 	if err != nil {
+		s.discardGeneration(newGen)
 		return err
 	}
 	w.Met = s.met
 	if _, err := w.Append(&wal.Record{Kind: wal.KindCheckpoint, Next: int64(newGen)}); err != nil {
-		w.Close()
+		w.Abort()
+		s.discardGeneration(newGen)
 		return err
 	}
 	if err := w.Sync(); err != nil {
-		w.Close()
+		w.Abort()
+		s.discardGeneration(newGen)
 		return err
 	}
 	if err := s.swapCurrent(newGen); err != nil {
-		w.Close()
+		w.Abort()
+		s.discardGeneration(newGen)
 		return err
 	}
 	// The swap is durable: retire the old generation. Failures past this
@@ -516,10 +641,18 @@ func (s *store) checkpoint() error {
 	oldGen, oldW := s.gen, s.w
 	s.gen, s.w = newGen, w
 	oldW.Close()
-	os.Remove(walPath(s.dir, oldGen))
-	os.RemoveAll(genDir(s.dir, oldGen))
+	s.fs.Remove(walPath(s.dir, oldGen))
+	s.fs.RemoveAll(genDir(s.dir, oldGen))
 	s.met.Checkpoints.Inc()
 	return nil
+}
+
+// discardGeneration removes the partial artifacts of a failed
+// checkpoint. The old generation and its log are still live, so a
+// failure here (disk still broken) costs space, not consistency.
+func (s *store) discardGeneration(gen uint64) {
+	s.fs.Remove(walPath(s.dir, gen))
+	s.fs.RemoveAll(genDir(s.dir, gen))
 }
 
 // buildManifest snapshots the live catalog's structure. Sequences record
@@ -558,8 +691,8 @@ func (s *store) buildManifest() *snapshot {
 // every table (when cat is non-nil), then catalog.json, each fsynced,
 // then the directory itself. Nothing references the generation until the
 // caller swaps CURRENT.
-func writeSnapshot(dir string, snap *snapshot, cat *storage.Catalog, pool *pager.Pool) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+func writeSnapshot(fsys vfs.FS, dir string, snap *snapshot, cat *storage.Catalog, pool *pager.Pool) error {
+	if err := fsys.MkdirAll(dir); err != nil {
 		return resource.NewIOError("snapshot dir", err)
 	}
 	var enc []byte
@@ -568,7 +701,7 @@ func writeSnapshot(dir string, snap *snapshot, cat *storage.Catalog, pool *pager
 		if !ok {
 			return fmt.Errorf("engine: snapshot table %q vanished", st.Name)
 		}
-		f, err := pager.OpenFile(filepath.Join(dir, st.Heap))
+		f, err := pager.OpenFile(fsys, filepath.Join(dir, st.Heap))
 		if err != nil {
 			return err
 		}
@@ -598,7 +731,7 @@ func writeSnapshot(dir string, snap *snapshot, cat *storage.Catalog, pool *pager
 		return fmt.Errorf("engine: encode snapshot: %w", err)
 	}
 	path := filepath.Join(dir, "catalog.json")
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := fsys.Create(path)
 	if err != nil {
 		return resource.NewIOError("snapshot write", err)
 	}
@@ -613,18 +746,18 @@ func writeSnapshot(dir string, snap *snapshot, cat *storage.Catalog, pool *pager
 	if err := f.Close(); err != nil {
 		return resource.NewIOError("snapshot close", err)
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
 // swapCurrent atomically points CURRENT at gen (write tmp, fsync,
 // rename, fsync dir — the standard crash-safe pointer swap).
 func (s *store) swapCurrent(gen uint64) error {
 	tmp := filepath.Join(s.dir, currentFile+".tmp")
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := s.fs.Create(tmp)
 	if err != nil {
 		return resource.NewIOError("CURRENT write", err)
 	}
-	_, err = f.WriteString(strconv.FormatUint(gen, 10) + "\n")
+	_, err = f.Write([]byte(strconv.FormatUint(gen, 10) + "\n"))
 	if err == nil {
 		err = f.Sync()
 	}
@@ -634,19 +767,37 @@ func (s *store) swapCurrent(gen uint64) error {
 	if err != nil {
 		return resource.NewIOError("CURRENT write", err)
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, currentFile)); err != nil {
+	if err := s.fs.Rename(tmp, filepath.Join(s.dir, currentFile)); err != nil {
+		s.fs.Remove(tmp) // best effort; fsck removes a survivor
 		return resource.NewIOError("CURRENT swap", err)
 	}
-	return syncDir(s.dir)
+	return syncDir(s.fs, s.dir)
 }
 
 // close releases the WAL and heap files. The database directory stays
 // openable; close does not checkpoint (recovery replays the log).
+// Close is idempotent: a second call returns the first call's result.
+// On a degraded or poisoned store it returns the typed sticky error and
+// skips the final fsync — the guarantee it would buy is already gone.
 func (s *store) close() error {
+	if s.closed {
+		return s.closeErr
+	}
+	s.closed = true
 	if s.w == nil {
 		return nil
 	}
-	err := s.w.Close()
+	w := s.w
 	s.w = nil
-	return err
+	switch {
+	case s.degraded != nil:
+		w.Abort()
+		s.closeErr = s.degraded
+	case s.sticky != nil:
+		w.Abort()
+		s.closeErr = s.sticky
+	default:
+		s.closeErr = w.Close()
+	}
+	return s.closeErr
 }

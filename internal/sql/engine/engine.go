@@ -24,6 +24,7 @@ import (
 	"minerule/internal/sql/semck"
 	"minerule/internal/sql/storage"
 	"minerule/internal/sql/value"
+	"minerule/internal/sql/vfs"
 )
 
 // Database is an embedded in-memory SQL92-subset database.
@@ -60,8 +61,14 @@ func New() *Database {
 // crash-time prefix of the log yields a consistent catalog. poolPages
 // sizes the buffer pool (<= 0 means the default).
 func Open(dir string, poolPages int) (*Database, error) {
+	return OpenFS(vfs.OS, dir, poolPages)
+}
+
+// OpenFS is Open over an explicit filesystem — the seam fault-injection
+// tests use to run the full storage stack against a vfs.FaultFS.
+func OpenFS(fsys vfs.FS, dir string, poolPages int) (*Database, error) {
 	db := New()
-	st, err := openStore(dir, poolPages, db.cat, db.met)
+	st, err := openStore(fsys, dir, poolPages, db.cat, db.met)
 	if err != nil {
 		return nil, err
 	}
@@ -71,6 +78,18 @@ func Open(dir string, poolPages int) (*Database, error) {
 
 // Durable reports whether the database is backed by a storage directory.
 func (db *Database) Durable() bool { return db.store != nil }
+
+// DegradedErr returns the typed *resource.DegradedError when the store
+// has lost its durability guarantee (a failed WAL fsync or an
+// unrepairable append), nil while it is healthy or in-memory. A
+// degraded database still answers queries; every mutation fails with
+// this same error until the directory is closed and reopened.
+func (db *Database) DegradedErr() error {
+	if db.store == nil {
+		return nil
+	}
+	return db.store.degraded
+}
 
 // Close releases the durable backend's files after a final group fsync.
 // It does not checkpoint — reopening replays the log — and is a no-op

@@ -1,0 +1,446 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+
+	"minerule/internal/resource"
+	"minerule/internal/sql/vfs"
+)
+
+// TestFaultSim is the storage robustness sweep: hundreds of seeded
+// fault schedules, each running a small workload against a FaultFS
+// that tears writes, fails fsyncs, fills the disk, and kills the
+// device — then a simulated power cut and real recovery. Two
+// invariants are enforced on every schedule:
+//
+//  1. Prefix durability: the recovered row set contains every
+//     acknowledged statement and nothing the engine did not at least
+//     start writing — recovered ≡ acked, or acked plus the single
+//     in-flight statement whose durability was indeterminate when the
+//     store degraded. Never silent loss, never silent corruption.
+//  2. fsyncgate: once a statement has failed on a sync fault, no later
+//     write is ever acknowledged (the store is sticky read-only).
+//
+// The base seed comes from FAULTSIM_SEED (CI rotates it daily) so the
+// explored schedule space moves over time while any failure is
+// reproducible from the logged seed.
+func TestFaultSim(t *testing.T) {
+	schedules := 500
+	if testing.Short() {
+		schedules = 60
+	}
+	base := int64(20260808)
+	if s := os.Getenv("FAULTSIM_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad FAULTSIM_SEED %q: %v", s, err)
+		}
+		base = v
+	}
+	t.Logf("fault simulation: %d schedules, base seed %d (set FAULTSIM_SEED to reproduce)", schedules, base)
+	for i := 0; i < schedules; i++ {
+		runFaultSchedule(t, base+int64(i))
+		if t.Failed() {
+			t.Fatalf("schedule with seed %d failed; rerun with FAULTSIM_SEED=%d and schedules=1 to isolate", base+int64(i), base+int64(i))
+		}
+	}
+}
+
+func runFaultSchedule(t *testing.T, seed int64) {
+	t.Helper()
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, seed, vfs.Profile{
+		Write:  0.06,
+		Sync:   0.04,
+		Meta:   0.02,
+		Enospc: 0.3,
+		Dead:   0.1,
+		// Crash fates: half the unsynced extents vanish, a quarter rot.
+		DropUnsynced: 0.5,
+		RotUnsynced:  0.25,
+		// Crash damage is simulated by the FaultFS itself, so the runs
+		// need no physical write barriers.
+		SkipInnerSync: true,
+	})
+
+	// Setup is fault-free: the interesting failures are mid-workload.
+	db, err := OpenFS(ffs, dir, 0)
+	if err != nil {
+		t.Fatalf("seed %d: open: %v", seed, err)
+	}
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER)"); err != nil {
+		t.Fatalf("seed %d: create table: %v", seed, err)
+	}
+	ffs.SetEnabled(true)
+
+	// The workload RNG is independent of the fault RNG so fault decisions
+	// do not shift the statement sequence.
+	wl := rand.New(rand.NewSource(seed ^ 0x5eed5eed))
+	nOps := 8 + wl.Intn(10)
+	var acked []int64
+	maybe := int64(-1) // the one statement whose durability is indeterminate
+	degraded := false
+	for id := int64(1); id <= int64(nOps); id++ {
+		if wl.Float64() < 0.15 {
+			// Checkpoints move no rows: a failure either vetoes (old
+			// generation stays live) or degrades the store.
+			if err := db.Checkpoint(); err != nil {
+				switch {
+				case errors.Is(err, resource.ErrDegraded):
+					degraded = true
+				case errors.Is(err, resource.ErrIO):
+					// vetoed; the store keeps running
+				default:
+					t.Fatalf("seed %d: unexpected checkpoint error: %v", seed, err)
+				}
+			}
+		}
+		_, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", id))
+		switch {
+		case err == nil:
+			if degraded {
+				t.Fatalf("seed %d: id %d acknowledged after degradation (fsyncgate violation)", seed, id)
+			}
+			acked = append(acked, id)
+		case errors.Is(err, resource.ErrDegraded):
+			if !degraded {
+				// First degradation: this statement may have reached the
+				// log before the fault (a torn frame can be complete).
+				degraded = true
+				maybe = id
+			}
+			// Later degraded rejections never touch the disk.
+		case errors.Is(err, resource.ErrIO):
+			// Clean veto: ENOSPC or a repaired torn frame. Never durable —
+			// the repair truncated whatever landed.
+		default:
+			t.Fatalf("seed %d: id %d: unexpected error class: %v", seed, id, err)
+		}
+	}
+
+	if degraded {
+		// Degraded means read-only, not dead: queries must still answer.
+		if _, err := db.Query("SELECT COUNT(*) FROM t"); err != nil {
+			t.Fatalf("seed %d: degraded store refused a read: %v", seed, err)
+		}
+		if db.DegradedErr() == nil {
+			t.Fatalf("seed %d: degraded store reports nil DegradedErr", seed)
+		}
+	}
+
+	// Power cut (no clean Close — that would sync everything), then real
+	// recovery on the damaged directory.
+	if err := ffs.Crash(); err != nil {
+		t.Fatalf("seed %d: crash simulation: %v", seed, err)
+	}
+	rdb, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("seed %d: recovery failed: %v", seed, err)
+	}
+	defer rdb.Close()
+	res, err := rdb.Query("SELECT id FROM t ORDER BY id")
+	if err != nil {
+		t.Fatalf("seed %d: recovered store refused a read: %v", seed, err)
+	}
+	got := make(map[int64]bool, len(res.Rows))
+	for _, row := range res.Rows {
+		id := row[0].Int()
+		if got[id] {
+			t.Fatalf("seed %d: id %d recovered twice (non-idempotent replay)", seed, id)
+		}
+		got[id] = true
+	}
+	for _, id := range acked {
+		if !got[id] {
+			t.Fatalf("seed %d: acknowledged id %d lost in recovery (acked %v, maybe %d, got %v)",
+				seed, id, acked, maybe, res.Rows)
+		}
+	}
+	if extra := len(got) - len(acked); extra > 1 || (extra == 1 && !got[maybe]) {
+		t.Fatalf("seed %d: recovery invented rows: acked %v, maybe %d, got %v", seed, acked, maybe, res.Rows)
+	}
+
+	// Liveness: the recovered store is fully writable again.
+	if _, err := rdb.Exec("INSERT INTO t VALUES (10000)"); err != nil {
+		t.Fatalf("seed %d: recovered store refused a write: %v", seed, err)
+	}
+	if err := rdb.Close(); err != nil {
+		t.Fatalf("seed %d: recovered store close: %v", seed, err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Targeted fault scenarios
+
+// faultDB opens a database over a FaultFS with no probabilistic
+// schedule — faults come only from planted arms.
+func faultDB(t *testing.T, dir string) (*Database, *vfs.FaultFS) {
+	t.Helper()
+	ffs := vfs.NewFaultFS(vfs.OS, 1, vfs.Profile{})
+	db, err := OpenFS(ffs, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	return db, ffs
+}
+
+// TestEnospcVetoesAppend: a full disk rejects the statement cleanly —
+// typed ErrIO, no degradation, and the store keeps accepting writes
+// once space is back.
+func TestEnospcVetoesAppend(t *testing.T) {
+	dir := t.TempDir()
+	db, ffs := faultDB(t, dir)
+	ffs.FailNthKeep(vfs.OpWrite, 1, syscall.ENOSPC, 5) // torn: 5 bytes land first
+
+	_, err := db.Exec("INSERT INTO t VALUES (1)")
+	if !errors.Is(err, resource.ErrIO) || errors.Is(err, resource.ErrDegraded) {
+		t.Fatalf("ENOSPC append: err = %v, want ErrIO and not ErrDegraded", err)
+	}
+	if got := db.Metrics().EnospcVetoes.Load(); got != 1 {
+		t.Fatalf("EnospcVetoes = %d, want 1", got)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (2)"); err != nil {
+		t.Fatalf("insert after freed space: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openDurable(t, dir)
+	defer db2.Close()
+	if n := countRows(t, db2, "t"); n != 1 {
+		t.Fatalf("recovered %d rows, want 1 (the vetoed insert must not resurrect)", n)
+	}
+}
+
+// TestTransientEIORetries: one flaky write is retried behind the
+// statement's back; the caller sees success.
+func TestTransientEIORetries(t *testing.T) {
+	dir := t.TempDir()
+	db, ffs := faultDB(t, dir)
+	ffs.FailNthKeep(vfs.OpWrite, 1, syscall.EIO, 3)
+
+	if _, err := db.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatalf("transient EIO not retried: %v", err)
+	}
+	if got := db.Metrics().IORetries.Load(); got != 1 {
+		t.Fatalf("IORetries = %d, want 1", got)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDurable(t, dir)
+	defer db2.Close()
+	if n := countRows(t, db2, "t"); n != 1 {
+		t.Fatalf("recovered %d rows, want 1", n)
+	}
+}
+
+// TestPersistentEIODegrades: when the retries run out the store
+// degrades instead of lying about durability.
+func TestPersistentEIODegrades(t *testing.T) {
+	db, ffs := faultDB(t, t.TempDir())
+	for k := 1; k <= 4; k++ { // initial attempt + 3 retries
+		ffs.FailNth(vfs.OpWrite, k, syscall.EIO)
+	}
+	_, err := db.Exec("INSERT INTO t VALUES (1)")
+	if !errors.Is(err, resource.ErrDegraded) {
+		t.Fatalf("persistent EIO: err = %v, want ErrDegraded", err)
+	}
+	if got := db.Metrics().IORetries.Load(); got != 3 {
+		t.Fatalf("IORetries = %d, want 3", got)
+	}
+	db.Close()
+}
+
+// TestEnospcMidGroupFsync: the group-commit fsync hits a full disk.
+// fsyncgate says the data may already be gone from the page cache, so
+// the store must degrade — and Close must stay honest and idempotent.
+func TestEnospcMidGroupFsync(t *testing.T) {
+	dir := t.TempDir()
+	db, ffs := faultDB(t, dir)
+	if _, err := db.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailNth(vfs.OpSync, 1, syscall.ENOSPC)
+
+	_, err := db.Exec("INSERT INTO t VALUES (2)")
+	if !errors.Is(err, resource.ErrDegraded) || !errors.Is(err, resource.ErrIO) {
+		t.Fatalf("failed group fsync: err = %v, want ErrDegraded (and ErrIO via the cause)", err)
+	}
+	if _, err := db.Exec("INSERT INTO t VALUES (3)"); !errors.Is(err, resource.ErrDegraded) {
+		t.Fatalf("write after degradation: err = %v, want sticky ErrDegraded", err)
+	}
+	if _, err := db.Query("SELECT COUNT(*) FROM t"); err != nil {
+		t.Fatalf("degraded store refused a read: %v", err)
+	}
+	if got := db.Metrics().StorageDegraded.Load(); got != 1 {
+		t.Fatalf("StorageDegraded = %d, want 1", got)
+	}
+
+	first := db.Close()
+	if !errors.Is(first, resource.ErrDegraded) {
+		t.Fatalf("Close on degraded store: %v, want ErrDegraded", first)
+	}
+	if again := db.Close(); !errors.Is(again, resource.ErrDegraded) {
+		t.Fatalf("second Close: %v, want the same sticky error", again)
+	}
+
+	// Recovery on the intact directory: the acknowledged row is there,
+	// and the store is writable again.
+	db2 := openDurable(t, dir)
+	defer db2.Close()
+	if n := countRows(t, db2, "t"); n < 1 || n > 2 {
+		t.Fatalf("recovered %d rows, want 1 (acked) or 2 (acked + indeterminate)", n)
+	}
+	if _, err := db2.Exec("INSERT INTO t VALUES (4)"); err != nil {
+		t.Fatalf("recovered store refused a write: %v", err)
+	}
+}
+
+// TestEnospcMidCheckpoint: a checkpoint failing at any step leaves the
+// old generation live and complete, no partial artifacts behind, and
+// the store writable.
+func TestEnospcMidCheckpoint(t *testing.T) {
+	arms := []struct {
+		name string
+		op   vfs.Op
+	}{
+		{"heap-open", vfs.OpOpen},
+		{"file-create", vfs.OpCreate}, // catalog.json or the new WAL
+		{"file-sync", vfs.OpSync},
+		{"current-rename", vfs.OpRename},
+		{"dir-sync", vfs.OpSyncDir},
+	}
+	for _, tc := range arms {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			db, ffs := faultDB(t, dir)
+			if _, err := db.Exec("INSERT INTO t VALUES (1)"); err != nil {
+				t.Fatal(err)
+			}
+			ffs.FailNth(tc.op, 1, syscall.ENOSPC)
+
+			err := db.Checkpoint()
+			if err == nil {
+				t.Fatalf("checkpoint with %s fault succeeded", tc.op)
+			}
+			if errors.Is(err, resource.ErrDegraded) {
+				t.Fatalf("checkpoint %s fault degraded the store: %v (old WAL is still authoritative)", tc.op, err)
+			}
+			// No partial generation left behind.
+			for _, junk := range []string{"gen-2", "wal-2.log", "CURRENT.tmp"} {
+				if _, serr := os.Stat(filepath.Join(dir, junk)); !os.IsNotExist(serr) {
+					t.Fatalf("%s fault leaked %s", tc.op, junk)
+				}
+			}
+			if b, _ := os.ReadFile(filepath.Join(dir, "CURRENT")); string(b) != "1\n" {
+				t.Fatalf("%s fault moved CURRENT to %q", tc.op, b)
+			}
+			// Still writable, and a later checkpoint succeeds.
+			if _, err := db.Exec("INSERT INTO t VALUES (2)"); err != nil {
+				t.Fatalf("insert after vetoed checkpoint: %v", err)
+			}
+			if err := db.Checkpoint(); err != nil {
+				t.Fatalf("checkpoint after freed space: %v", err)
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+			db2 := openDurable(t, dir)
+			defer db2.Close()
+			if n := countRows(t, db2, "t"); n != 2 {
+				t.Fatalf("recovered %d rows, want 2", n)
+			}
+		})
+	}
+}
+
+// TestCorruptHeapPageRefused: a flipped bit in a checkpointed heap page
+// surfaces as a typed ErrCorruptPage at open, never as silent bad data.
+func TestCorruptHeapPageRefused(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	if err := db.ExecScript(`CREATE TABLE t (id INTEGER); INSERT INTO t VALUES (7);`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	heap := filepath.Join(dir, "gen-2", "t0.heap")
+	b, err := os.ReadFile(heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[200] ^= 0x40
+	if err := os.WriteFile(heap, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = Open(dir, 0)
+	if !errors.Is(err, resource.ErrCorruptPage) || !errors.Is(err, resource.ErrIO) {
+		t.Fatalf("open on rotted heap: err = %v, want ErrCorruptPage (and ErrIO)", err)
+	}
+}
+
+// TestTornTailCounted: recovery over a torn log truncates the tail and
+// counts it (satellite: wal_torn_tail_truncations on /metrics).
+func TestTornTailCounted(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	if err := db.ExecScript(`CREATE TABLE t (id INTEGER); INSERT INTO t VALUES (1);`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal := filepath.Join(dir, "wal-1.log")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 0, 0, 0, 1, 2, 3})
+	f.Close()
+
+	db2 := openDurable(t, dir)
+	defer db2.Close()
+	if got := db2.Metrics().WalTornTruncations.Load(); got != 1 {
+		t.Fatalf("WalTornTruncations = %d, want 1", got)
+	}
+	if n := countRows(t, db2, "t"); n != 1 {
+		t.Fatalf("recovered %d rows, want 1", n)
+	}
+}
+
+// TestCheckpointOnDegradedStore: Checkpoint (like every mutation) on a
+// degraded store returns the sticky typed error and changes nothing.
+func TestCheckpointOnDegradedStore(t *testing.T) {
+	db, ffs := faultDB(t, t.TempDir())
+	if _, err := db.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailNth(vfs.OpSync, 1, syscall.EIO)
+	if _, err := db.Exec("INSERT INTO t VALUES (2)"); !errors.Is(err, resource.ErrDegraded) {
+		t.Fatalf("setup: %v", err)
+	}
+	if err := db.Checkpoint(); !errors.Is(err, resource.ErrDegraded) {
+		t.Fatalf("checkpoint on degraded store: %v, want ErrDegraded", err)
+	}
+	if got := db.Metrics().Checkpoints.Load(); got != 0 {
+		t.Fatalf("degraded checkpoint still ran (%d)", got)
+	}
+	db.Close()
+}

@@ -1,0 +1,410 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"minerule/internal/sql/pager"
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/vfs"
+	"minerule/internal/sql/wal"
+)
+
+// Fsck walks a database directory offline and verifies its structural
+// invariants: the CURRENT pointer names a complete generation, every
+// heap page passes its CRC-32C, every heap row decodes, the WAL frames
+// chain with monotone LSNs above the snapshot, and its records
+// reference objects that exist at their point in the log. With Salvage
+// it additionally recovers the longest consistent prefix: it rebuilds
+// a missing or dangling CURRENT from the newest verifiable generation,
+// truncates torn WAL tails, and removes leftover temporaries and
+// partial generations. Heap CRC violations are reported, never
+// repaired — the bytes are gone; restore from a checkpoint.
+//
+// cmd/minerule-fsck is the CLI wrapper. Run it only on a closed
+// database: fsck takes no locks.
+
+// FsckOptions configures a check.
+type FsckOptions struct {
+	// Salvage applies repairs instead of only reporting.
+	Salvage bool
+}
+
+// FsckProblem is one inconsistency found during the walk.
+type FsckProblem struct {
+	// Path is the offending file (or directory), Detail the diagnosis.
+	Path   string
+	Detail string
+	// Salvaged reports that the problem was repaired in place.
+	Salvaged bool
+}
+
+// FsckTable summarizes one table of the live generation.
+type FsckTable struct {
+	Name string
+	Heap string
+	// Pages is the heap page count, Rows the decoded row count.
+	Pages uint32
+	Rows  int
+	// CorruptPages lists pages failing their checksum (rows on them are
+	// lost; Rows counts only rows before the first corrupt page).
+	CorruptPages []uint32
+}
+
+// FsckReport is the result of one Fsck run.
+type FsckReport struct {
+	Dir        string
+	Generation uint64
+	Tables     []FsckTable
+	// WalRecords is the count of intact records in the live log;
+	// WalTornBytes the bytes past the valid prefix (0 when clean).
+	WalRecords   int
+	WalValidEnd  int64
+	WalTornBytes int64
+	LastLSN      uint64
+	Problems     []FsckProblem
+	// Empty reports a directory with no database at all (not a problem).
+	Empty bool
+}
+
+// Healthy reports whether no problems remain unrepaired.
+func (r *FsckReport) Healthy() bool {
+	for _, p := range r.Problems {
+		if !p.Salvaged {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report as indented text, one line per fact.
+func (r *FsckReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", r.Dir)
+	if r.Empty {
+		b.WriteString("  empty (no database)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  generation %d, %d table(s)\n", r.Generation, len(r.Tables))
+	for _, t := range r.Tables {
+		fmt.Fprintf(&b, "  table %-20s %5d row(s) in %d page(s) [%s]\n", t.Name, t.Rows, t.Pages, t.Heap)
+		for _, pg := range t.CorruptPages {
+			fmt.Fprintf(&b, "    page %d: CRC mismatch (data lost)\n", pg)
+		}
+	}
+	fmt.Fprintf(&b, "  wal: %d record(s), last LSN %d, valid to byte %d", r.WalRecords, r.LastLSN, r.WalValidEnd)
+	if r.WalTornBytes > 0 {
+		fmt.Fprintf(&b, " (+%d torn byte(s))", r.WalTornBytes)
+	}
+	b.WriteString("\n")
+	for _, p := range r.Problems {
+		state := "PROBLEM"
+		if p.Salvaged {
+			state = "salvaged"
+		}
+		fmt.Fprintf(&b, "  %s: %s: %s\n", state, p.Path, p.Detail)
+	}
+	if r.Healthy() {
+		b.WriteString("  ok\n")
+	}
+	return b.String()
+}
+
+func (r *FsckReport) problem(path, detail string, salvaged bool) {
+	r.Problems = append(r.Problems, FsckProblem{Path: path, Detail: detail, Salvaged: salvaged})
+}
+
+// Fsck verifies (and with opt.Salvage repairs) the database directory
+// at dir on fsys. The returned report is non-nil whenever the
+// directory could be listed; the error covers only I/O failures that
+// stop the walk itself.
+func Fsck(fsys vfs.FS, dir string, opt FsckOptions) (*FsckReport, error) {
+	r := &FsckReport{Dir: dir}
+	names, err := fsys.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			r.Empty = true
+			return r, nil
+		}
+		return nil, err
+	}
+
+	gens := listGenerations(fsys, dir)
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+
+	cur, err := fsys.ReadFile(filepath.Join(dir, currentFile))
+	gen := uint64(0)
+	haveCurrent := false
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		if len(gens) == 0 {
+			r.Empty = true
+			return r, nil
+		}
+		r.problem(currentFile, "missing, but generation data present", false)
+	case err != nil:
+		return nil, err
+	default:
+		g, perr := strconv.ParseUint(strings.TrimSpace(string(cur)), 10, 64)
+		if perr != nil {
+			r.problem(currentFile, "unparsable content "+strconv.Quote(strings.TrimSpace(string(cur))), false)
+		} else if !verifyGeneration(fsys, dir, g) {
+			r.problem(currentFile, fmt.Sprintf("points at generation %d, which is missing or incomplete", g), false)
+		} else {
+			gen, haveCurrent = g, true
+		}
+	}
+
+	// A broken pointer: find the newest generation that verifies and,
+	// under Salvage, point CURRENT back at it.
+	if !haveCurrent {
+		for _, g := range gens {
+			if verifyGeneration(fsys, dir, g) {
+				gen = g
+				break
+			}
+		}
+		if gen == 0 {
+			r.problem(dir, "no complete generation found; the database is unrecoverable", false)
+			return r, nil
+		}
+		last := &r.Problems[len(r.Problems)-1]
+		if opt.Salvage {
+			if err := writeCurrent(fsys, dir, gen); err != nil {
+				return nil, err
+			}
+			last.Salvaged = true
+			last.Detail += fmt.Sprintf("; CURRENT rebuilt to generation %d", gen)
+		} else {
+			last.Detail += fmt.Sprintf("; salvage would rebuild CURRENT to generation %d", gen)
+		}
+	}
+	r.Generation = gen
+
+	// Leftovers: a CURRENT.tmp from an interrupted swap, and any
+	// generation or log that is not the live one (a retired generation
+	// whose removal failed, or a discarded half-checkpoint).
+	for _, name := range names {
+		leaked := false
+		switch {
+		case name == currentFile+".tmp":
+			leaked = true
+		case strings.HasPrefix(name, "gen-") && name != fmt.Sprintf("gen-%d", gen):
+			leaked = true
+		case strings.HasPrefix(name, "wal-") && name != fmt.Sprintf("wal-%d.log", gen):
+			leaked = true
+		}
+		if !leaked {
+			continue
+		}
+		if opt.Salvage {
+			if err := fsys.RemoveAll(filepath.Join(dir, name)); err != nil {
+				return nil, err
+			}
+			r.problem(name, "leaked checkpoint artifact removed", true)
+		} else {
+			r.problem(name, "leaked checkpoint artifact (salvage removes it)", false)
+		}
+	}
+
+	snap := fsckGeneration(fsys, dir, gen, r)
+	fsckWal(fsys, dir, gen, snap, r, opt.Salvage)
+	return r, nil
+}
+
+// verifyGeneration reports whether gen's directory holds a parsable
+// catalog whose heap files all exist. Existence is checked against the
+// directory listing, not by opening: vfs.FS.Open creates missing files,
+// and a verifier must never modify what it inspects.
+func verifyGeneration(fsys vfs.FS, dir string, gen uint64) bool {
+	gd := genDir(dir, gen)
+	b, err := fsys.ReadFile(filepath.Join(gd, "catalog.json"))
+	if err != nil {
+		return false
+	}
+	var snap snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return false
+	}
+	names, err := fsys.ReadDir(gd)
+	if err != nil {
+		return false
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, st := range snap.Tables {
+		if !have[st.Heap] {
+			return false
+		}
+	}
+	return true
+}
+
+func writeCurrent(fsys vfs.FS, dir string, gen uint64) error {
+	tmp := filepath.Join(dir, currentFile+".tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write([]byte(strconv.FormatUint(gen, 10) + "\n"))
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, currentFile)); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// fsckGeneration CRC-scans every heap page and decodes every row of
+// the live generation, recording per-table stats and corruption.
+func fsckGeneration(fsys vfs.FS, dir string, gen uint64, r *FsckReport) *snapshot {
+	gd := genDir(dir, gen)
+	b, err := fsys.ReadFile(filepath.Join(gd, "catalog.json"))
+	if err != nil {
+		r.problem(filepath.Join(gd, "catalog.json"), "unreadable: "+err.Error(), false)
+		return nil
+	}
+	var snap snapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		r.problem(filepath.Join(gd, "catalog.json"), "corrupt JSON: "+err.Error(), false)
+		return nil
+	}
+	r.LastLSN = snap.LastLSN
+	pool := pager.NewPool(pager.DefaultPoolPages)
+	for _, st := range snap.Tables {
+		ft := FsckTable{Name: st.Name, Heap: st.Heap}
+		path := filepath.Join(gd, st.Heap)
+		f, err := pager.OpenFile(fsys, path)
+		if err != nil {
+			r.problem(path, "unopenable: "+err.Error(), false)
+			r.Tables = append(r.Tables, ft)
+			continue
+		}
+		ft.Pages, _ = f.Pages()
+		// Page-level CRC sweep first: it localizes damage ScanHeap would
+		// only report as one opaque failure.
+		for no := uint32(0); no < ft.Pages; no++ {
+			if _, err := pool.Get(f, no); err != nil {
+				var cpe *pager.CorruptPageError
+				if errors.As(err, &cpe) {
+					ft.CorruptPages = append(ft.CorruptPages, no)
+					r.problem(path, fmt.Sprintf("page %d fails CRC-32C (rows on it are lost; restore from a checkpoint)", no), false)
+					continue
+				}
+				r.problem(path, fmt.Sprintf("page %d unreadable: %v", no, err), false)
+			}
+		}
+		if len(ft.CorruptPages) == 0 {
+			err = pager.ScanHeap(pool, f, func(rec []byte) error {
+				row, rest, derr := schema.DecodeRowBinary(rec)
+				if derr != nil {
+					return derr
+				}
+				if len(rest) != 0 || len(row) != len(st.Cols) {
+					return fmt.Errorf("row shape mismatch (%d values, %d trailing bytes)", len(row), len(rest))
+				}
+				ft.Rows++
+				return nil
+			})
+			if err != nil {
+				r.problem(path, "row decode: "+err.Error(), false)
+			}
+		}
+		pool.DropFile(f)
+		f.Close()
+		r.Tables = append(r.Tables, ft)
+	}
+	return &snap
+}
+
+// fsckWal structurally replays the live log, checking LSN monotonicity
+// and that every record references an object that exists at its point
+// in the log (tables from the snapshot plus earlier CREATEs).
+func fsckWal(fsys vfs.FS, dir string, gen uint64, snap *snapshot, r *FsckReport, salvage bool) {
+	path := walPath(dir, gen)
+	tables := map[string]bool{}
+	seqs := map[string]bool{}
+	if snap != nil {
+		for _, st := range snap.Tables {
+			tables[st.Name] = true
+		}
+		for _, sq := range snap.Sequences {
+			seqs[sq.Name] = true
+		}
+	}
+	floor := r.LastLSN
+	prev := uint64(0)
+	validEnd, lastLSN, tornTail, err := wal.Replay(fsys, path, func(rec *wal.Record) error {
+		r.WalRecords++
+		if rec.LSN <= prev {
+			r.problem(path, fmt.Sprintf("LSN %d after %d: log is not monotone", rec.LSN, prev), false)
+		}
+		prev = rec.LSN
+		if rec.LSN <= floor {
+			return nil // below the snapshot: replay skips it, shape is irrelevant
+		}
+		switch rec.Kind {
+		case wal.KindCreateTable:
+			tables[rec.Name] = true
+		case wal.KindDropTable:
+			delete(tables, rec.Name)
+		case wal.KindCreateSequence:
+			seqs[rec.Name] = true
+		case wal.KindDropSequence:
+			delete(seqs, rec.Name)
+		case wal.KindInsert, wal.KindTruncate, wal.KindReplace:
+			if !tables[rec.Name] {
+				r.problem(path, fmt.Sprintf("LSN %d: %s references unknown table %q", rec.LSN, rec.Kind, rec.Name), false)
+			}
+		case wal.KindSeqBump:
+			if !seqs[rec.Name] {
+				r.problem(path, fmt.Sprintf("LSN %d: SEQ BUMP references unknown sequence %q", rec.LSN, rec.Name), false)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		r.problem(path, "unreadable: "+err.Error(), false)
+		return
+	}
+	r.WalValidEnd = validEnd
+	r.WalTornBytes = tornTail
+	if lastLSN > r.LastLSN {
+		r.LastLSN = lastLSN
+	}
+	if tornTail > 0 {
+		if salvage {
+			f, err := fsys.Open(path)
+			if err == nil {
+				err = f.Truncate(validEnd)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				r.problem(path, fmt.Sprintf("%d torn tail byte(s); truncation failed: %v", tornTail, err), false)
+			} else {
+				r.problem(path, fmt.Sprintf("%d torn tail byte(s) truncated at offset %d", tornTail, validEnd), true)
+				r.WalTornBytes = 0
+			}
+		} else {
+			r.problem(path, fmt.Sprintf("%d torn tail byte(s) past offset %d (normal after a crash; recovery or salvage truncates them)", tornTail, validEnd), false)
+		}
+	}
+}

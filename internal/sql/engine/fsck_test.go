@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minerule/internal/sql/vfs"
+)
+
+// seedCheckpointed builds a small durable database, checkpoints it (so
+// the live generation has real heap files), and closes it.
+func seedCheckpointed(t *testing.T, dir string) {
+	t.Helper()
+	db := openDurable(t, dir)
+	if err := db.ExecScript(durableSeed); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO Purchase VALUES (3, 'jackets', 300.0)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runFsck(t *testing.T, dir string, salvage bool) *FsckReport {
+	t.Helper()
+	r, err := Fsck(vfs.OS, dir, FsckOptions{Salvage: salvage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFsckHealthy(t *testing.T) {
+	dir := t.TempDir()
+	seedCheckpointed(t, dir)
+	r := runFsck(t, dir, false)
+	if !r.Healthy() {
+		t.Fatalf("healthy database reported problems:\n%s", r)
+	}
+	if r.Generation != 2 {
+		t.Fatalf("generation %d, want 2", r.Generation)
+	}
+	if len(r.Tables) != 1 || r.Tables[0].Rows != 3 {
+		t.Fatalf("tables %+v, want one table with 3 rows", r.Tables)
+	}
+	// The post-checkpoint INSERT lives in the WAL, not the heap.
+	if r.WalRecords != 2 { // checkpoint marker + insert
+		t.Fatalf("wal records %d, want 2:\n%s", r.WalRecords, r)
+	}
+}
+
+func TestFsckEmptyDir(t *testing.T) {
+	r := runFsck(t, filepath.Join(t.TempDir(), "nope"), false)
+	if !r.Empty || !r.Healthy() {
+		t.Fatalf("missing dir: empty=%v healthy=%v", r.Empty, r.Healthy())
+	}
+}
+
+func TestFsckMissingCurrentSalvage(t *testing.T) {
+	dir := t.TempDir()
+	seedCheckpointed(t, dir)
+	if err := os.Remove(filepath.Join(dir, "CURRENT")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Opening must refuse to wipe the data, and point at fsck.
+	if _, err := Open(dir, 0); err == nil || !strings.Contains(err.Error(), "minerule-fsck") {
+		t.Fatalf("Open on pointer-less dir: err = %v, want fsck hint", err)
+	}
+
+	r := runFsck(t, dir, false)
+	if r.Healthy() {
+		t.Fatal("missing CURRENT reported healthy without salvage")
+	}
+	if r.Generation != 2 {
+		t.Fatalf("picked generation %d for salvage, want 2", r.Generation)
+	}
+
+	r = runFsck(t, dir, true)
+	if !r.Healthy() {
+		t.Fatalf("salvage left problems:\n%s", r)
+	}
+	db := openDurable(t, dir)
+	defer db.Close()
+	if got := countRows(t, db, "Purchase"); got != 4 {
+		t.Fatalf("salvaged db has %d rows, want 4", got)
+	}
+}
+
+func TestFsckTornTailSalvage(t *testing.T) {
+	dir := t.TempDir()
+	seedCheckpointed(t, dir)
+	wal := filepath.Join(dir, "wal-2.log")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := runFsck(t, dir, false)
+	if r.Healthy() || r.WalTornBytes != 6 {
+		t.Fatalf("torn tail not reported (torn=%d):\n%s", r.WalTornBytes, r)
+	}
+
+	r = runFsck(t, dir, true)
+	if !r.Healthy() || r.WalTornBytes != 0 {
+		t.Fatalf("salvage did not truncate torn tail:\n%s", r)
+	}
+	if st, _ := os.Stat(wal); st.Size() != r.WalValidEnd {
+		t.Fatalf("wal size %d after salvage, want %d", st.Size(), r.WalValidEnd)
+	}
+	db := openDurable(t, dir)
+	defer db.Close()
+	if got := countRows(t, db, "Purchase"); got != 4 {
+		t.Fatalf("after salvage: %d rows, want 4", got)
+	}
+}
+
+func TestFsckCorruptHeapPage(t *testing.T) {
+	dir := t.TempDir()
+	seedCheckpointed(t, dir)
+	heap := filepath.Join(dir, "gen-2", "t0.heap")
+	b, err := os.ReadFile(heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[100] ^= 0x01 // one flipped bit in the first page's payload
+	if err := os.WriteFile(heap, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := runFsck(t, dir, true) // salvage must NOT claim to fix lost bytes
+	if r.Healthy() {
+		t.Fatalf("bit-rotted heap reported healthy:\n%s", r)
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].CorruptPages) == 0 {
+		t.Fatalf("corrupt page not localized: %+v", r.Tables)
+	}
+	for _, p := range r.Problems {
+		if p.Salvaged && strings.Contains(p.Detail, "CRC") {
+			t.Fatalf("CRC damage marked salvaged: %+v", p)
+		}
+	}
+}
+
+func TestFsckLeakedArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	seedCheckpointed(t, dir)
+	// Simulate an interrupted checkpoint: a stale pointer temp file, a
+	// partial generation, and its log.
+	for _, junk := range []string{"CURRENT.tmp", "wal-9.log"} {
+		if err := os.WriteFile(filepath.Join(dir, junk), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "gen-9"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	r := runFsck(t, dir, false)
+	if r.Healthy() {
+		t.Fatal("leaked artifacts reported healthy")
+	}
+	// The live generation must win over the junk gen-9 (which has no
+	// catalog and cannot verify).
+	if r.Generation != 2 {
+		t.Fatalf("generation %d, want 2", r.Generation)
+	}
+
+	r = runFsck(t, dir, true)
+	if !r.Healthy() {
+		t.Fatalf("salvage left problems:\n%s", r)
+	}
+	for _, junk := range []string{"CURRENT.tmp", "wal-9.log", "gen-9"} {
+		if _, err := os.Stat(filepath.Join(dir, junk)); !os.IsNotExist(err) {
+			t.Fatalf("%s survived salvage (err=%v)", junk, err)
+		}
+	}
+	db := openDurable(t, dir)
+	db.Close()
+}

@@ -4,10 +4,10 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 
 	"minerule/internal/sql/value"
+	"minerule/internal/sql/vfs"
 )
 
 // The on-disk format is one directory: manifest.json plus one CSV per
@@ -37,7 +37,7 @@ type manifestView struct {
 
 // Save writes the whole database under dir (created if needed).
 func (db *Database) Save(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := vfs.OS.MkdirAll(dir); err != nil {
 		return fmt.Errorf("engine: save: %w", err)
 	}
 	m := manifest{Sequences: make(map[string]int64)}
@@ -67,7 +67,15 @@ func (db *Database) Save(dir string) error {
 	if err != nil {
 		return fmt.Errorf("engine: save: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), data, 0o644); err != nil {
+	f, err := vfs.OS.Create(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("engine: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("engine: save: %w", err)
 	}
 	return nil
@@ -78,7 +86,7 @@ func (db *Database) saveTable(dir, name string) error {
 	if !ok {
 		return fmt.Errorf("engine: save: table %q vanished", name)
 	}
-	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	f, err := vfs.OS.Create(filepath.Join(dir, name+".csv"))
 	if err != nil {
 		return fmt.Errorf("engine: save: %w", err)
 	}
@@ -129,7 +137,7 @@ func csvTypeName(t value.Type) string {
 
 // Load reads a database saved by Save into a fresh Database.
 func Load(dir string) (*Database, error) {
-	data, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	data, err := vfs.OS.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, fmt.Errorf("engine: load: %w", err)
 	}
@@ -139,7 +147,7 @@ func Load(dir string) (*Database, error) {
 	}
 	db := New()
 	for _, name := range m.Tables {
-		f, err := os.Open(filepath.Join(dir, name+".csv"))
+		f, err := vfs.OS.Open(filepath.Join(dir, name+".csv"))
 		if err != nil {
 			return nil, fmt.Errorf("engine: load: %w", err)
 		}

@@ -8,6 +8,7 @@ package pager
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 )
 
 // PageSize is the fixed on-disk page size. 4 KiB matches the common
@@ -18,7 +19,11 @@ const PageSize = 4096
 //
 //	[0:2]  uint16 slot count
 //	[2:4]  uint16 free offset (start of the unused middle)
-//	[4:…]  cells, appended upward from offset 4
+//	[4:8]  uint32 CRC-32C of the rest of the page (bytes [0:4]+[8:]),
+//	       stamped when the pool writes the page out and verified when
+//	       it reads the page back — torn writes, bit-rot, and lost
+//	       writes (a page of zeroes) all fail the check
+//	[8:…]  cells, appended upward from offset 8
 //	[…:]   slot directory, growing downward from the page end;
 //	       slot i occupies [PageSize-4(i+1) : PageSize-4i] as
 //	       (uint16 cell offset, uint16 cell length)
@@ -26,12 +31,33 @@ const PageSize = 4096
 // Cells are never deleted in place — the heap is append-only except for
 // whole-table truncation, which rewrites files — so there is no
 // compaction path.
-const pageHeader = 4
+const pageHeader = 8
 
 const slotSize = 4
 
 // Page is one PageSize-byte slotted page viewed in place.
 type Page []byte
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum computes the page CRC over everything except the checksum
+// field itself, without copying. An all-zero page (a lost write) does
+// not checksum to zero, so it cannot masquerade as valid.
+func (p Page) checksum() uint32 {
+	c := crc32.Update(0, crcTable, p[0:4])
+	return crc32.Update(c, crcTable, p[pageHeader:])
+}
+
+// StampChecksum writes the current content hash into the header. The
+// pool stamps every page on its way to disk.
+func (p Page) StampChecksum() {
+	binary.LittleEndian.PutUint32(p[4:8], p.checksum())
+}
+
+// VerifyChecksum reports whether the stored hash matches the content.
+func (p Page) VerifyChecksum() bool {
+	return binary.LittleEndian.Uint32(p[4:8]) == p.checksum()
+}
 
 // InitPage formats b (len PageSize) as an empty slotted page.
 func InitPage(b []byte) {

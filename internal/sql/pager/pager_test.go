@@ -8,6 +8,7 @@ import (
 
 	"minerule/internal/obsv"
 	"minerule/internal/sql/pager"
+	"minerule/internal/sql/vfs"
 )
 
 func TestPageAppendCell(t *testing.T) {
@@ -57,7 +58,7 @@ func TestPageMaxCell(t *testing.T) {
 
 func TestPoolEviction(t *testing.T) {
 	dir := t.TempDir()
-	f, err := pager.OpenFile(filepath.Join(dir, "heap"))
+	f, err := pager.OpenFile(vfs.OS, filepath.Join(dir, "heap"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestPoolEviction(t *testing.T) {
 
 func TestPoolHitTracking(t *testing.T) {
 	dir := t.TempDir()
-	f, err := pager.OpenFile(filepath.Join(dir, "heap"))
+	f, err := pager.OpenFile(vfs.OS, filepath.Join(dir, "heap"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestPoolHitTracking(t *testing.T) {
 func heapRoundTrip(t *testing.T, poolPages int, recs [][]byte) {
 	t.Helper()
 	dir := t.TempDir()
-	f, err := pager.OpenFile(filepath.Join(dir, "heap"))
+	f, err := pager.OpenFile(vfs.OS, filepath.Join(dir, "heap"))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,21 +1,22 @@
 package pager
 
 import (
-	"os"
+	"fmt"
 
 	"minerule/internal/obsv"
 	"minerule/internal/resource"
+	"minerule/internal/sql/vfs"
 )
 
 // File is one page-addressed heap file.
 type File struct {
-	f    *os.File
+	f    vfs.File
 	path string
 }
 
-// OpenFile opens (creating if needed) a heap file.
-func OpenFile(path string) (*File, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// OpenFile opens (creating if needed) a heap file on fsys.
+func OpenFile(fsys vfs.FS, path string) (*File, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, resource.NewIOError("page open", err)
 	}
@@ -27,11 +28,11 @@ func (f *File) Path() string { return f.path }
 
 // Pages returns the number of whole pages in the file.
 func (f *File) Pages() (uint32, error) {
-	st, err := f.f.Stat()
+	size, err := f.f.Size()
 	if err != nil {
 		return 0, resource.NewIOError("page stat", err)
 	}
-	return uint32(st.Size() / PageSize), nil
+	return uint32(size / PageSize), nil
 }
 
 // Sync fsyncs the file.
@@ -153,12 +154,38 @@ func (p *Pool) frame(f *File, no uint32, read bool) (*frame, error) {
 			fr.file = nil
 			return nil, resource.NewIOError("page read", err)
 		}
+		if !Page(fr.data).VerifyChecksum() {
+			fr.file = nil
+			if m := p.Met; m != nil {
+				m.PageCRCErrors.Inc()
+			}
+			return nil, &CorruptPageError{Path: f.path, Page: no}
+		}
 		if m := p.Met; m != nil {
 			m.PageReads.Inc()
 		}
 	}
 	p.frames[k] = fr
 	return fr, nil
+}
+
+// CorruptPageError reports a page whose stored CRC32C does not match
+// its content: the disk returned bytes that were never (completely)
+// written. errors.Is matches both resource.ErrCorruptPage and
+// resource.ErrIO.
+type CorruptPageError struct {
+	// Path is the heap file and Page the zero-based page number.
+	Path string
+	Page uint32
+}
+
+func (e *CorruptPageError) Error() string {
+	return fmt.Sprintf("storage: %s page %d: %v", e.Path, e.Page, resource.ErrCorruptPage)
+}
+
+// Is matches the ErrCorruptPage and ErrIO sentinels.
+func (e *CorruptPageError) Is(target error) bool {
+	return target == resource.ErrCorruptPage || target == resource.ErrIO
 }
 
 // victim produces a free frame: a fresh one below capacity, otherwise
@@ -193,6 +220,7 @@ func (p *Pool) victim() (*frame, error) {
 }
 
 func (p *Pool) writeFrame(fr *frame) error {
+	Page(fr.data).StampChecksum()
 	if _, err := fr.file.f.WriteAt(fr.data, int64(fr.no)*PageSize); err != nil {
 		return resource.NewIOError("page write", err)
 	}

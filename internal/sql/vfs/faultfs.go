@@ -1,0 +1,570 @@
+package vfs
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"syscall"
+)
+
+// Op names a class of filesystem operation for fault targeting.
+type Op string
+
+const (
+	OpOpen     Op = "open"
+	OpCreate   Op = "create"
+	OpRead     Op = "read"     // File.Read / File.ReadAt
+	OpReadFile Op = "readfile" // FS.ReadFile
+	OpWrite    Op = "write"    // File.Write / File.WriteAt
+	OpSync     Op = "sync"     // File.Sync
+	OpTruncate Op = "truncate"
+	OpRename   Op = "rename"
+	OpRemove   Op = "remove" // FS.Remove / FS.RemoveAll
+	OpMkdir    Op = "mkdir"
+	OpReadDir  Op = "readdir"
+	OpSyncDir  Op = "syncdir"
+)
+
+// Profile sets the per-operation probabilities of the seeded fault
+// schedule. A zero Profile injects nothing (arms planted with FailNth
+// still fire). Probabilities are sampled independently per call, so a
+// long run sees transient faults (one failed call among successes) as
+// well as bursts.
+type Profile struct {
+	Write float64 // chance a Write/WriteAt fails, usually torn (short)
+	Sync  float64 // chance a Sync fails — fsyncgate territory
+	Read  float64 // chance a Read/ReadAt/ReadFile fails with EIO
+	Meta  float64 // chance open/create/rename/remove/truncate/mkdir fails
+
+	// Enospc is the chance an injected write/meta fault reports ENOSPC
+	// instead of EIO.
+	Enospc float64
+	// Dead is the chance an injected fault also kills the device: every
+	// later operation fails with EIO until Crash resets the FaultFS.
+	Dead float64
+
+	// Crash fates for each unsynced extent: with probability
+	// DropUnsynced the bytes are lost (truncated or zeroed), with
+	// probability RotUnsynced a single bit is flipped, otherwise the
+	// extent survives intact. Synced data is never touched — that is
+	// exactly the contract fsync buys.
+	DropUnsynced float64
+	RotUnsynced  float64
+
+	// SkipInnerSync makes successful Syncs skip the real fsync while
+	// still advancing the durable watermark. Crash damage is applied by
+	// FaultFS itself, so simulated runs do not need physical barriers;
+	// this makes a 500-schedule simulation cheap.
+	SkipInnerSync bool
+}
+
+type extent struct{ off, end int64 }
+
+type fileMeta struct {
+	// unsynced write extents since the last successful (or
+	// lucky-failed) Sync, in write order.
+	extents []extent
+}
+
+type arm struct {
+	op   Op
+	nth  int
+	err  error
+	keep int // bytes written before a write fault fires
+}
+
+// FaultFS wraps another FS and injects deterministic faults driven by a
+// seed. It also tracks which written bytes have been fsynced, so
+// Crash() can damage exactly the data a real power cut could take —
+// and nothing else.
+type FaultFS struct {
+	inner FS
+	prof  Profile
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	enabled  bool
+	dead     bool
+	counts   map[Op]int
+	arms     []arm
+	files    map[string]*fileMeta
+	open     map[*faultFile]struct{}
+	injected int
+}
+
+// NewFaultFS wraps inner with seed-driven fault injection. Probabilistic
+// injection starts disabled; call SetEnabled(true) once setup I/O is
+// done. Arms planted with FailNth fire regardless.
+func NewFaultFS(inner FS, seed int64, prof Profile) *FaultFS {
+	return &FaultFS{
+		inner:  inner,
+		prof:   prof,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[Op]int),
+		files:  make(map[string]*fileMeta),
+		open:   make(map[*faultFile]struct{}),
+	}
+}
+
+// SetEnabled turns the probabilistic schedule on or off. Planted arms
+// are unaffected.
+func (f *FaultFS) SetEnabled(on bool) {
+	f.mu.Lock()
+	f.enabled = on
+	f.mu.Unlock()
+}
+
+// FailNth plants a one-shot fault: the nth operation of kind op
+// (counted from the moment of planting, 1-based) fails with err. Write
+// faults write zero bytes first; use FailNthKeep for torn writes.
+func (f *FaultFS) FailNth(op Op, nth int, err error) { f.FailNthKeep(op, nth, err, 0) }
+
+// FailNthKeep is FailNth for writes that should tear: keep bytes of the
+// payload reach the file before the error.
+func (f *FaultFS) FailNthKeep(op Op, nth int, err error, keep int) {
+	f.mu.Lock()
+	f.arms = append(f.arms, arm{op: op, nth: nth + f.counts[op], err: err, keep: keep})
+	f.mu.Unlock()
+}
+
+// Injected reports how many faults have fired (arms and schedule).
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// fault decides whether the current call of kind op fails. It returns
+// the error to inject and, for writes, how many payload bytes to keep.
+// n is the payload length for write ops (0 otherwise).
+func (f *FaultFS) fault(op Op, n int) (error, int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.counts[op]++
+	if f.dead {
+		f.injected++
+		return injectErr(op, syscall.EIO), 0
+	}
+	for i, a := range f.arms {
+		if a.op == op && f.counts[op] == a.nth {
+			f.arms = append(f.arms[:i], f.arms[i+1:]...)
+			f.injected++
+			keep := a.keep
+			if keep > n {
+				keep = n
+			}
+			return injectErr(op, a.err), keep
+		}
+	}
+	if !f.enabled {
+		return nil, 0
+	}
+	var p float64
+	switch op {
+	case OpWrite:
+		p = f.prof.Write
+	case OpSync:
+		p = f.prof.Sync
+	case OpRead, OpReadFile, OpReadDir:
+		p = f.prof.Read
+	case OpOpen, OpCreate, OpTruncate, OpRename, OpRemove, OpMkdir:
+		p = f.prof.Meta
+	}
+	if p == 0 || f.rng.Float64() >= p {
+		return nil, 0
+	}
+	f.injected++
+	errno := error(syscall.EIO)
+	if (op == OpWrite || op == OpOpen || op == OpCreate || op == OpMkdir) &&
+		f.rng.Float64() < f.prof.Enospc {
+		errno = syscall.ENOSPC
+	}
+	if f.rng.Float64() < f.prof.Dead {
+		f.dead = true
+	}
+	keep := 0
+	if op == OpWrite && n > 0 {
+		keep = f.rng.Intn(n + 1) // torn write: any prefix may land
+	}
+	return injectErr(op, errno), keep
+}
+
+func injectErr(op Op, errno error) error {
+	return fmt.Errorf("faultfs: injected %s fault: %w", op, errno)
+}
+
+func (f *FaultFS) meta(path string) *fileMeta {
+	m := f.files[path]
+	if m == nil {
+		m = &fileMeta{}
+		f.files[path] = m
+	}
+	return m
+}
+
+func (f *FaultFS) recordWrite(path string, off int64, n int) {
+	if n <= 0 {
+		return
+	}
+	f.mu.Lock()
+	m := f.meta(path)
+	m.extents = append(m.extents, extent{off: off, end: off + int64(n)})
+	f.mu.Unlock()
+}
+
+// Open, Create, and friends implement FS.
+
+func (f *FaultFS) Open(path string) (File, error) {
+	if err, _ := f.fault(OpOpen, 0); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	ff := &faultFile{fs: f, path: path, inner: inner}
+	f.mu.Lock()
+	f.open[ff] = struct{}{}
+	f.mu.Unlock()
+	return ff, nil
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if err, _ := f.fault(OpCreate, 0); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	ff := &faultFile{fs: f, path: path, inner: inner}
+	f.mu.Lock()
+	f.files[path] = &fileMeta{} // truncated: prior extents are gone
+	f.open[ff] = struct{}{}
+	f.mu.Unlock()
+	return ff, nil
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if err, _ := f.fault(OpReadFile, 0); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err, _ := f.fault(OpRename, 0); err != nil {
+		return err
+	}
+	if err := f.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if m, ok := f.files[oldpath]; ok {
+		f.files[newpath] = m
+		delete(f.files, oldpath)
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if err, _ := f.fault(OpRemove, 0); err != nil {
+		return err
+	}
+	if err := f.inner.Remove(path); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.files, path)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	if err, _ := f.fault(OpRemove, 0); err != nil {
+		return err
+	}
+	if err := f.inner.RemoveAll(path); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	for p := range f.files {
+		if len(p) >= len(path) && p[:len(path)] == path {
+			delete(f.files, p)
+		}
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FaultFS) MkdirAll(path string) error {
+	if err, _ := f.fault(OpMkdir, 0); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path)
+}
+
+func (f *FaultFS) ReadDir(path string) ([]string, error) {
+	if err, _ := f.fault(OpReadDir, 0); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadDir(path)
+}
+
+func (f *FaultFS) SyncDir(path string) error {
+	if err, _ := f.fault(OpSyncDir, 0); err != nil {
+		return err
+	}
+	if f.prof.SkipInnerSync {
+		return nil
+	}
+	return f.inner.SyncDir(path)
+}
+
+// Crash simulates a power cut: every open handle is closed, and each
+// unsynced extent independently survives, vanishes, or rots according
+// to the seeded schedule. Synced bytes are never modified, so whatever
+// the WAL acknowledged as durable is still durable afterward. The
+// FaultFS resets to a clean, disabled state; the damaged directory is
+// normally reopened with vfs.OS to run real recovery.
+func (f *FaultFS) Crash() error {
+	f.mu.Lock()
+	for ff := range f.open {
+		ff.closed = true
+		ff.inner.Close()
+	}
+	f.open = make(map[*faultFile]struct{})
+	files := f.files
+	f.files = make(map[string]*fileMeta)
+	f.arms = nil
+	f.counts = make(map[Op]int)
+	f.dead = false
+	f.enabled = false
+	rng := f.rng
+	f.mu.Unlock()
+
+	paths := make([]string, 0, len(files))
+	for p := range files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := f.damage(rng, p, files[p].extents); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// damage applies the crash fate of each unsynced extent of one file,
+// going through the inner FS directly (the crash is not itself faulty).
+func (f *FaultFS) damage(rng *rand.Rand, path string, extents []extent) error {
+	if len(extents) == 0 {
+		return nil
+	}
+	h, err := f.inner.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // file was removed (e.g. a discarded generation)
+		}
+		return err
+	}
+	defer h.Close()
+	size, err := h.Size()
+	if err != nil {
+		return err
+	}
+	// Later extents are damaged first so that truncating a tail extent
+	// cannot spare an earlier one that was already chosen for loss.
+	for i := len(extents) - 1; i >= 0; i-- {
+		e := extents[i]
+		if e.off >= size {
+			continue
+		}
+		if e.end > size {
+			e.end = size
+		}
+		roll := rng.Float64()
+		switch {
+		case roll < f.prof.DropUnsynced:
+			// Lose the bytes: a tail extent shrinks the file (possibly
+			// keeping a torn prefix); a middle extent reads back as
+			// zeroes, like an unwritten page.
+			cut := e.off + rng.Int63n(e.end-e.off+1)
+			if e.end == size {
+				if err := h.Truncate(cut); err != nil {
+					return err
+				}
+				size = cut
+			} else {
+				zero := make([]byte, e.end-cut)
+				if _, err := h.WriteAt(zero, cut); err != nil {
+					return err
+				}
+			}
+		case roll < f.prof.DropUnsynced+f.prof.RotUnsynced:
+			// Bit-rot: flip one bit somewhere in the extent.
+			pos := e.off + rng.Int63n(e.end-e.off)
+			var b [1]byte
+			if _, err := h.ReadAt(b[:], pos); err != nil {
+				return err
+			}
+			b[0] ^= 1 << uint(rng.Intn(8))
+			if _, err := h.WriteAt(b[:], pos); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type faultFile struct {
+	fs     *FaultFS
+	path   string
+	inner  File
+	pos    int64
+	closed bool
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if ff.closed {
+		return 0, os.ErrClosed
+	}
+	if err, _ := ff.fs.fault(OpRead, 0); err != nil {
+		return 0, err
+	}
+	n, err := ff.inner.Read(p)
+	ff.pos += int64(n)
+	return n, err
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if ff.closed {
+		return 0, os.ErrClosed
+	}
+	if err, _ := ff.fs.fault(OpRead, 0); err != nil {
+		return 0, err
+	}
+	return ff.inner.ReadAt(p, off)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	if ff.closed {
+		return 0, os.ErrClosed
+	}
+	if err, keep := ff.fs.fault(OpWrite, len(p)); err != nil {
+		n := 0
+		if keep > 0 {
+			n, _ = ff.inner.Write(p[:keep])
+			ff.fs.recordWrite(ff.path, ff.pos, n)
+			ff.pos += int64(n)
+		}
+		return n, err
+	}
+	n, err := ff.inner.Write(p)
+	ff.fs.recordWrite(ff.path, ff.pos, n)
+	ff.pos += int64(n)
+	return n, err
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if ff.closed {
+		return 0, os.ErrClosed
+	}
+	if err, keep := ff.fs.fault(OpWrite, len(p)); err != nil {
+		n := 0
+		if keep > 0 {
+			n, _ = ff.inner.WriteAt(p[:keep], off)
+			ff.fs.recordWrite(ff.path, off, n)
+		}
+		return n, err
+	}
+	n, err := ff.inner.WriteAt(p, off)
+	ff.fs.recordWrite(ff.path, off, n)
+	return n, err
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if ff.closed {
+		return 0, os.ErrClosed
+	}
+	abs, err := ff.inner.Seek(offset, whence)
+	if err == nil {
+		ff.pos = abs
+	}
+	return abs, err
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	if ff.closed {
+		return os.ErrClosed
+	}
+	if err, _ := ff.fs.fault(OpTruncate, 0); err != nil {
+		return err
+	}
+	if err := ff.inner.Truncate(size); err != nil {
+		return err
+	}
+	ff.fs.mu.Lock()
+	m := ff.fs.meta(ff.path)
+	kept := m.extents[:0]
+	for _, e := range m.extents {
+		if e.off >= size {
+			continue
+		}
+		if e.end > size {
+			e.end = size
+		}
+		kept = append(kept, e)
+	}
+	m.extents = kept
+	ff.fs.mu.Unlock()
+	return nil
+}
+
+func (ff *faultFile) Sync() error {
+	if ff.closed {
+		return os.ErrClosed
+	}
+	err, _ := ff.fs.fault(OpSync, 0)
+	ff.fs.mu.Lock()
+	if err == nil || ff.fs.rng.Float64() < 0.5 {
+		// The write-back either completed (success) or had in fact
+		// finished before the error was reported — in both cases the
+		// extents are durable. A failed fsync whose data did NOT land
+		// keeps its extents eligible for crash damage: the caller was
+		// told nothing is guaranteed, and nothing is.
+		delete(ff.fs.files, ff.path)
+	}
+	ff.fs.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if ff.fs.prof.SkipInnerSync {
+		return nil
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Size() (int64, error) {
+	if ff.closed {
+		return 0, os.ErrClosed
+	}
+	return ff.inner.Size()
+}
+
+func (ff *faultFile) Close() error {
+	if ff.closed {
+		return nil
+	}
+	ff.closed = true
+	ff.fs.mu.Lock()
+	delete(ff.fs.open, ff)
+	ff.fs.mu.Unlock()
+	// Close does not sync: unsynced extents stay crash-eligible, like
+	// data sitting in the page cache after close(2).
+	return ff.inner.Close()
+}

@@ -1,0 +1,57 @@
+// Package vfs is the filesystem seam under the durable storage stack.
+//
+// Everything the WAL, the pager, and the engine's durable store do to
+// disk goes through the FS and File interfaces, never through the os
+// package directly (the errtaxon lint rule enforces this). Production
+// code uses OS, a thin wrapper over the os package; tests substitute a
+// FaultFS that injects deterministic, seed-scheduled faults — transient
+// and permanent EIO, ENOSPC, fsync failure, short writes, and
+// post-crash damage to unsynced data — so the recovery invariants can
+// be checked against hundreds of simulated failure histories instead of
+// only the happy path.
+package vfs
+
+import "io"
+
+// FS is the set of filesystem operations the storage stack needs. All
+// paths are interpreted by the underlying implementation (absolute or
+// process-relative for OS).
+type FS interface {
+	// Open opens path read-write, creating it if absent (O_RDWR|O_CREATE).
+	Open(path string) (File, error)
+	// Create opens path read-write, truncating any existing content
+	// (O_RDWR|O_CREATE|O_TRUNC).
+	Create(path string) (File, error)
+	// ReadFile returns the full content of path. A missing file reports
+	// an error satisfying errors.Is(err, fs.ErrNotExist).
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	MkdirAll(path string) error
+	// ReadDir lists the entry names of a directory in sorted order.
+	ReadDir(path string) ([]string, error)
+	// SyncDir flushes the directory entry metadata for path, making
+	// renames and creates within it durable.
+	SyncDir(path string) error
+}
+
+// File is an open file handle. Sequential Read/Write share one offset
+// (advanced by Seek); ReadAt/WriteAt are positioned and do not move it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.WriterAt
+	io.Seeker
+	io.Closer
+	// Truncate cuts (or extends) the file to size bytes.
+	Truncate(size int64) error
+	// Sync flushes file data to stable storage. After a Sync error the
+	// durability of every write since the previous successful Sync is
+	// unknown (fsyncgate): callers must not retry and claim durability.
+	Sync() error
+	// Size reports the current length of the file in bytes.
+	Size() (int64, error)
+}

@@ -1,0 +1,256 @@
+package vfs_test
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"minerule/internal/sql/vfs"
+)
+
+func TestOSFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := vfs.OS.MkdirAll(sub); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(sub, "f.txt")
+	f, err := vfs.OS.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte("HELLO"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if size, err := f.Size(); err != nil || size != 11 {
+		t.Fatalf("Size = %d, %v; want 11", size, err)
+	}
+	if err := f.Truncate(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := vfs.OS.ReadFile(path)
+	if err != nil || string(b) != "HELLO" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if _, err := vfs.OS.ReadFile(filepath.Join(sub, "missing")); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing ReadFile: %v, want fs.ErrNotExist", err)
+	}
+	names, err := vfs.OS.ReadDir(sub)
+	if err != nil || len(names) != 1 || names[0] != "f.txt" {
+		t.Fatalf("ReadDir = %v, %v", names, err)
+	}
+	if err := vfs.OS.Rename(path, filepath.Join(sub, "g.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.OS.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.OS.Remove(filepath.Join(sub, "g.txt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := vfs.OS.RemoveAll(filepath.Join(dir, "a")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultFSArms(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 1, vfs.Profile{})
+	path := filepath.Join(dir, "f")
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Arms count from the moment of planting: the first write after this
+	// line fails even though Create already happened.
+	ffs.FailNthKeep(vfs.OpWrite, 2, syscall.EIO, 3)
+	if _, err := f.Write([]byte("aaaa")); err != nil {
+		t.Fatalf("write 1 (unarmed): %v", err)
+	}
+	n, err := f.Write([]byte("bbbb"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write 2: err = %v, want EIO", err)
+	}
+	if n != 3 {
+		t.Fatalf("torn write kept %d bytes, want 3", n)
+	}
+	if _, err := f.Write([]byte("cccc")); err != nil {
+		t.Fatalf("write 3 (arm consumed): %v", err)
+	}
+	if got := ffs.Injected(); got != 1 {
+		t.Fatalf("Injected = %d, want 1", got)
+	}
+	b, _ := vfs.OS.ReadFile(path)
+	if string(b) != "aaaabbbcccc" {
+		t.Fatalf("file = %q, want torn middle write", b)
+	}
+}
+
+// TestFaultFSCrashDropsOnlyUnsynced is the contract the whole
+// simulation rests on: bytes acknowledged by a successful Sync survive
+// Crash untouched; bytes after it are fair game.
+func TestFaultFSCrashDropsOnlyUnsynced(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 7, vfs.Profile{DropUnsynced: 1.0})
+	path := filepath.Join(dir, "f")
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := vfs.OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) < len("durable!") || string(b[:8]) != "durable!" {
+		t.Fatalf("synced prefix damaged: %q", b)
+	}
+	if len(b) == 14 {
+		t.Fatalf("unsynced tail survived intact with DropUnsynced=1: %q", b)
+	}
+	// The handle is dead after the crash, like the process that held it.
+	if _, err := f.Write([]byte("x")); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("write through crashed handle: %v, want ErrClosed", err)
+	}
+}
+
+func TestFaultFSCrashDeterministic(t *testing.T) {
+	image := func(seed int64) []byte {
+		dir := t.TempDir()
+		ffs := vfs.NewFaultFS(vfs.OS, seed, vfs.Profile{DropUnsynced: 0.5, RotUnsynced: 0.3})
+		f, err := ffs.Create(filepath.Join(dir, "f"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if _, err := f.Write([]byte("0123456789abcdef")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ffs.Crash(); err != nil {
+			t.Fatal(err)
+		}
+		b, err := vfs.OS.ReadFile(filepath.Join(dir, "f"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := image(123), image(123)
+	if string(a) != string(b) {
+		t.Fatalf("same seed, different crash damage:\n%q\n%q", a, b)
+	}
+}
+
+// TestFaultFSDisabledIsTransparent: with the schedule off and no arms,
+// the wrapper must behave exactly like the inner FS.
+func TestFaultFSDisabledIsTransparent(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 99, vfs.Profile{Write: 1.0, Sync: 1.0, Meta: 1.0, Read: 1.0})
+	f, err := ffs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ffs.Injected(); got != 0 {
+		t.Fatalf("disabled FaultFS injected %d faults", got)
+	}
+
+	ffs.SetEnabled(true)
+	if _, err := ffs.Create(filepath.Join(dir, "g")); err == nil {
+		t.Fatal("enabled Meta=1.0 schedule did not fire")
+	}
+}
+
+// TestFaultFSDeadDevice: a Dead fault turns every later call into EIO
+// until Crash resets the device.
+func TestFaultFSDeadDevice(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 5, vfs.Profile{Sync: 1.0, Dead: 1.0})
+	f, err := ffs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ffs.SetEnabled(true)
+	if err := f.Sync(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("sync on dying device: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write on dead device: %v, want EIO", err)
+	}
+	if _, err := ffs.ReadDir(dir); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("readdir on dead device: %v, want EIO", err)
+	}
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ffs.ReadDir(dir); err != nil {
+		t.Fatalf("device still dead after crash reset: %v", err)
+	}
+}
+
+// TestFaultFSTruncateForgetsExtents: truncated-away bytes are no longer
+// crash-damage candidates (the file no longer has them).
+func TestFaultFSTruncateForgetsExtents(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(vfs.OS, 11, vfs.Profile{DropUnsynced: 1.0})
+	path := filepath.Join(dir, "f")
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("keepkeep")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("gone")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Truncate(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := vfs.OS.ReadFile(path)
+	if string(b) != "keepkeep" {
+		t.Fatalf("file = %q, want synced prefix intact after truncate+crash", b)
+	}
+}

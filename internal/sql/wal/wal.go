@@ -20,15 +20,17 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
+	"io/fs"
 
 	"minerule/internal/obsv"
 	"minerule/internal/resource"
 	"minerule/internal/sql/schema"
 	"minerule/internal/sql/value"
+	"minerule/internal/sql/vfs"
 )
 
 // Kind enumerates the record types of the redo log.
@@ -285,11 +287,13 @@ func DecodePayload(b []byte) (*Record, error) {
 // statement, so all records of a multi-row statement share one fsync.
 // Not safe for concurrent use; callers (the storage journal) serialize.
 type Writer struct {
-	f    *os.File
-	lsn  uint64 // last LSN handed out
-	buf  []byte // frame scratch, reused across appends
-	pay  []byte // payload scratch for Append
-	dirt bool   // bytes appended since the last Sync
+	f      vfs.File
+	lsn    uint64 // last LSN handed out
+	end    int64  // offset just past the last fully written frame
+	broken bool   // a failed append left bytes past end; Repair pending
+	buf    []byte // frame scratch, reused across appends
+	pay    []byte // payload scratch for Append
+	dirt   bool   // bytes appended since the last Sync
 
 	// Met, when non-nil, receives WAL counters.
 	Met *obsv.Metrics
@@ -300,10 +304,10 @@ type Writer struct {
 	WriteHook func(frame []byte) ([]byte, error)
 }
 
-// Create truncates/creates the log at path. Records appended will carry
-// LSNs above lastLSN.
-func Create(path string, lastLSN uint64) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+// Create truncates/creates the log at path on fsys. Records appended
+// will carry LSNs above lastLSN.
+func Create(fsys vfs.FS, path string, lastLSN uint64) (*Writer, error) {
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, resource.NewIOError("wal create", err)
 	}
@@ -314,8 +318,8 @@ func Create(path string, lastLSN uint64) (*Writer, error) {
 // validated it: the file is truncated to validEnd (dropping any torn
 // tail so it can never corrupt later records) and new records carry
 // LSNs above lastLSN.
-func OpenAppend(path string, validEnd int64, lastLSN uint64) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func OpenAppend(fsys vfs.FS, path string, validEnd int64, lastLSN uint64) (*Writer, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, resource.NewIOError("wal open", err)
 	}
@@ -327,7 +331,7 @@ func OpenAppend(path string, validEnd int64, lastLSN uint64) (*Writer, error) {
 		f.Close()
 		return nil, resource.NewIOError("wal seek", err)
 	}
-	return &Writer{f: f, lsn: lastLSN}, nil
+	return &Writer{f: f, lsn: lastLSN, end: validEnd}, nil
 }
 
 // LastLSN returns the LSN of the most recently appended (or recovered)
@@ -336,11 +340,11 @@ func (w *Writer) LastLSN() uint64 { return w.lsn }
 
 // Size returns the current log length in bytes.
 func (w *Writer) Size() (int64, error) {
-	st, err := w.f.Stat()
+	size, err := w.f.Size()
 	if err != nil {
 		return 0, resource.NewIOError("wal stat", err)
 	}
-	return st.Size(), nil
+	return size, nil
 }
 
 // Append assigns the record the next LSN and writes its frame. The
@@ -372,24 +376,51 @@ func (w *Writer) AppendEncoded(payload []byte) (int, error) {
 			w.dirt = true
 		}
 		if err != nil {
+			w.broken = true
 			return 0, resource.NewIOError("wal append", err)
 		}
 		frame = frame[len(cut):]
 		if len(frame) == 0 {
 			w.lsn++
+			w.end += int64(len(w.buf))
 			return len(cut), nil
 		}
 	}
-	if _, err := w.f.Write(frame); err != nil {
+	if n, err := w.f.Write(frame); err != nil {
+		if n > 0 {
+			w.dirt = true
+		}
+		w.broken = true
 		return 0, resource.NewIOError("wal append", err)
 	}
 	w.dirt = true
 	w.lsn++
+	w.end += int64(len(payload) + frameHeader)
 	if m := w.Met; m != nil {
 		m.WalAppends.Inc()
 		m.WalBytes.Add(int64(len(payload) + frameHeader))
 	}
 	return len(payload) + frameHeader, nil
+}
+
+// Repair restores the log to its last full-frame boundary after a
+// failed append: any torn tail is truncated and the write offset
+// reset, so the next append lands on a clean boundary. The durable
+// store calls it before retrying a transient fault or vetoing an
+// ENOSPC mutation; if Repair itself fails the log tail is in an
+// unknown state and the store must degrade.
+func (w *Writer) Repair() error {
+	if !w.broken {
+		return nil
+	}
+	if err := w.f.Truncate(w.end); err != nil {
+		return resource.NewIOError("wal repair truncate", err)
+	}
+	if _, err := w.f.Seek(w.end, io.SeekStart); err != nil {
+		return resource.NewIOError("wal repair seek", err)
+	}
+	w.broken = false
+	return nil
 }
 
 // Sync is the group-commit point: it fsyncs the log iff records were
@@ -419,6 +450,13 @@ func (w *Writer) Close() error {
 		return resource.NewIOError("wal close", err)
 	}
 	return nil
+}
+
+// Abort closes the log without syncing. A degraded store uses it: the
+// durability of buffered bytes is already unknown, and a final fsync
+// could neither restore the guarantee nor be trusted to fail again.
+func (w *Writer) Abort() {
+	w.f.Close()
 }
 
 // ---------------------------------------------------------------------------
@@ -459,17 +497,20 @@ func ReplayBytes(b []byte, fn func(*Record) error) (validEnd int64, lastLSN uint
 	}
 }
 
-// Replay reads the log file at path and replays it (see ReplayBytes).
-// A missing file is an empty log, not an error.
-func Replay(path string, fn func(*Record) error) (validEnd int64, lastLSN uint64, err error) {
-	b, rerr := os.ReadFile(path)
+// Replay reads the log file at path on fsys and replays it (see
+// ReplayBytes). A missing file is an empty log, not an error. tornTail
+// reports how many trailing bytes fall past the valid prefix — zero
+// for a cleanly closed log; the store logs and counts a nonzero tail.
+func Replay(fsys vfs.FS, path string, fn func(*Record) error) (validEnd int64, lastLSN uint64, tornTail int64, err error) {
+	b, rerr := fsys.ReadFile(path)
 	if rerr != nil {
-		if os.IsNotExist(rerr) {
-			return 0, 0, nil
+		if errors.Is(rerr, fs.ErrNotExist) {
+			return 0, 0, 0, nil
 		}
-		return 0, 0, resource.NewIOError("wal read", rerr)
+		return 0, 0, 0, resource.NewIOError("wal read", rerr)
 	}
-	return ReplayBytes(b, fn)
+	validEnd, lastLSN, err = ReplayBytes(b, fn)
+	return validEnd, lastLSN, int64(len(b)) - validEnd, err
 }
 
 // Boundaries returns the end offset of every intact record in the log

@@ -8,6 +8,7 @@ import (
 
 	"minerule/internal/sql/schema"
 	"minerule/internal/sql/value"
+	"minerule/internal/sql/vfs"
 	"minerule/internal/sql/wal"
 )
 
@@ -38,7 +39,7 @@ func sampleRecords() []*wal.Record {
 func writeLog(t *testing.T, recs []*wal.Record) string {
 	t.Helper()
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := wal.Create(path, 0)
+	w, err := wal.Create(vfs.OS, path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestAppendReplayRoundTrip(t *testing.T) {
 	path := writeLog(t, recs)
 
 	var got []*wal.Record
-	validEnd, lastLSN, err := wal.Replay(path, func(r *wal.Record) error {
+	validEnd, lastLSN, _, err := wal.Replay(vfs.OS, path, func(r *wal.Record) error {
 		got = append(got, r)
 		return nil
 	})
@@ -164,11 +165,11 @@ func TestOpenAppendContinues(t *testing.T) {
 	if err := os.Truncate(path, tear); err != nil {
 		t.Fatal(err)
 	}
-	validEnd, lastLSN, err := wal.Replay(path, nil)
+	validEnd, lastLSN, _, err := wal.Replay(vfs.OS, path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w, err := wal.OpenAppend(path, validEnd, lastLSN)
+	w, err := wal.OpenAppend(vfs.OS, path, validEnd, lastLSN)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestOpenAppendContinues(t *testing.T) {
 	}
 
 	var kinds []wal.Kind
-	_, lastLSN, err = wal.Replay(path, func(r *wal.Record) error {
+	_, lastLSN, _, err = wal.Replay(vfs.OS, path, func(r *wal.Record) error {
 		kinds = append(kinds, r.Kind)
 		return nil
 	})
@@ -200,7 +201,7 @@ func TestOpenAppendContinues(t *testing.T) {
 
 func TestWriteHookTornFrame(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
-	w, err := wal.Create(path, 0)
+	w, err := wal.Create(vfs.OS, path, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestWriteHookTornFrame(t *testing.T) {
 	w.Close()
 
 	n := 0
-	validEnd, lastLSN, err := wal.Replay(path, func(*wal.Record) error { n++; return nil })
+	validEnd, lastLSN, torn, err := wal.Replay(vfs.OS, path, func(*wal.Record) error { n++; return nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,6 +229,9 @@ func TestWriteHookTornFrame(t *testing.T) {
 	st, _ := os.Stat(path)
 	if validEnd >= st.Size() {
 		t.Fatalf("torn bytes should trail the valid prefix (validEnd %d, size %d)", validEnd, st.Size())
+	}
+	if torn != st.Size()-validEnd {
+		t.Fatalf("Replay reported %d torn bytes, want %d", torn, st.Size()-validEnd)
 	}
 }
 

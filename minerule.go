@@ -56,12 +56,19 @@ type Limits = resource.Limits
 //     *resource.BudgetError tells which);
 //   - ErrIO — a durable-storage operation failed (errors.As to *IOError
 //     names the operation and the OS error);
+//   - ErrDegraded — the durable store lost its durability guarantee (a
+//     failed WAL fsync, an unrepairable torn append) and is read-only
+//     until reopened; matches ErrIO too via the wrapped cause;
+//   - ErrCorruptPage — a heap page failed its CRC-32C at read time
+//     (bit-rot, torn write, or a lost write); matches ErrIO too;
 //   - *InternalError — a panic inside the kernel was contained at the
 //     recover boundary and converted to an error.
 var (
 	ErrCanceled       = resource.ErrCanceled
 	ErrBudgetExceeded = resource.ErrBudgetExceeded
 	ErrIO             = resource.ErrIO
+	ErrDegraded       = resource.ErrDegraded
+	ErrCorruptPage    = resource.ErrCorruptPage
 )
 
 // InternalError is a contained kernel panic: Op names the boundary that
@@ -73,6 +80,10 @@ type InternalError = resource.InternalError
 // heap page I/O, checkpoint swap); it matches ErrIO and unwraps to the
 // OS error.
 type IOError = resource.IOError
+
+// DegradedError is the sticky error of a store whose durability is
+// gone; it matches ErrDegraded and unwraps to the poisoning IOError.
+type DegradedError = resource.DegradedError
 
 // System is one embedded database with the mining kernel attached.
 // It is not safe for concurrent use by multiple goroutines.
@@ -147,6 +158,18 @@ type StorageStats struct {
 	PoolEvictions   int64 // frames evicted by the clock sweep
 	Checkpoints     int64 // checkpoints taken
 	RecoveryRecords int64 // records replayed by the last Open
+
+	TornTailTruncations int64 // torn WAL tails dropped at recovery
+	PageCRCErrors       int64 // heap pages failing their checksum
+	IORetries           int64 // transient I/O faults retried
+	EnospcVetoes        int64 // mutations vetoed cleanly on a full disk
+	CheckpointFailures  int64 // checkpoints that failed and were discarded
+
+	// Degraded reports that the store lost its durability guarantee and
+	// is read-only until reopened; DegradedCause is the poisoning error
+	// ("" while healthy).
+	Degraded      bool
+	DegradedCause string
 }
 
 // PoolHitRatio is hits/(hits+misses), or 0 before any page traffic.
@@ -162,7 +185,7 @@ func (st StorageStats) PoolHitRatio() float64 {
 // Prometheus form by WriteMetrics).
 func (s *System) StorageStats() StorageStats {
 	m := s.db.Metrics()
-	return StorageStats{
+	st := StorageStats{
 		WalAppends:      m.WalAppends.Load(),
 		WalBytes:        m.WalBytes.Load(),
 		WalFsyncs:       m.WalFsyncs.Load(),
@@ -173,8 +196,25 @@ func (s *System) StorageStats() StorageStats {
 		PoolEvictions:   m.PoolEvictions.Load(),
 		Checkpoints:     m.Checkpoints.Load(),
 		RecoveryRecords: m.RecoveryRecords.Load(),
+
+		TornTailTruncations: m.WalTornTruncations.Load(),
+		PageCRCErrors:       m.PageCRCErrors.Load(),
+		IORetries:           m.IORetries.Load(),
+		EnospcVetoes:        m.EnospcVetoes.Load(),
+		CheckpointFailures:  m.CheckpointFailures.Load(),
 	}
+	if err := s.db.DegradedErr(); err != nil {
+		st.Degraded = true
+		st.DegradedCause = err.Error()
+	}
+	return st
 }
+
+// DegradedErr returns the typed error (matching ErrDegraded) when the
+// durable store has lost its durability guarantee and is read-only,
+// nil while healthy or in-memory. Reopening the directory recovers the
+// on-disk state and restores writability.
+func (s *System) DegradedErr() error { return s.db.DegradedErr() }
 
 // DB exposes the underlying engine for in-module tooling (the cmd/
 // binaries and benchmarks); it is internal machinery, not API surface.
