@@ -5,6 +5,8 @@
 //	minerule-bench -exp E4          # one experiment
 //	minerule-bench -json            # write BENCH_baseline.json
 //	minerule-bench -json -out FILE  # write the baseline elsewhere
+//	minerule-bench -check           # re-measure and gate vs the baseline
+//	minerule-bench -check -tol 0.2  # with a custom tolerance (+20%)
 package main
 
 import (
@@ -20,9 +22,25 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: E1…E10 or all")
 	jsonOut := flag.Bool("json", false, "measure the regression baseline and write it as JSON")
-	out := flag.String("out", "BENCH_baseline.json", "baseline output path (with -json)")
+	out := flag.String("out", "BENCH_baseline.json", "baseline path (written by -json, read by -check)")
 	trace := flag.Bool("trace", false, "run the paper statement once and print its kernel span tree")
+	check := flag.Bool("check", false, "re-measure the baseline workloads and fail on ns/op regressions")
+	tol := flag.Float64("tol", 0.15, "relative ns/op growth tolerated by -check (0.15 = +15%)")
 	flag.Parse()
+
+	if *check {
+		f, err := os.Open(*out)
+		if err != nil {
+			fatal(err)
+		}
+		err = bench.CheckBaseline(f, os.Stdout, *tol)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("baseline check passed")
+		return
+	}
 
 	if *trace {
 		if err := traceRun(); err != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"minerule/internal/core"
@@ -108,6 +109,60 @@ func minerBenchInput(groups, items, avg int, seed int64) *mining.SimpleInput {
 		byGroup[g] = tx
 	}
 	return mining.NewSimpleInput(byGroup, groups)
+}
+
+// CheckBaseline re-measures the regression-tracked workloads and diffs
+// them against the committed baseline read from r, writing a per-entry
+// comparison table to w. A workload whose ns/op grows by more than tol
+// (relative, e.g. 0.15 for +15%) is a regression; the returned error
+// lists every one. Workloads added since the baseline was recorded are
+// reported but never fail the check — regenerating the baseline picks
+// them up.
+func CheckBaseline(r io.Reader, w io.Writer, tol float64) error {
+	var recorded []BaselineEntry
+	if err := json.NewDecoder(r).Decode(&recorded); err != nil {
+		return fmt.Errorf("bench: read baseline: %w", err)
+	}
+	current, err := Baseline()
+	if err != nil {
+		return err
+	}
+	return diffBaseline(recorded, current, w, tol)
+}
+
+// diffBaseline is CheckBaseline's pure comparison half, split out so
+// tests can exercise the gate without re-running the benchmarks.
+func diffBaseline(recorded, current []BaselineEntry, w io.Writer, tol float64) error {
+	base := make(map[string]BaselineEntry, len(recorded))
+	for _, e := range recorded {
+		base[e.Name] = e
+	}
+	var regressed []string
+	fmt.Fprintf(w, "%-36s %14s %14s %8s\n", "workload", "baseline ns/op", "current ns/op", "delta")
+	for _, c := range current {
+		b, ok := base[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-36s %14s %14.0f %8s\n", c.Name, "-", c.NsPerOp, "new")
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		mark := ""
+		if delta > tol {
+			mark = "  REGRESSION"
+			regressed = append(regressed, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%)",
+				c.Name, b.NsPerOp, c.NsPerOp, 100*delta))
+		}
+		fmt.Fprintf(w, "%-36s %14.0f %14.0f %+7.1f%%%s\n", c.Name, b.NsPerOp, c.NsPerOp, 100*delta, mark)
+		delete(base, c.Name)
+	}
+	for name := range base {
+		fmt.Fprintf(w, "%-36s %14.0f %14s %8s\n", name, base[name].NsPerOp, "-", "gone")
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("bench: %d workload(s) regressed beyond %.0f%%:\n  %s",
+			len(regressed), 100*tol, strings.Join(regressed, "\n  "))
+	}
+	return nil
 }
 
 // WriteBaseline runs Baseline and writes the entries as indented JSON.

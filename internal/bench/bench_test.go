@@ -75,3 +75,36 @@ func TestE10DurableSmall(t *testing.T) {
 		t.Fatalf("rows = %d", len(tab.Rows))
 	}
 }
+
+// TestDiffBaseline exercises the -check regression gate's comparison
+// logic: within-tolerance drift passes, beyond-tolerance growth fails,
+// and new/removed workloads are reported without failing the gate.
+func TestDiffBaseline(t *testing.T) {
+	recorded := []BaselineEntry{
+		{Name: "steady", NsPerOp: 1000},
+		{Name: "slower", NsPerOp: 1000},
+		{Name: "gone", NsPerOp: 500},
+	}
+	current := []BaselineEntry{
+		{Name: "steady", NsPerOp: 1100}, // +10%, inside ±15%
+		{Name: "slower", NsPerOp: 1200}, // +20%, regression
+		{Name: "fresh", NsPerOp: 42},
+	}
+	var buf strings.Builder
+	err := diffBaseline(recorded, current, &buf, 0.15)
+	if err == nil {
+		t.Fatalf("expected regression error, table:\n%s", buf.String())
+	}
+	if !strings.Contains(err.Error(), "slower") || strings.Contains(err.Error(), "steady") {
+		t.Fatalf("error should name only the regressed workload: %v", err)
+	}
+	for _, want := range []string{"REGRESSION", "new", "gone"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+	buf.Reset()
+	if err := diffBaseline(recorded[:2], current[:1], &buf, 0.15); err != nil {
+		t.Fatalf("within-tolerance run should pass: %v\n%s", err, buf.String())
+	}
+}

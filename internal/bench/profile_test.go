@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"testing"
+
+	"minerule/internal/core"
+)
+
+// BenchmarkE2PhaseSplit2000 exposes the tracked E2/2000 workload as a
+// plain go-test benchmark so it can be run with -cpuprofile and
+// -memprofile during performance work; Baseline() remains the recorded
+// source of truth.
+func BenchmarkE2PhaseSplit2000(b *testing.B) {
+	db, err := BasketDB(2000, 10, 4, 500, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stmt := BasketStatement("E2", 0.02, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(db, stmt, core.AlgoApriori); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1PaperExample exposes the E1 workload likewise.
+func BenchmarkE1PaperExample(b *testing.B) {
+	db, err := PaperDB()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mine(db, PaperStatement, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

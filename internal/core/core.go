@@ -324,9 +324,12 @@ func mineStatement(ctx context.Context, db *engine.Database, st *ast.Statement, 
 		miner := poolMiner(opts.Algorithm)
 		res.Algorithm = miner.Name()
 		var in *mining.SimpleInput
-		in, err = readSimpleInput(ctx, db, tr, pre.Totg)
+		in, err = readSimpleInput(ctx, db, tr, pre.Totg, opts.Limits.MaxRows == 0)
 		if err != nil {
 			return nil, err
+		}
+		if _, ok := miner.(mining.Bitmap); ok {
+			in.PackCovers()
 		}
 		groupsRead = len(in.Groups)
 		rules = mining.MineSimple(miner, in, mopts)
@@ -445,8 +448,35 @@ func prepareOutputs(db *engine.Database, tr *translator.Translation, opts Option
 }
 
 // readSimpleInput loads CodedSource (Gid, Bid) into the simple-core
-// input format.
-func readSimpleInput(ctx context.Context, db *engine.Database, tr *translator.Translation, totg int) (*mining.SimpleInput, error) {
+// input format. With direct set (no per-statement row budget to
+// preserve) it reads the table snapshot straight out of the dictionary
+// and hands the (gid, bid) pairs to the miner without running a SELECT —
+// the preprocessing output skips the executor's materialize/re-encode
+// hop. The SQL path remains for budgeted runs and anything that is not
+// a plain base table with the expected columns.
+func readSimpleInput(ctx context.Context, db *engine.Database, tr *translator.Translation, totg int, direct bool) (*mining.SimpleInput, error) {
+	if direct {
+		if t, ok := db.Catalog().Table(tr.Names.CodedSource); ok {
+			sch := t.Schema()
+			gidOrd, gerr := sch.Resolve("", "mr_gid")
+			bidOrd, berr := sch.Resolve("", "mr_bid")
+			if gerr == nil && berr == nil {
+				rows := t.Snapshot()
+				gids := make([]int64, len(rows))
+				items := make([]mining.Item, len(rows))
+				for i, row := range rows {
+					if i&4095 == 4095 {
+						if err := resource.Check(ctx); err != nil {
+							return nil, err
+						}
+					}
+					gids[i] = row[gidOrd].Int()
+					items[i] = mining.Item(row[bidOrd].Int())
+				}
+				return mining.NewSimpleInputFromPairs(gids, items, totg), nil
+			}
+		}
+	}
 	res, err := db.QueryContext(ctx, "SELECT mr_gid, mr_bid FROM "+tr.Names.CodedSource)
 	if err != nil {
 		return nil, err

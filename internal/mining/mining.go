@@ -270,6 +270,68 @@ type SimpleInput struct {
 	// TotalGroups is the support denominator (Q1's count over the whole
 	// Source; it may exceed len(Groups) when a group HAVING filtered).
 	TotalGroups int
+	// Covers, when non-nil, holds each item's packed group cover (bit g
+	// set when group index g contains the item) over coverWords words —
+	// the bitmap miner's first-level representation, precomputed by
+	// PackCovers so the miner skips the per-row re-encode hop.
+	Covers     map[Item][]uint64
+	coverWords int
+}
+
+// PackCovers precomputes the packed per-item group covers consumed by
+// the bitmap miner's first level. Callers that will mine with a
+// cover-list algorithm instead can skip it.
+func (in *SimpleInput) PackCovers() {
+	words := (len(in.Groups) + 63) / 64
+	covers := make(map[Item][]uint64)
+	for g, tx := range in.Groups {
+		for _, it := range tx {
+			bm, ok := covers[it]
+			if !ok {
+				bm = make([]uint64, words)
+				covers[it] = bm
+			}
+			bm[g>>6] |= 1 << (uint(g) & 63)
+		}
+	}
+	in.Covers, in.coverWords = covers, words
+}
+
+// NewSimpleInputFromPairs builds the input from parallel (gid, item)
+// slices — the shape the kernel reads straight out of the CodedSource
+// snapshot — without the intermediate per-gid map of NewSimpleInput.
+// Pairs sort by (gid, item); duplicates collapse; every group's item
+// slice is carved from one shared backing array.
+func NewSimpleInputFromPairs(gids []int64, items []Item, totalGroups int) *SimpleInput {
+	type pair struct {
+		g  int64
+		it Item
+	}
+	pairs := make([]pair, len(gids))
+	for i := range gids {
+		pairs[i] = pair{gids[i], items[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].g != pairs[j].g {
+			return pairs[i].g < pairs[j].g
+		}
+		return pairs[i].it < pairs[j].it
+	})
+	in := &SimpleInput{TotalGroups: totalGroups}
+	backing := make([]Item, 0, len(pairs))
+	for i := 0; i < len(pairs); {
+		g := pairs[i].g
+		start := len(backing)
+		var prev Item = -1 << 62
+		for ; i < len(pairs) && pairs[i].g == g; i++ {
+			if pairs[i].it != prev {
+				backing = append(backing, pairs[i].it)
+				prev = pairs[i].it
+			}
+		}
+		in.Groups = append(in.Groups, backing[start:len(backing):len(backing)])
+	}
+	return in
 }
 
 // NewSimpleInput normalizes raw (gid → items) data: items are

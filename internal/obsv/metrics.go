@@ -45,6 +45,12 @@ type Metrics struct {
 	RowsScanned  Counter // rows materialized out of base-table scans
 	RowsReturned Counter // rows in query results handed back to callers
 
+	// Batched execution and cost-based planning.
+	ExecBatches       Counter // row batches produced by batched operators
+	ExecBatchRows     Counter // rows carried in those batches (avg = rows/batches)
+	StatsRefreshes    Counter // table-statistics recomputations
+	PlannerIndexPaths Counter // times the planner chose an index path over a scan
+
 	// Mining kernel.
 	MineRuns       Counter // MINE RULE evaluations started
 	MineErrors     Counter // evaluations that failed
@@ -98,6 +104,10 @@ var metricDescs = []metricDesc{
 	{"minerule_viewplan_misses_total", "executor view-plan cache misses", func(m *Metrics) int64 { return m.ViewPlanMisses.Load() }},
 	{"minerule_rows_scanned_total", "rows materialized from base-table scans", func(m *Metrics) int64 { return m.RowsScanned.Load() }},
 	{"minerule_rows_returned_total", "rows returned to engine callers", func(m *Metrics) int64 { return m.RowsReturned.Load() }},
+	{"minerule_exec_batches_total", "row batches produced by batched operators", func(m *Metrics) int64 { return m.ExecBatches.Load() }},
+	{"minerule_exec_batch_rows_total", "rows carried in batched-operator batches", func(m *Metrics) int64 { return m.ExecBatchRows.Load() }},
+	{"minerule_stats_refreshes_total", "table-statistics recomputations", func(m *Metrics) int64 { return m.StatsRefreshes.Load() }},
+	{"minerule_planner_index_paths_total", "planner index-path selections over scans", func(m *Metrics) int64 { return m.PlannerIndexPaths.Load() }},
 	{"minerule_mine_runs_total", "MINE RULE evaluations started", func(m *Metrics) int64 { return m.MineRuns.Load() }},
 	{"minerule_mine_errors_total", "MINE RULE evaluations that failed", func(m *Metrics) int64 { return m.MineErrors.Load() }},
 	{"minerule_mine_rules_total", "association rules produced", func(m *Metrics) int64 { return m.MineRules.Load() }},

@@ -149,6 +149,12 @@ func (db *Database) SetLimits(l resource.Limits) { db.rt.Limits = l }
 // Limits returns the currently configured execution bounds.
 func (db *Database) Limits() resource.Limits { return db.rt.Limits }
 
+// RowMode switches the executor between the batched default (off) and
+// the row-at-a-time reference operators (on). The reference path is the
+// oracle for differential testing and the fallback should the batched
+// pipeline ever need to be bypassed.
+func (db *Database) RowMode(on bool) { db.rt.RowMode(on) }
+
 // SetExecHook installs (or, with nil, removes) a pre-statement hook used
 // by fault-injection tests; the hook receives each statement's SQL text
 // before execution and may abort it by returning an error.

@@ -7,7 +7,7 @@ import (
 )
 
 // benchDB loads two joinable tables of the given sizes.
-func benchDB(b *testing.B, left, right int) *Database {
+func benchDB(b testing.TB, left, right int) *Database {
 	b.Helper()
 	db := New()
 	if err := db.ExecScript("CREATE TABLE l (k INTEGER, v INTEGER); CREATE TABLE r (k INTEGER, w INTEGER)"); err != nil {
@@ -46,6 +46,56 @@ func BenchmarkHashJoin(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkHashJoinAsymmetric measures the lopsided join shape that
+// punished the old build-side choice: a 10-row dimension table against
+// a 50k-row fact table. The hash table must be built on the small side
+// regardless of which side of the comma (or the equality) it appears
+// on, so both orientations should cost the same.
+func BenchmarkHashJoinAsymmetric(b *testing.B) {
+	const small, big = 10, 50000
+	for _, tc := range []struct {
+		name, query string
+	}{
+		{"small-left", "SELECT COUNT(*) FROM l, r WHERE l.k = r.k"},
+		{"small-right", "SELECT COUNT(*) FROM r, l WHERE r.k = l.k"},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			db := benchDB(b, small, big)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(tc.query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestHashJoinBuildSide proves the executor builds the hash table on
+// the smaller input in both orientations of an asymmetric join.
+func TestHashJoinBuildSide(t *testing.T) {
+	db := benchDB(t, 10, 5000)
+	for _, tc := range []struct {
+		query, want string
+	}{
+		{"EXPLAIN SELECT COUNT(*) FROM l, r WHERE l.k = r.k", "build=left"},
+		{"EXPLAIN SELECT COUNT(*) FROM r, l WHERE r.k = l.k", "build=right"},
+	} {
+		res, err := db.Query(tc.query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plan strings.Builder
+		for _, r := range res.Rows {
+			plan.WriteString(r[0].String())
+			plan.WriteByte('\n')
+		}
+		if !strings.Contains(plan.String(), tc.want) {
+			t.Fatalf("%s: expected %s in plan:\n%s", tc.query, tc.want, plan.String())
+		}
 	}
 }
 

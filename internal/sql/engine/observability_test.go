@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -95,6 +96,64 @@ func TestExplainJoinStrategy(t *testing.T) {
 	}
 }
 
+// TestExplainBatchedAttrs proves the plan carries the batched-pipeline
+// telemetry: batch counts on vectorized operators and the planner's
+// cardinality estimate on the hash join. The table is sized past the
+// planner threshold so statistics are actually consulted.
+func TestExplainBatchedAttrs(t *testing.T) {
+	db := New()
+	var ins strings.Builder
+	ins.WriteString("CREATE TABLE big (tid INTEGER, item VARCHAR, price FLOAT);\n")
+	for i := 0; i < 3000; i++ {
+		fmt.Fprintf(&ins, "INSERT INTO big VALUES (%d, 'item%d', %d.0);\n", i%200, i%7, i%400)
+	}
+	if err := db.ExecScript(ins.String()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(
+		"EXPLAIN ANALYZE SELECT a.item FROM big AS a, big AS b WHERE a.tid = b.tid AND b.price > 390.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan strings.Builder
+	for _, r := range res.Rows {
+		plan.WriteString(r[0].String())
+		plan.WriteByte('\n')
+	}
+	out := plan.String()
+	for _, want := range []string{
+		"join strategy=hash",
+		"est_rows=",
+		"build=right",
+		"batches=",
+		"time=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plan missing %q:\n%s", want, out)
+		}
+	}
+	// The grouped query reports batch counts on the aggregate node too.
+	res, err = db.Query(
+		"EXPLAIN ANALYZE SELECT item, COUNT(*) FROM big WHERE price > 100.0 GROUP BY item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan.Reset()
+	for _, r := range res.Rows {
+		plan.WriteString(r[0].String())
+		plan.WriteByte('\n')
+	}
+	var groupLine string
+	for _, l := range strings.Split(plan.String(), "\n") {
+		if strings.Contains(l, "group ") {
+			groupLine = l
+		}
+	}
+	if !strings.Contains(groupLine, "batches=") {
+		t.Fatalf("group node missing batches attr:\n%s", plan.String())
+	}
+}
+
 // TestMetricsCounters proves the engine registry tracks statements,
 // cache traffic, and row flow.
 func TestMetricsCounters(t *testing.T) {
@@ -122,6 +181,12 @@ func TestMetricsCounters(t *testing.T) {
 	}
 	if got := m.RowsReturned.Load() - base["minerule_rows_returned_total"]; got != 18 {
 		t.Errorf("RowsReturned delta = %d, want 18", got)
+	}
+	if got := m.ExecBatches.Load() - base["minerule_exec_batches_total"]; got < 3 {
+		t.Errorf("ExecBatches delta = %d, want >= 3 (one batch per scan)", got)
+	}
+	if got := m.ExecBatchRows.Load() - base["minerule_exec_batch_rows_total"]; got < 18 {
+		t.Errorf("ExecBatchRows delta = %d, want >= 18", got)
 	}
 	if m.ExecNanos.Load() == 0 || m.ParseNanos.Load() == 0 {
 		t.Errorf("timing counters not advancing: exec=%d parse=%d",

@@ -48,7 +48,21 @@ type Runtime struct {
 	// can never read a stale dictionary. No lock: the runtime is
 	// single-threaded by contract (see execSelectEnv).
 	viewPlans map[string]viewPlan
+
+	// rowMode forces the row-at-a-time reference operators instead of
+	// the batched path (see batch.go) — the oracle for the differential
+	// suite and the compatibility baseline.
+	rowMode bool
+
+	// fromPlans caches cost-based FROM-list join orders per SELECT node
+	// (statement-cache pointers are stable); entries are valid only
+	// while catalog version and stats epoch both still match.
+	fromPlans map[*parse.Select]fromPlan
 }
+
+// RowMode switches the runtime to the row-at-a-time reference
+// executor. The batched path is the default.
+func (rt *Runtime) RowMode(on bool) { rt.rowMode = on }
 
 // viewPlan is one cached view resolution.
 type viewPlan struct {
@@ -450,10 +464,37 @@ func (rt *Runtime) execInsert(x *parse.Insert) (*Result, error) {
 		}
 	}
 
+	// Rows that already match the target schema (full column list in
+	// order, every value the column's type) are stored as-is: values are
+	// immutable and a SELECT's result rows are exclusively owned here,
+	// so an INSERT ... SELECT stores the executor's output without a
+	// per-row copy.
+	identity := len(target) == ts.Len()
+	if identity {
+		for i, ord := range target {
+			if ord != i {
+				identity = false
+				break
+			}
+		}
+	}
 	out := make([]schema.Row, 0, len(srcRows))
 	for _, src := range srcRows {
 		if err := rt.charge(1); err != nil {
 			return nil, err
+		}
+		if identity {
+			copyFree := true
+			for i, v := range src {
+				if !v.IsNull() && v.Type() != ts.Col(i).Type {
+					copyFree = false
+					break
+				}
+			}
+			if copyFree {
+				out = append(out, src)
+				continue
+			}
 		}
 		row := make(schema.Row, ts.Len())
 		for i, ord := range target {

@@ -7,6 +7,7 @@ import (
 
 	"minerule/internal/sql/parse"
 	"minerule/internal/sql/schema"
+	"minerule/internal/sql/storage"
 	"minerule/internal/sql/value"
 )
 
@@ -140,9 +141,95 @@ func combineSetOp(op parse.SetOp, left, right *relation) *relation {
 // is sorted before projection and the second result reports true —
 // sort keys may then reference columns the projection drops.
 func (rt *Runtime) execSelectCore(s *parse.Select, allowPreSort bool) (*relation, bool, error) {
+	if rt.rowMode {
+		return rt.execSelectCoreRow(s, allowPreSort)
+	}
+	return rt.execSelectCoreBatched(s, allowPreSort)
+}
+
+// execSelectCoreBatched is the default executor core: rows flow from
+// the joined FROM relation through filter, then grouping or projection,
+// in batches (see batch.go). ORDER BY and set operations still run
+// row-at-a-time over the materialized result.
+func (rt *Runtime) execSelectCoreBatched(s *parse.Select, allowPreSort bool) (*relation, bool, error) {
 	csp, cparent := rt.pushOp("select")
 	defer rt.popOp(csp, cparent)
-	input, remaining, err := rt.buildFrom(s)
+	src, remaining, err := rt.buildFrom(s)
+	if err != nil {
+		return nil, false, err
+	}
+	// Residual WHERE conjuncts not consumed by scans or joins.
+	if len(remaining) > 0 {
+		fs, err := rt.newFilterSource(src, conjoin(remaining))
+		if err != nil {
+			return nil, false, err
+		}
+		src = fs
+	}
+
+	grouped := len(s.GroupBy) > 0 || selectHasAggregate(s)
+
+	// Pre-sort needs a materialized relation; re-source it afterwards.
+	preSorted := false
+	if allowPreSort && !grouped && !s.Distinct && len(s.OrderBy) > 0 &&
+		!rt.canOrderByOutput(s, src.Schema()) && rt.canOrder(src.Schema(), s.OrderBy) {
+		rel, err := materialize(src)
+		if err != nil {
+			return nil, false, err
+		}
+		ssp, sparent := rt.pushOp("sort")
+		if err := rt.orderBy(rel, s.OrderBy); err != nil {
+			rt.popOp(ssp, sparent)
+			return nil, false, err
+		}
+		ssp.SetInt("rows", int64(len(rel.rows)))
+		rt.popOp(ssp, sparent)
+		src = rt.newSliceSource(rel)
+		preSorted = true
+	}
+
+	var out *relation
+	if grouped {
+		out, err = rt.groupBatched(s, src)
+		if err != nil {
+			return nil, false, err
+		}
+		if s.Distinct {
+			dsp, dparent := rt.pushOp("distinct")
+			n := len(out.rows)
+			out.rows = distinctRows(out.rows)
+			if dsp != nil {
+				dsp.SetInt("rows_in", int64(n))
+				dsp.SetInt("rows", int64(len(out.rows)))
+			}
+			rt.popOp(dsp, dparent)
+		}
+	} else {
+		if s.Having != nil {
+			return nil, false, fmt.Errorf("exec: HAVING without GROUP BY or aggregates")
+		}
+		// projectBatched dedups inline when DISTINCT.
+		out, err = rt.projectBatched(s, src, s.Distinct)
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	csp.SetInt("rows", int64(len(out.rows)))
+	return out, preSorted, nil
+}
+
+// execSelectCoreRow is the row-at-a-time reference core, kept verbatim
+// as the oracle for the differential batched-vs-row suite.
+func (rt *Runtime) execSelectCoreRow(s *parse.Select, allowPreSort bool) (*relation, bool, error) {
+	csp, cparent := rt.pushOp("select")
+	defer rt.popOp(csp, cparent)
+	fromSrc, remaining, err := rt.buildFrom(s)
+	if err != nil {
+		return nil, false, err
+	}
+	// In row mode buildFrom never streams, so this unwraps without
+	// copying.
+	input, err := materialize(fromSrc)
 	if err != nil {
 		return nil, false, err
 	}
@@ -239,10 +326,13 @@ func selectHasAggregate(s *parse.Select) bool {
 	return s.Having != nil && parse.HasAggregate(s.Having)
 }
 
-// buildFrom materializes the FROM list and performs the joins, consuming
+// buildFrom evaluates the FROM list and performs the joins, consuming
 // WHERE conjuncts as scan filters and equi-join predicates where
-// possible. It returns the joined relation and the unconsumed conjuncts.
-func (rt *Runtime) buildFrom(s *parse.Select) (*relation, []parse.Expr, error) {
+// possible. It returns the joined input as a batch source plus the
+// unconsumed conjuncts. A two-element FROM list joined on hash keys
+// streams (the join output is never materialized); everything else
+// materializes and is served through a sliceSource.
+func (rt *Runtime) buildFrom(s *parse.Select) (batchSource, []parse.Expr, error) {
 	if len(s.From) == 0 {
 		// Table-less SELECT: one empty row.
 		r := &relation{schema: schema.New(""), rows: []schema.Row{{}}}
@@ -250,31 +340,73 @@ func (rt *Runtime) buildFrom(s *parse.Select) (*relation, []parse.Expr, error) {
 		if s.Where != nil {
 			rest = splitConjuncts(s.Where)
 		}
-		return r, rest, nil
+		return rt.newSliceSource(r), rest, nil
 	}
 
 	conjuncts := splitConjuncts(s.Where)
 	used := make([]bool, len(conjuncts))
 
-	cur, err := rt.scanFor(s.From[0], conjuncts, used)
-	if err != nil {
-		return nil, nil, err
-	}
-	cur, err = rt.applyLocal(cur, conjuncts, used)
-	if err != nil {
-		return nil, nil, err
+	// Scan every FROM element first (consuming index and local
+	// predicates), so the planner sees all cardinalities before any
+	// join runs.
+	elems := make([]fromElem, len(s.From))
+	for i, tr := range s.From {
+		rel, t, err := rt.scanFor(tr, conjuncts, used)
+		if err != nil {
+			return nil, nil, err
+		}
+		rel, err = rt.applyLocal(rel, conjuncts, used)
+		if err != nil {
+			return nil, nil, err
+		}
+		elems[i] = fromElem{rel: rel, tab: t}
 	}
 
-	for _, tr := range s.From[1:] {
-		right, err := rt.scanFor(tr, conjuncts, used)
-		if err != nil {
-			return nil, nil, err
+	// Fetch statistics only when cost-based planning will actually run:
+	// three or more inputs whose combined size clears the planning floor.
+	if !rt.rowMode && len(elems) >= 3 {
+		total := 0
+		for _, e := range elems {
+			total += len(e.rel.rows)
 		}
-		right, err = rt.applyLocal(right, conjuncts, used)
-		if err != nil {
-			return nil, nil, err
+		if total >= planRowsMin {
+			for i := range elems {
+				if elems[i].tab != nil {
+					elems[i].stats = rt.tableStats(elems[i].tab)
+				}
+			}
 		}
-		cur, err = rt.join(cur, right, conjuncts, used)
+	}
+
+	order := rt.planFromOrder(s, elems, conjuncts, used)
+
+	cur := elems[order[0]].rel
+	var err error
+	for n, idx := range order[1:] {
+		right := elems[idx].rel
+		keys := equiJoinKeys(cur, right, conjuncts, used)
+		// Streaming hash join for the final pair: nothing joins
+		// afterwards, so the combined rows can flow straight into the
+		// downstream operators out of a recycled scratch block instead
+		// of materializing. Conjuncts over the joined schema stay
+		// unconsumed and become the residual filter, exactly as
+		// applyLocal would have filtered them. Requires canonical column
+		// order (no remap pass after the join).
+		last := n == len(order)-2
+		if last && !rt.rowMode && isIdentity(order) && len(keys) > 0 {
+			src, err := rt.newHashJoinSource(cur, right, keys)
+			if err != nil {
+				return nil, nil, err
+			}
+			var rest []parse.Expr
+			for i, c := range conjuncts {
+				if !used[i] {
+					rest = append(rest, c)
+				}
+			}
+			return src, rest, nil
+		}
+		cur, err = rt.joinKeys(cur, right, keys)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -284,6 +416,9 @@ func (rt *Runtime) buildFrom(s *parse.Select) (*relation, []parse.Expr, error) {
 			return nil, nil, err
 		}
 	}
+	if !isIdentity(order) {
+		cur = rt.remapColumns(cur, elems, order)
+	}
 
 	var rest []parse.Expr
 	for i, c := range conjuncts {
@@ -291,13 +426,16 @@ func (rt *Runtime) buildFrom(s *parse.Select) (*relation, []parse.Expr, error) {
 			rest = append(rest, c)
 		}
 	}
-	return cur, rest, nil
+	return rt.newSliceSource(cur), rest, nil
 }
 
 // scanFor materializes one FROM element, first trying to satisfy an
 // equality conjunct through a hash index (point lookup instead of a
-// full snapshot); the consumed conjunct is marked used.
-func (rt *Runtime) scanFor(tr parse.TableRef, conjuncts []parse.Expr, used []bool) (*relation, error) {
+// full snapshot); the consumed conjunct is marked used. For a full
+// base-table scan it also returns the owning table, so the caller can
+// fetch statistics for the join-order planner when planning is worth
+// it; index-narrowed results and non-table sources return nil.
+func (rt *Runtime) scanFor(tr parse.TableRef, conjuncts []parse.Expr, used []bool) (*relation, *storage.Table, error) {
 	if tr.Sub == nil && len(tr.Joins) == 0 {
 		if t, ok := rt.Cat.Table(tr.Name); ok {
 			qual := tr.Alias
@@ -334,6 +472,25 @@ func (rt *Runtime) scanFor(tr parse.TableRef, conjuncts []parse.Expr, used []boo
 				default:
 					continue
 				}
+				// Cost gate (batched mode): a one-distinct-value index
+				// cannot narrow the scan, so skip it. Everything with
+				// NDV >= 2 keeps the point lookup — on equality it is
+				// never worse than the full scan. Small tables skip the
+				// statistics consult entirely: the lookup is cheap either
+				// way and sketch maintenance would dominate.
+				var estRows int64 = -1
+				if !rt.rowMode && t.Len() >= planRowsMin {
+					st := rt.tableStats(t)
+					if st.Rows > 0 && st.Cols[ord].NDV <= 1 {
+						continue
+					}
+					if ndv := st.Cols[ord].NDV; ndv > 0 {
+						estRows = st.Rows / ndv
+					}
+					if m := rt.Met; m != nil {
+						m.PlannerIndexPaths.Inc()
+					}
+				}
 				used[i] = true
 				sp, parent := rt.pushOp("index lookup")
 				rows := t.Lookup(ix, lit.Key())
@@ -344,15 +501,35 @@ func (rt *Runtime) scanFor(tr parse.TableRef, conjuncts []parse.Expr, used []boo
 					sp.SetStr("table", tr.Name)
 					sp.SetStr("index", ix.Name())
 					sp.SetInt("rows", int64(len(rows)))
+					if estRows >= 0 {
+						sp.SetInt("est_rows", estRows)
+					}
 				}
 				rt.popOp(sp, parent)
 				rt.tracef("index lookup %s.%s = %s via %s: %d row(s)",
 					tr.Name, qualified.Col(ord).Name, lit, ix.Name(), len(rows))
-				return &relation{schema: qualified, rows: rows}, nil
+				return &relation{schema: qualified, rows: rows}, nil, nil
 			}
+			rel, err := rt.scan(tr)
+			if err != nil {
+				return nil, nil, err
+			}
+			return rel, t, nil
 		}
 	}
-	return rt.scan(tr)
+	rel, err := rt.scan(tr)
+	return rel, nil, err
+}
+
+// tableStats fetches a table's statistics, counting refreshes.
+func (rt *Runtime) tableStats(t *storage.Table) *storage.TableStats {
+	st, refreshed := t.Stats()
+	if refreshed {
+		if m := rt.Met; m != nil {
+			m.StatsRefreshes.Inc()
+		}
+	}
+	return st
 }
 
 // indexableEquality matches "col = literal" (either orientation) where
@@ -415,7 +592,6 @@ func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*rel
 	conjuncts := splitConjuncts(j.On)
 
 	// Find hashable equi-key pairs.
-	type keyPair struct{ l, r int }
 	var keys []keyPair
 	var residual []parse.Expr
 	for _, c := range conjuncts {
@@ -453,15 +629,27 @@ func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*rel
 		residualFn = f
 	}
 
-	// Bucket the right side by the equi keys (single bucket when none).
+	// Bucket the build side by the equi keys (single bucket when none).
+	// LEFT JOIN must probe from the left (unmatched left rows pad with
+	// NULLs); inner joins in batched mode build on the smaller input.
+	buildRel, probeRel := right, left
+	buildIsLeft := false
+	if j.Kind != parse.LeftJoin && !rt.rowMode && len(left.rows) < len(right.rows) {
+		buildRel, probeRel = left, right
+		buildIsLeft = true
+	}
 	// Key bytes build into one reused buffer; the string materializes only
 	// when a new bucket is created (map lookups on string(buf) are
 	// allocation-free).
 	buckets := make(map[string][]schema.Row)
 	var kb []byte
-	keyOf := func(dst []byte, row schema.Row, side func(keyPair) int) ([]byte, bool) {
+	keyOf := func(dst []byte, row schema.Row, left bool) ([]byte, bool) {
 		for _, k := range keys {
-			v := row[side(k)]
+			c := k.r
+			if left {
+				c = k.l
+			}
+			v := row[c]
 			if v.IsNull() {
 				return dst, false
 			}
@@ -469,9 +657,9 @@ func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*rel
 		}
 		return dst, true
 	}
-	for _, r := range right.rows {
+	for _, r := range buildRel.rows {
 		var ok bool
-		kb, ok = keyOf(kb[:0], r, func(p keyPair) int { return p.r })
+		kb, ok = keyOf(kb[:0], r, buildIsLeft)
 		if !ok {
 			continue
 		}
@@ -485,18 +673,26 @@ func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*rel
 		sp.SetInt("keys", int64(len(keys)))
 		sp.SetInt("rows_left", int64(len(left.rows)))
 		sp.SetInt("rows_right", int64(len(right.rows)))
+		if buildIsLeft {
+			sp.SetStr("build", "left")
+		}
 	}
 	nullRight := make(schema.Row, right.schema.Len())
 	var out []schema.Row
 	combined := make(schema.Row, outSchema.Len())
-	for _, l := range left.rows {
+	lw := left.schema.Len()
+	for _, p := range probeRel.rows {
 		matched := false
 		var ok bool
-		kb, ok = keyOf(kb[:0], l, func(p keyPair) int { return p.l })
+		kb, ok = keyOf(kb[:0], p, !buildIsLeft)
 		if ok {
-			for _, r := range buckets[string(kb)] {
+			for _, b := range buckets[string(kb)] {
+				l, r := p, b
+				if buildIsLeft {
+					l, r = b, p
+				}
 				copy(combined, l)
-				copy(combined[len(l):], r)
+				copy(combined[lw:], r)
 				if residualFn != nil {
 					v, err := residualFn(combined)
 					if err != nil {
@@ -521,7 +717,7 @@ func (rt *Runtime) explicitJoin(left, right *relation, j parse.JoinClause) (*rel
 			if err := rt.charge(1); err != nil {
 				return nil, err
 			}
-			out = append(out, append(append(make(schema.Row, 0, len(combined)), l...), nullRight...))
+			out = append(out, append(append(make(schema.Row, 0, len(combined)), p...), nullRight...))
 		}
 	}
 	sp.SetInt("rows", int64(len(out)))
@@ -557,6 +753,11 @@ func (rt *Runtime) scanBase(tr parse.TableRef) (*relation, error) {
 			if sp, parent := rt.pushOp("scan"); sp != nil {
 				sp.SetStr("table", tr.Name)
 				sp.SetInt("rows", int64(len(rel.rows)))
+				if !rt.rowMode {
+					if st := t.CachedStats(); st != nil {
+						sp.SetInt("est_rows", st.Rows)
+					}
+				}
 				rt.popOp(sp, parent)
 			}
 			rt.tracef("scan table %s: %d row(s)", tr.Name, len(rel.rows))
@@ -671,13 +872,10 @@ func (rt *Runtime) filter(rel *relation, cond parse.Expr) (*relation, error) {
 	return &relation{schema: rel.schema, rows: out}, nil
 }
 
-// join combines cur and right. When unconsumed equi-join conjuncts link
-// the two sides it performs a hash join on those keys; otherwise it falls
-// back to the Cartesian product (subsequent applyLocal passes filter it).
-func (rt *Runtime) join(cur, right *relation, conjuncts []parse.Expr, used []bool) (*relation, error) {
-	sp, parent := rt.pushOp("join")
-	defer rt.popOp(sp, parent)
-	type keyPair struct{ l, r int }
+// equiJoinKeys collects the unconsumed equality conjuncts that link cur
+// and right ("cur.col = right.col" in either orientation, each side
+// resolving unambiguously) as hash-join key pairs, marking them used.
+func equiJoinKeys(cur, right *relation, conjuncts []parse.Expr, used []bool) []keyPair {
 	var keys []keyPair
 	for i, c := range conjuncts {
 		if used[i] {
@@ -707,6 +905,15 @@ func (rt *Runtime) join(cur, right *relation, conjuncts []parse.Expr, used []boo
 			used[i] = true
 		}
 	}
+	return keys
+}
+
+// joinKeys combines cur and right. With equi-join keys it performs a
+// hash join; otherwise it falls back to the Cartesian product
+// (subsequent applyLocal passes filter it).
+func (rt *Runtime) joinKeys(cur, right *relation, keys []keyPair) (*relation, error) {
+	sp, parent := rt.pushOp("join")
+	defer rt.popOp(sp, parent)
 
 	outSchema := cur.schema.Append(right.schema)
 	var out []schema.Row
@@ -719,54 +926,83 @@ func (rt *Runtime) join(cur, right *relation, conjuncts []parse.Expr, used []boo
 		if sp != nil {
 			sp.SetStr("strategy", "hash")
 			sp.SetInt("keys", int64(len(keys)))
+			// Estimated output under the key-foreign-key assumption:
+			// every probe row matches about once.
+			est := int64(len(cur.rows))
+			if r := int64(len(right.rows)); r < est {
+				est = r
+			}
+			sp.SetInt("est_rows", est)
 		}
 		rt.tracef("hash join on %d key(s): %d x %d row(s)", len(keys), len(cur.rows), len(right.rows))
-		// Hash join: build on the right side. One reused key buffer serves
-		// both phases; probe lookups never materialize a string.
-		build := make(map[string][]schema.Row, len(right.rows))
-		var kb []byte
-	buildLoop:
-		for _, r := range right.rows {
-			kb = kb[:0]
-			for _, k := range keys {
-				if r[k.r].IsNull() {
-					continue buildLoop // NULL never joins
-				}
-				kb = schema.AppendValueKey(kb, r[k.r])
+		if !rt.rowMode {
+			rows, buildSide, err := rt.hashJoinBatched(cur, right, keys)
+			if err != nil {
+				return nil, err
 			}
-			build[string(kb)] = append(build[string(kb)], r)
-		}
-	probeLoop:
-		for _, l := range cur.rows {
-			kb = kb[:0]
-			for _, k := range keys {
-				if l[k.l].IsNull() {
-					continue probeLoop
-				}
-				kb = schema.AppendValueKey(kb, l[k.l])
+			out = rows
+			if sp != nil {
+				sp.SetStr("build", buildSide)
 			}
-			for _, r := range build[string(kb)] {
-				if err := rt.charge(1); err != nil {
-					return nil, err
+		} else {
+			// Hash join: build on the right side. One reused key buffer serves
+			// both phases; probe lookups never materialize a string.
+			build := make(map[string][]schema.Row, len(right.rows))
+			var kb []byte
+		buildLoop:
+			for _, r := range right.rows {
+				kb = kb[:0]
+				for _, k := range keys {
+					if r[k.r].IsNull() {
+						continue buildLoop // NULL never joins
+					}
+					kb = schema.AppendValueKey(kb, r[k.r])
 				}
-				row := make(schema.Row, 0, len(l)+len(r))
-				row = append(row, l...)
-				row = append(row, r...)
-				out = append(out, row)
+				build[string(kb)] = append(build[string(kb)], r)
+			}
+		probeLoop:
+			for _, l := range cur.rows {
+				kb = kb[:0]
+				for _, k := range keys {
+					if l[k.l].IsNull() {
+						continue probeLoop
+					}
+					kb = schema.AppendValueKey(kb, l[k.l])
+				}
+				for _, r := range build[string(kb)] {
+					if err := rt.charge(1); err != nil {
+						return nil, err
+					}
+					row := make(schema.Row, 0, len(l)+len(r))
+					row = append(row, l...)
+					row = append(row, r...)
+					out = append(out, row)
+				}
 			}
 		}
 	} else {
 		sp.SetStr("strategy", "cartesian")
+		if sp != nil {
+			sp.SetInt("est_rows", int64(len(cur.rows))*int64(len(right.rows)))
+		}
 		rt.tracef("cartesian product: %d x %d row(s)", len(cur.rows), len(right.rows))
-		for _, l := range cur.rows {
-			for _, r := range right.rows {
-				if err := rt.charge(1); err != nil {
-					return nil, err
+		if !rt.rowMode {
+			rows, err := rt.cartesianBatched(cur, right)
+			if err != nil {
+				return nil, err
+			}
+			out = rows
+		} else {
+			for _, l := range cur.rows {
+				for _, r := range right.rows {
+					if err := rt.charge(1); err != nil {
+						return nil, err
+					}
+					row := make(schema.Row, 0, len(l)+len(r))
+					row = append(row, l...)
+					row = append(row, r...)
+					out = append(out, row)
 				}
-				row := make(schema.Row, 0, len(l)+len(r))
-				row = append(row, l...)
-				row = append(row, r...)
-				out = append(out, row)
 			}
 		}
 	}

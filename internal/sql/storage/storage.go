@@ -25,6 +25,14 @@ type Table struct {
 	rows    []schema.Row
 	indexes []*Index
 	jn      Journal // nil on in-memory databases
+
+	// stats is the last statistics snapshot (nil until first computed);
+	// statsRows is the row count it was computed at, which drives the
+	// staleness test. statsEpoch points at the owning catalog's shared
+	// statistics generation counter (nil for detached tables).
+	stats      *TableStats
+	statsRows  int
+	statsEpoch *atomic.Uint64
 }
 
 // NewTable creates an empty table.
@@ -215,6 +223,10 @@ type Catalog struct {
 	// catalog objects) key on it: a mismatch means the dictionary changed
 	// underneath and the cached artifact must be rebuilt.
 	version atomic.Uint64
+
+	// statsEpoch counts table-statistics refreshes across the catalog;
+	// cost-based plan decisions cache against it (see StatsEpoch).
+	statsEpoch atomic.Uint64
 }
 
 // Version returns the catalog's DDL generation counter. Every mutation
@@ -268,6 +280,7 @@ func (c *Catalog) CreateTable(name string, s *schema.Schema) (*Table, error) {
 	}
 	t := NewTable(name, s)
 	t.jn = c.jn
+	t.statsEpoch = c.statsEpochRef()
 	c.tabs[k] = t
 	c.version.Add(1)
 	return t, nil

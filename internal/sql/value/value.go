@@ -323,7 +323,8 @@ func (v Value) AppendKey(dst []byte) []byte {
 		}
 		return append(dst, 'b', 'f')
 	case TypeInt:
-		// Integer-valued floats must collide with equal ints.
+		// Integer-valued floats must collide with equal ints, so ints
+		// key through the same float64 canonicalization.
 		return appendFloatKey(dst, float64(v.i))
 	case TypeFloat:
 		return appendFloatKey(dst, v.f)
@@ -336,16 +337,25 @@ func (v Value) AppendKey(dst []byte) []byte {
 	}
 }
 
-// appendFloatKey writes the canonical key bytes of a float: -0.0
-// collapses onto +0.0 (they compare equal, so they must share a key)
-// and every NaN payload shares the single "NaN" spelling, matching the
-// NaN-total order of cmpFloat64. This keeps the invariant
-// Compare(a,b)==0 ⇒ Key(a)==Key(b) over all numeric values.
+// appendFloatKey writes the canonical 9-byte key of a numeric value: a
+// tag plus the big-endian IEEE-754 bits of its float64 form, with -0.0
+// collapsed onto +0.0 (they compare equal, so they must share a key)
+// and every NaN payload collapsed onto one bit pattern, matching the
+// NaN-total order of cmpFloat64. Fixed-width binary replaced the former
+// strconv shortest-decimal formatting, which dominated group/join key
+// building in profiles; the collision semantics are unchanged (distinct
+// floats have distinct bit patterns).
 func appendFloatKey(dst []byte, f float64) []byte {
 	if f == 0 {
 		f = 0 // true for -0.0 as well; rewrite to +0.0
 	}
-	return strconv.AppendFloat(append(dst, 'f'), f, 'g', -1, 64)
+	bits := math.Float64bits(f)
+	if math.IsNaN(f) {
+		bits = math.Float64bits(math.NaN())
+	}
+	return append(dst, 'f',
+		byte(bits>>56), byte(bits>>48), byte(bits>>40), byte(bits>>32),
+		byte(bits>>24), byte(bits>>16), byte(bits>>8), byte(bits))
 }
 
 // Arith applies a binary arithmetic operator (+ - * /) with SQL numeric
