@@ -1,0 +1,144 @@
+// Command minerule-serve exposes a minerule system over the network:
+// remote clients connect with the native database/sql driver
+// (minerule/driver) and run SQL and MINE RULE statements against one
+// shared engine, each session under its own resource limits.
+//
+//	minerule-serve -listen :7733 -db ./data -token secret \
+//	    -max-rows 1000000 -max-runtime 2m
+//
+// A second, plain-HTTP listener (-metrics) serves /metrics in
+// Prometheus text format and /healthz for liveness probes. SIGINT or
+// SIGTERM starts a graceful drain: no new connections, in-flight
+// statements finish, stragglers are canceled at the drain deadline.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"minerule"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7733", "address to serve the wire protocol on")
+		metrics = flag.String("metrics", "", "optional address for the /metrics and /healthz HTTP endpoints")
+		dbDir   = flag.String("db", "", "durable database directory (WAL-backed; created if missing)")
+		csvSpec = flag.String("csv", "", "preload CSV: table=path")
+		hdr     = flag.String("hdr", "", "CSV header spec: name:type,…")
+		script  = flag.String("f", "", "SQL script to run before serving")
+
+		maxConns = flag.Int("max-conns", 0, "connection cap (0 = server default)")
+		token    = flag.String("token", "", "startup credential; empty serves open")
+		drain    = flag.Duration("drain-timeout", 5*time.Second, "graceful-shutdown bound before in-flight statements are canceled")
+
+		maxRows       = flag.Int("max-rows", 0, "default/cap per-session row limit (0 = unbounded)")
+		maxCandidates = flag.Int("max-candidates", 0, "default/cap per-session mining candidate limit")
+		maxPageIO     = flag.Int("max-page-io", 0, "default/cap per-session page I/O limit")
+		maxRuntime    = flag.Duration("max-runtime", 0, "default/cap per-session statement runtime")
+	)
+	flag.Parse()
+
+	var (
+		sys *minerule.System
+		err error
+	)
+	if *dbDir != "" {
+		sys, err = minerule.Open(minerule.WithStorage(*dbDir))
+	} else {
+		sys, err = minerule.Open()
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	if *csvSpec != "" {
+		table, n, err := preloadCSV(sys, *csvSpec, *hdr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded %d rows into %s\n", n, table)
+	}
+	if *script != "" {
+		data, err := os.ReadFile(*script)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.ExecScript(string(data)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *metrics != "" {
+		go serveMetrics(sys, *metrics)
+	}
+
+	cfg := minerule.ServerConfig{
+		MaxConns:     *maxConns,
+		AuthToken:    *token,
+		DrainTimeout: *drain,
+		DefaultLimits: minerule.Limits{
+			MaxRows:       *maxRows,
+			MaxCandidates: *maxCandidates,
+			MaxPageIO:     *maxPageIO,
+			MaxRuntime:    *maxRuntime,
+		},
+		Logf: log.Printf,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("minerule server on %s\n", *listen)
+	if err := sys.Serve(ctx, *listen, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("minerule-serve: drained, goodbye")
+}
+
+// serveMetrics runs the observability sidecar listener.
+func serveMetrics(sys *minerule.System, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		sys.WriteMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Printf("minerule-serve: metrics listener: %v", err)
+	}
+}
+
+// preloadCSV loads one "table=path" CSV spec with its "name:type,…"
+// header into the system, returning the table name and row count.
+func preloadCSV(sys *minerule.System, csvSpec, hdr string) (string, int, error) {
+	parts := strings.SplitN(csvSpec, "=", 2)
+	if len(parts) != 2 || hdr == "" {
+		return "", 0, fmt.Errorf("minerule-serve: -csv needs table=path and -hdr")
+	}
+	f, err := os.Open(parts[1])
+	if err != nil {
+		return "", 0, err
+	}
+	defer f.Close()
+	n, err := sys.ImportCSV(parts[0], strings.Split(hdr, ","), f)
+	if err != nil {
+		return "", 0, err
+	}
+	return parts[0], n, nil
+}

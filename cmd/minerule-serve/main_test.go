@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"database/sql"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"minerule"
+	_ "minerule/driver"
+)
+
+func TestPreloadCSVServe(t *testing.T) {
+	sys, err := minerule.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := "1,cust1,ski_pants\n1,cust1,hiking_boots\n2,cust2,col_shirts\n"
+	path := filepath.Join(t.TempDir(), "purchase.csv")
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	table, n, err := preloadCSV(sys, "Purchase="+path, "tr:int,cust:string,item:string")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table != "Purchase" || n != 3 {
+		t.Fatalf("preloadCSV = %s/%d, want Purchase/3", table, n)
+	}
+	if _, _, err := preloadCSV(sys, "nopath", "a:int"); err == nil {
+		t.Error("spec without '=' accepted")
+	}
+	if _, _, err := preloadCSV(sys, "T=file.csv", ""); err == nil {
+		t.Error("empty header accepted")
+	}
+}
+
+// TestMetricsSidecar checks the /metrics and /healthz handlers the
+// binary mounts, including the live session gauge fed by an actual
+// wire connection.
+func TestMetricsSidecar(t *testing.T) {
+	sys, err := minerule.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Serve the wire protocol on a loopback port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sys.ServeListener(ctx, ln, minerule.ServerConfig{DrainTimeout: time.Second})
+	}()
+	defer func() { cancel(); <-done }()
+
+	db, err := sql.Open("minerule", "tcp://"+ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mount the same handlers main wires up.
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		sys.WriteMetrics(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"minerule_server_connections_opened_total 1",
+		"minerule_server_sessions_active 1",
+		"# TYPE minerule_server_sessions_active gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(body)) != "ok" {
+		t.Errorf("healthz = %q", body)
+	}
+}

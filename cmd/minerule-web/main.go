@@ -41,7 +41,11 @@ func main() {
 		}
 		defer sys.Close()
 	} else {
-		sys, _ = minerule.Open()
+		var err error
+		sys, err = minerule.Open()
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if *csvSpec != "" {
 		table, n, err := preloadCSV(sys, *csvSpec, *hdr)
@@ -103,7 +107,12 @@ func runServer(ctx context.Context, stop context.CancelFunc, srv *http.Server, l
 	fmt.Printf("minerule user support on http://%s\n", listen)
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		// ListenAndServe failed outright (bad address, port in use).
+		// ErrServerClosed only happens after Shutdown, i.e. not here —
+		// but treat it as clean anyway rather than die on a benign race.
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
 	case <-ctx.Done():
 		stop()
 		fmt.Println("minerule-web: shutting down")
@@ -111,6 +120,12 @@ func runServer(ctx context.Context, stop context.CancelFunc, srv *http.Server, l
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 			log.Printf("minerule-web: shutdown: %v", err)
+		}
+		// Shutdown has made ListenAndServe return; drain its error so
+		// the serve goroutine's send never leaks and a real failure
+		// (anything but the clean ErrServerClosed) still surfaces.
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("minerule-web: serve: %v", err)
 		}
 	}
 }

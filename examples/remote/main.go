@@ -1,0 +1,77 @@
+// Remote is the network variant of the quickstart: the same Purchase
+// data and MINE RULE statement, but run through a stock database/sql
+// program against a minerule-serve instance — the tightly-coupled
+// architecture reached over the wire.
+//
+// Start a server first, then run this:
+//
+//	minerule-serve -listen 127.0.0.1:7733
+//	go run ./examples/remote
+//
+// The address can be overridden with -addr.
+package main
+
+import (
+	"database/sql"
+	"flag"
+	"fmt"
+	"log"
+
+	_ "minerule/driver"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7733", "minerule-serve address")
+	flag.Parse()
+
+	db, err := sql.Open("minerule", "tcp://"+*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, err := db.Exec(`
+		CREATE TABLE Purchase (tr INTEGER, cust VARCHAR, item VARCHAR, dt DATE, price FLOAT, qty INTEGER);
+		INSERT INTO Purchase VALUES
+			(1, 'cust1', 'ski_pants',    DATE '1995-12-17', 140, 1),
+			(1, 'cust1', 'hiking_boots', DATE '1995-12-17', 180, 1),
+			(2, 'cust2', 'col_shirts',   DATE '1995-12-18',  25, 2),
+			(2, 'cust2', 'brown_boots',  DATE '1995-12-18', 150, 1),
+			(2, 'cust2', 'jackets',      DATE '1995-12-18', 300, 1),
+			(3, 'cust1', 'jackets',      DATE '1995-12-18', 300, 1),
+			(4, 'cust2', 'col_shirts',   DATE '1995-12-19',  25, 3),
+			(4, 'cust2', 'jackets',      DATE '1995-12-19', 300, 2);
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Parameterized SQL through prepared statements.
+	var expensive int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM Purchase WHERE price >= ?", int64(100)).Scan(&expensive); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d purchases of 100 or more\n", expensive)
+
+	// MINE RULE over the wire: the rules stream back as ordinary rows.
+	rows, err := db.Query(`
+		MINE RULE SimpleAssociations AS
+		SELECT DISTINCT 1..n item AS BODY, 1..1 item AS HEAD, SUPPORT, CONFIDENCE
+		FROM Purchase
+		GROUP BY tr
+		EXTRACTING RULES WITH SUPPORT: 0.25, CONFIDENCE: 0.5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var body, head string
+		var support, confidence float64
+		if err := rows.Scan(&body, &head, &support, &confidence); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s => %s (s=%.2g, c=%.2g)\n", body, head, support, confidence)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -203,11 +203,17 @@ func MineStatementContext(ctx context.Context, db *engine.Database, st *ast.Stat
 		ctx, cancel = context.WithTimeout(ctx, opts.Limits.MaxRuntime)
 		defer cancel()
 	}
-	// Bound the kernel's own SQL with the run's limits, restoring the
-	// database's configured bounds afterwards.
-	prev := db.Limits()
-	db.SetLimits(opts.Limits)
-	defer db.SetLimits(prev)
+	// Bound the kernel's own SQL with the run's limits: every statement
+	// the pipeline executes sees them through the context, so concurrent
+	// runs on one engine each keep their own budgets (no engine-wide
+	// state is touched). Zero opts.Limits defers to limits already on
+	// the context (a network session's, the UI's per-request bounds);
+	// absent those too, the run is unbounded as documented.
+	if opts.Limits != (resource.Limits{}) {
+		ctx = resource.WithLimits(ctx, opts.Limits)
+	} else if _, ok := resource.LimitsFrom(ctx); !ok {
+		ctx = resource.WithLimits(ctx, resource.Limits{})
+	}
 	defer func() {
 		if p := recover(); p != nil {
 			res, err = nil, resource.NewInternalError("core", p, debug.Stack())

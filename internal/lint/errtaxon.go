@@ -39,6 +39,18 @@ var storagePackages = []string{
 	"internal/sql/engine",
 }
 
+// chainPackages are additionally under the error-chain rule (%w, never
+// %v/%s on an error argument) without the vfs-seam rule: the network
+// server and the database/sql driver relay the typed taxonomy across
+// the wire, so an error flattened in either breaks remote
+// classification exactly like a flattened storage error breaks local
+// errors.Is.
+var chainPackages = []string{
+	"internal/server",
+	"internal/server/wire",
+	"driver",
+}
+
 // osFileOps are the package-level os functions that touch the
 // filesystem and therefore must be reached through vfs.FS.
 var osFileOps = map[string]bool{
@@ -49,8 +61,12 @@ var osFileOps = map[string]bool{
 	"Link": true, "Symlink": true, "Chtimes": true,
 }
 
-func isStoragePkg(path string) bool {
-	for _, s := range storagePackages {
+func isStoragePkg(path string) bool { return matchesPkg(path, storagePackages) }
+
+func isChainPkg(path string) bool { return matchesPkg(path, chainPackages) }
+
+func matchesPkg(path string, suffixes []string) bool {
+	for _, s := range suffixes {
 		if path == s || strings.HasSuffix(path, "/"+s) {
 			return true
 		}
@@ -78,7 +94,16 @@ func runErrTaxon(p *Pass) {
 			if isTestFile(p.Fset, f) {
 				continue
 			}
-			checkStorageFile(p, f)
+			checkVFSSeam(p, f)
+			checkErrChain(p, f)
+		}
+	}
+	if isChainPkg(p.Pkg.Path()) {
+		for _, f := range p.Files {
+			if isTestFile(p.Fset, f) {
+				continue
+			}
+			checkErrChain(p, f)
 		}
 	}
 }
@@ -109,37 +134,50 @@ func checkErrTaxonFunc(p *Pass, fd *ast.FuncDecl) {
 	})
 }
 
-// checkStorageFile applies the storage-subsystem rules to one file:
-// every filesystem touch goes through vfs, every wrapped error keeps
-// its chain.
-func checkStorageFile(p *Pass, file *ast.File) {
+// checkVFSSeam flags direct os.* filesystem calls: all storage I/O
+// goes through the vfs.FS seam so fault injection and crash simulation
+// cover it.
+func checkVFSSeam(p *Pass, file *ast.File) {
 	ast.Inspect(file, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
 			return true
 		}
 		f := funcObj(p.Info, call)
-		if f == nil || f.Pkg() == nil {
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "os" {
 			return true
 		}
-		switch f.Pkg().Path() {
-		case "os":
-			if osFileOps[f.Name()] {
-				p.Reportf(call.Pos(), "direct os.%s bypasses the vfs seam: storage I/O must go through vfs.FS so fault injection and crash simulation cover it", f.Name())
-			}
-		case "fmt":
-			if f.Name() != "Errorf" || len(call.Args) < 2 {
-				return true
-			}
-			format, ok := constFormat(p, call.Args[0])
-			if !ok || strings.Contains(format, "%w") {
-				return true
-			}
-			for _, arg := range call.Args[1:] {
-				if isErrorExpr(p.Info, arg) {
-					p.Reportf(call.Pos(), "error flattened out of the chain: use %%w so errors.Is can still classify the I/O failure")
-					break
-				}
+		if osFileOps[f.Name()] {
+			p.Reportf(call.Pos(), "direct os.%s bypasses the vfs seam: storage I/O must go through vfs.FS so fault injection and crash simulation cover it", f.Name())
+		}
+		return true
+	})
+}
+
+// checkErrChain flags fmt.Errorf calls that flatten an error argument
+// with %v/%s instead of wrapping it with %w, which would sever the
+// chain errors.Is classification depends on.
+func checkErrChain(p *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := funcObj(p.Info, call)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "fmt" {
+			return true
+		}
+		if f.Name() != "Errorf" || len(call.Args) < 2 {
+			return true
+		}
+		format, ok := constFormat(p, call.Args[0])
+		if !ok || strings.Contains(format, "%w") {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if isErrorExpr(p.Info, arg) {
+				p.Reportf(call.Pos(), "error flattened out of the chain: use %%w so errors.Is can still classify the failure")
+				break
 			}
 		}
 		return true

@@ -221,6 +221,12 @@ func TestErrTaxonStorageFixture(t *testing.T) {
 	runFixtureTest(t, "internal/sql/wal", ErrTaxon, nil)
 }
 
+// The network packages (internal/server, driver) carry the error-chain
+// rule but not the vfs-seam rule; the fixture checks both sides.
+func TestErrTaxonChainFixture(t *testing.T) {
+	runFixtureTest(t, "internal/server", ErrTaxon, nil)
+}
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
 	if err != nil || len(all) != 4 {

@@ -1,0 +1,40 @@
+// Fixture for the errtaxon error-chain rule on the network packages:
+// the server and driver relay the typed taxonomy over the wire, so an
+// error flattened with %v/%s breaks remote classification. The vfs-seam
+// rule does NOT apply here — the server speaks sockets, not storage.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func sendError(err error) error {
+	return fmt.Errorf("server: request failed: %v", err) // want `error flattened out of the chain`
+}
+
+func sendErrorString(err error) error {
+	return fmt.Errorf("server: request failed: %s", err) // want `error flattened out of the chain`
+}
+
+func sendWrapped(err error) error {
+	return fmt.Errorf("server: request failed: %w", err) // ok: chain intact
+}
+
+func plainMessage(code string) error {
+	return fmt.Errorf("server: refused with code %s", code) // ok: no error argument
+}
+
+func sentinel() error {
+	return errors.New("server: protocol violation") // ok: fresh error, nothing to chain
+}
+
+func notStorage(path string) error {
+	// os.* is fine here: the vfs-seam rule is storage-only.
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("server: pidfile: %w", err)
+	}
+	return f.Close()
+}

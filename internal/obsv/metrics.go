@@ -82,6 +82,19 @@ type Metrics struct {
 	IORetries          Counter // transient I/O faults retried
 	EnospcVetoes       Counter // mutations vetoed cleanly by ENOSPC
 	CheckpointFailures Counter // checkpoints that failed and were discarded
+
+	// Network service (internal/server): connection and session flow.
+	// Active sessions = opened - closed; both only ever increase, so the
+	// difference is exported as a gauge without a decrementing counter.
+	SrvConnsOpened   Counter // connections accepted and admitted
+	SrvConnsClosed   Counter // admitted connections that have ended
+	SrvConnsRejected Counter // connections refused by admission control
+	SrvAuthFailures  Counter // startups refused for a bad credential
+	SrvRequests      Counter // wire requests processed (any message kind)
+	SrvRequestErrors Counter // requests answered with a wire Error frame
+	SrvCanceled      Counter // statements aborted by client disconnect or cancel
+	SrvBytesRead     Counter // wire bytes read from clients
+	SrvBytesWritten  Counter // wire bytes written to clients
 }
 
 // metricDesc maps registry fields to their exposition names, in a fixed
@@ -90,6 +103,12 @@ type metricDesc struct {
 	name string
 	help string
 	get  func(*Metrics) int64
+}
+
+// gaugeMetrics names the descriptors exposed with TYPE gauge instead of
+// counter (point-in-time values that can go down).
+var gaugeMetrics = map[string]bool{
+	"minerule_server_sessions_active": true,
 }
 
 var metricDescs = []metricDesc{
@@ -132,14 +151,28 @@ var metricDescs = []metricDesc{
 	{"minerule_storage_io_retries_total", "transient storage I/O faults retried", func(m *Metrics) int64 { return m.IORetries.Load() }},
 	{"minerule_storage_enospc_vetoes_total", "mutations vetoed cleanly on ENOSPC", func(m *Metrics) int64 { return m.EnospcVetoes.Load() }},
 	{"minerule_storage_checkpoint_failures_total", "checkpoints that failed and were discarded", func(m *Metrics) int64 { return m.CheckpointFailures.Load() }},
+	{"minerule_server_connections_opened_total", "wire connections accepted and admitted", func(m *Metrics) int64 { return m.SrvConnsOpened.Load() }},
+	{"minerule_server_connections_closed_total", "admitted wire connections ended", func(m *Metrics) int64 { return m.SrvConnsClosed.Load() }},
+	{"minerule_server_connections_rejected_total", "connections refused by admission control", func(m *Metrics) int64 { return m.SrvConnsRejected.Load() }},
+	{"minerule_server_auth_failures_total", "startups refused for a bad credential", func(m *Metrics) int64 { return m.SrvAuthFailures.Load() }},
+	{"minerule_server_sessions_active", "wire sessions currently open", func(m *Metrics) int64 { return m.SrvConnsOpened.Load() - m.SrvConnsClosed.Load() }},
+	{"minerule_server_requests_total", "wire requests processed", func(m *Metrics) int64 { return m.SrvRequests.Load() }},
+	{"minerule_server_request_errors_total", "wire requests answered with an error frame", func(m *Metrics) int64 { return m.SrvRequestErrors.Load() }},
+	{"minerule_server_canceled_total", "statements aborted by client disconnect or cancellation", func(m *Metrics) int64 { return m.SrvCanceled.Load() }},
+	{"minerule_server_bytes_read_total", "wire bytes read from clients", func(m *Metrics) int64 { return m.SrvBytesRead.Load() }},
+	{"minerule_server_bytes_written_total", "wire bytes written to clients", func(m *Metrics) int64 { return m.SrvBytesWritten.Load() }},
 }
 
 // WritePrometheus renders every counter in Prometheus text exposition
 // format (all counters, fixed order).
 func (m *Metrics) WritePrometheus(w io.Writer) error {
 	for _, d := range metricDescs {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
-			d.name, d.help, d.name, d.name, d.get(m)); err != nil {
+		typ := "counter"
+		if gaugeMetrics[d.name] {
+			typ = "gauge"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %d\n",
+			d.name, d.help, d.name, typ, d.name, d.get(m)); err != nil {
 			return err
 		}
 	}

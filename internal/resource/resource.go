@@ -182,3 +182,28 @@ func (e *InternalError) Unwrap() error {
 	}
 	return nil
 }
+
+// ---------------------------------------------------------------------------
+// Per-call limits carried on the context.
+
+// limitsKey is the context key WithLimits stores under.
+type limitsKey struct{}
+
+// WithLimits returns a context carrying l as the resource bounds for
+// every statement executed under it. The engine resolves limits at
+// statement start: a context-carried value overrides the engine-wide
+// default, so concurrent sessions can run under different budgets
+// against one shared engine without mutating any global state.
+func WithLimits(ctx context.Context, l Limits) context.Context {
+	return context.WithValue(ctx, limitsKey{}, l)
+}
+
+// LimitsFrom extracts the limits carried by WithLimits, reporting
+// whether the context carries any.
+func LimitsFrom(ctx context.Context) (Limits, bool) {
+	if ctx == nil {
+		return Limits{}, false
+	}
+	l, ok := ctx.Value(limitsKey{}).(Limits)
+	return l, ok
+}

@@ -1,0 +1,639 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"minerule/internal/core"
+	mrparse "minerule/internal/minerule/parse"
+	"minerule/internal/obsv"
+	"minerule/internal/resource"
+	"minerule/internal/server/wire"
+	"minerule/internal/sql/schema"
+	"minerule/internal/sql/value"
+)
+
+// session is one admitted connection: its credentials were checked at
+// startup, it carries its own resource limits and prepared-statement
+// table, and a dedicated reader goroutine turns a client disconnect
+// into cancellation of whatever statement the session is running.
+//
+// The state machine is deliberately small: after a successful startup
+// the session alternates between *ready* (blocked reading the next
+// request frame) and *busy* (executing it, response frames streaming
+// out). Nothing is pipelined, so an Error frame always answers the
+// request that caused it.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	id   uint64
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	limits      resource.Limits
+	mineReplace bool
+
+	frames  chan frame // reader goroutine -> run loop; closed on read failure
+	readErr error      // sticky first read error, written before frames closes
+
+	mu        sync.Mutex
+	curCancel context.CancelFunc // cancels the in-flight statement, nil when ready
+	busy      bool
+	draining  bool
+
+	stmts    map[uint32]*prepStmt
+	nextStmt uint32
+}
+
+// frame is one request read off the wire.
+type frame struct {
+	typ     byte
+	payload []byte
+}
+
+// prepStmt is one prepared-statement handle: the text plus the offsets
+// of its ? placeholders. Execution substitutes arguments and runs the
+// final text through the engine, whose prepared-program cache keys on
+// exactly that text — the handle is a name for a stmtcache entry.
+type prepStmt struct {
+	sql          string
+	placeholders []int
+}
+
+// countReader / countWriter feed the wire byte counters.
+type countReader struct {
+	r io.Reader
+	n *obsv.Counter
+}
+
+func (c countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n *obsv.Counter
+}
+
+func (c countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func newSession(srv *Server, conn net.Conn, id uint64) *session {
+	return &session{
+		srv:    srv,
+		conn:   conn,
+		id:     id,
+		br:     bufio.NewReader(countReader{conn, &srv.met.SrvBytesRead}),
+		bw:     bufio.NewWriter(countWriter{conn, &srv.met.SrvBytesWritten}),
+		frames: make(chan frame),
+		stmts:  make(map[uint32]*prepStmt),
+	}
+}
+
+// refuseConn answers an unadmitted connection with one typed error
+// frame and closes it; a short write deadline keeps a stuck client from
+// pinning the accept loop's goroutine.
+func refuseConn(conn net.Conn, code, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	var b wire.Builder
+	b.PutString(code)
+	b.PutString(msg)
+	wire.WriteFrame(conn, wire.MsgError, b.B)
+	conn.Close()
+}
+
+func wireAdmissionCode(draining bool) string {
+	if draining {
+		return wire.CodeShutdown
+	}
+	return wire.CodeAdmission
+}
+
+// run drives the session to completion. ctx is the server's session
+// context: it stays open through graceful drain and is canceled only at
+// the drain deadline.
+func (sess *session) run(ctx context.Context) {
+	defer sess.conn.Close()
+	if !sess.startup() {
+		return
+	}
+	go sess.readLoop()
+	for {
+		f, ok := <-sess.frames
+		if !ok {
+			return // client went away (or read failed); readLoop canceled any statement
+		}
+		if f.typ == wire.MsgTerminate {
+			return
+		}
+		sess.srv.met.SrvRequests.Inc()
+		sess.setBusy(true)
+		err := sess.handle(ctx, f)
+		sess.setBusy(false)
+		if err != nil {
+			sess.srv.logf("server: session %d: %v", sess.id, err)
+			return
+		}
+		if sess.isDraining() {
+			// Finish the in-flight request, then leave: the client's next
+			// use of the connection fails cleanly and it can reconnect.
+			return
+		}
+	}
+}
+
+// startup performs the handshake: one Startup frame within the startup
+// timeout, version and credential checks, session-limit negotiation.
+// It reports whether the session may proceed.
+func (sess *session) startup() bool {
+	srv := sess.srv
+	sess.conn.SetReadDeadline(time.Now().Add(srv.cfg.StartupTimeout))
+	typ, payload, err := wire.ReadFrame(sess.br)
+	if err != nil {
+		return false
+	}
+	sess.conn.SetReadDeadline(time.Time{})
+	if typ != wire.MsgStartup {
+		sess.sendError(wire.CodeProtocol, "server: expected Startup frame")
+		return false
+	}
+	p := wire.Parser{B: payload}
+	ver := p.U32()
+	n := int(p.U16())
+	opts := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := p.String()
+		v := p.String()
+		opts[k] = v
+	}
+	if p.Err() != nil {
+		sess.sendError(wire.CodeProtocol, "server: malformed Startup frame")
+		return false
+	}
+	if ver != wire.ProtocolVersion {
+		sess.sendError(wire.CodeProtocol, fmt.Sprintf("server: protocol version %d not supported (want %d)", ver, wire.ProtocolVersion))
+		return false
+	}
+	if !srv.checkToken(opts["token"]) {
+		srv.met.SrvAuthFailures.Inc()
+		sess.sendError(wire.CodeAuth, "server: authentication failed")
+		return false
+	}
+	atoi := func(key string) int {
+		v, _ := strconv.Atoi(opts[key])
+		return v
+	}
+	req := resource.Limits{
+		MaxRows:       atoi("max_rows"),
+		MaxCandidates: atoi("max_candidates"),
+		MaxPageIO:     atoi("max_page_io"),
+		MaxRuntime:    time.Duration(atoi("max_runtime_ms")) * time.Millisecond,
+	}
+	sess.limits = capLimits(srv.cfg.DefaultLimits, req)
+	sess.mineReplace = opts["mine_replace"] != "0"
+
+	var b wire.Builder
+	b.PutU64(sess.id)
+	return sess.send(wire.MsgAuthOK, b.B) == nil
+}
+
+// readLoop pulls frames off the wire for the run loop. While a
+// statement executes, the loop sits in the next blocking read — which
+// is exactly how a mid-query client disconnect surfaces: the read
+// fails, the in-flight statement's context is canceled, and the
+// engine's cancellation path unwinds the work.
+func (sess *session) readLoop() {
+	for {
+		typ, payload, err := wire.ReadFrame(sess.br)
+		if err != nil {
+			sess.readErr = err
+			if sess.cancelCurrent() {
+				sess.srv.met.SrvCanceled.Inc()
+			}
+			close(sess.frames)
+			return
+		}
+		sess.frames <- frame{typ, payload}
+		if typ == wire.MsgTerminate {
+			return // run loop closes the connection
+		}
+	}
+}
+
+func (sess *session) setBusy(b bool) {
+	sess.mu.Lock()
+	sess.busy = b
+	sess.mu.Unlock()
+}
+
+func (sess *session) isDraining() bool {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	return sess.draining
+}
+
+// beginDrain marks the session draining and, when it is idle, closes
+// the connection to unblock its reader. A busy session finishes its
+// current request first (run checks the flag afterwards).
+func (sess *session) beginDrain() {
+	sess.mu.Lock()
+	sess.draining = true
+	busy := sess.busy
+	sess.mu.Unlock()
+	if !busy {
+		sess.conn.Close()
+	}
+}
+
+func (sess *session) setCancel(c context.CancelFunc) {
+	sess.mu.Lock()
+	sess.curCancel = c
+	sess.mu.Unlock()
+}
+
+// cancelCurrent cancels the in-flight statement, reporting whether one
+// was running.
+func (sess *session) cancelCurrent() bool {
+	sess.mu.Lock()
+	c := sess.curCancel
+	sess.mu.Unlock()
+	if c != nil {
+		c()
+	}
+	return c != nil
+}
+
+// handle dispatches one request frame. A nil return keeps the session
+// alive (including after statement errors, which are answered with an
+// Error frame); a non-nil return tears it down (write failures,
+// protocol violations).
+func (sess *session) handle(ctx context.Context, f frame) error {
+	stCtx, cancel := context.WithCancel(ctx)
+	if sess.limits.MaxRuntime > 0 {
+		stCtx, cancel = context.WithTimeout(stCtx, sess.limits.MaxRuntime)
+	}
+	sess.setCancel(cancel)
+	defer func() {
+		sess.setCancel(nil)
+		cancel()
+	}()
+	stCtx = resource.WithLimits(stCtx, sess.limits)
+
+	switch f.typ {
+	case wire.MsgQuery:
+		p := wire.Parser{B: f.payload}
+		text := p.String()
+		if p.Err() != nil {
+			return sess.protocolViolation("malformed Query frame")
+		}
+		return sess.runSQL(stCtx, text)
+
+	case wire.MsgPrepare:
+		p := wire.Parser{B: f.payload}
+		text := p.String()
+		if p.Err() != nil {
+			return sess.protocolViolation("malformed Prepare frame")
+		}
+		return sess.prepare(text)
+
+	case wire.MsgExecute:
+		p := wire.Parser{B: f.payload}
+		id := p.U32()
+		nargs := int(p.U16())
+		args := make([]interface{}, 0, nargs)
+		for i := 0; i < nargs; i++ {
+			args = append(args, p.Value())
+		}
+		if p.Err() != nil {
+			return sess.protocolViolation("malformed Execute frame")
+		}
+		st, ok := sess.stmts[id]
+		if !ok {
+			return sess.sendError(wire.CodeInvalid, fmt.Sprintf("server: unknown prepared statement %d", id))
+		}
+		text, err := substitute(st, args)
+		if err != nil {
+			return sess.sendError(wire.CodeInvalid, err.Error())
+		}
+		return sess.runSQL(stCtx, text)
+
+	case wire.MsgCloseStmt:
+		p := wire.Parser{B: f.payload}
+		id := p.U32()
+		if p.Err() != nil {
+			return sess.protocolViolation("malformed Close frame")
+		}
+		delete(sess.stmts, id)
+		return sess.sendComplete("CLOSE", 0)
+
+	case wire.MsgExplain:
+		p := wire.Parser{B: f.payload}
+		text := p.String()
+		if p.Err() != nil {
+			return sess.protocolViolation("malformed Explain frame")
+		}
+		return sess.explain(stCtx, text)
+
+	default:
+		return sess.protocolViolation(fmt.Sprintf("unexpected frame type %q", f.typ))
+	}
+}
+
+// protocolViolation answers with a PROTOCOL error and tears the session
+// down: after a framing-level confusion the stream cannot be trusted.
+func (sess *session) protocolViolation(msg string) error {
+	sess.sendError(wire.CodeProtocol, "server: "+msg)
+	return errors.New("server: protocol violation: " + msg)
+}
+
+// prepare registers a statement handle. Texts without placeholders are
+// checked eagerly against the engine's prepared-program cache, so a
+// typo fails at Prepare like on any database; placeholder-bearing texts
+// can only be checked once bound.
+func (sess *session) prepare(text string) error {
+	ph, script := scanSQL(text)
+	if len(ph) == 0 && !script {
+		if err := sess.srv.db.Prepare(text); err != nil {
+			return sess.sendStatementError(err)
+		}
+	}
+	sess.nextStmt++
+	id := sess.nextStmt
+	sess.stmts[id] = &prepStmt{sql: text, placeholders: ph}
+	var b wire.Builder
+	b.PutU32(id)
+	b.PutU16(uint16(len(ph)))
+	return sess.send(wire.MsgPrepared, b.B)
+}
+
+// runSQL routes one statement text: MINE RULE to the kernel (rules
+// stream back), EXPLAIN MINE RULE to the translator, multi-statement
+// scripts to the script path, everything else to the engine.
+func (sess *session) runSQL(ctx context.Context, text string) error {
+	trim := strings.TrimSpace(text)
+	if rest, ok := cutExplain(trim); ok && mrparse.IsMineRule(rest) {
+		return sess.explainMine(rest)
+	}
+	if mrparse.IsMineRule(trim) {
+		return sess.runMine(ctx, trim)
+	}
+	if _, script := scanSQL(trim); script {
+		if err := sess.srv.db.ExecScriptContext(ctx, trim); err != nil {
+			return sess.sendStatementError(err)
+		}
+		return sess.sendComplete("SCRIPT", 0)
+	}
+	res, err := sess.srv.db.ExecContext(ctx, trim)
+	if err != nil {
+		return sess.sendStatementError(err)
+	}
+	if res.Schema == nil {
+		return sess.sendComplete("EXEC", res.RowsAffected)
+	}
+	if err := sess.sendRowDesc(res.Schema); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		if err := sess.sendRow(wire.MsgDataRow, row); err != nil {
+			return err
+		}
+	}
+	return sess.sendComplete(fmt.Sprintf("SELECT %d", len(res.Rows)), len(res.Rows))
+}
+
+// runMine evaluates a MINE RULE statement under the session's limits
+// and streams the decoded rules back as RuleRow frames.
+func (sess *session) runMine(ctx context.Context, text string) error {
+	opts := core.Options{ReplaceOutput: sess.mineReplace, Limits: sess.limits}
+	res, err := core.MineContext(ctx, sess.srv.db, text, opts)
+	if err != nil {
+		return sess.sendStatementError(err)
+	}
+	rules, err := core.ReadRules(sess.srv.db, res)
+	if err != nil {
+		return sess.sendStatementError(err)
+	}
+	var b wire.Builder
+	b.PutU16(4)
+	for _, c := range [][2]byte{{'B', wire.TagString}, {'H', wire.TagString}, {'S', wire.TagFloat}, {'C', wire.TagFloat}} {
+		switch c[0] {
+		case 'B':
+			b.PutString("BODY")
+		case 'H':
+			b.PutString("HEAD")
+		case 'S':
+			b.PutString("SUPPORT")
+		case 'C':
+			b.PutString("CONFIDENCE")
+		}
+		b.B = append(b.B, c[1])
+	}
+	if err := sess.send(wire.MsgRowDesc, b.B); err != nil {
+		return err
+	}
+	for _, r := range rules {
+		var rb wire.Builder
+		rb.PutU16(4)
+		rb.PutValue(renderSide(r.Body))
+		rb.PutValue(renderSide(r.Head))
+		rb.PutValue(r.Support)
+		rb.PutValue(r.Confidence)
+		if err := sess.send(wire.MsgRuleRow, rb.B); err != nil {
+			return err
+		}
+	}
+	return sess.sendComplete(fmt.Sprintf("MINE %d", len(rules)), len(rules))
+}
+
+// renderSide renders one rule side like the paper's Figure 2.b rows.
+func renderSide(els [][]string) string {
+	parts := make([]string, len(els))
+	for i, t := range els {
+		parts[i] = strings.Join(t, "/")
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// explain serves the Explain message: translator programs for MINE
+// RULE, the executor decision log for SQL.
+func (sess *session) explain(ctx context.Context, text string) error {
+	trim := strings.TrimSpace(text)
+	if rest, ok := cutExplain(trim); ok {
+		trim = rest
+	}
+	if mrparse.IsMineRule(trim) {
+		return sess.explainMine(trim)
+	}
+	plan, err := sess.srv.db.ExplainSQLContext(ctx, trim)
+	if err != nil {
+		return sess.sendStatementError(err)
+	}
+	return sess.sendPlanRows(strings.Split(strings.TrimRight(plan, "\n"), "\n"))
+}
+
+// explainMine renders the translator's programs for a MINE RULE
+// statement without executing anything.
+func (sess *session) explainMine(text string) error {
+	ex, err := core.Explain(sess.srv.db, text)
+	if err != nil {
+		return sess.sendStatementError(err)
+	}
+	lines := []string{fmt.Sprintf("classification %s simple=%v", ex.Class, ex.Simple)}
+	lines = append(lines, "Q1      "+ex.Q1)
+	for _, st := range ex.Steps {
+		lines = append(lines, fmt.Sprintf("%-7s %s", st.Name, st.SQL))
+	}
+	for _, q := range ex.Decode {
+		lines = append(lines, "decode  "+q)
+	}
+	return sess.sendPlanRows(lines)
+}
+
+// sendPlanRows streams one-column text rows named QUERY PLAN.
+func (sess *session) sendPlanRows(lines []string) error {
+	var b wire.Builder
+	b.PutU16(1)
+	b.PutString("QUERY PLAN")
+	b.B = append(b.B, wire.TagString)
+	if err := sess.send(wire.MsgRowDesc, b.B); err != nil {
+		return err
+	}
+	for _, l := range lines {
+		var rb wire.Builder
+		rb.PutU16(1)
+		rb.PutValue(l)
+		if err := sess.send(wire.MsgDataRow, rb.B); err != nil {
+			return err
+		}
+	}
+	return sess.sendComplete(fmt.Sprintf("EXPLAIN %d", len(lines)), len(lines))
+}
+
+func (sess *session) sendRowDesc(s *schema.Schema) error {
+	var b wire.Builder
+	b.PutU16(uint16(s.Len()))
+	for i := 0; i < s.Len(); i++ {
+		col := s.Col(i)
+		b.PutString(col.Name)
+		b.B = append(b.B, wireTag(col.Type))
+	}
+	return sess.send(wire.MsgRowDesc, b.B)
+}
+
+func (sess *session) sendRow(typ byte, row schema.Row) error {
+	var b wire.Builder
+	b.PutU16(uint16(len(row)))
+	for _, v := range row {
+		b.PutValue(wireValue(v))
+	}
+	return sess.send(typ, b.B)
+}
+
+func (sess *session) sendComplete(tag string, rows int) error {
+	var b wire.Builder
+	b.PutString(tag)
+	b.PutU64(uint64(rows))
+	return sess.send(wire.MsgComplete, b.B)
+}
+
+// sendStatementError maps a statement failure onto its typed wire code
+// and keeps the session alive; only a write failure propagates.
+func (sess *session) sendStatementError(err error) error {
+	sess.srv.met.SrvRequestErrors.Inc()
+	return sess.sendError(errorCode(err), err.Error())
+}
+
+func (sess *session) sendError(code, msg string) error {
+	var b wire.Builder
+	b.PutString(code)
+	b.PutString(msg)
+	return sess.send(wire.MsgError, b.B)
+}
+
+// send writes one frame and flushes: every response frame reaches the
+// client before the session blocks on the next request.
+func (sess *session) send(typ byte, payload []byte) error {
+	if err := wire.WriteFrame(sess.bw, typ, payload); err != nil {
+		return err
+	}
+	return sess.bw.Flush()
+}
+
+// wireTag maps an engine column type to its wire value tag.
+func wireTag(t value.Type) byte {
+	switch t {
+	case value.TypeInt:
+		return wire.TagInt
+	case value.TypeFloat:
+		return wire.TagFloat
+	case value.TypeBool:
+		return wire.TagBool
+	case value.TypeDate:
+		return wire.TagDate
+	default:
+		return wire.TagString
+	}
+}
+
+// wireValue converts an engine value into its wire representation.
+func wireValue(v value.Value) interface{} {
+	switch v.Type() {
+	case value.TypeNull:
+		return nil
+	case value.TypeInt:
+		return v.Int()
+	case value.TypeFloat:
+		return v.Float()
+	case value.TypeBool:
+		return v.Bool()
+	case value.TypeString:
+		return v.Str()
+	case value.TypeDate:
+		return v.Time()
+	default:
+		return v.String()
+	}
+}
+
+// errorCode classifies a statement failure for the wire, mirroring the
+// engine's typed taxonomy.
+func errorCode(err error) string {
+	var ie *resource.InternalError
+	switch {
+	case errors.Is(err, resource.ErrCanceled):
+		return wire.CodeCanceled
+	case errors.Is(err, resource.ErrBudgetExceeded):
+		return wire.CodeBudget
+	case errors.Is(err, resource.ErrDegraded):
+		return wire.CodeDegraded
+	case errors.Is(err, resource.ErrCorruptPage):
+		return wire.CodeCorrupt
+	case errors.Is(err, resource.ErrIO):
+		return wire.CodeIO
+	case errors.As(err, &ie):
+		return wire.CodeInternal
+	default:
+		return wire.CodeInvalid
+	}
+}
+
+// cutExplain strips a leading EXPLAIN keyword.
+func cutExplain(stmt string) (string, bool) {
+	if len(stmt) > 7 && strings.EqualFold(stmt[:7], "EXPLAIN") && (stmt[7] == ' ' || stmt[7] == '\t' || stmt[7] == '\n' || stmt[7] == '\r') {
+		return strings.TrimSpace(stmt[7:]), true
+	}
+	return stmt, false
+}

@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello, wire")
+	if err := WriteFrame(&buf, MsgQuery, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgQuery || !bytes.Equal(got, payload) {
+		t.Fatalf("got typ=%q payload=%q", typ, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgTerminate, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgTerminate || len(got) != 0 {
+		t.Fatalf("got typ=%q len=%d", typ, len(got))
+	}
+}
+
+func TestReadFrameRefusesOversize(t *testing.T) {
+	// Hand-craft a header announcing a payload beyond MaxFrame: the
+	// reader must refuse before allocating, not trust the length.
+	hdr := []byte{MsgQuery, 0xFF, 0xFF, 0xFF, 0xFF}
+	_, _, err := ReadFrame(bytes.NewReader(hdr))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("want oversize refusal, got %v", err)
+	}
+}
+
+func TestWriteFrameRefusesOversize(t *testing.T) {
+	err := WriteFrame(io.Discard, MsgDataRow, make([]byte, MaxFrame+1))
+	if err == nil {
+		t.Fatal("want oversize refusal")
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgQuery, []byte("full payload")); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-3]
+	_, _, err := ReadFrame(bytes.NewReader(cut))
+	if err == nil {
+		t.Fatal("want truncation error")
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF in chain, got %v", err)
+	}
+}
+
+func TestBuilderParserPrimitives(t *testing.T) {
+	var b Builder
+	b.PutU16(0xBEEF)
+	b.PutU32(0xDEADBEEF)
+	b.PutU64(1 << 62)
+	b.PutString("naïve – ütf8")
+	b.PutString("")
+
+	p := Parser{B: b.B}
+	if v := p.U16(); v != 0xBEEF {
+		t.Fatalf("u16 = %x", v)
+	}
+	if v := p.U32(); v != 0xDEADBEEF {
+		t.Fatalf("u32 = %x", v)
+	}
+	if v := p.U64(); v != 1<<62 {
+		t.Fatalf("u64 = %x", v)
+	}
+	if v := p.String(); v != "naïve – ütf8" {
+		t.Fatalf("string = %q", v)
+	}
+	if v := p.String(); v != "" {
+		t.Fatalf("empty string = %q", v)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rest() != 0 {
+		t.Fatalf("rest = %d", p.Rest())
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	date := time.Date(1998, 2, 25, 0, 0, 0, 0, time.UTC)
+	vals := []interface{}{
+		nil,
+		int64(-42),
+		float64(math.Pi),
+		true,
+		false,
+		"it's a string",
+		date,
+	}
+	var b Builder
+	for _, v := range vals {
+		b.PutValue(v)
+	}
+	p := Parser{B: b.B}
+	for i, want := range vals {
+		got := p.Value()
+		if gt, ok := got.(time.Time); ok {
+			if !gt.Equal(want.(time.Time)) {
+				t.Fatalf("value %d: got %v want %v", i, got, want)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("value %d: got %#v want %#v", i, got, want)
+		}
+	}
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueBytesBecomeString(t *testing.T) {
+	var b Builder
+	b.PutValue([]byte("raw"))
+	p := Parser{B: b.B}
+	if got := p.Value(); got != "raw" {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestParserLatchesError(t *testing.T) {
+	p := Parser{B: []byte{0x00}} // too short for anything
+	_ = p.U32()
+	if p.Err() == nil {
+		t.Fatal("want error after short read")
+	}
+	// Subsequent reads keep failing without panicking.
+	_ = p.String()
+	_ = p.Value()
+	_ = p.U64()
+	if p.Err() == nil {
+		t.Fatal("error must latch")
+	}
+}
+
+func TestParserStringLengthBeyondPayload(t *testing.T) {
+	var b Builder
+	b.PutU32(1 << 30) // length prefix far beyond the actual bytes
+	p := Parser{B: b.B}
+	if s := p.String(); s != "" || p.Err() == nil {
+		t.Fatalf("want latched error, got %q err=%v", s, p.Err())
+	}
+}
+
+func TestParserUnknownTag(t *testing.T) {
+	p := Parser{B: []byte{'Z'}}
+	if v := p.Value(); v != nil || p.Err() == nil {
+		t.Fatalf("want unknown-tag error, got %#v err=%v", v, p.Err())
+	}
+}

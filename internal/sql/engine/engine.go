@@ -13,6 +13,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"minerule/internal/obsv"
@@ -27,10 +29,27 @@ import (
 	"minerule/internal/sql/vfs"
 )
 
-// Database is an embedded in-memory SQL92-subset database.
+// Database is an embedded in-memory SQL92-subset database. It is safe
+// for concurrent use: statements from different goroutines serialize on
+// an internal mutex (one statement executes at a time), and each
+// statement resolves its resource bounds at start — a context-carried
+// resource.WithLimits value overrides the engine-wide default — so
+// concurrent sessions can run under different budgets without touching
+// shared state.
 type Database struct {
 	cat *storage.Catalog
 	rt  *exec.Runtime
+	// execMu serializes statement execution: the Runtime is
+	// single-threaded by contract (bind-time environments, plan caches),
+	// so every statement — and the store's commit window around it —
+	// runs under this lock. Catalog reads outside execution (the
+	// translator's dictionary checks, the support UI's table lists) use
+	// the catalog's own locks and stay concurrent.
+	execMu sync.Mutex
+	// defLimits is the engine-wide default statement bounds, replaced
+	// atomically by SetLimits so configuring limits never races running
+	// statements (which copy it at statement start).
+	defLimits atomic.Pointer[resource.Limits]
 	// cache is the prepared-program cache: each distinct statement text
 	// parses once and re-executes from its AST (see stmtcache.go).
 	cache stmtCache
@@ -127,10 +146,11 @@ func (db *Database) commit(stmtErr error) error {
 	return cerr
 }
 
-// beginWindow opens a statement's page-I/O budget window.
-func (db *Database) beginWindow() {
+// beginWindow opens a statement's page-I/O budget window under the
+// given limits; the caller holds execMu.
+func (db *Database) beginWindow(l resource.Limits) {
 	if db.store != nil {
-		db.store.beginWindow(db.rt.Limits.MaxPageIO)
+		db.store.beginWindow(l.MaxPageIO)
 	}
 }
 
@@ -142,12 +162,29 @@ func (db *Database) Metrics() *obsv.Metrics { return db.met }
 // translator for semantic checks).
 func (db *Database) Catalog() *storage.Catalog { return db.cat }
 
-// SetLimits bounds subsequent statement execution (rows materialized per
-// statement); the zero Limits removes all bounds.
-func (db *Database) SetLimits(l resource.Limits) { db.rt.Limits = l }
+// SetLimits replaces the engine-wide default statement bounds; the zero
+// Limits removes all bounds. Statements already running keep the bounds
+// they started with — the default is copied at statement start, so
+// SetLimits never races execution. A context carrying
+// resource.WithLimits overrides the default for its own statements.
+func (db *Database) SetLimits(l resource.Limits) { db.defLimits.Store(&l) }
 
-// Limits returns the currently configured execution bounds.
-func (db *Database) Limits() resource.Limits { return db.rt.Limits }
+// Limits returns the engine-wide default execution bounds.
+func (db *Database) Limits() resource.Limits {
+	if p := db.defLimits.Load(); p != nil {
+		return *p
+	}
+	return resource.Limits{}
+}
+
+// effLimits resolves the bounds for one statement: a context-carried
+// override (resource.WithLimits) wins over the engine-wide default.
+func (db *Database) effLimits(ctx context.Context) resource.Limits {
+	if l, ok := resource.LimitsFrom(ctx); ok {
+		return l
+	}
+	return db.Limits()
+}
 
 // RowMode switches the executor between the batched default (off) and
 // the row-at-a-time reference operators (on). The reference path is the
@@ -186,20 +223,41 @@ func (db *Database) ExecContext(ctx context.Context, sql string) (*exec.Result, 
 		db.met.StmtErrors.Inc()
 		return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
 	}
+	return db.execStatement(ctx, st, sql, sql, nil)
+}
+
+// execStatement runs one prepared statement under execMu: the hook, the
+// statement's limit resolution, its page-I/O window, execution and the
+// commit fsync all happen inside one critical section, so concurrent
+// sessions interleave at statement granularity. src is the text
+// position diagnostics refer to (the whole script for script
+// statements); stmtSQL the single statement's own text. trace, when
+// non-nil, receives the executor's decision log for the duration.
+func (db *Database) execStatement(ctx context.Context, st parse.Statement, src, stmtSQL string, trace func(string)) (*exec.Result, error) {
 	if db.hook != nil {
-		if err := db.hook(sql); err != nil {
-			return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
+		if err := db.hook(stmtSQL); err != nil {
+			return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(stmtSQL))
 		}
 	}
 	db.met.StmtExecuted.Inc()
 	t1 := time.Now()
-	db.beginWindow()
+	db.execMu.Lock()
+	if trace != nil {
+		db.rt.Trace = trace
+	}
+	l := db.effLimits(ctx)
+	db.rt.Limits = l
+	db.beginWindow(l)
 	res, err := db.rt.ExecContext(ctx, st)
 	err = db.commit(err)
+	if trace != nil {
+		db.rt.Trace = nil
+	}
+	db.execMu.Unlock()
 	db.met.ExecNanos.Add(int64(time.Since(t1)))
 	if err != nil {
 		db.met.StmtErrors.Inc()
-		return nil, fmt.Errorf("engine: %w%s\n  in: %s", err, posSuffix(err, sql), compact(sql))
+		return nil, fmt.Errorf("engine: %w%s\n  in: %s", err, posSuffix(err, src), compact(stmtSQL))
 	}
 	if res.Schema != nil {
 		db.met.RowsReturned.Add(int64(len(res.Rows)))
@@ -221,20 +279,8 @@ func (db *Database) ExecScriptContext(ctx context.Context, sql string) error {
 		return fmt.Errorf("engine: %w", err)
 	}
 	for _, st := range sts {
-		if db.hook != nil {
-			if err := db.hook(st.SQL()); err != nil {
-				return fmt.Errorf("engine: %w\n  in: %s", err, compact(st.SQL()))
-			}
-		}
-		db.met.StmtExecuted.Inc()
-		t0 := time.Now()
-		db.beginWindow()
-		_, err := db.rt.ExecContext(ctx, st)
-		err = db.commit(err)
-		db.met.ExecNanos.Add(int64(time.Since(t0)))
-		if err != nil {
-			db.met.StmtErrors.Inc()
-			return fmt.Errorf("engine: %w%s\n  in: %s", err, posSuffix(err, sql), compact(st.SQL()))
+		if _, err := db.execStatement(ctx, st, sql, st.SQL(), nil); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -257,17 +303,47 @@ func (db *Database) QueryContext(ctx context.Context, sql string) (*exec.Result,
 	return res, nil
 }
 
+// Prepare parses and semantically checks one statement without
+// executing it, priming the prepared-program cache. The network
+// session layer uses it to fail a bad Prepare eagerly, the way any
+// remote database does.
+func (db *Database) Prepare(sql string) error {
+	t0 := time.Now()
+	_, err := db.prepare(sql)
+	db.met.ParseNanos.Add(int64(time.Since(t0)))
+	if err != nil {
+		db.met.StmtErrors.Inc()
+		return fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
+	}
+	return nil
+}
+
 // ExplainSQL executes a query with executor tracing enabled and returns
 // the decision log (scan sources, join strategies, index use, filter
 // selectivities) followed by the result cardinality — an EXPLAIN
 // ANALYZE for the embedded engine.
 func (db *Database) ExplainSQL(sql string) (string, error) {
+	return db.ExplainSQLContext(context.Background(), sql)
+}
+
+// ExplainSQLContext is ExplainSQL under a cancellation context. The
+// trace hook is installed inside the execution critical section, so
+// concurrent sessions never observe each other's decision logs.
+func (db *Database) ExplainSQLContext(ctx context.Context, sql string) (string, error) {
+	t0 := time.Now()
+	st, err := db.prepare(sql)
+	db.met.ParseNanos.Add(int64(time.Since(t0)))
+	if err != nil {
+		db.met.StmtErrors.Inc()
+		return "", fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
+	}
 	var lines []string
-	db.rt.Trace = func(l string) { lines = append(lines, l) }
-	defer func() { db.rt.Trace = nil }()
-	res, err := db.Query(sql)
+	res, err := db.execStatement(ctx, st, sql, sql, func(l string) { lines = append(lines, l) })
 	if err != nil {
 		return "", err
+	}
+	if res.Schema == nil {
+		return "", fmt.Errorf("engine: statement is not a query: %s", compact(sql))
 	}
 	var b strings.Builder
 	for _, l := range lines {
@@ -352,8 +428,11 @@ func (db *Database) importRecords(name string, header []string, cr *csv.Reader) 
 		cols[i] = schema.Column{Name: parts[0], Type: t}
 	}
 	// The import runs as one statement: table creation and the row batch
-	// share a page-I/O window and one group fsync at commit.
-	db.beginWindow()
+	// share a page-I/O window and one group fsync at commit, serialized
+	// against concurrent statements like any other mutation.
+	db.execMu.Lock()
+	defer db.execMu.Unlock()
+	db.beginWindow(db.Limits())
 	tab, err := db.cat.CreateTable(name, schema.New(name, cols...))
 	if err != nil {
 		return 0, db.commit(err)

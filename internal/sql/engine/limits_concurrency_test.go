@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"minerule/internal/resource"
+)
+
+// TestSetLimitsConcurrentWithExecution is the -race regression test for
+// the old data race: SetLimits used to write plain struct fields that
+// running statements read mid-flight. Limits are now an atomic pointer
+// copied at statement start, so changing the default while statements
+// run must be clean under the race detector and never corrupt a bound.
+func TestSetLimitsConcurrentWithExecution(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: flips the engine-wide default between unbounded and a
+	// bound generous enough to never trip.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				db.SetLimits(resource.Limits{MaxRows: 100000})
+			} else {
+				db.SetLimits(resource.Limits{})
+			}
+		}
+	}()
+
+	// Readers: statements that must never observe a torn limit.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := db.Query("SELECT COUNT(*) FROM t")
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				if res.Rows[0][0].Int() != 50 {
+					t.Errorf("count = %v", res.Rows[0][0])
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	defer func() { <-done }()
+	defer close(stop)
+}
+
+// TestContextLimitsOverrideDefault: limits carried on the statement
+// context take precedence over the engine-wide default, and neither
+// leaks into the other.
+func TestContextLimitsOverrideDefault(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Context bound trips even though the default is unbounded.
+	ctx := resource.WithLimits(context.Background(), resource.Limits{MaxRows: 3})
+	if _, err := db.ExecContext(ctx, "SELECT * FROM t"); !errors.Is(err, resource.ErrBudgetExceeded) {
+		t.Fatalf("ctx limit: want ErrBudgetExceeded, got %v", err)
+	}
+
+	// Tight default trips a plain statement…
+	db.SetLimits(resource.Limits{MaxRows: 3})
+	if _, err := db.Exec("SELECT * FROM t"); !errors.Is(err, resource.ErrBudgetExceeded) {
+		t.Fatalf("default limit: want ErrBudgetExceeded, got %v", err)
+	}
+	// …but a generous context override wins over it.
+	ctx = resource.WithLimits(context.Background(), resource.Limits{MaxRows: 100})
+	if _, err := db.ExecContext(ctx, "SELECT * FROM t"); err != nil {
+		t.Fatalf("ctx override must win over default: %v", err)
+	}
+
+	// Concurrent sessions with different ctx limits don't interfere.
+	db.SetLimits(resource.Limits{})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var l resource.Limits
+			if g%2 == 0 {
+				l = resource.Limits{MaxRows: 2} // trips
+			} else {
+				l = resource.Limits{MaxRows: 1000} // passes
+			}
+			ctx := resource.WithLimits(context.Background(), l)
+			for i := 0; i < 10; i++ {
+				_, err := db.ExecContext(ctx, "SELECT * FROM t")
+				if g%2 == 0 {
+					if !errors.Is(err, resource.ErrBudgetExceeded) {
+						errs[g] = fmt.Errorf("tight session run %d: want trip, got %v", i, err)
+						return
+					}
+				} else if err != nil {
+					errs[g] = fmt.Errorf("loose session run %d: %v", i, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}

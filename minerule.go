@@ -30,12 +30,14 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"strings"
 	"time"
 
 	"minerule/internal/core"
 	"minerule/internal/obsv"
 	"minerule/internal/resource"
+	"minerule/internal/server"
 	"minerule/internal/sql/engine"
 )
 
@@ -86,7 +88,10 @@ type IOError = resource.IOError
 type DegradedError = resource.DegradedError
 
 // System is one embedded database with the mining kernel attached.
-// It is not safe for concurrent use by multiple goroutines.
+// It is safe for concurrent use: the engine serializes statement
+// execution internally, so goroutines (and network sessions, see
+// Serve) interleave at statement granularity, each under its own
+// context and limits.
 type System struct {
 	db *engine.Database
 }
@@ -220,10 +225,21 @@ func (s *System) DegradedErr() error { return s.db.DegradedErr() }
 // binaries and benchmarks); it is internal machinery, not API surface.
 func (s *System) DB() *engine.Database { return s.db }
 
-// SetLimits bounds every subsequent SQL statement the system executes
-// (including the kernel's own steps, unless a Mine call carries its own
-// WithLimits). The zero Limits removes all bounds.
+// SetLimits sets the engine-wide default bounds for every subsequent
+// statement that does not carry its own limits (via ContextWithLimits,
+// a Mine WithLimits option, or a network session's negotiated limits).
+// The zero Limits removes all bounds. Safe to call concurrently with
+// running statements: in-flight ones keep the bounds they started with.
 func (s *System) SetLimits(l Limits) { s.db.SetLimits(l) }
+
+// ContextWithLimits returns a context that carries per-call resource
+// limits: any Exec, Query or Mine evaluated under the returned context
+// is bounded by l instead of the engine-wide default, without touching
+// shared state — the mechanism behind per-session limits on the network
+// server, available to embedded callers too.
+func ContextWithLimits(ctx context.Context, l Limits) context.Context {
+	return resource.WithLimits(ctx, l)
+}
 
 // Exec runs one SQL statement (DDL, DML or query, discarding rows).
 func (s *System) Exec(sql string) error {
@@ -311,6 +327,28 @@ func (s *System) WriteMetrics(w io.Writer) error {
 // decision log (scan sources, join strategies, index use, filter
 // selectivities) — EXPLAIN ANALYZE for the embedded engine.
 func (s *System) ExplainSQL(sql string) (string, error) { return s.db.ExplainSQL(sql) }
+
+// ServerConfig tunes the network server: connection cap, startup
+// credential, default/session-cap resource limits and drain timeout.
+// The zero value serves open (no auth) with the default connection cap
+// and unbounded sessions.
+type ServerConfig = server.Config
+
+// Serve exposes the system over the minerule wire protocol on addr
+// until ctx is done, then drains gracefully. Remote clients connect
+// with the native database/sql driver (import _ "minerule/driver";
+// sql.Open("minerule", "tcp://addr")) or any protocol implementation.
+// Serving shares the engine with embedded callers: statements from
+// sessions and in-process calls interleave safely.
+func (s *System) Serve(ctx context.Context, addr string, cfg ServerConfig) error {
+	return server.New(s.db, cfg).ListenAndServe(ctx, addr)
+}
+
+// ServeListener is Serve over an existing listener (tests, socket
+// activation). The server owns ln and closes it on return.
+func (s *System) ServeListener(ctx context.Context, ln net.Listener, cfg ServerConfig) error {
+	return server.New(s.db, cfg).Serve(ctx, ln)
+}
 
 // Format renders a query result as an aligned text table.
 func (s *System) Format(sql string) (string, error) {
