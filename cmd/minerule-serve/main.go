@@ -14,6 +14,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -78,8 +79,12 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var metricsDone <-chan struct{}
 	if *metrics != "" {
-		go serveMetrics(sys, *metrics)
+		metricsDone = serveMetrics(ctx, sys, *metrics)
 	}
 
 	cfg := minerule.ServerConfig{
@@ -95,17 +100,25 @@ func main() {
 		Logf: log.Printf,
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	fmt.Printf("minerule server on %s\n", *listen)
-	if err := sys.Serve(ctx, *listen, cfg); err != nil {
-		log.Fatal(err)
+	serveErr := sys.Serve(ctx, *listen, cfg)
+
+	// Join the metrics sidecar before exiting: stop() cancels ctx even
+	// when Serve failed on its own, so the sidecar always shuts down.
+	stop()
+	if metricsDone != nil {
+		<-metricsDone
+	}
+	if serveErr != nil {
+		log.Fatal(serveErr)
 	}
 	fmt.Println("minerule-serve: drained, goodbye")
 }
 
-// serveMetrics runs the observability sidecar listener.
-func serveMetrics(sys *minerule.System, addr string) {
+// serveMetrics runs the observability sidecar listener, shutting it
+// down when ctx is canceled. The returned channel closes once the
+// listener goroutine has exited, so main can join it before leaving.
+func serveMetrics(ctx context.Context, sys *minerule.System, addr string) <-chan struct{} {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -119,9 +132,22 @@ func serveMetrics(sys *minerule.System, addr string) {
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	if err := srv.ListenAndServe(); err != nil {
-		log.Printf("minerule-serve: metrics listener: %v", err)
-	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("minerule-serve: metrics listener: %v", err)
+		}
+	}()
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shCtx); err != nil {
+			srv.Close()
+		}
+	}()
+	return done
 }
 
 // preloadCSV loads one "table=path" CSV spec with its "name:type,…"

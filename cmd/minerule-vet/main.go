@@ -1,15 +1,20 @@
 // Command minerule-vet runs the repository's custom analyzer suite
-// (internal/lint): ctxflow, budgetcharge, spansafe and errtaxon.
+// (internal/lint): ctxflow, budgetcharge, spansafe, errtaxon, and the
+// concurrency checks lockorder, guardedby, atomicmix and gorolifecycle.
 //
 // It speaks two protocols:
 //
-//	minerule-vet [-analyzers=a,b] [packages]   standalone, defaults to ./...
+//	minerule-vet [-analyzers=a,b] [-json] [packages]   standalone, defaults to ./...
 //	go vet -vettool=$(which minerule-vet) ./...  as a vet tool
 //
 // The vet-tool mode implements the cmd/go unitchecker handshake by hand
 // (-V=full, -flags, then one JSON *.cfg per package) because the module
 // is dependency-free and golang.org/x/tools/go/analysis/unitchecker is
-// not available. Findings print as file:line:col: message and the exit
+// not available. Cross-package facts (lockorder's acquisition graph)
+// ride the same .vetx files cmd/go already threads between packages:
+// each run decodes the fact stores of its dependencies from PackageVetx
+// and encodes its own into VetxOutput. Findings print as
+// file:line:col: message (or as a JSON array with -json) and the exit
 // status is 2 when any are reported, mirroring go vet.
 package main
 
@@ -71,10 +76,21 @@ func printVersion() {
 // ---------------------------------------------------------------------------
 // Standalone mode
 
+// jsonDiag is the -json output shape: one object per finding, stable
+// field names so CI scripts and editors can consume the stream.
+type jsonDiag struct {
+	Path     string `json:"path"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func runStandalone(args []string) int {
 	fs := flag.NewFlagSet("minerule-vet", flag.ExitOnError)
 	sel := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 	list := fs.Bool("list", false, "list the analyzer suite and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	fs.Parse(args)
 
 	if *list {
@@ -103,14 +119,36 @@ func runStandalone(args []string) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	found := 0
+	// Load returns packages in dependency order (go list -deps), so one
+	// shared store sees every dependency's facts before its importers.
+	facts := new(lint.FactStore)
+	var found []lint.Diagnostic
 	for _, l := range loaded {
-		for _, d := range lint.Run(l.Fset, l.Files, l.Pkg, l.Info, analyzers) {
+		found = append(found, lint.RunWithFacts(l.Fset, l.Files, l.Pkg, l.Info, analyzers, facts)...)
+	}
+	if *asJSON {
+		out := make([]jsonDiag, 0, len(found))
+		for _, d := range found {
+			out = append(out, jsonDiag{
+				Path:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	} else {
+		for _, d := range found {
 			fmt.Fprintln(os.Stderr, d)
-			found++
 		}
 	}
-	if found > 0 {
+	if len(found) > 0 {
 		return 2
 	}
 	return 0
@@ -128,9 +166,25 @@ type unitConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// writeVetx persists the fact store as this package's .vetx file. The
+// cmd/go driver caches it and hands it to importers via PackageVetx, so
+// it must be written even when the store is empty (or the run bailed):
+// the file's existence is part of the vet-tool contract.
+func writeVetx(path string, facts *lint.FactStore) error {
+	if path == "" {
+		return nil
+	}
+	data, err := facts.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
 }
 
 func runUnit(cfgPath string) int {
@@ -145,15 +199,13 @@ func runUnit(cfgPath string) int {
 		return 1
 	}
 
-	// The driver caches a .vetx facts file per package; this suite keeps
-	// no cross-package facts, so an empty file satisfies the contract.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+	// Succeed-but-skip paths still owe the driver a vetx file; bail is
+	// the empty store.
+	bail := func() int {
+		if err := writeVetx(cfg.VetxOutput, new(lint.FactStore)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
 		return 0
 	}
 
@@ -163,7 +215,7 @@ func runUnit(cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0
+				return bail()
 			}
 			fmt.Fprintln(os.Stderr, err)
 			return 1
@@ -188,13 +240,37 @@ func runUnit(cfgPath string) int {
 	pkg, info, err := lint.TypeCheck(fset, cfg.ImportPath, files, importer.ForCompiler(fset, compiler, lookup))
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return 0
+			return bail()
 		}
 		fmt.Fprintf(os.Stderr, "minerule-vet: %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
-	diags := lint.Run(fset, files, pkg, info, lint.All())
+	// Merge the dependencies' fact stores. Each dependency's vetx already
+	// carries its own transitive facts (the whole store is encoded, not
+	// just the package's contribution), so direct deps suffice.
+	facts := new(lint.FactStore)
+	for dep, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			// Stale or missing cache entry: analyze without that
+			// dependency's facts rather than fail the build.
+			continue
+		}
+		if err := facts.Decode(data); err != nil {
+			fmt.Fprintf(os.Stderr, "minerule-vet: facts for %s: %v\n", dep, err)
+			return 1
+		}
+	}
+
+	diags := lint.RunWithFacts(fset, files, pkg, info, lint.All(), facts)
+	if err := writeVetx(cfg.VetxOutput, facts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
 	}

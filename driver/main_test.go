@@ -1,0 +1,11 @@
+package driver_test
+
+import (
+	"testing"
+
+	"minerule/internal/leakcheck"
+)
+
+// TestMain fails the binary if any test leaks a goroutine — the
+// runtime complement of the static gorolifecycle analyzer.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

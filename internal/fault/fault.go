@@ -18,11 +18,11 @@ var ErrInjected = errors.New("injected fault")
 // FailOnMatch, FailNth or PanicNth. Safe for concurrent use.
 type Injector struct {
 	mu        sync.Mutex
-	match     string // fail the first statement containing this substring
-	nth       int    // fail the nth statement seen (1-based)
-	panicMode bool   // panic instead of returning an error
-	seen      int
-	fired     bool
+	match     string // guarded by mu; fail the first statement containing this substring
+	nth       int    // guarded by mu; fail the nth statement seen (1-based)
+	panicMode bool   // guarded by mu; panic instead of returning an error
+	seen      int    // guarded by mu
+	fired     bool   // guarded by mu
 }
 
 // New returns an inert Injector.
@@ -114,10 +114,10 @@ var ErrKilled = errors.New("fault: simulated crash")
 // into wal.Writer.WriteHook.
 type WriteGate struct {
 	mu    sync.Mutex
-	nth   int // crash on this frame write (1-based); 0 = inert
-	keep  int // bytes of the fatal frame that still reach the disk
-	seen  int
-	fired bool
+	nth   int  // guarded by mu; crash on this frame write (1-based); 0 = inert
+	keep  int  // guarded by mu; bytes of the fatal frame that still reach the disk
+	seen  int  // guarded by mu
+	fired bool // guarded by mu
 }
 
 // NewWriteGate returns an inert gate: all writes pass through whole.

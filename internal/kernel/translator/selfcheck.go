@@ -39,7 +39,7 @@ func (e *SelfCheckError) Unwrap() error { return e.Err }
 // past a bound a real workload never reaches.
 var selfCheckMemo struct {
 	mu sync.Mutex
-	m  map[string]bool
+	m  map[string]bool // guarded by mu
 }
 
 const selfCheckMemoLimit = 256

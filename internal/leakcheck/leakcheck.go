@@ -1,0 +1,132 @@
+// Package leakcheck fails a test binary that finishes with goroutines
+// still running — a stdlib-only analogue of goleak, and the runtime
+// counterpart of the static gorolifecycle analyzer: the analyzer proves
+// every `go` statement *has* a join or cancellation path, this package
+// verifies the paths were actually taken.
+//
+// Adopt it with one line:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// After the tests pass, Main snapshots all goroutine stacks, filters
+// the known-idle runtime and testing machinery, and retries with
+// backoff for up to a second — goroutines legitimately winding down
+// (a server drain, a closed connection's reader) get time to exit.
+// Anything still alive is reported stack-by-stack and fails the binary.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Main wraps testing.M.Run with a final leak check. The check only
+// runs when the tests passed — a failing run has more urgent output,
+// and may legitimately have bailed out mid-cleanup.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := leakedStacks(time.Second); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) leaked past the test suite:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// Check fails t if goroutines are still running once the retry window
+// closes; for use at the end of an individual test.
+func Check(t testing.TB) {
+	t.Helper()
+	if leaked := leakedStacks(time.Second); len(leaked) > 0 {
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// leakedStacks polls the goroutine set until it is clean or the
+// deadline passes, backing off between snapshots, and returns the
+// stacks that never went away.
+func leakedStacks(deadline time.Duration) []string {
+	delay := time.Millisecond
+	end := time.Now().Add(deadline)
+	for {
+		leaked := filterStacks(snapshot(), currentGoroutine())
+		if len(leaked) == 0 || time.Now().After(end) {
+			return leaked
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// snapshot returns one formatted stack per live goroutine.
+func snapshot() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			return strings.Split(strings.TrimSpace(string(buf[:n])), "\n\n")
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+}
+
+// currentGoroutine returns this goroutine's id as it appears in stack
+// headers ("goroutine 12 [running]:" → "12"), so the goroutine running
+// the check never reports itself.
+func currentGoroutine() string {
+	buf := make([]byte, 64)
+	n := runtime.Stack(buf, false)
+	fields := strings.Fields(string(buf[:n]))
+	if len(fields) >= 2 {
+		return fields[1]
+	}
+	return ""
+}
+
+// knownIdle marks goroutines that belong to the testing machinery or
+// the runtime's own services: always alive, never a leak.
+var knownIdle = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.(*F).Fuzz",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime/pprof.",
+	"runtime.ReadTrace",
+}
+
+func filterStacks(stacks []string, self string) []string {
+	var leaked []string
+	for _, s := range stacks {
+		if s == "" {
+			continue
+		}
+		head, _, _ := strings.Cut(s, "\n")
+		fields := strings.Fields(head)
+		if len(fields) >= 2 && fields[1] == self {
+			continue
+		}
+		idle := false
+		for _, p := range knownIdle {
+			if strings.Contains(s, p) {
+				idle = true
+				break
+			}
+		}
+		if !idle {
+			leaked = append(leaked, s)
+		}
+	}
+	return leaked
+}

@@ -1,0 +1,55 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) { Main(m) }
+
+// A joined goroutine must not trip the check.
+func TestJoinedGoroutineIsClean(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+	Check(t)
+}
+
+// A blocked goroutine must be detected and its stack named. The test
+// uses the internal snapshot path — failing the binary on purpose would
+// be self-defeating — and releases the goroutine before returning so
+// the real TestMain check stays green.
+func TestDetectsLeak(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	leaked := leakedStacks(10 * time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("blocked goroutine was not detected")
+	}
+	if all := strings.Join(leaked, "\n"); !strings.Contains(all, "leakcheck_test.go") {
+		t.Errorf("leak report does not name the leaking site:\n%s", all)
+	}
+}
+
+// The retry window must forgive goroutines that are already winding
+// down when the check starts.
+func TestRetryForgivesWindDown(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(50 * time.Millisecond)
+	}()
+	if leaked := leakedStacks(time.Second); len(leaked) != 0 {
+		t.Errorf("winding-down goroutine reported as leak:\n%s", strings.Join(leaked, "\n\n"))
+	}
+	<-done
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix flags struct fields that are accessed both through
+// sync/atomic calls and through plain reads/writes — the exact bug
+// class of PR 9's SetLimits race, where a field written under
+// atomic.StorePointer was read bare elsewhere. Once any access to a
+// field is atomic, every access must be: a plain load can observe a
+// torn or stale value, and the race detector only catches the schedules
+// it happens to see. (Fields of the atomic.Int64/Bool/Pointer wrapper
+// types cannot mix by construction; this analyzer covers the legacy
+// &x.f + atomic.AddInt64 style.)
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flag fields accessed both atomically and non-atomically",
+	Run:  runAtomicMix,
+}
+
+// atomicArgFields finds every `&x.f` argument to a sync/atomic function
+// in the file, returning the field objects so used and the selector
+// nodes themselves (which are by definition legitimate accesses).
+// Shared with guardedby, where an atomic access discharges the
+// lock-held obligation.
+func atomicArgFields(info *types.Info, f *ast.File) (fields map[*types.Var]token.Pos, sels map[*ast.SelectorExpr]bool) {
+	fields = make(map[*types.Var]token.Pos)
+	sels = make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if v := fieldVarOf(info, sel); v != nil {
+				if _, dup := fields[v]; !dup {
+					fields[v] = sel.Pos()
+				}
+				sels[sel] = true
+			}
+		}
+		return true
+	})
+	return fields, sels
+}
+
+// fieldVarOf resolves a selector to the struct field it denotes, or nil
+// when the selector is a method, package member, or unresolvable.
+func fieldVarOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func runAtomicMix(p *Pass) {
+	// First pass: which fields does this package treat atomically, and
+	// which selector nodes are the atomic accesses themselves.
+	atomicFields := make(map[*types.Var]token.Pos)
+	exempt := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		fields, sels := atomicArgFields(p.Info, f)
+		for v, pos := range fields {
+			if _, dup := atomicFields[v]; !dup {
+				atomicFields[v] = pos
+			}
+		}
+		for s := range sels {
+			exempt[s] = true
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Second pass: any other selector touching one of those fields is a
+	// mixed access.
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			v := fieldVarOf(p.Info, sel)
+			if v == nil {
+				return true
+			}
+			first, isAtomic := atomicFields[v]
+			if !isAtomic {
+				return true
+			}
+			p.Reportf(sel.Pos(), "field %s is accessed with sync/atomic (first at %s); this plain access races with it",
+				v.Name(), p.Fset.Position(first))
+			return true
+		})
+	}
+}

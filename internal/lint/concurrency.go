@@ -1,0 +1,316 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file holds the flow machinery shared by the concurrency
+// analyzers (lockorder, guardedby): recognizing sync.Mutex/RWMutex
+// acquire and release calls, naming locks — by instance path for
+// guardedby, by class for lockorder — and walking a function body in
+// statement order while tracking which locks are held.
+//
+// The walk is a deliberate approximation, tuned so the repository's
+// locking idioms (Lock/defer Unlock at the top, Lock…Unlock windows,
+// early-unlock-and-return branches) analyze exactly and everything
+// else degrades toward fewer findings, never toward false positives:
+//
+//   - statements run in source order; branch bodies (if/for/switch/
+//     select) are walked on a copy of the held set and their effects
+//     dropped afterwards, so an unlock on an early-return path does not
+//     clear the lock for the fall-through path;
+//   - `defer mu.Unlock()` leaves the lock held to the end of the
+//     function, which is what the held set already says;
+//   - a `go` statement's function literal starts with nothing held (a
+//     goroutine does not inherit its creator's locks); other literals
+//     (callbacks like sort.Slice comparators, which run inline) inherit
+//     a copy of the current held set.
+
+// mutexAcquire / mutexRelease classify sync lock-discipline calls.
+const (
+	mutexNone = iota
+	mutexAcquire
+	mutexRelease
+)
+
+// mutexOp reports whether call is a (*sync.Mutex)/(*sync.RWMutex)
+// Lock/RLock (acquire) or Unlock/RUnlock (release), and the expression
+// the method was invoked on. TryLock is not an acquire: it cannot
+// block, so it cannot deadlock.
+func mutexOp(info *types.Info, call *ast.CallExpr) (op int, mutexExpr ast.Expr) {
+	f := funcObj(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return mutexNone, nil
+	}
+	recv := recvTypeName(f)
+	if recv != "Mutex" && recv != "RWMutex" {
+		return mutexNone, nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return mutexNone, nil
+	}
+	switch f.Name() {
+	case "Lock", "RLock":
+		return mutexAcquire, sel.X
+	case "Unlock", "RUnlock":
+		return mutexRelease, sel.X
+	}
+	return mutexNone, nil
+}
+
+// exprPath renders a pure selector chain of identifiers ("db.cache.mu")
+// or "" when the expression routes through anything else (a call, an
+// index); such locks are untrackable by instance and are skipped.
+func exprPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprPath(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}
+
+// lockClass names a mutex by what it protects rather than which
+// instance it is: "pkgpath.Type.field" for a struct-field mutex,
+// "pkgpath.var.field" for a field of a package-level (anonymous
+// struct) variable, "pkgpath.var" for a bare package-level mutex.
+// Function-local mutexes return "" — they cannot participate in a
+// cross-function acquisition order.
+func lockClass(info *types.Info, mutexExpr ast.Expr) string {
+	switch x := ast.Unparen(mutexExpr).(type) {
+	case *ast.SelectorExpr:
+		base := ast.Unparen(x.X)
+		if t, ok := info.Types[base]; ok && t.Type != nil {
+			typ := t.Type
+			if p, ok := typ.(*types.Pointer); ok {
+				typ = p.Elem()
+			}
+			if n, ok := typ.(*types.Named); ok && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		// Field of a package-level variable of anonymous struct type
+		// (e.g. translator's selfCheckMemo.mu).
+		if id, ok := base.(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok && v.Pkg() != nil && isPackageLevel(v) {
+				return v.Pkg().Path() + "." + v.Name() + "." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok && v.Pkg() != nil && isPackageLevel(v) {
+			return v.Pkg().Path() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+// isPackageLevel reports whether v is declared at package scope.
+func isPackageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Pkg().Scope().Lookup(v.Name()) == v
+}
+
+// heldWalker drives the statement-order walk. keyOf names a mutex
+// expression (empty = untracked); onAcquire fires before the new lock
+// joins the held set; onNode fires for every expression node visited,
+// with the held set live at that point.
+type heldWalker struct {
+	info      *types.Info
+	keyOf     func(ast.Expr) string
+	onAcquire func(key string, call *ast.CallExpr, held map[string]token.Pos)
+	onNode    func(n ast.Node, held map[string]token.Pos)
+
+	// inGo counts how many `go func(){…}` literal bodies enclose the
+	// current position. Callbacks consult it: work inside a spawned
+	// goroutine runs concurrently with the enclosing function, so its
+	// acquisitions must not be attributed to callers of that function,
+	// and a caller's locks cannot satisfy its accesses.
+	inGo int
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// walkFunc analyzes one function body from an empty held set.
+func (w *heldWalker) walkFunc(body *ast.BlockStmt) {
+	w.walkStmts(body.List, make(map[string]token.Pos))
+}
+
+// walkStmts processes stmts sequentially, mutating held.
+func (w *heldWalker) walkStmts(stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, st := range stmts {
+		w.walkStmt(st, held)
+	}
+}
+
+func (w *heldWalker) walkStmt(st ast.Stmt, held map[string]token.Pos) {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if op, mx := mutexOp(w.info, call); op != mutexNone {
+				key := ""
+				if w.keyOf != nil {
+					key = w.keyOf(mx)
+				}
+				if key == "" {
+					return
+				}
+				switch op {
+				case mutexAcquire:
+					if w.onAcquire != nil {
+						w.onAcquire(key, call, held)
+					}
+					held[key] = call.Pos()
+				case mutexRelease:
+					delete(held, key)
+				}
+				return
+			}
+		}
+		w.visitExpr(s.X, held)
+	case *ast.DeferStmt:
+		if op, _ := mutexOp(w.info, s.Call); op != mutexNone {
+			return // defer mu.Unlock(): lock stays held to function end
+		}
+		w.visitExpr(s.Call, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.visitExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.visitExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.visitExpr(s.X, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.visitExpr(e, held)
+		}
+	case *ast.SendStmt:
+		w.visitExpr(s.Chan, held)
+		w.visitExpr(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.visitExpr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.visitExpr(s.Cond, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.visitExpr(s.Cond, held)
+		}
+		body := copyHeld(held)
+		w.walkStmts(s.Body.List, body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.visitExpr(s.X, held)
+		w.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.visitExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.visitExpr(e, held)
+				}
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.walkStmt(s.Init, held)
+		}
+		w.walkStmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := copyHeld(held)
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm, inner)
+				}
+				w.walkStmts(cc.Body, inner)
+			}
+		}
+	case *ast.GoStmt:
+		// Arguments evaluate on the spawning goroutine, under its locks;
+		// the body runs on a fresh goroutine holding nothing.
+		for _, a := range s.Call.Args {
+			w.visitExpr(a, held)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.inGo++
+			w.walkStmts(lit.Body.List, make(map[string]token.Pos))
+			w.inGo--
+		} else {
+			w.visitExpr(s.Call.Fun, held)
+		}
+	}
+}
+
+// visitExpr fires onNode for every node of e in source order, recursing
+// into function literals with a copy of the held set (inline callbacks
+// run under the caller's locks).
+func (w *heldWalker) visitExpr(e ast.Expr, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			if lit != e {
+				w.walkStmts(lit.Body.List, copyHeld(held))
+				return false
+			}
+			// A bare literal at the root (shouldn't occur via statements
+			// above, but keep it total).
+			w.walkStmts(lit.Body.List, copyHeld(held))
+			return false
+		}
+		if n != nil && w.onNode != nil {
+			w.onNode(n, held)
+		}
+		return true
+	})
+}

@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// FactStore carries serialized per-package analysis facts between
+// passes, in the style of go/analysis facts: an analyzer running over
+// package P may export a fact value under its own name, and an analyzer
+// running over a package that (transitively) imports P may read it
+// back. Facts are JSON-serialized so the same store works in-process
+// (TestRepoClean, standalone minerule-vet) and across processes (the
+// unitchecker protocol's .vetx files, one per package).
+//
+// The zero value is ready to use. A FactStore is not safe for
+// concurrent use; drivers analyze packages sequentially in dependency
+// order, which is also what makes facts sound — a package's facts are
+// complete before any importer reads them.
+type FactStore struct {
+	facts map[factKey]json.RawMessage
+}
+
+type factKey struct {
+	pkg      string // import path the fact describes
+	analyzer string // exporting analyzer
+}
+
+// ExportFact records v as the analyzer's fact for pkgPath, replacing
+// any previous value.
+func (s *FactStore) ExportFact(pkgPath, analyzer string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("lint: encoding %s fact for %s: %w", analyzer, pkgPath, err)
+	}
+	if s.facts == nil {
+		s.facts = make(map[factKey]json.RawMessage)
+	}
+	s.facts[factKey{pkgPath, analyzer}] = data
+	return nil
+}
+
+// ImportFact decodes the analyzer's fact for pkgPath into v, reporting
+// whether one was present.
+func (s *FactStore) ImportFact(pkgPath, analyzer string, v any) bool {
+	if s == nil || s.facts == nil {
+		return false
+	}
+	data, ok := s.facts[factKey{pkgPath, analyzer}]
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, v) == nil
+}
+
+// wireFact is the serialized form of one fact (for .vetx files).
+type wireFact struct {
+	Pkg      string          `json:"pkg"`
+	Analyzer string          `json:"analyzer"`
+	Data     json.RawMessage `json:"data"`
+}
+
+// Encode serializes the store's entire contents. A package's .vetx file
+// therefore carries its own facts and those of its dependencies, which
+// is how facts reach transitive importers under the unitchecker
+// protocol (cmd/go hands a tool only its direct imports' fact files).
+func (s *FactStore) Encode() ([]byte, error) {
+	var out []wireFact
+	for k, v := range s.facts {
+		out = append(out, wireFact{Pkg: k.pkg, Analyzer: k.analyzer, Data: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pkg != out[j].Pkg {
+			return out[i].Pkg < out[j].Pkg
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return json.Marshal(out)
+}
+
+// Decode merges a serialized fact set (produced by Encode) into the
+// store. Later decodes win on conflicts, which cannot matter: a
+// package's facts are identical in every .vetx that embeds them.
+func (s *FactStore) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var in []wireFact
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("lint: decoding fact file: %w", err)
+	}
+	if s.facts == nil {
+		s.facts = make(map[factKey]json.RawMessage)
+	}
+	for _, f := range in {
+		s.facts[factKey{f.Pkg, f.Analyzer}] = f.Data
+	}
+	return nil
+}

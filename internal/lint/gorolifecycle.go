@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLifecycle requires every spawned goroutine to have a visible
+// lifecycle: its body (or a same-package function it calls) must reach
+// a join or cancellation point — a sync.WaitGroup.Done, a channel send,
+// close or receive (which includes the `select { case <-ctx.Done(): }`
+// idiom and `for range ch`), — so the goroutine provably ends or is
+// owned by someone who can end it. A `go` statement with none of these
+// is the leaked-goroutine class: it outlives its spawner, pins memory
+// and sockets, and turns graceful shutdown into a timeout.
+//
+// The check is evidence-based, not a proof: a send can still block
+// forever on an abandoned channel. Its runtime counterpart,
+// internal/leakcheck, catches what slips through.
+var GoroLifecycle = &Analyzer{
+	Name: "gorolifecycle",
+	Doc:  "flag go statements whose goroutine has no join or cancellation path",
+	Run:  runGoroLifecycle,
+}
+
+func runGoroLifecycle(p *Pass) {
+	// Resolve same-package function bodies so `go s.readLoop()` is
+	// analyzed through the named method, and helpers called from a
+	// goroutine body can supply the evidence.
+	bodies := make(map[*types.Func]*ast.BlockStmt)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				bodies[obj] = fd.Body
+			}
+		}
+	}
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				body = lit.Body
+			} else if obj := funcObj(p.Info, g.Call); obj != nil {
+				body = bodies[obj] // nil for cross-package callees: skip
+			}
+			if body == nil {
+				return true
+			}
+			if !joinEvidence(p.Info, body, bodies, make(map[*ast.BlockStmt]bool)) {
+				p.Reportf(g.Pos(), "goroutine is never joined: body has no WaitGroup.Done, channel send/close/receive, or ctx.Done path")
+			}
+			return true
+		})
+	}
+}
+
+// joinEvidence reports whether body — or any same-package function it
+// calls, transitively — contains a join or cancellation point.
+func joinEvidence(info *types.Info, body *ast.BlockStmt, bodies map[*types.Func]*ast.BlockStmt, seen map[*ast.BlockStmt]bool) bool {
+	if seen[body] {
+		return false
+	}
+	seen[body] = true
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := info.Types[x.X]; ok && t.Type != nil {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+				if b, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "close" {
+					found = true
+					return false
+				}
+			}
+			if f := funcObj(info, x); f != nil {
+				if f.Pkg() != nil && f.Pkg().Path() == "sync" && recvTypeName(f) == "WaitGroup" && f.Name() == "Done" {
+					found = true
+					return false
+				}
+				if callee, ok := bodies[f]; ok && joinEvidence(info, callee, bodies, seen) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

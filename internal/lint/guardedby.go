@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy enforces `// guarded by <m>` field annotations (also
+// accepted as `// guarded by <recv>.<m>`), where m names a sibling
+// sync.Mutex/RWMutex field: every read or write of the annotated field
+// must happen while that mutex is held on the same object, or through a
+// matching sync/atomic call.
+//
+// The check reasons across functions within the package. An access in a
+// method that is rooted at the receiver but not under the lock does not
+// fail on the spot: it turns the method into a *contract* — "caller
+// must hold recv.m" — and every call site is checked instead, with the
+// obligation propagating up caller chains (the `fooLocked` convention).
+// A contract method must stay unexported or carry the Locked suffix;
+// otherwise callers outside the package could never be verified.
+// Accesses to freshly constructed, not-yet-published objects
+// (`t := &Table{…}; t.rows = …`) are exempt, as is test code.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "enforce `// guarded by <m>` field annotations on all access paths",
+	Run:  runGuardedBy,
+}
+
+// guardedRE extracts the mutex name from a field's doc or line comment.
+var guardedRE = regexp.MustCompile(`guarded by\s+([A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)`)
+
+// collectGuardedFields parses annotations from every struct literal in
+// the package, validating that the named mutex is a sibling field.
+func collectGuardedFields(p *Pass) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			siblings := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, nm := range fld.Names {
+					siblings[nm.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				txt := fld.Doc.Text() + " " + fld.Comment.Text()
+				m := guardedRE.FindStringSubmatch(txt)
+				if m == nil {
+					continue
+				}
+				mutex := m[1]
+				if i := strings.LastIndexByte(mutex, '.'); i >= 0 {
+					mutex = mutex[i+1:]
+				}
+				if !siblings[mutex] {
+					p.Reportf(fld.Pos(), "guarded-by annotation names %q, which is not a sibling field", m[1])
+					continue
+				}
+				for _, nm := range fld.Names {
+					if v, ok := p.Info.Defs[nm].(*types.Var); ok {
+						out[v] = mutex
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// freshLocals finds `x := T{…}` / `x := &T{…}` / `x := new(T)` locals:
+// objects this function just built and has not shared, whose fields may
+// be initialized without the (equally fresh) lock.
+func freshLocals(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			isFresh := false
+			switch r := ast.Unparen(as.Rhs[i]).(type) {
+			case *ast.CompositeLit:
+				isFresh = true
+			case *ast.UnaryExpr:
+				if r.Op == token.AND {
+					_, isFresh = ast.Unparen(r.X).(*ast.CompositeLit)
+				}
+			case *ast.CallExpr:
+				if bid, ok := ast.Unparen(r.Fun).(*ast.Ident); ok {
+					if b, okb := info.Uses[bid].(*types.Builtin); okb && b.Name() == "new" {
+						isFresh = true
+					}
+				}
+			}
+			if isFresh {
+				if obj := info.Defs[id]; obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// gbCall is one same-package call site, with the lock paths held there.
+type gbCall struct {
+	callee     *types.Func
+	recvPath   string // textual path of the receiver expression, "" if not a path
+	held       map[string]token.Pos
+	pos        token.Pos
+	caller     *types.Func
+	callerRecv string // caller's receiver identifier, "" for plain functions
+	inGo       bool   // call happens inside a spawned goroutine body
+}
+
+type gbReq struct {
+	fn    *types.Func
+	mutex string
+}
+
+func runGuardedBy(p *Pass) {
+	guarded := collectGuardedFields(p)
+	if len(guarded) == 0 {
+		return
+	}
+	exempt := make(map[*ast.SelectorExpr]bool)
+	for _, f := range p.Files {
+		_, sels := atomicArgFields(p.Info, f)
+		for s := range sels {
+			exempt[s] = true
+		}
+	}
+
+	var calls []gbCall
+	declOf := make(map[*types.Func]*ast.FuncDecl)
+	seen := make(map[gbReq]bool)
+	var pending []gbReq
+	require := func(fn *types.Func, m string) {
+		r := gbReq{fn, m}
+		if !seen[r] {
+			seen[r] = true
+			pending = append(pending, r)
+		}
+	}
+
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			declOf[obj] = fd
+			recvName := ""
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				recvName = fd.Recv.List[0].Names[0].Name
+			}
+			fresh := freshLocals(p.Info, fd.Body)
+			w := &heldWalker{info: p.Info, keyOf: exprPath}
+			w.onNode = func(n ast.Node, held map[string]token.Pos) {
+				switch x := n.(type) {
+				case *ast.SelectorExpr:
+					if exempt[x] {
+						return
+					}
+					v := fieldVarOf(p.Info, x)
+					if v == nil {
+						return
+					}
+					m, isGuarded := guarded[v]
+					if !isGuarded {
+						return
+					}
+					base := exprPath(x.X)
+					if base != "" {
+						if _, ok := held[base+"."+m]; ok {
+							return
+						}
+					}
+					root := identRoot(x.X)
+					if root != nil && fresh[p.Info.ObjectOf(root)] {
+						return
+					}
+					if w.inGo == 0 && recvName != "" && root != nil && root.Name == recvName {
+						require(obj, m) // check this method's callers instead
+						return
+					}
+					lock := m
+					if base != "" {
+						lock = base + "." + m
+					}
+					p.Reportf(x.Pos(), "field %s is guarded by %s but accessed without holding %s", v.Name(), m, lock)
+				case *ast.CallExpr:
+					callee := funcObj(p.Info, x)
+					if callee == nil || callee.Pkg() != p.Pkg {
+						return
+					}
+					recvPath := ""
+					if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+						recvPath = exprPath(sel.X)
+					}
+					calls = append(calls, gbCall{callee, recvPath, copyHeld(held), x.Pos(), obj, recvName, w.inGo > 0})
+				}
+			}
+			w.walkFunc(fd.Body)
+		}
+	}
+
+	// Propagate contracts up caller chains until quiescent.
+	for len(pending) > 0 {
+		r := pending[0]
+		pending = pending[1:]
+		if ast.IsExported(r.fn.Name()) && !strings.HasSuffix(r.fn.Name(), "Locked") {
+			pos := r.fn.Pos()
+			if fd, ok := declOf[r.fn]; ok {
+				pos = fd.Name.Pos()
+			}
+			p.Reportf(pos, "exported method %s accesses fields guarded by %s without locking; external callers cannot be verified (lock internally or use a *Locked name)", r.fn.Name(), r.mutex)
+		}
+		for _, c := range calls {
+			if c.callee != r.fn {
+				continue
+			}
+			if c.recvPath != "" {
+				if _, ok := c.held[c.recvPath+"."+r.mutex]; ok {
+					continue
+				}
+			}
+			if !c.inGo && c.callerRecv != "" && c.recvPath == c.callerRecv {
+				require(c.caller, r.mutex) // same object: obligation moves up one frame
+				continue
+			}
+			recv := c.recvPath
+			if recv == "" {
+				recv = "receiver"
+			}
+			p.Reportf(c.pos, "call to %s requires holding %s.%s (guards annotated fields)", r.fn.Name(), recv, r.mutex)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -24,6 +25,11 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+
+	// Facts is the cross-package fact store, nil when the driver runs
+	// packages in isolation (facts then silently degrade to
+	// package-local analysis).
+	Facts *FactStore
 
 	// report collects diagnostics; analyzers call Reportf.
 	diags    *[]Diagnostic
@@ -58,13 +64,24 @@ type Analyzer struct {
 }
 
 // Run applies the analyzers to one type-checked package and returns the
-// findings sorted by position.
+// findings sorted by position. Cross-package facts degrade to
+// package-local analysis; drivers that analyze whole programs use
+// RunWithFacts.
 func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	return RunWithFacts(fset, files, pkg, info, analyzers, nil)
+}
+
+// RunWithFacts is Run with a fact store: analyzers read facts exported
+// by the package's (transitive) dependencies and export their own for
+// downstream packages. The driver must analyze packages in dependency
+// order with one shared store for facts to be complete.
+func RunWithFacts(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, facts *FactStore) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		p := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info, diags: &diags, analyzer: a.Name}
+		p := &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info, Facts: facts, diags: &diags, analyzer: a.Name}
 		a.Run(p)
 	}
+	diags = applyIgnores(fset, files, diags)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -78,9 +95,64 @@ func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types
 	return diags
 }
 
-// All returns the repository's analyzer suite.
+// ignoreRE matches suppression directives:
+//
+//	//lint:ignore <analyzer> <justification>
+//
+// The directive suppresses that analyzer's findings on its own line and
+// on the directive's line + 1 (the comment-above-the-statement idiom).
+// The justification is mandatory: a directive without one is itself
+// reported, so every suppression in the tree explains why the finding
+// is a false positive or an accepted risk.
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+// applyIgnores drops diagnostics covered by a justified //lint:ignore
+// directive and reports unjustified directives.
+func applyIgnores(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	type ignoreKey struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	ignores := make(map[ignoreKey]bool)
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					out = append(out, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:ignore %s has no justification: explain why the finding is suppressed", m[1]),
+					})
+					continue
+				}
+				ignores[ignoreKey{pos.Filename, pos.Line, m[1]}] = true
+				ignores[ignoreKey{pos.Filename, pos.Line + 1, m[1]}] = true
+			}
+		}
+	}
+	for _, d := range diags {
+		if ignores[ignoreKey{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// All returns the repository's analyzer suite: the four statement-local
+// analyzers from PR 5 plus the concurrency-safety suite.
 func All() []*Analyzer {
-	return []*Analyzer{CtxFlow, BudgetCharge, SpanSafe, ErrTaxon}
+	return []*Analyzer{
+		CtxFlow, BudgetCharge, SpanSafe, ErrTaxon,
+		LockOrder, GuardedBy, AtomicMix, GoroLifecycle,
+	}
 }
 
 // ByName resolves a comma-separated analyzer selection; empty selects

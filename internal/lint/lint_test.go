@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -34,7 +35,7 @@ var (
 func stdLookup(t *testing.T) func(path string) (io.ReadCloser, error) {
 	t.Helper()
 	stdOnce.Do(func() {
-		cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", "context", "fmt", "errors", "strings", "os")
+		cmd := exec.Command("go", "list", "-deps", "-export", "-json=ImportPath,Export", "context", "fmt", "errors", "strings", "os", "sync", "sync/atomic", "time")
 		var out, errb bytes.Buffer
 		cmd.Stdout = &out
 		cmd.Stderr = &errb
@@ -188,6 +189,88 @@ func runFixtureTest(t *testing.T, name string, a *Analyzer, extra map[string]*ty
 	matchWants(t, diags, wants)
 }
 
+// runFixtureTreeTest loads a multi-package fixture: each subdirectory
+// of testdata/src/<name> is one package, importable by its directory
+// name. Packages are type-checked and analyzed in dependency order with
+// a shared fact store — the setup lockorder's cross-package fact tests
+// need. Want comments are collected across the whole tree.
+func runFixtureTreeTest(t *testing.T, name string, a *Analyzer) {
+	root := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	parsed := make(map[string][]*ast.File)
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		names = append(names, e.Name())
+		parsed[e.Name()] = parseFixture(t, fset, filepath.Join(root, e.Name()))
+	}
+	if len(parsed) == 0 {
+		t.Fatalf("fixture %s has no packages", name)
+	}
+	sort.Strings(names)
+	localDeps := func(pkg string) []string {
+		var deps []string
+		for _, f := range parsed[pkg] {
+			for _, im := range f.Imports {
+				p := strings.Trim(im.Path.Value, `"`)
+				if _, ok := parsed[p]; ok {
+					deps = append(deps, p)
+				}
+			}
+		}
+		return deps
+	}
+	var order []string
+	done := make(map[string]bool)
+	for len(order) < len(names) {
+		progress := false
+		for _, n := range names {
+			if done[n] {
+				continue
+			}
+			ready := true
+			for _, d := range localDeps(n) {
+				if !done[d] {
+					ready = false
+				}
+			}
+			if ready {
+				order = append(order, n)
+				done[n] = true
+				progress = true
+			}
+		}
+		if !progress {
+			t.Fatalf("fixture %s has an import cycle", name)
+		}
+	}
+	std := importer.ForCompiler(fset, "gc", stdLookup(t))
+	extra := make(map[string]*types.Package)
+	facts := new(FactStore)
+	var diags []Diagnostic
+	var allFiles []*ast.File
+	for _, n := range order {
+		pkg, info, err := TypeCheck(fset, n, parsed[n], fixtureImporter{std: std, extra: extra})
+		if err != nil {
+			t.Fatalf("type-checking fixture package %s/%s: %v", name, n, err)
+		}
+		extra[n] = pkg
+		diags = append(diags, RunWithFacts(fset, parsed[n], pkg, info, []*Analyzer{a}, facts)...)
+		allFiles = append(allFiles, parsed[n]...)
+	}
+	wants := collectWants(t, fset, allFiles)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", name)
+	}
+	matchWants(t, diags, wants)
+}
+
 // ---------------------------------------------------------------------------
 // Analyzer fixture tests
 
@@ -227,10 +310,53 @@ func TestErrTaxonChainFixture(t *testing.T) {
 	runFixtureTest(t, "internal/server", ErrTaxon, nil)
 }
 
+func TestLockOrderFixture(t *testing.T) {
+	runFixtureTreeTest(t, "lockorder", LockOrder)
+}
+
+func TestGuardedByFixture(t *testing.T) {
+	runFixtureTest(t, "guardedby", GuardedBy, nil)
+}
+
+func TestAtomicMixFixture(t *testing.T) {
+	runFixtureTest(t, "atomicmix", AtomicMix, nil)
+}
+
+func TestGoroLifecycleFixture(t *testing.T) {
+	runFixtureTest(t, "gorolifecycle", GoroLifecycle, nil)
+}
+
+// TestIgnoreDirectives pins the suppression contract: a justified
+// directive silences its analyzer on the next line only, an unjustified
+// one is itself a finding, and other analyzers are unaffected.
+func TestIgnoreDirectives(t *testing.T) {
+	src := "package p\n\n//lint:ignore demo covered elsewhere\nvar x = 1\n\n//lint:ignore demo\nvar y = 2\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := []Diagnostic{
+		{Analyzer: "demo", Pos: token.Position{Filename: "p.go", Line: 4}, Message: "suppressed"},
+		{Analyzer: "demo", Pos: token.Position{Filename: "p.go", Line: 7}, Message: "kept: directive above has no justification"},
+		{Analyzer: "other", Pos: token.Position{Filename: "p.go", Line: 4}, Message: "kept: different analyzer"},
+	}
+	out := applyIgnores(fset, []*ast.File{f}, diags)
+	var got []string
+	for _, d := range out {
+		got = append(got, fmt.Sprintf("%s:%d", d.Analyzer, d.Pos.Line))
+	}
+	sort.Strings(got)
+	want := []string{"demo:7", "lint:6", "other:4"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("applyIgnores kept %v, want %v", got, want)
+	}
+}
+
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 4 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 8, nil", len(all), err)
 	}
 	two, err := ByName("ctxflow, spansafe")
 	if err != nil || len(two) != 2 || two[0].Name != "ctxflow" || two[1].Name != "spansafe" {
@@ -256,8 +382,11 @@ func TestRepoClean(t *testing.T) {
 	if len(loaded) == 0 {
 		t.Fatal("Load matched no packages")
 	}
+	// Load returns packages in `go list -deps` order — dependencies
+	// before dependents — which is exactly what the fact store needs.
+	facts := new(FactStore)
 	for _, l := range loaded {
-		diags := Run(l.Fset, l.Files, l.Pkg, l.Info, All())
+		diags := RunWithFacts(l.Fset, l.Files, l.Pkg, l.Info, All(), facts)
 		for _, d := range diags {
 			t.Errorf("%s", d)
 		}

@@ -1,0 +1,311 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the mutex-acquisition graph and flags order
+// inversions — the two-lock deadlock class. Locks are named by *class*
+// (pkgpath.Type.field), so any Table.mu counts as the same lock: an
+// edge A→B means "somewhere, B is acquired while A is held". If the
+// reverse order is also reachable, two goroutines can each hold one
+// lock and wait for the other forever; the analyzer reports the local
+// edge and the conflicting path.
+//
+// Reasoning is cross-function and cross-package: each function's set of
+// possibly-acquired classes is closed over its same-package callees,
+// and exported per package as a fact (go/analysis style); a downstream
+// package that calls storage while holding engine locks gets the
+// storage-internal acquisitions from the fact store. Self-edges are
+// skipped — instances of a class are conflated, and lock-both-tables
+// code would otherwise always fire. Acquisitions inside `go` literals
+// belong to the spawned goroutine, not to callers of the spawning
+// function. Calls through interfaces contribute no edges (the concrete
+// method is unknown); sync.Mutex.TryLock cannot block and is ignored.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flag mutex acquisition-order inversions (deadlock candidates)",
+	Run:  runLockOrder,
+}
+
+// lockOrderFact is the per-package fact: the transitively-closed set of
+// lock classes each function may acquire, and the package's local
+// acquisition-order edges with their source positions.
+type lockOrderFact struct {
+	Functions map[string][]string `json:"functions,omitempty"`
+	Edges     []lockEdgeFact      `json:"edges,omitempty"`
+}
+
+type lockEdgeFact struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	At   string `json:"at"` // "file:line:col", for diagnostics only
+}
+
+// transImports returns the transitive import closure of pkg.
+func transImports(pkg *types.Package) []*types.Package {
+	seen := make(map[*types.Package]bool)
+	var out []*types.Package
+	var rec func(p *types.Package)
+	rec = func(p *types.Package) {
+		for _, im := range p.Imports() {
+			if !seen[im] {
+				seen[im] = true
+				out = append(out, im)
+				rec(im)
+			}
+		}
+	}
+	rec(pkg)
+	return out
+}
+
+type loCall struct {
+	callee   *types.Func
+	held     map[string]token.Pos
+	pos      token.Pos
+	detached bool // inside a `go` literal: not part of the caller's behavior
+}
+
+type loFunc struct {
+	obj    *types.Func
+	direct map[string]bool
+	calls  []loCall
+}
+
+type loEdge struct{ from, to string }
+
+func runLockOrder(p *Pass) {
+	var fns []*loFunc
+	localEdges := make(map[loEdge]token.Pos)
+	var edgeOrder []loEdge // insertion order, for deterministic reports
+	addEdge := func(from, to string, pos token.Pos) {
+		if from == to {
+			return
+		}
+		k := loEdge{from, to}
+		if _, ok := localEdges[k]; !ok {
+			localEdges[k] = pos
+			edgeOrder = append(edgeOrder, k)
+		}
+	}
+
+	for _, f := range p.Files {
+		if isTestFile(p.Fset, f) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := p.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			fn := &loFunc{obj: obj, direct: make(map[string]bool)}
+			w := &heldWalker{info: p.Info, keyOf: func(e ast.Expr) string { return lockClass(p.Info, e) }}
+			w.onAcquire = func(key string, call *ast.CallExpr, held map[string]token.Pos) {
+				for h := range held {
+					addEdge(h, key, call.Pos())
+				}
+				if w.inGo == 0 {
+					fn.direct[key] = true
+				}
+			}
+			w.onNode = func(n ast.Node, held map[string]token.Pos) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				callee := funcObj(p.Info, call)
+				if callee == nil || callee.Pkg() == nil {
+					return
+				}
+				if path := callee.Pkg().Path(); path == "sync" || path == "sync/atomic" {
+					return
+				}
+				fn.calls = append(fn.calls, loCall{callee, copyHeld(held), call.Pos(), w.inGo > 0})
+			}
+			w.walkFunc(fd.Body)
+			fns = append(fns, fn)
+		}
+	}
+
+	// Pull facts from the transitive dependencies.
+	depFns := make(map[string][]string)
+	var depEdges []lockEdgeFact
+	if p.Facts != nil {
+		for _, dep := range transImports(p.Pkg) {
+			var fact lockOrderFact
+			if p.Facts.ImportFact(dep.Path(), "lockorder", &fact) {
+				for name, classes := range fact.Functions {
+					depFns[name] = classes
+				}
+				depEdges = append(depEdges, fact.Edges...)
+			}
+		}
+	}
+
+	// Close each function's acquired-class set over its callees.
+	eff := make(map[string]map[string]bool, len(fns))
+	for _, fn := range fns {
+		s := make(map[string]bool, len(fn.direct))
+		for c := range fn.direct {
+			s[c] = true
+		}
+		eff[fn.obj.FullName()] = s
+	}
+	acquiredOf := func(callee *types.Func) []string {
+		name := callee.FullName()
+		if s, ok := eff[name]; ok {
+			out := make([]string, 0, len(s))
+			for c := range s {
+				out = append(out, c)
+			}
+			return out
+		}
+		return depFns[name]
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			s := eff[fn.obj.FullName()]
+			for _, c := range fn.calls {
+				if c.detached {
+					continue
+				}
+				for _, cls := range acquiredOf(c.callee) {
+					if !s[cls] {
+						s[cls] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Hold-and-call edges: held locks order before everything the
+	// callee may acquire.
+	for _, fn := range fns {
+		for _, c := range fn.calls {
+			if len(c.held) == 0 {
+				continue
+			}
+			for _, cls := range acquiredOf(c.callee) {
+				for h := range c.held {
+					addEdge(h, cls, c.pos)
+				}
+			}
+		}
+	}
+
+	// Cycle check over local ∪ dependency edges.
+	addAdj := func(adj map[string]map[string]bool, from, to string) {
+		if adj[from] == nil {
+			adj[from] = make(map[string]bool)
+		}
+		adj[from][to] = true
+	}
+	adjDep := make(map[string]map[string]bool)
+	for _, e := range depEdges {
+		addAdj(adjDep, e.From, e.To)
+	}
+	adj := make(map[string]map[string]bool)
+	for k := range localEdges {
+		addAdj(adj, k.from, k.to)
+	}
+	for _, e := range depEdges {
+		addAdj(adj, e.From, e.To)
+	}
+	sort.Slice(edgeOrder, func(i, j int) bool {
+		if edgeOrder[i].from != edgeOrder[j].from {
+			return edgeOrder[i].from < edgeOrder[j].from
+		}
+		return edgeOrder[i].to < edgeOrder[j].to
+	})
+	reportedCycles := make(map[string]bool)
+	report := func(k loEdge, path []string) {
+		cyc := append([]string(nil), path...)
+		sort.Strings(cyc)
+		canon := strings.Join(cyc, "|")
+		if reportedCycles[canon] {
+			return
+		}
+		reportedCycles[canon] = true
+		p.Reportf(localEdges[k], "lock order inversion: %s acquired while %s is held, but elsewhere the order is %s",
+			k.to, k.from, strings.Join(path, " -> "))
+	}
+	// First report local edges that invert an order the dependencies
+	// already established: dependency order is "first" in every sense,
+	// so the violation is unambiguously the local edge. Only then scan
+	// the combined graph, so a cycle's report lands on the inverting
+	// edge rather than on a consistent edge that happens to sort
+	// earlier.
+	for _, k := range edgeOrder {
+		if path := lockPath(adjDep, k.to, k.from); path != nil {
+			report(k, path)
+		}
+	}
+	for _, k := range edgeOrder {
+		if path := lockPath(adj, k.to, k.from); path != nil {
+			report(k, path)
+		}
+	}
+
+	// Export this package's contribution for downstream importers.
+	if p.Facts != nil {
+		fact := lockOrderFact{Functions: make(map[string][]string)}
+		for name, s := range eff {
+			if len(s) == 0 {
+				continue
+			}
+			classes := make([]string, 0, len(s))
+			for c := range s {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			fact.Functions[name] = classes
+		}
+		for _, k := range edgeOrder {
+			fact.Edges = append(fact.Edges, lockEdgeFact{From: k.from, To: k.to, At: p.Fset.Position(localEdges[k]).String()})
+		}
+		if len(fact.Functions) > 0 || len(fact.Edges) > 0 {
+			if err := p.Facts.ExportFact(p.Pkg.Path(), "lockorder", fact); err != nil {
+				p.Reportf(token.NoPos, "exporting lockorder fact: %v", err)
+			}
+		}
+	}
+}
+
+// lockPath finds a path from → to over adj (both endpoints included),
+// or nil. Neighbor order is sorted so reports are deterministic.
+func lockPath(adj map[string]map[string]bool, from, to string) []string {
+	visited := map[string]bool{from: true}
+	var dfs func(cur string, path []string) []string
+	dfs = func(cur string, path []string) []string {
+		if cur == to {
+			return path
+		}
+		next := make([]string, 0, len(adj[cur]))
+		for n := range adj[cur] {
+			next = append(next, n)
+		}
+		sort.Strings(next)
+		for _, n := range next {
+			if visited[n] {
+				continue
+			}
+			visited[n] = true
+			if r := dfs(n, append(path, n)); r != nil {
+				return r
+			}
+		}
+		return nil
+	}
+	return dfs(from, []string{from})
+}

@@ -1,0 +1,28 @@
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64 // accessed both ways: the bug
+	safe int64 // only ever atomic: fine
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `field n is accessed with sync/atomic`
+}
+
+func (c *counter) store(v int64) {
+	c.n = v // want `field n is accessed with sync/atomic`
+}
+
+func (c *counter) bumpSafe() {
+	atomic.AddInt64(&c.safe, 1)
+}
+
+func (c *counter) readSafe() int64 {
+	return atomic.LoadInt64(&c.safe)
+}

@@ -1,0 +1,74 @@
+package gorolifecycle
+
+import "sync"
+
+// leak spawns a goroutine nothing can join or stop.
+func leak() {
+	go func() { // want `goroutine is never joined`
+		println("working")
+	}()
+}
+
+// joined is the WaitGroup pattern.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		println("working")
+	}()
+	wg.Wait()
+}
+
+// doneChannel closes a channel the owner can wait on.
+func doneChannel() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		println("working")
+	}()
+	return done
+}
+
+// sender reports completion over a result channel.
+func sender() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 42
+	}()
+	return out
+}
+
+// viaHelper's evidence lives in a same-package callee.
+func viaHelper() {
+	ch := make(chan int, 1)
+	go pump(ch)
+	<-ch
+}
+
+func pump(ch chan int) { ch <- 1 }
+
+// stoppable is the cancellation-path pattern.
+func stoppable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				println("tick")
+			}
+		}
+	}()
+}
+
+// leakyHelper has no evidence even through its callee.
+func leakyHelper() {
+	go spin() // want `goroutine is never joined`
+}
+
+func spin() {
+	for {
+		println("spinning")
+	}
+}

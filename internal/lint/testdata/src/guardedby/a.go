@@ -1,0 +1,78 @@
+package guardedby
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type box struct {
+	mu sync.Mutex
+	n  int   // guarded by mu
+	a  int64 // guarded by mu
+}
+
+type badAnno struct {
+	m int // guarded by missing // want `guarded-by annotation names "missing"`
+}
+
+// good holds the lock across the access.
+func (b *box) good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// window is the explicit Lock…Unlock form.
+func (b *box) window() int {
+	b.mu.Lock()
+	v := b.n
+	b.mu.Unlock()
+	return v
+}
+
+// bad touches another object's guarded field with no lock at all.
+func (b *box) bad(other *box) int {
+	return other.n // want `field n is guarded by mu but accessed without holding other.mu`
+}
+
+// atomicOK discharges the obligation through sync/atomic.
+func (b *box) atomicOK() int64 {
+	return atomic.LoadInt64(&b.a)
+}
+
+// spawned goroutines do not inherit the spawner's locks.
+func (b *box) spawn() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.n++ // want `field n is guarded by mu but accessed without holding b.mu`
+	}()
+}
+
+// addLocked's bare access becomes a caller obligation, not a finding.
+func (b *box) addLocked(d int) { b.n += d }
+
+// callerGood discharges addLocked's obligation.
+func (b *box) callerGood(d int) {
+	b.mu.Lock()
+	b.addLocked(d)
+	b.mu.Unlock()
+}
+
+// use calls a contract method without the lock.
+func use(x *box) {
+	x.addLocked(1) // want `call to addLocked requires holding x.mu`
+}
+
+// Bump inherits the obligation from addLocked; being exported, its
+// callers cannot all be seen, so the obligation surfaces here.
+func (b *box) Bump(d int) { // want `exported method Bump accesses fields guarded by mu`
+	b.addLocked(d)
+}
+
+// fresh objects are unpublished: initialization needs no lock.
+func fresh() *box {
+	b := &box{}
+	b.n = 7
+	return b
+}

@@ -1,0 +1,37 @@
+// Package a establishes lock orders that package b must respect; its
+// acquisition facts cross the package boundary through the fact store.
+package a
+
+import "sync"
+
+type A struct{ Mu sync.Mutex }
+type B struct{ Mu sync.Mutex }
+type C struct{ Mu sync.Mutex }
+type D struct{ Mu sync.Mutex }
+
+// Establish fixes the order A -> B.
+func Establish(x *A, y *B) {
+	x.Mu.Lock()
+	defer x.Mu.Unlock()
+	y.Mu.Lock()
+	y.Mu.Unlock()
+}
+
+// EstablishCD fixes C -> D through a hold-and-call edge.
+func EstablishCD(c *C, d *D) {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	LockD(d)
+}
+
+// LockD acquires and releases D.
+func LockD(d *D) {
+	d.Mu.Lock()
+	d.Mu.Unlock()
+}
+
+// LockC acquires and releases C.
+func LockC(c *C) {
+	c.Mu.Lock()
+	c.Mu.Unlock()
+}

@@ -1,0 +1,36 @@
+// Package b imports a and violates its lock orders; the analyzer sees
+// a's orders only through exported facts.
+package b
+
+import "a"
+
+// Invert acquires directly in the reverse of a.Establish's order.
+func Invert(x *a.A, y *a.B) {
+	y.Mu.Lock()
+	defer y.Mu.Unlock()
+	x.Mu.Lock() // want `lock order inversion`
+	x.Mu.Unlock()
+}
+
+// InvertViaFact holds D and calls a function that a's facts say
+// acquires C — the reverse of a.EstablishCD.
+func InvertViaFact(c *a.C, d *a.D) {
+	d.Mu.Lock()
+	a.LockC(c) // want `lock order inversion`
+	d.Mu.Unlock()
+}
+
+// Aligned follows the established A -> B order: clean.
+func Aligned(x *a.A, y *a.B) {
+	x.Mu.Lock()
+	y.Mu.Lock()
+	y.Mu.Unlock()
+	x.Mu.Unlock()
+}
+
+// AlignedViaCall holds C and calls a.LockD: consistent with C -> D.
+func AlignedViaCall(c *a.C, d *a.D) {
+	c.Mu.Lock()
+	a.LockD(d)
+	c.Mu.Unlock()
+}

@@ -71,8 +71,8 @@ type Budget struct {
 	stopped atomic.Bool
 	workers atomic.Int64
 	mu      sync.Mutex
-	err     error
-	passes  []PassStat
+	err     error      // guarded by mu
+	passes  []PassStat // guarded by mu
 }
 
 // PassStat records one levelwise pass for observability: the itemset

@@ -62,10 +62,10 @@ type Server struct {
 	cfg Config
 
 	mu       sync.Mutex
-	sessions map[*session]struct{}
-	active   int
-	draining bool
-	nextID   uint64
+	sessions map[*session]struct{} // guarded by mu
+	active   int                   // guarded by mu
+	draining bool                  // guarded by mu
+	nextID   uint64                // guarded by mu
 }
 
 // New wraps an engine in a wire server. The engine may be shared with

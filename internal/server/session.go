@@ -41,13 +41,14 @@ type session struct {
 	limits      resource.Limits
 	mineReplace bool
 
-	frames  chan frame // reader goroutine -> run loop; closed on read failure
-	readErr error      // sticky first read error, written before frames closes
+	frames  chan frame    // reader goroutine -> run loop; closed on read failure
+	done    chan struct{} // closed when run returns; unblocks a reader mid-send
+	readErr error         // sticky first read error, written before frames closes
 
 	mu        sync.Mutex
-	curCancel context.CancelFunc // cancels the in-flight statement, nil when ready
-	busy      bool
-	draining  bool
+	curCancel context.CancelFunc // guarded by mu; cancels the in-flight statement, nil when ready
+	busy      bool               // guarded by mu
+	draining  bool               // guarded by mu
 
 	stmts    map[uint32]*prepStmt
 	nextStmt uint32
@@ -99,6 +100,7 @@ func newSession(srv *Server, conn net.Conn, id uint64) *session {
 		br:     bufio.NewReader(countReader{conn, &srv.met.SrvBytesRead}),
 		bw:     bufio.NewWriter(countWriter{conn, &srv.met.SrvBytesWritten}),
 		frames: make(chan frame),
+		done:   make(chan struct{}),
 		stmts:  make(map[uint32]*prepStmt),
 	}
 }
@@ -126,6 +128,11 @@ func wireAdmissionCode(draining bool) string {
 // context: it stays open through graceful drain and is canceled only at
 // the drain deadline.
 func (sess *session) run(ctx context.Context) {
+	// Closing done releases a readLoop parked on the frames send when
+	// run leaves early (drain, write failure, Terminate race): closing
+	// the connection only unblocks a reader stuck in a *read*, not one
+	// already holding a frame nobody will receive.
+	defer close(sess.done)
 	defer sess.conn.Close()
 	if !sess.startup() {
 		return
@@ -226,7 +233,11 @@ func (sess *session) readLoop() {
 			close(sess.frames)
 			return
 		}
-		sess.frames <- frame{typ, payload}
+		select {
+		case sess.frames <- frame{typ, payload}:
+		case <-sess.done:
+			return // run loop already left; the frame has no receiver
+		}
 		if typ == wire.MsgTerminate {
 			return // run loop closes the connection
 		}

@@ -24,11 +24,18 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"time"
 )
+
+// ErrFrameTooLarge is wrapped by WriteFrame and ReadFrame when a
+// payload (or a received length prefix) exceeds MaxFrame, so callers
+// can distinguish the protocol-limit refusal from transport errors with
+// errors.Is.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
 // ProtocolVersion is the version the Startup frame announces. A server
 // refuses other versions with CodeProtocol.
@@ -92,7 +99,7 @@ const (
 // WriteFrame writes one frame to w.
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload) > MaxFrame {
-		return fmt.Errorf("wire: frame payload %d bytes exceeds limit %d", len(payload), MaxFrame)
+		return fmt.Errorf("%w: payload %d bytes, limit %d", ErrFrameTooLarge, len(payload), MaxFrame)
 	}
 	var hdr [5]byte
 	hdr[0] = typ
@@ -112,7 +119,7 @@ func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
 	if n > MaxFrame {
-		return 0, nil, fmt.Errorf("wire: frame length %d exceeds limit %d", n, MaxFrame)
+		return 0, nil, fmt.Errorf("%w: length prefix %d, limit %d", ErrFrameTooLarge, n, MaxFrame)
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

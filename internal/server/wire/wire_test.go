@@ -2,10 +2,10 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math"
-	"strings"
 	"testing"
 	"time"
 )
@@ -44,15 +44,66 @@ func TestReadFrameRefusesOversize(t *testing.T) {
 	// reader must refuse before allocating, not trust the length.
 	hdr := []byte{MsgQuery, 0xFF, 0xFF, 0xFF, 0xFF}
 	_, _, err := ReadFrame(bytes.NewReader(hdr))
-	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
-		t.Fatalf("want oversize refusal, got %v", err)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
 	}
 }
 
 func TestWriteFrameRefusesOversize(t *testing.T) {
 	err := WriteFrame(io.Discard, MsgDataRow, make([]byte, MaxFrame+1))
-	if err == nil {
-		t.Fatal("want oversize refusal")
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestFrameExactlyMaxAccepted(t *testing.T) {
+	// MaxFrame is a limit, not a fencepost: a payload of exactly
+	// MaxFrame bytes must round-trip on both sides.
+	payload := make([]byte, MaxFrame)
+	payload[0], payload[MaxFrame-1] = 0xA5, 0x5A
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgDataRow, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgDataRow || len(got) != MaxFrame || got[0] != 0xA5 || got[MaxFrame-1] != 0x5A {
+		t.Fatalf("got typ=%q len=%d", typ, len(got))
+	}
+}
+
+func TestReadFrameRefusesMaxPlusOne(t *testing.T) {
+	var hdr [5]byte
+	hdr[0] = MsgDataRow
+	binary.BigEndian.PutUint32(hdr[1:], MaxFrame+1)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge for MaxFrame+1, got %v", err)
+	}
+}
+
+func TestReadFrameTruncatedHeader(t *testing.T) {
+	// The connection dies mid-header: 3 of 5 bytes arrive. The reader
+	// must surface an unexpected-EOF, not hang or misparse.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgQuery, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:3]
+	_, _, err := ReadFrame(bytes.NewReader(cut))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF for mid-header cut, got %v", err)
+	}
+}
+
+func TestReadFrameEmptyStream(t *testing.T) {
+	// A cleanly closed connection before any header is plain EOF, so
+	// read loops can tell orderly shutdown from truncation.
+	_, _, err := ReadFrame(bytes.NewReader(nil))
+	if !errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want plain EOF on empty stream, got %v", err)
 	}
 }
 

@@ -100,11 +100,11 @@ type prepared struct {
 // bodies, is cached in the executor keyed by storage.Catalog.Version.)
 type stmtCache struct {
 	mu        sync.Mutex
-	stmts     clockCache[*prepared]
-	scripts   clockCache[*prepared]
-	hits      uint64
-	misses    uint64
-	evictions uint64
+	stmts     clockCache[*prepared] // guarded by mu
+	scripts   clockCache[*prepared] // guarded by mu
+	hits      uint64                // guarded by mu
+	misses    uint64                // guarded by mu
+	evictions uint64                // guarded by mu
 }
 
 // StatementCacheStats reports the prepared-program cache's hit and miss

@@ -22,17 +22,18 @@ type Table struct {
 	schema *schema.Schema
 
 	mu      sync.RWMutex
-	rows    []schema.Row
-	indexes []*Index
-	jn      Journal // nil on in-memory databases
+	rows    []schema.Row // guarded by mu
+	indexes []*Index     // guarded by mu
+	jn      Journal      // guarded by mu; nil on in-memory databases
 
 	// stats is the last statistics snapshot (nil until first computed);
 	// statsRows is the row count it was computed at, which drives the
 	// staleness test. statsEpoch points at the owning catalog's shared
-	// statistics generation counter (nil for detached tables).
-	stats      *TableStats
-	statsRows  int
-	statsEpoch *atomic.Uint64
+	// statistics generation counter (nil for detached tables). All three
+	// are guarded by mu.
+	stats      *TableStats    // guarded by mu
+	statsRows  int            // guarded by mu
+	statsEpoch *atomic.Uint64 // guarded by mu (the pointer; the counter is atomic)
 }
 
 // NewTable creates an empty table.
@@ -139,9 +140,9 @@ func (t *Table) Snapshot() []schema.Row {
 type Sequence struct {
 	name   string
 	mu     sync.Mutex
-	next   int64
-	logged int64   // ceiling already journaled; values below it need no log
-	jn     Journal // nil on in-memory databases
+	next   int64   // guarded by mu
+	logged int64   // guarded by mu; ceiling already journaled, values below it need no log
+	jn     Journal // guarded by mu; nil on in-memory databases
 }
 
 // seqCache is how far past the current value a SeqBump record reaches:
@@ -212,11 +213,11 @@ type View struct {
 // and sequences. Names are case-insensitive.
 type Catalog struct {
 	mu   sync.RWMutex
-	tabs map[string]*Table
-	vws  map[string]*View
-	seqs map[string]*Sequence
-	idxs map[string]string // index name → owning table name
-	jn   Journal           // nil on in-memory databases
+	tabs map[string]*Table    // guarded by mu
+	vws  map[string]*View     // guarded by mu
+	seqs map[string]*Sequence // guarded by mu
+	idxs map[string]string    // guarded by mu; index name → owning table name
+	jn   Journal              // guarded by mu; nil on in-memory databases
 
 	// version counts DDL mutations. Caches of anything derived from the
 	// dictionary (resolved view plans, compiled statements bound to
@@ -278,9 +279,9 @@ func (c *Catalog) CreateTable(name string, s *schema.Schema) (*Table, error) {
 			return nil, err
 		}
 	}
-	t := NewTable(name, s)
-	t.jn = c.jn
-	t.statsEpoch = c.statsEpochRef()
+	// Built as a literal, not via NewTable: the table is unpublished
+	// until the map insert below, so its fields may be set lock-free.
+	t := &Table{name: name, schema: s, jn: c.jn, statsEpoch: c.statsEpochRef()}
 	c.tabs[k] = t
 	c.version.Add(1)
 	return t, nil
@@ -427,8 +428,9 @@ func (c *Catalog) CreateSequence(name string) (*Sequence, error) {
 			return nil, err
 		}
 	}
-	s := NewSequence(name)
-	s.jn = c.jn
+	// Literal construction for the same unpublished-object reason as
+	// CreateTable; next/logged start at 1 as in NewSequence.
+	s := &Sequence{name: name, next: 1, logged: 1, jn: c.jn}
 	c.seqs[k] = s
 	c.version.Add(1)
 	return s, nil

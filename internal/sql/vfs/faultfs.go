@@ -84,14 +84,14 @@ type FaultFS struct {
 	prof  Profile
 
 	mu       sync.Mutex
-	rng      *rand.Rand
-	enabled  bool
-	dead     bool
-	counts   map[Op]int
-	arms     []arm
-	files    map[string]*fileMeta
-	open     map[*faultFile]struct{}
-	injected int
+	rng      *rand.Rand              // guarded by mu
+	enabled  bool                    // guarded by mu
+	dead     bool                    // guarded by mu
+	counts   map[Op]int              // guarded by mu
+	arms     []arm                   // guarded by mu
+	files    map[string]*fileMeta    // guarded by mu
+	open     map[*faultFile]struct{} // guarded by mu
+	injected int                     // guarded by mu
 }
 
 // NewFaultFS wraps inner with seed-driven fault injection. Probabilistic
