@@ -237,3 +237,22 @@ func BenchmarkE9Reuse(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkE11ConcurrentMining runs the E11 workload (4 concurrent
+// miners + 2 OLTP writers over MVCC snapshots) once per iteration; the
+// reported speedup metric is concurrent aggregate throughput over the
+// serialized baseline.
+func BenchmarkE11ConcurrentMining(b *testing.B) {
+	b.ReportAllocs()
+	var last *bench.E11Stats
+	for i := 0; i < b.N; i++ {
+		st, err := bench.E11Run(300, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	if last != nil {
+		b.ReportMetric(last.Speedup, "speedup")
+	}
+}

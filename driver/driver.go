@@ -310,10 +310,56 @@ func (c *conn) Close() error {
 	return c.nc.Close()
 }
 
-// Begin is required by driver.Conn; the engine runs autocommit
-// statements only.
+// Begin is required by driver.Conn; database/sql prefers BeginTx.
 func (c *conn) Begin() (sqldriver.Tx, error) {
-	return nil, errors.New("minerule driver: transactions are not supported")
+	return c.BeginTx(context.Background(), sqldriver.TxOptions{})
+}
+
+// BeginTx opens an explicit transaction on the session by sending BEGIN
+// as an ordinary Query frame; Commit and Rollback send COMMIT/ROLLBACK
+// the same way. The engine runs snapshot isolation, so only the default
+// and snapshot isolation levels are accepted; ReadOnly is advisory (all
+// reads are snapshot reads regardless).
+func (c *conn) BeginTx(ctx context.Context, opts sqldriver.TxOptions) (sqldriver.Tx, error) {
+	switch sql.IsolationLevel(opts.Isolation) {
+	case sql.LevelDefault, sql.LevelSnapshot:
+	default:
+		return nil, fmt.Errorf("minerule driver: isolation level %s is not supported (the engine runs snapshot isolation)", sql.IsolationLevel(opts.Isolation))
+	}
+	if c.bad.Load() {
+		return nil, sqldriver.ErrBadConn
+	}
+	if err := c.txnControl(ctx, "BEGIN"); err != nil {
+		return nil, err
+	}
+	return &tx{c: c}, nil
+}
+
+// txnControl round-trips one transaction-control statement.
+func (c *conn) txnControl(ctx context.Context, stmt string) error {
+	var b wire.Builder
+	b.PutString(stmt)
+	_, err := c.roundTripExec(ctx, wire.MsgQuery, b.B)
+	return err
+}
+
+// tx is an open explicit transaction on its conn. database/sql
+// guarantees exactly one of Commit/Rollback is called, on the same
+// goroutine that uses the conn.
+type tx struct{ c *conn }
+
+// Commit and Rollback are the API layer for transaction teardown —
+// database/sql's driver.Tx interface carries no context, so they mint
+// the background one.
+func (t *tx) Commit() error { return t.c.finishTxn(context.Background(), "COMMIT") }
+
+func (t *tx) Rollback() error { return t.c.finishTxn(context.Background(), "ROLLBACK") }
+
+func (c *conn) finishTxn(ctx context.Context, stmt string) error {
+	if c.bad.Load() {
+		return sqldriver.ErrBadConn
+	}
+	return c.txnControl(ctx, stmt)
 }
 
 // IsValid keeps database/sql from handing out a conn whose socket was
@@ -624,6 +670,7 @@ var (
 	_ sqldriver.QueryerContext                 = (*conn)(nil)
 	_ sqldriver.ExecerContext                  = (*conn)(nil)
 	_ sqldriver.Validator                      = (*conn)(nil)
+	_ sqldriver.ConnBeginTx                    = (*conn)(nil)
 	_ sqldriver.StmtExecContext                = (*stmt)(nil)
 	_ sqldriver.StmtQueryContext               = (*stmt)(nil)
 	_ sqldriver.RowsColumnTypeDatabaseTypeName = (*rows)(nil)

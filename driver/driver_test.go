@@ -1,6 +1,7 @@
 package driver_test
 
 import (
+	"bufio"
 	"context"
 	"database/sql"
 	"errors"
@@ -13,6 +14,7 @@ import (
 
 	"minerule"
 	mrdriver "minerule/driver"
+	"minerule/internal/server/wire"
 )
 
 // startServer serves a fresh in-memory system on a loopback listener
@@ -448,13 +450,23 @@ func TestMidQueryDisconnectCancellation(t *testing.T) {
 		t.Fatalf("count = %d", cnt)
 	}
 
-	// The canceled statement shows up on the server's counters.
-	var metrics strings.Builder
-	if err := sys.WriteMetrics(&metrics); err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(metrics.String(), "minerule_server_canceled_total 1") {
-		t.Fatalf("canceled counter missing:\n%s", grepLines(metrics.String(), "minerule_server"))
+	// The canceled statement shows up on the server's counters. Since
+	// statements run concurrently (no global engine lock), the fresh
+	// COUNT above no longer serializes behind the canceled session's
+	// teardown — poll until its disconnect has been accounted.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var metrics strings.Builder
+		if err := sys.WriteMetrics(&metrics); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(metrics.String(), "minerule_server_canceled_total 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled counter missing:\n%s", grepLines(metrics.String(), "minerule_server"))
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 
@@ -532,4 +544,154 @@ func grepLines(s, sub string) string {
 		}
 	}
 	return strings.Join(out, "\n")
+}
+
+// TestDriverTransactions round-trips db.BeginTx onto the wire's
+// BEGIN/COMMIT/ROLLBACK statements against a booted server: an open
+// transaction's writes are invisible to other sessions until Commit,
+// and Rollback discards them.
+func TestDriverTransactions(t *testing.T) {
+	addr, _ := startServer(t, minerule.ServerConfig{})
+	db := openDB(t, "tcp://"+addr)
+	other := openDB(t, "tcp://"+addr) // independent session: the observer
+
+	if _, err := db.Exec("CREATE TABLE acct (id INTEGER, bal INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO acct VALUES (1, 100), (2, 200)"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	tx, err := db.BeginTx(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("UPDATE acct SET bal = bal - 10 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("UPDATE acct SET bal = bal + 10 WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	// The transfer is uncommitted: the observer session must still see
+	// the original balances.
+	var bal int64
+	if err := other.QueryRow("SELECT bal FROM acct WHERE id = 1").Scan(&bal); err != nil {
+		t.Fatal(err)
+	}
+	if bal != 100 {
+		t.Fatalf("uncommitted write leaked: observer sees bal=%d, want 100", bal)
+	}
+	// The transaction sees its own writes.
+	if err := tx.QueryRow("SELECT bal FROM acct WHERE id = 1").Scan(&bal); err != nil {
+		t.Fatal(err)
+	}
+	if bal != 90 {
+		t.Fatalf("transaction does not see its own write: bal=%d, want 90", bal)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	if err := other.QueryRow("SELECT SUM(bal) FROM acct").Scan(&sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 300 {
+		t.Fatalf("sum after commit = %d, want 300", sum)
+	}
+	if err := other.QueryRow("SELECT bal FROM acct WHERE id = 2").Scan(&bal); err != nil {
+		t.Fatal(err)
+	}
+	if bal != 210 {
+		t.Fatalf("bal after commit = %d, want 210", bal)
+	}
+
+	// Rollback discards the write set.
+	tx, err = db.BeginTx(ctx, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("DELETE FROM acct"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM acct").Scan(&n); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("rows after rollback = %d, want 2", n)
+	}
+
+	// Unsupported isolation levels fail at BeginTx, before any frame.
+	if _, err := db.BeginTx(ctx, &sql.TxOptions{Isolation: sql.LevelSerializable}); err == nil {
+		t.Fatal("want isolation-level error")
+	} else if !strings.Contains(err.Error(), "isolation level") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// A session that drops its socket mid-transaction must release its
+	// locks and roll back. database/sql never abandons a checked-out
+	// conn, so speak the wire protocol directly: handshake, BEGIN, one
+	// UPDATE, then close the socket with the transaction open.
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+	send := func(typ byte, payload []byte) {
+		t.Helper()
+		if err := wire.WriteFrame(bw, typ, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var sb wire.Builder
+	sb.PutU32(wire.ProtocolVersion)
+	sb.PutU16(0)
+	send(wire.MsgStartup, sb.B)
+	if typ, _, err := wire.ReadFrame(br); err != nil || typ != wire.MsgAuthOK {
+		t.Fatalf("startup: typ=%q err=%v", typ, err)
+	}
+	runRaw := func(stmt string) {
+		t.Helper()
+		var qb wire.Builder
+		qb.PutString(stmt)
+		send(wire.MsgQuery, qb.B)
+		for {
+			typ, payload, err := wire.ReadFrame(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if typ == wire.MsgError {
+				t.Fatalf("%s failed: %s", stmt, payload)
+			}
+			if typ == wire.MsgComplete {
+				return
+			}
+		}
+	}
+	runRaw("BEGIN")
+	runRaw("UPDATE acct SET bal = 0 WHERE id = 1")
+	nc.Close() // mid-transaction disconnect
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := db.Exec("UPDATE acct SET bal = 100 WHERE id = 1"); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("table still locked after mid-transaction disconnect: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := db.QueryRow("SELECT bal FROM acct WHERE id = 1").Scan(&bal); err != nil {
+		t.Fatal(err)
+	}
+	if bal != 100 {
+		t.Fatalf("bal = %d, want 100 (abandoned transaction must roll back)", bal)
+	}
 }

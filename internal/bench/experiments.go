@@ -428,6 +428,7 @@ func All() ([]*Table, error) {
 		{"E8", func() (*Table, error) { return E8(nil) }},
 		{"E9", E9},
 		{"E10", func() (*Table, error) { return E10(nil) }},
+		{"E11", func() (*Table, error) { return E11(0) }},
 	} {
 		t, err := run.fn()
 		if err != nil {

@@ -83,6 +83,18 @@ type Metrics struct {
 	EnospcVetoes       Counter // mutations vetoed cleanly by ENOSPC
 	CheckpointFailures Counter // checkpoints that failed and were discarded
 
+	// Transaction subsystem (internal/sql/txn). Active transactions =
+	// begun - committed - rolled back, exported as a gauge like
+	// sessions_active. GroupCommitBatch counts commits that rode a group
+	// fsync; batch size = commits / fsyncs.
+	TxnBegun        Counter // transactions begun (explicit and autocommit)
+	TxnCommitted    Counter // transactions committed
+	TxnRolledBack   Counter // transactions rolled back
+	LockWaits       Counter // lock requests that had to wait
+	LockTimeouts    Counter // lock waits abandoned (timeout or cancel)
+	GroupFsyncs     Counter // group-commit fsyncs performed by a leader
+	GroupCommits    Counter // durable commits acknowledged via group commit
+
 	// Network service (internal/server): connection and session flow.
 	// Active sessions = opened - closed; both only ever increase, so the
 	// difference is exported as a gauge without a decrementing counter.
@@ -108,7 +120,9 @@ type metricDesc struct {
 // gaugeMetrics names the descriptors exposed with TYPE gauge instead of
 // counter (point-in-time values that can go down).
 var gaugeMetrics = map[string]bool{
-	"minerule_server_sessions_active": true,
+	"minerule_server_sessions_active":  true,
+	"minerule_txn_active":              true,
+	"minerule_group_commit_batch_size": true,
 }
 
 var metricDescs = []metricDesc{
@@ -151,6 +165,23 @@ var metricDescs = []metricDesc{
 	{"minerule_storage_io_retries_total", "transient storage I/O faults retried", func(m *Metrics) int64 { return m.IORetries.Load() }},
 	{"minerule_storage_enospc_vetoes_total", "mutations vetoed cleanly on ENOSPC", func(m *Metrics) int64 { return m.EnospcVetoes.Load() }},
 	{"minerule_storage_checkpoint_failures_total", "checkpoints that failed and were discarded", func(m *Metrics) int64 { return m.CheckpointFailures.Load() }},
+	{"minerule_txn_begun_total", "transactions begun (explicit and autocommit)", func(m *Metrics) int64 { return m.TxnBegun.Load() }},
+	{"minerule_txn_committed_total", "transactions committed", func(m *Metrics) int64 { return m.TxnCommitted.Load() }},
+	{"minerule_txn_rolled_back_total", "transactions rolled back", func(m *Metrics) int64 { return m.TxnRolledBack.Load() }},
+	{"minerule_txn_active", "transactions currently open", func(m *Metrics) int64 {
+		return m.TxnBegun.Load() - m.TxnCommitted.Load() - m.TxnRolledBack.Load()
+	}},
+	{"minerule_lock_waits_total", "lock requests that had to wait for a holder", func(m *Metrics) int64 { return m.LockWaits.Load() }},
+	{"minerule_lock_wait_timeouts_total", "lock waits abandoned on timeout or cancellation", func(m *Metrics) int64 { return m.LockTimeouts.Load() }},
+	{"minerule_group_commit_fsyncs_total", "group-commit fsyncs performed by a leader", func(m *Metrics) int64 { return m.GroupFsyncs.Load() }},
+	{"minerule_group_commit_commits_total", "durable commits acknowledged via group commit", func(m *Metrics) int64 { return m.GroupCommits.Load() }},
+	{"minerule_group_commit_batch_size", "average commits amortized per group-commit fsync", func(m *Metrics) int64 {
+		f := m.GroupFsyncs.Load()
+		if f == 0 {
+			return 0
+		}
+		return m.GroupCommits.Load() / f
+	}},
 	{"minerule_server_connections_opened_total", "wire connections accepted and admitted", func(m *Metrics) int64 { return m.SrvConnsOpened.Load() }},
 	{"minerule_server_connections_closed_total", "admitted wire connections ended", func(m *Metrics) int64 { return m.SrvConnsClosed.Load() }},
 	{"minerule_server_connections_rejected_total", "connections refused by admission control", func(m *Metrics) int64 { return m.SrvConnsRejected.Load() }},

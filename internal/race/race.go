@@ -1,0 +1,9 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in, so
+// timing-sensitive tests can relax wall-clock assertions that the
+// detector's instrumentation invalidates.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

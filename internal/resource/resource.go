@@ -62,6 +62,13 @@ var ErrDegraded = errors.New("storage degraded: durability lost")
 // were written (rot, torn write, or a lost write reading back zeroes).
 var ErrCorruptPage = errors.New("corrupt page: checksum mismatch")
 
+// ErrLockTimeout is the sentinel matched when a writer gave up waiting
+// for a table lock. The engine has no waits-for graph; a bounded wait
+// doubles as deadlock detection (the victim is whoever times out first),
+// so the concrete *LockTimeoutError names the contended table and the
+// current holder to make the conflict diagnosable.
+var ErrLockTimeout = errors.New("lock wait timed out")
+
 // CancelError wraps the context error that stopped a run. errors.Is
 // matches ErrCanceled (via Is) and the context cause (via Unwrap).
 type CancelError struct {
@@ -154,6 +161,36 @@ func (e *DegradedError) Unwrap() error { return e.Cause }
 
 // Is matches the ErrDegraded sentinel.
 func (e *DegradedError) Is(target error) bool { return target == ErrDegraded }
+
+// LockTimeoutError reports a writer that abandoned its wait for a
+// table lock — possible deadlock, or just a long-running holder. The
+// transaction that receives it has NOT lost its other locks or its
+// snapshot; the statement fails and the application decides whether to
+// retry or roll back. errors.Is matches ErrLockTimeout, and when the
+// wait ended because the statement's context expired, the wrapped
+// cause matches ErrCanceled too.
+type LockTimeoutError struct {
+	// Table is the contended resource.
+	Table string
+	// Wait is how long the writer waited before giving up.
+	Wait time.Duration
+	// Cause is non-nil when the wait ended on the context rather than
+	// the deadlock timeout.
+	Cause error
+}
+
+func (e *LockTimeoutError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("lock wait on table %q abandoned after %v: %v", e.Table, e.Wait, e.Cause)
+	}
+	return fmt.Sprintf("lock wait on table %q timed out after %v (possible deadlock)", e.Table, e.Wait)
+}
+
+// Unwrap exposes the context error that cut the wait short, if any.
+func (e *LockTimeoutError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrLockTimeout sentinel.
+func (e *LockTimeoutError) Is(target error) bool { return target == ErrLockTimeout }
 
 // InternalError is a recovered panic: an engine or kernel bug surfaced
 // as an error instead of a crash, with the stack preserved.

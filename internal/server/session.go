@@ -17,6 +17,7 @@ import (
 	"minerule/internal/obsv"
 	"minerule/internal/resource"
 	"minerule/internal/server/wire"
+	"minerule/internal/sql/engine"
 	"minerule/internal/sql/schema"
 	"minerule/internal/sql/value"
 )
@@ -40,6 +41,11 @@ type session struct {
 
 	limits      resource.Limits
 	mineReplace bool
+
+	// econn is the session's own engine connection: the unit of
+	// transaction scope, so a remote BEGIN holds its transaction open
+	// across round trips without affecting other sessions.
+	econn *engine.Conn
 
 	frames  chan frame    // reader goroutine -> run loop; closed on read failure
 	done    chan struct{} // closed when run returns; unblocks a reader mid-send
@@ -99,6 +105,7 @@ func newSession(srv *Server, conn net.Conn, id uint64) *session {
 		id:     id,
 		br:     bufio.NewReader(countReader{conn, &srv.met.SrvBytesRead}),
 		bw:     bufio.NewWriter(countWriter{conn, &srv.met.SrvBytesWritten}),
+		econn:  srv.db.Conn(),
 		frames: make(chan frame),
 		done:   make(chan struct{}),
 		stmts:  make(map[uint32]*prepStmt),
@@ -134,6 +141,10 @@ func (sess *session) run(ctx context.Context) {
 	// already holding a frame nobody will receive.
 	defer close(sess.done)
 	defer sess.conn.Close()
+	// A session that dies mid-transaction must not leave its locks and
+	// snapshot behind: closing the engine connection rolls back any open
+	// explicit transaction.
+	defer sess.econn.Close()
 	if !sess.startup() {
 		return
 	}
@@ -402,12 +413,12 @@ func (sess *session) runSQL(ctx context.Context, text string) error {
 		return sess.runMine(ctx, trim)
 	}
 	if _, script := scanSQL(trim); script {
-		if err := sess.srv.db.ExecScriptContext(ctx, trim); err != nil {
+		if err := sess.econn.ExecScriptContext(ctx, trim); err != nil {
 			return sess.sendStatementError(err)
 		}
 		return sess.sendComplete("SCRIPT", 0)
 	}
-	res, err := sess.srv.db.ExecContext(ctx, trim)
+	res, err := sess.econn.ExecContext(ctx, trim)
 	if err != nil {
 		return sess.sendStatementError(err)
 	}

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -84,8 +86,14 @@ type snapshot struct {
 }
 
 // store is the durable backend of a Database: it implements
-// storage.Journal, so every catalog and table mutation reaches the WAL
-// before it is applied in memory.
+// storage.Journal (every catalog and table mutation reaches the WAL
+// before it is applied in memory) and txn.CommitJournal (transactions
+// log their write set as one atomic frame and wait for durability
+// through the shared group-commit fsync).
+//
+// Lock order (see DESIGN.md §16): syncMu → Catalog publish lock →
+// catalog/table/sequence locks → walMu. walMu is terminal: nothing is
+// acquired under it.
 type store struct {
 	fs   vfs.FS
 	dir  string
@@ -93,40 +101,48 @@ type store struct {
 	pool *pager.Pool
 	met  *obsv.Metrics
 
-	gen uint64
-	w   *wal.Writer
+	// walMu serializes log appends and guards the writer plus the
+	// journal health flags. Appends are memory-speed (the fsync happens
+	// in SyncTo), so the critical sections are short.
+	walMu sync.Mutex
+	gen   uint64      // guarded by walMu
+	w     *wal.Writer // guarded by walMu
 	// applied is the LSN of the newest record reflected in the live
 	// catalog (from the snapshot, replay, or an accepted append). Replay
 	// skips records at or below it, which is what makes recovery — and
 	// replaying a log twice — idempotent.
-	applied uint64
-
-	// Statement-window page-I/O budget: pages remaining, or -1 for
-	// unlimited. beginWindow resets it from Limits.MaxPageIO.
-	budget int
-	limit  int
+	applied uint64 // guarded by walMu
 
 	// sticky is the first journal failure that could not propagate to
-	// its caller (NEXTVAL cannot fail); commit surfaces it and the store
-	// refuses further writes.
-	sticky error
+	// its caller (NEXTVAL cannot fail); the next commit surfaces it and
+	// the store refuses further writes.
+	sticky error // guarded by walMu
 	// degraded is set the moment durability is lost — a WAL fsync
 	// failed, or a torn append could not be repaired. The store stays
 	// queryable but every mutation, checkpoint, and close returns this
 	// same *resource.DegradedError (fsyncgate: a failed fsync is never
 	// followed by a successful write acknowledgment).
-	degraded error
+	degraded error // guarded by walMu
 
-	// touched reports that the current statement reached the journal
-	// (even unsuccessfully). Degraded mode rejects statements by this
-	// flag, not blanket: a store that lost durability still answers
-	// reads — only writes are refused.
-	touched bool
+	// seqCeil tracks each sequence's journaled NEXTVAL ceiling, updated
+	// in the same walMu critical section as the SeqBump append. A
+	// checkpoint reads it instead of the live sequences, so the manifest
+	// ceiling provably covers every bump at or below the manifest LSN
+	// without ever taking a sequence lock under walMu.
+	seqCeil map[string]int64 // guarded by walMu; lowercase name → ceiling
 
-	closed   bool
-	closeErr error
+	closed   bool  // guarded by walMu
+	closeErr error // guarded by walMu
 
-	scratch []byte // payload encode buffer, reused across appends
+	scratch []byte // guarded by walMu; payload encode buffer
+
+	// syncMu elects the group-commit leader and serializes checkpoints:
+	// one SyncTo caller fsyncs on behalf of everyone whose records the
+	// fsync covers; the rest return on the synced watermark alone.
+	syncMu sync.Mutex
+	// synced is the highest LSN known durable (watermark). Written only
+	// by the leader under syncMu; read lock-free by followers.
+	synced atomic.Uint64
 }
 
 func genDir(dir string, gen uint64) string {
@@ -173,7 +189,7 @@ func openStore(fsys vfs.FS, dir string, poolPages int, cat *storage.Catalog, met
 	if err := fsys.MkdirAll(dir); err != nil {
 		return nil, resource.NewIOError("db dir", err)
 	}
-	s := &store{fs: fsys, dir: dir, cat: cat, pool: pager.NewPool(poolPages), met: met, budget: -1}
+	s := &store{fs: fsys, dir: dir, cat: cat, pool: pager.NewPool(poolPages), met: met}
 	s.pool.Met = met
 
 	cur, err := fsys.ReadFile(filepath.Join(dir, currentFile))
@@ -186,7 +202,12 @@ func openStore(fsys vfs.FS, dir string, poolPages int, cat *storage.Catalog, met
 		if gens := listGenerations(fsys, dir); len(gens) > 0 {
 			return nil, fmt.Errorf("engine: %s has generation data but no CURRENT pointer; run minerule-fsck -salvage", dir)
 		}
-		if err := s.initFresh(); err != nil {
+		// The store is not yet shared; walMu is taken only to satisfy
+		// the guarded-by contract on the fields initFresh populates.
+		s.walMu.Lock()
+		err := s.initFresh()
+		s.walMu.Unlock()
+		if err != nil {
 			return nil, err
 		}
 	case err != nil:
@@ -197,8 +218,22 @@ func openStore(fsys vfs.FS, dir string, poolPages int, cat *storage.Catalog, met
 			return nil, fmt.Errorf("engine: corrupt CURRENT file in %s: %w", dir, perr)
 		}
 		s.gen = gen
-		if err := s.recover(); err != nil {
+		s.walMu.Lock()
+		err := s.recover()
+		s.walMu.Unlock()
+		if err != nil {
 			return nil, err
+		}
+	}
+	// Every record in the log was just read back from disk (or the log
+	// is empty), so the recovered tail is durable by construction.
+	s.synced.Store(s.w.LastLSN())
+	// Seed the journaled-ceiling map from the recovered sequences; from
+	// here on SequenceBump maintains it append-atomically.
+	s.seqCeil = make(map[string]int64)
+	for _, name := range cat.SequenceNames() {
+		if sq, ok := cat.Sequence(name); ok {
+			s.seqCeil[strings.ToLower(name)] = sq.LoggedCeiling()
 		}
 	}
 	cat.SetJournal(s)
@@ -398,6 +433,16 @@ func applyRecord(cat *storage.Catalog, r *wal.Record) error {
 		}
 		sq.Restore(r.Next)
 		return nil
+	case wal.KindTxn:
+		// One committed transaction: redo the write set in order. The
+		// frame was appended (and CRC-covered) as a unit, so replay sees
+		// all of the commit or none of it.
+		for _, sub := range r.Subs {
+			if err := applyRecord(cat, sub); err != nil {
+				return err
+			}
+		}
+		return nil
 	case wal.KindCheckpoint:
 		return nil // generation marker; state lives in the snapshot
 	default:
@@ -408,10 +453,19 @@ func applyRecord(cat *storage.Catalog, r *wal.Record) error {
 // ---------------------------------------------------------------------------
 // Journal implementation
 
-// append encodes rec, charges the statement's page-I/O budget on the
+// append serializes one record append under walMu (journal-first
+// discipline for DDL and side-channel records; transaction commits go
+// through AppendBatch).
+func (s *store) append(rec *wal.Record) error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	return s.appendLocked(rec, nil)
+}
+
+// appendLocked encodes rec, invokes the caller's page-I/O charge on the
 // exact frame size, and writes the frame. A budget or I/O error vetoes
 // the in-memory mutation (the storage layer applies only after the
-// journal accepts — journal-first discipline).
+// journal accepts — journal-first discipline). Caller holds walMu.
 //
 // Failure classification:
 //   - ENOSPC: the torn frame is truncated off and the mutation vetoed
@@ -421,8 +475,7 @@ func applyRecord(cat *storage.Catalog, r *wal.Record) error {
 //     bounded exponential backoff; only a persistent fault degrades.
 //   - anything else (or an unrepairable tail): degraded mode — the
 //     log's tail state is unknown, durability can no longer be claimed.
-func (s *store) append(rec *wal.Record) error {
-	s.touched = true
+func (s *store) appendLocked(rec *wal.Record, charge func(pages int) error) error {
 	if s.degraded != nil {
 		return s.degraded
 	}
@@ -432,8 +485,10 @@ func (s *store) append(rec *wal.Record) error {
 	rec.LSN = s.w.LastLSN() + 1
 	s.scratch = rec.AppendPayload(s.scratch[:0])
 	frameLen := len(s.scratch) + wal.FrameOverhead
-	if err := s.charge((frameLen + pager.PageSize - 1) / pager.PageSize); err != nil {
-		return err
+	if charge != nil {
+		if err := charge((frameLen + pager.PageSize - 1) / pager.PageSize); err != nil {
+			return err
+		}
 	}
 	backoff := appendBackoff
 	for attempt := 0; ; attempt++ {
@@ -444,29 +499,29 @@ func (s *store) append(rec *wal.Record) error {
 		switch {
 		case errors.Is(err, syscall.ENOSPC):
 			if rerr := s.w.Repair(); rerr != nil {
-				return s.degrade(rerr)
+				return s.degradeLocked(rerr)
 			}
 			s.met.EnospcVetoes.Inc()
 			return err
 		case errors.Is(err, syscall.EIO) && attempt < appendRetries:
 			if rerr := s.w.Repair(); rerr != nil {
-				return s.degrade(rerr)
+				return s.degradeLocked(rerr)
 			}
 			s.met.IORetries.Inc()
 			time.Sleep(backoff)
 			backoff *= 2
 		default:
-			return s.degrade(err)
+			return s.degradeLocked(err)
 		}
 	}
 	s.applied = rec.LSN // the caller applies in memory upon acceptance
 	return nil
 }
 
-// degrade flips the store into sticky read-only degraded mode (if it
-// is not there already) and returns the typed error every subsequent
-// mutation, checkpoint, and close will see.
-func (s *store) degrade(cause error) error {
+// degradeLocked flips the store into sticky read-only degraded mode (if
+// it is not there already) and returns the typed error every subsequent
+// mutation, checkpoint, and close will see. Caller holds walMu.
+func (s *store) degradeLocked(cause error) error {
 	if s.degraded == nil {
 		s.degraded = &resource.DegradedError{Cause: cause}
 		s.met.StorageDegraded.Inc()
@@ -475,13 +530,101 @@ func (s *store) degrade(cause error) error {
 	return s.degraded
 }
 
-func (s *store) charge(pages int) error {
-	if s.budget < 0 {
+// degradedErr reports the sticky degraded error, nil while healthy.
+func (s *store) degradedErr() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	return s.degraded
+}
+
+// ---------------------------------------------------------------------------
+// txn.CommitJournal implementation
+
+// AppendBatch logs one transaction's write set as a single atomic
+// frame: one record appends as itself, several wrap in a KindTxn
+// record sharing one LSN and one CRC. charge is invoked with the
+// frame's page count before any byte reaches the log, so a page-I/O
+// budget vetoes the commit with the log untouched.
+//
+// The committing transaction holds the catalog publish lock across
+// AppendBatch and its publish, which is what lets a checkpoint (also
+// under the publish lock) equate "appended" with "applied in memory".
+func (s *store) AppendBatch(recs []*wal.Record, charge func(pages int) error) (uint64, error) {
+	rec := recs[0]
+	if len(recs) > 1 {
+		rec = &wal.Record{Kind: wal.KindTxn, Subs: recs}
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if err := s.appendLocked(rec, charge); err != nil {
+		return 0, err
+	}
+	return rec.LSN, nil
+}
+
+// LastLSN reports the newest appended LSN (durable or not); commits
+// whose writes all went through side channels (DDL, sequence bumps)
+// sync to it.
+func (s *store) LastLSN() uint64 {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	return s.w.LastLSN()
+}
+
+// SyncTo blocks until every record up to lsn is durable. Concurrent
+// committers share fsyncs: the first caller through syncMu becomes the
+// leader and fsyncs the log as it stands — covering every record
+// appended so far, its own and everyone else's — then publishes the
+// new durable watermark; callers whose lsn the watermark already
+// covers return without touching the file at all. The leader also
+// rolls the log into a new checkpoint generation once it outgrows the
+// auto-checkpoint threshold.
+func (s *store) SyncTo(lsn uint64) error {
+	if s.synced.Load() >= lsn {
 		return nil
 	}
-	s.budget -= pages
-	if s.budget < 0 {
-		return &resource.BudgetError{Resource: "pageio", Limit: s.limit}
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.synced.Load() >= lsn {
+		return nil
+	}
+	s.walMu.Lock()
+	if s.degraded != nil {
+		err := s.degraded
+		s.walMu.Unlock()
+		return err
+	}
+	if s.sticky != nil {
+		err := s.sticky
+		s.walMu.Unlock()
+		return err
+	}
+	target := s.w.LastLSN()
+	err := s.w.Sync()
+	if err != nil {
+		// fsyncgate: the kernel may have dropped the dirty pages while
+		// reporting the failure, so retrying the fsync could "succeed"
+		// without the data ever reaching disk. Durability is gone for
+		// good — poison the store rather than lie.
+		err = s.degradeLocked(err)
+		s.walMu.Unlock()
+		return err
+	}
+	size, serr := s.w.Size()
+	s.walMu.Unlock()
+	s.synced.Store(target)
+	s.met.GroupFsyncs.Inc()
+	if serr == nil && size > autoCheckpointBytes {
+		if cerr := s.checkpointLocked(); cerr != nil {
+			if derr := s.degradedErr(); derr != nil {
+				return derr
+			}
+			// The commit itself is durable (the fsync above succeeded); a
+			// failed auto-checkpoint just leaves the log long. Report it
+			// and retry at a later commit.
+			s.met.CheckpointFailures.Inc()
+			log.Printf("minerule/storage: %s: auto-checkpoint failed (will retry): %v", s.dir, cerr)
+		}
 	}
 	return nil
 }
@@ -503,11 +646,23 @@ func (s *store) DropView(name string) error {
 }
 
 func (s *store) CreateSequence(name string) error {
-	return s.append(&wal.Record{Kind: wal.KindCreateSequence, Name: name})
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if err := s.appendLocked(&wal.Record{Kind: wal.KindCreateSequence, Name: name}, nil); err != nil {
+		return err
+	}
+	s.seqCeil[strings.ToLower(name)] = 1
+	return nil
 }
 
 func (s *store) DropSequence(name string) error {
-	return s.append(&wal.Record{Kind: wal.KindDropSequence, Name: name})
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if err := s.appendLocked(&wal.Record{Kind: wal.KindDropSequence, Name: name}, nil); err != nil {
+		return err
+	}
+	delete(s.seqCeil, strings.ToLower(name))
+	return nil
 }
 
 func (s *store) CreateIndex(name, table string, col int) error {
@@ -531,63 +686,23 @@ func (s *store) Replace(table string, rows []schema.Row) error {
 }
 
 func (s *store) SequenceBump(name string, next int64) error {
-	err := s.append(&wal.Record{Kind: wal.KindSeqBump, Name: name, Next: next})
-	if err != nil && s.sticky == nil {
-		// NEXTVAL cannot surface this error; remember it so commit fails
-		// the statement instead of silently losing durability.
-		s.sticky = err
-	}
-	return err
-}
-
-// ---------------------------------------------------------------------------
-// Statement windows and commit
-
-// beginWindow starts a statement's page-I/O accounting window.
-func (s *store) beginWindow(maxPages int) {
-	s.touched = false
-	if maxPages <= 0 {
-		s.budget, s.limit = -1, 0
-		return
-	}
-	s.budget, s.limit = maxPages, maxPages
-}
-
-// commit is the statement-boundary durability point: one group fsync
-// covers every record the statement appended. It also surfaces sticky
-// journal failures and rolls the log when it has outgrown the
-// auto-checkpoint threshold.
-func (s *store) commit() error {
-	if s.degraded != nil {
-		// Read-only statements never reached the journal and need no
-		// durability: degraded mode lets them through — that is what
-		// keeps the store queryable for evacuation.
-		if !s.touched {
-			return nil
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	err := s.appendLocked(&wal.Record{Kind: wal.KindSeqBump, Name: name, Next: next}, nil)
+	if err != nil {
+		if s.sticky == nil {
+			// NEXTVAL cannot surface this error; remember it so the
+			// statement's commit fails instead of silently losing
+			// durability.
+			s.sticky = err
 		}
-		return s.degraded
+		return err
 	}
-	if s.sticky != nil {
-		return s.sticky
-	}
-	if err := s.w.Sync(); err != nil {
-		// fsyncgate: the kernel may have dropped the dirty pages while
-		// reporting the failure, so retrying the fsync could "succeed"
-		// without the data ever reaching disk. Durability is gone for
-		// good — poison the store rather than lie.
-		return s.degrade(err)
-	}
-	if size, err := s.w.Size(); err == nil && size > autoCheckpointBytes {
-		if err := s.checkpoint(); err != nil {
-			if s.degraded != nil {
-				return err
-			}
-			// The statement itself is durable (the group fsync above
-			// succeeded); a failed auto-checkpoint just leaves the log
-			// long. Report it and retry at a later commit.
-			s.met.CheckpointFailures.Inc()
-			log.Printf("minerule/storage: %s: auto-checkpoint failed (will retry): %v", s.dir, err)
-		}
+	// Recorded in the same critical section as the append: a checkpoint
+	// that captures a manifest LSN covering this bump is guaranteed to
+	// read a ceiling covering it too.
+	if k := strings.ToLower(name); next > s.seqCeil[k] {
+		s.seqCeil[k] = next
 	}
 	return nil
 }
@@ -600,39 +715,90 @@ func (s *store) commit() error {
 // step leaves the old generation live and complete; a failure before
 // the swap discards the partial generation so nothing is left behind.
 func (s *store) checkpoint() error {
-	if s.degraded != nil {
-		return s.degraded
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	return s.checkpointLocked()
+}
+
+// checkpointLocked is checkpoint with syncMu already held (the
+// group-commit leader auto-checkpoints without re-entering it).
+//
+// Consistency under concurrency: the catalog publish lock is held for
+// the duration, so no transaction can append-and-publish and no DDL
+// can run — the live catalog is frozen at a commit boundary and heap
+// files are written from it without further locking. The only appends
+// that can still race are sequence bumps, which never touch tables;
+// the manifest LSN and the sequence ceilings are both captured under
+// walMu after the heaps are written, and SequenceBump updates its
+// ceiling in the same walMu section as its append, so every bump at or
+// below the manifest LSN is covered by a manifest ceiling. walMu stays
+// held from the LSN capture through the writer swap, so no record can
+// land in the old log (which is about to be deleted) above the
+// manifest LSN.
+func (s *store) checkpointLocked() error {
+	s.cat.LockPublish()
+	defer s.cat.UnlockPublish()
+	s.walMu.Lock()
+	if err := s.degraded; err != nil {
+		s.walMu.Unlock()
+		return err
 	}
-	if s.sticky != nil {
-		return s.sticky
-	}
-	if err := s.w.Sync(); err != nil {
-		return s.degrade(err)
+	if err := s.sticky; err != nil {
+		s.walMu.Unlock()
+		return err
 	}
 	newGen := s.gen + 1
+	s.walMu.Unlock()
+
 	snap := s.buildManifest()
-	if err := writeSnapshot(s.fs, genDir(s.dir, newGen), snap, s.cat, s.pool); err != nil {
+	dir := genDir(s.dir, newGen)
+	if err := writeHeaps(s.fs, dir, snap, s.cat, s.pool); err != nil {
 		s.discardGeneration(newGen)
 		return err
 	}
-	w, err := wal.Create(s.fs, walPath(s.dir, newGen), s.w.LastLSN())
+
+	s.walMu.Lock()
+	snap.LastLSN = s.w.LastLSN()
+	for _, name := range s.cat.SequenceNames() {
+		ceil := s.seqCeil[strings.ToLower(name)]
+		if ceil < 1 {
+			ceil = 1
+		}
+		snap.Sequences = append(snap.Sequences, snapSequence{Name: name, Next: ceil})
+	}
+	if err := s.w.Sync(); err != nil {
+		err = s.degradeLocked(err)
+		s.walMu.Unlock()
+		s.discardGeneration(newGen)
+		return err
+	}
+	if err := writeManifest(s.fs, dir, snap); err != nil {
+		s.walMu.Unlock()
+		s.discardGeneration(newGen)
+		return err
+	}
+	w, err := wal.Create(s.fs, walPath(s.dir, newGen), snap.LastLSN)
 	if err != nil {
+		s.walMu.Unlock()
 		s.discardGeneration(newGen)
 		return err
 	}
 	w.Met = s.met
 	if _, err := w.Append(&wal.Record{Kind: wal.KindCheckpoint, Next: int64(newGen)}); err != nil {
 		w.Abort()
+		s.walMu.Unlock()
 		s.discardGeneration(newGen)
 		return err
 	}
 	if err := w.Sync(); err != nil {
 		w.Abort()
+		s.walMu.Unlock()
 		s.discardGeneration(newGen)
 		return err
 	}
 	if err := s.swapCurrent(newGen); err != nil {
 		w.Abort()
+		s.walMu.Unlock()
 		s.discardGeneration(newGen)
 		return err
 	}
@@ -640,6 +806,9 @@ func (s *store) checkpoint() error {
 	// point only leak space, never consistency.
 	oldGen, oldW := s.gen, s.w
 	s.gen, s.w = newGen, w
+	durable := w.LastLSN() // everything in the new log is fsynced above
+	s.walMu.Unlock()
+	s.synced.Store(durable)
 	oldW.Close()
 	s.fs.Remove(walPath(s.dir, oldGen))
 	s.fs.RemoveAll(genDir(s.dir, oldGen))
@@ -655,11 +824,13 @@ func (s *store) discardGeneration(gen uint64) {
 	s.fs.RemoveAll(genDir(s.dir, gen))
 }
 
-// buildManifest snapshots the live catalog's structure. Sequences record
-// their logged ceiling: restoring the live value could re-issue NEXTVALs
-// already handed out before the crash.
+// buildManifest snapshots the live catalog's structure — tables, views
+// and indexes. The manifest LSN and the sequence ceilings are filled in
+// later, under walMu (see checkpointLocked): sequences record their
+// journaled ceiling, because restoring the live value could re-issue
+// NEXTVALs already handed out before the crash.
 func (s *store) buildManifest() *snapshot {
-	snap := &snapshot{LastLSN: s.w.LastLSN()}
+	snap := &snapshot{}
 	for i, name := range s.cat.TableNames() {
 		t, ok := s.cat.Table(name)
 		if !ok {
@@ -679,19 +850,24 @@ func (s *store) buildManifest() *snapshot {
 			snap.Views = append(snap.Views, snapView{Name: v.Name, Text: v.Text})
 		}
 	}
-	for _, name := range s.cat.SequenceNames() {
-		if sq, ok := s.cat.Sequence(name); ok {
-			snap.Sequences = append(snap.Sequences, snapSequence{Name: sq.Name(), Next: sq.LoggedCeiling()})
-		}
-	}
 	return snap
 }
 
-// writeSnapshot materializes one generation directory: heap files for
-// every table (when cat is non-nil), then catalog.json, each fsynced,
-// then the directory itself. Nothing references the generation until the
-// caller swaps CURRENT.
+// writeSnapshot materializes one generation directory in a single call
+// (heaps, then manifest): initFresh's empty generation and any caller
+// that does not need the checkpoint's two-phase locking.
 func writeSnapshot(fsys vfs.FS, dir string, snap *snapshot, cat *storage.Catalog, pool *pager.Pool) error {
+	if err := writeHeaps(fsys, dir, snap, cat, pool); err != nil {
+		return err
+	}
+	return writeManifest(fsys, dir, snap)
+}
+
+// writeHeaps creates the generation directory and writes one fsynced
+// heap file per manifest table (cat may be nil only when the manifest
+// lists no tables). Nothing references the generation until the caller
+// writes the manifest and swaps CURRENT.
+func writeHeaps(fsys vfs.FS, dir string, snap *snapshot, cat *storage.Catalog, pool *pager.Pool) error {
 	if err := fsys.MkdirAll(dir); err != nil {
 		return resource.NewIOError("snapshot dir", err)
 	}
@@ -726,6 +902,12 @@ func writeSnapshot(fsys vfs.FS, dir string, snap *snapshot, cat *storage.Catalog
 			return err
 		}
 	}
+	return nil
+}
+
+// writeManifest writes and fsyncs catalog.json, then fsyncs the
+// generation directory, completing the snapshot.
+func writeManifest(fsys vfs.FS, dir string, snap *snapshot) error {
 	b, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return fmt.Errorf("engine: encode snapshot: %w", err)
@@ -780,6 +962,10 @@ func (s *store) swapCurrent(gen uint64) error {
 // On a degraded or poisoned store it returns the typed sticky error and
 // skips the final fsync — the guarantee it would buy is already gone.
 func (s *store) close() error {
+	s.syncMu.Lock() // wait out any in-flight group fsync or checkpoint
+	defer s.syncMu.Unlock()
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
 	if s.closed {
 		return s.closeErr
 	}

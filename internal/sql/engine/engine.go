@@ -21,31 +21,39 @@ import (
 	"minerule/internal/resource"
 	"minerule/internal/sql/exec"
 	"minerule/internal/sql/lex"
-	"minerule/internal/sql/parse"
 	"minerule/internal/sql/schema"
 	"minerule/internal/sql/semck"
 	"minerule/internal/sql/storage"
+	"minerule/internal/sql/txn"
 	"minerule/internal/sql/value"
 	"minerule/internal/sql/vfs"
 )
 
 // Database is an embedded in-memory SQL92-subset database. It is safe
-// for concurrent use: statements from different goroutines serialize on
-// an internal mutex (one statement executes at a time), and each
-// statement resolves its resource bounds at start — a context-carried
-// resource.WithLimits value overrides the engine-wide default — so
-// concurrent sessions can run under different budgets without touching
-// shared state.
+// for concurrent use: every statement runs inside a transaction — the
+// session's explicit one, or an ephemeral autocommit transaction — so
+// reads execute lock-free against a consistent snapshot while writers
+// proceed under per-table locks; statements from different connections
+// run genuinely concurrently. Each statement resolves its resource
+// bounds at start — a context-carried resource.WithLimits value
+// overrides the engine-wide default — so concurrent sessions can run
+// under different budgets without touching shared state.
 type Database struct {
 	cat *storage.Catalog
-	rt  *exec.Runtime
-	// execMu serializes statement execution: the Runtime is
-	// single-threaded by contract (bind-time environments, plan caches),
-	// so every statement — and the store's commit window around it —
-	// runs under this lock. Catalog reads outside execution (the
-	// translator's dictionary checks, the support UI's table lists) use
-	// the catalog's own locks and stay concurrent.
-	execMu sync.Mutex
+	// mgr is the transaction manager: snapshot registry, lock manager,
+	// and commit path. Set once at construction (after recovery on
+	// durable databases), immutable afterwards.
+	mgr *txn.Manager
+	// def is the default connection behind the Database-level Exec
+	// surface; sessions wanting their own transaction scope call Conn().
+	def *Conn
+	// rtPool recycles executor runtimes: one is taken per statement, so
+	// concurrent statements never share bind-time state, and a pooled
+	// runtime keeps its view-plan and join-order caches warm.
+	rtPool sync.Pool
+	// rowMode selects the row-at-a-time reference executor for
+	// subsequently executed statements (differential-testing oracle).
+	rowMode atomic.Bool
 	// defLimits is the engine-wide default statement bounds, replaced
 	// atomically by SetLimits so configuring limits never races running
 	// statements (which copy it at statement start).
@@ -59,19 +67,34 @@ type Database struct {
 	// hook, when set, runs before every statement with its SQL text;
 	// returning an error aborts the statement. Test-only fault injection
 	// — see internal/fault.
-	hook func(sql string) error
+	hook atomic.Pointer[func(sql string) error]
 	// store is the durable backend (WAL + checkpoints); nil on in-memory
 	// databases, which is the default.
 	store *store
 }
 
-// New returns an empty database.
-func New() *Database {
+// newDatabase builds the catalog, metrics, and pools common to the
+// in-memory and durable constructors. The transaction manager is
+// attached by the caller — on durable databases it must come after
+// recovery, because attaching it turns on catalog history.
+func newDatabase() *Database {
 	cat := storage.NewCatalog()
 	met := &obsv.Metrics{}
-	rt := exec.NewRuntime(cat)
-	rt.Met = met
-	return &Database{cat: cat, rt: rt, met: met}
+	db := &Database{cat: cat, met: met}
+	db.def = &Conn{db: db}
+	db.rtPool.New = func() any {
+		rt := exec.NewRuntime(cat)
+		rt.Met = met
+		return rt
+	}
+	return db
+}
+
+// New returns an empty database.
+func New() *Database {
+	db := newDatabase()
+	db.mgr = txn.NewManager(db.cat, nil, db.met, 0)
+	return db
 }
 
 // Open returns a database durably backed by the given directory,
@@ -84,14 +107,18 @@ func Open(dir string, poolPages int) (*Database, error) {
 }
 
 // OpenFS is Open over an explicit filesystem — the seam fault-injection
-// tests use to run the full storage stack against a vfs.FaultFS.
+// tests use to run the full storage stack against a vfs.FaultFS. The
+// transaction manager attaches only after recovery completes: replay
+// applies the log with catalog history off, so it never pays for
+// version retention no live snapshot could need.
 func OpenFS(fsys vfs.FS, dir string, poolPages int) (*Database, error) {
-	db := New()
+	db := newDatabase()
 	st, err := openStore(fsys, dir, poolPages, db.cat, db.met)
 	if err != nil {
 		return nil, err
 	}
 	db.store = st
+	db.mgr = txn.NewManager(db.cat, st, db.met, 0)
 	return db, nil
 }
 
@@ -107,8 +134,12 @@ func (db *Database) DegradedErr() error {
 	if db.store == nil {
 		return nil
 	}
-	return db.store.degraded
+	return db.store.degradedErr()
 }
+
+// TxnManager exposes the transaction manager (tests and the network
+// session layer's diagnostics).
+func (db *Database) TxnManager() *txn.Manager { return db.mgr }
 
 // Close releases the durable backend's files after a final group fsync.
 // It does not checkpoint — reopening replays the log — and is a no-op
@@ -129,29 +160,6 @@ func (db *Database) Checkpoint() error {
 		return nil
 	}
 	return db.store.checkpoint()
-}
-
-// commit finishes a statement on a durable database: one group fsync
-// covers every WAL record the statement appended. The statement's own
-// error wins over a commit error, which would usually be its
-// consequence.
-func (db *Database) commit(stmtErr error) error {
-	if db.store == nil {
-		return stmtErr
-	}
-	cerr := db.store.commit()
-	if stmtErr != nil {
-		return stmtErr
-	}
-	return cerr
-}
-
-// beginWindow opens a statement's page-I/O budget window under the
-// given limits; the caller holds execMu.
-func (db *Database) beginWindow(l resource.Limits) {
-	if db.store != nil {
-		db.store.beginWindow(l.MaxPageIO)
-	}
 }
 
 // Metrics exposes the engine's counter registry (never nil). Callers
@@ -187,82 +195,34 @@ func (db *Database) effLimits(ctx context.Context) resource.Limits {
 }
 
 // RowMode switches the executor between the batched default (off) and
-// the row-at-a-time reference operators (on). The reference path is the
-// oracle for differential testing and the fallback should the batched
-// pipeline ever need to be bypassed.
-func (db *Database) RowMode(on bool) { db.rt.RowMode(on) }
+// the row-at-a-time reference operators (on) for statements executed
+// from here on. The reference path is the oracle for differential
+// testing and the fallback should the batched pipeline ever need to be
+// bypassed.
+func (db *Database) RowMode(on bool) { db.rowMode.Store(on) }
 
 // SetExecHook installs (or, with nil, removes) a pre-statement hook used
 // by fault-injection tests; the hook receives each statement's SQL text
 // before execution and may abort it by returning an error.
-func (db *Database) SetExecHook(hook func(sql string) error) { db.hook = hook }
+func (db *Database) SetExecHook(hook func(sql string) error) {
+	if hook == nil {
+		db.hook.Store(nil)
+		return
+	}
+	db.hook.Store(&hook)
+}
 
-// Exec parses and executes one SQL statement.
+// Exec parses and executes one SQL statement on the database's default
+// connection (sessions needing their own transaction scope use Conn).
 func (db *Database) Exec(sql string) (*exec.Result, error) {
-	return db.ExecContext(context.Background(), sql)
+	return db.def.Exec(sql)
 }
 
 // ExecContext parses and executes one SQL statement under a cancellation
 // context. Execution is bounded by the database Limits and guarded by
 // the executor's panic-containment boundary.
 func (db *Database) ExecContext(ctx context.Context, sql string) (*exec.Result, error) {
-	t0 := time.Now()
-	st, err := db.prepare(sql)
-	db.met.ParseNanos.Add(int64(time.Since(t0)))
-	if err != nil {
-		// EXPLAIN of a semantically invalid query reports the diagnostic
-		// as its plan instead of failing: the tool's whole purpose is to
-		// show what the engine makes of the statement.
-		var se *semck.Error
-		if _, isExplain := st.(*parse.Explain); isExplain && errors.As(err, &se) {
-			db.met.StmtExecuted.Inc()
-			s := schema.New("", schema.Column{Name: "QUERY PLAN", Type: value.TypeString})
-			row := schema.Row{value.NewString("error: " + se.Error())}
-			return &exec.Result{Schema: s, Rows: []schema.Row{row}}, nil
-		}
-		db.met.StmtErrors.Inc()
-		return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
-	}
-	return db.execStatement(ctx, st, sql, sql, nil)
-}
-
-// execStatement runs one prepared statement under execMu: the hook, the
-// statement's limit resolution, its page-I/O window, execution and the
-// commit fsync all happen inside one critical section, so concurrent
-// sessions interleave at statement granularity. src is the text
-// position diagnostics refer to (the whole script for script
-// statements); stmtSQL the single statement's own text. trace, when
-// non-nil, receives the executor's decision log for the duration.
-func (db *Database) execStatement(ctx context.Context, st parse.Statement, src, stmtSQL string, trace func(string)) (*exec.Result, error) {
-	if db.hook != nil {
-		if err := db.hook(stmtSQL); err != nil {
-			return nil, fmt.Errorf("engine: %w\n  in: %s", err, compact(stmtSQL))
-		}
-	}
-	db.met.StmtExecuted.Inc()
-	t1 := time.Now()
-	db.execMu.Lock()
-	if trace != nil {
-		db.rt.Trace = trace
-	}
-	l := db.effLimits(ctx)
-	db.rt.Limits = l
-	db.beginWindow(l)
-	res, err := db.rt.ExecContext(ctx, st)
-	err = db.commit(err)
-	if trace != nil {
-		db.rt.Trace = nil
-	}
-	db.execMu.Unlock()
-	db.met.ExecNanos.Add(int64(time.Since(t1)))
-	if err != nil {
-		db.met.StmtErrors.Inc()
-		return nil, fmt.Errorf("engine: %w%s\n  in: %s", err, posSuffix(err, src), compact(stmtSQL))
-	}
-	if res.Schema != nil {
-		db.met.RowsReturned.Add(int64(len(res.Rows)))
-	}
-	return res, nil
+	return db.def.ExecContext(ctx, sql)
 }
 
 // ExecScript executes a semicolon-separated sequence of statements,
@@ -272,18 +232,11 @@ func (db *Database) ExecScript(sql string) error {
 }
 
 // ExecScriptContext is ExecScript under a cancellation context, checked
-// before (and during) every statement.
+// before (and during) every statement. The script was semantically
+// checked as a unit (DDL effects threaded through an overlay), so the
+// per-statement verdict cache is bypassed.
 func (db *Database) ExecScriptContext(ctx context.Context, sql string) error {
-	sts, err := db.prepareScript(sql)
-	if err != nil {
-		return fmt.Errorf("engine: %w", err)
-	}
-	for _, st := range sts {
-		if _, err := db.execStatement(ctx, st, sql, st.SQL(), nil); err != nil {
-			return err
-		}
-	}
-	return nil
+	return db.def.ExecScriptContext(ctx, sql)
 }
 
 // Query executes a SELECT and returns its result.
@@ -304,13 +257,17 @@ func (db *Database) QueryContext(ctx context.Context, sql string) (*exec.Result,
 }
 
 // Prepare parses and semantically checks one statement without
-// executing it, priming the prepared-program cache. The network
-// session layer uses it to fail a bad Prepare eagerly, the way any
-// remote database does.
+// executing it, priming the prepared-program cache. The check runs
+// against the live catalog; execution re-validates against its own
+// transaction's snapshot. The network session layer uses Prepare to
+// fail a bad statement eagerly, the way any remote database does.
 func (db *Database) Prepare(sql string) error {
 	t0 := time.Now()
-	_, err := db.prepare(sql)
+	p, err := db.parseStmt(sql)
 	db.met.ParseNanos.Add(int64(time.Since(t0)))
+	if err == nil {
+		err = db.verdict(p, sql, semck.FromStorage(db.cat), db.cat.Version())
+	}
 	if err != nil {
 		db.met.StmtErrors.Inc()
 		return fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
@@ -327,18 +284,18 @@ func (db *Database) ExplainSQL(sql string) (string, error) {
 }
 
 // ExplainSQLContext is ExplainSQL under a cancellation context. The
-// trace hook is installed inside the execution critical section, so
+// trace hook is installed on the statement's own pooled runtime, so
 // concurrent sessions never observe each other's decision logs.
 func (db *Database) ExplainSQLContext(ctx context.Context, sql string) (string, error) {
 	t0 := time.Now()
-	st, err := db.prepare(sql)
+	p, err := db.parseStmt(sql)
 	db.met.ParseNanos.Add(int64(time.Since(t0)))
 	if err != nil {
 		db.met.StmtErrors.Inc()
 		return "", fmt.Errorf("engine: %w\n  in: %s", err, compact(sql))
 	}
 	var lines []string
-	res, err := db.execStatement(ctx, st, sql, sql, func(l string) { lines = append(lines, l) })
+	res, err := db.def.execParsed(ctx, p.st, p, sql, sql, func(l string) { lines = append(lines, l) })
 	if err != nil {
 		return "", err
 	}
@@ -407,14 +364,24 @@ func compact(sql string) string {
 // records from r. The header format is "col:type" per column, with type
 // one of int, float, string, date, bool. Empty fields load as NULL.
 func (db *Database) ImportCSV(name string, header []string, r io.Reader) (int, error) {
+	return db.ImportCSVContext(context.Background(), name, header, r)
+}
+
+// ImportCSVContext is ImportCSV under a cancellation context, which
+// bounds the import transaction's lock waits and commit.
+func (db *Database) ImportCSVContext(ctx context.Context, name string, header []string, r io.Reader) (int, error) {
 	cr := csv.NewReader(r)
 	cr.TrimLeadingSpace = true
-	return db.importRecords(name, header, cr)
+	return db.importRecords(ctx, name, header, cr)
 }
 
 // importRecords implements CSV loading over an already-positioned
-// reader (shared with Load, whose files carry the header in-band).
-func (db *Database) importRecords(name string, header []string, cr *csv.Reader) (int, error) {
+// reader (shared with Load, whose files carry the header in-band). The
+// import runs as one transaction: the row batch becomes visible
+// atomically and shares one group fsync at commit. Table creation is
+// DDL and therefore survives a failed load (as a created-then-empty
+// table), matching how a CREATE TABLE + failed INSERT script behaves.
+func (db *Database) importRecords(ctx context.Context, name string, header []string, cr *csv.Reader) (int, error) {
 	cols := make([]schema.Column, len(header))
 	for i, h := range header {
 		parts := strings.SplitN(h, ":", 2)
@@ -427,15 +394,20 @@ func (db *Database) importRecords(name string, header []string, cr *csv.Reader) 
 		}
 		cols[i] = schema.Column{Name: parts[0], Type: t}
 	}
-	// The import runs as one statement: table creation and the row batch
-	// share a page-I/O window and one group fsync at commit, serialized
-	// against concurrent statements like any other mutation.
-	db.execMu.Lock()
-	defer db.execMu.Unlock()
-	db.beginWindow(db.Limits())
-	tab, err := db.cat.CreateTable(name, schema.New(name, cols...))
-	if err != nil {
-		return 0, db.commit(err)
+	tx := db.mgr.Begin()
+	defer db.mgr.Release(tx)
+	tx.SetLimits(db.Limits())
+	if _, err := tx.CreateTable(ctx, name, schema.New(name, cols...)); err != nil {
+		tx.Rollback()
+		return 0, err
+	}
+	tab, ok, err := tx.ForWrite(ctx, name)
+	if err != nil || !ok {
+		tx.Rollback()
+		if err == nil {
+			err = fmt.Errorf("engine: table %q vanished during import", name)
+		}
+		return 0, err
 	}
 	var rows []schema.Row
 	for {
@@ -444,22 +416,29 @@ func (db *Database) importRecords(name string, header []string, cr *csv.Reader) 
 			break
 		}
 		if err != nil {
-			return 0, db.commit(fmt.Errorf("engine: csv: %w", err))
+			tx.Rollback()
+			return 0, fmt.Errorf("engine: csv: %w", err)
 		}
 		if len(rec) != len(cols) {
-			return 0, db.commit(fmt.Errorf("engine: csv record has %d fields, want %d", len(rec), len(cols)))
+			tx.Rollback()
+			return 0, fmt.Errorf("engine: csv record has %d fields, want %d", len(rec), len(cols))
 		}
 		row := make(schema.Row, len(cols))
 		for i, f := range rec {
 			v, err := parseField(f, cols[i].Type)
 			if err != nil {
-				return 0, db.commit(fmt.Errorf("engine: csv field %q: %w", f, err))
+				tx.Rollback()
+				return 0, fmt.Errorf("engine: csv field %q: %w", f, err)
 			}
 			row[i] = v
 		}
 		rows = append(rows, row)
 	}
-	if err := db.commit(tab.InsertAll(rows)); err != nil {
+	if err := tx.InsertRows(tab, rows); err != nil {
+		tx.Rollback()
+		return 0, err
+	}
+	if err := tx.Commit(ctx); err != nil {
 		return 0, err
 	}
 	return len(rows), nil

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"syscall"
 	"testing"
 
@@ -443,4 +444,87 @@ func TestCheckpointOnDegradedStore(t *testing.T) {
 		t.Fatalf("degraded checkpoint still ran (%d)", got)
 	}
 	db.Close()
+}
+
+// TestGroupCommitCrashAckedPrefix sweeps a kill point across the WAL
+// group-commit fsync sequence: four concurrent autocommit writers share
+// group fsyncs, the k-th fsync dies (degrading the store, fsyncgate),
+// then the machine crashes losing every unsynced byte. Recovery must
+// surface exactly the acknowledged prefix: every acked statement
+// present, and nothing else — except statements that were in flight at
+// the kill point, whose durability is genuinely indeterminate (their
+// frame may have ridden the previous group's successful fsync without
+// being acknowledged by it). A recovered row that was neither acked nor
+// in flight would be retroactive acking; an acked row missing would be
+// silent loss.
+func TestGroupCommitCrashAckedPrefix(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		t.Run(fmt.Sprintf("killpoint=%d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := vfs.NewFaultFS(vfs.OS, int64(k), vfs.Profile{DropUnsynced: 1})
+			db, err := OpenFS(ffs, dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Exec("CREATE TABLE t (id INTEGER)"); err != nil {
+				t.Fatal(err)
+			}
+			// Plant after setup so the kill point counts workload fsyncs.
+			ffs.FailNth(vfs.OpSync, k, syscall.EIO)
+
+			const writers = 4
+			var mu sync.Mutex
+			acked := make(map[int64]bool)
+			inflight := make(map[int64]bool)
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < 25; i++ {
+						id := int64(w*1000 + i)
+						if _, err := db.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d)", id)); err != nil {
+							// First error per writer: the statement was in
+							// flight when the group died — indeterminate.
+							mu.Lock()
+							inflight[id] = true
+							mu.Unlock()
+							return
+						}
+						mu.Lock()
+						acked[id] = true
+						mu.Unlock()
+					}
+				}(w)
+			}
+			wg.Wait()
+
+			if err := ffs.Crash(); err != nil {
+				t.Fatal(err)
+			}
+			rdb, err := Open(dir, 0)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer rdb.Close()
+			res, err := rdb.Query("SELECT id FROM t ORDER BY id")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(map[int64]bool, len(res.Rows))
+			for _, row := range res.Rows {
+				got[row[0].Int()] = true
+			}
+			for id := range acked {
+				if !got[id] {
+					t.Fatalf("acked id %d lost in recovery (acked %d, recovered %d)", id, len(acked), len(got))
+				}
+			}
+			for id := range got {
+				if !acked[id] && !inflight[id] {
+					t.Fatalf("recovery resurrected id %d that was never in flight (acked %d, recovered %d)", id, len(acked), len(got))
+				}
+			}
+		})
+	}
 }

@@ -350,15 +350,10 @@ func fsckWal(fsys vfs.FS, dir string, gen uint64, snap *snapshot, r *FsckReport,
 	}
 	floor := r.LastLSN
 	prev := uint64(0)
-	validEnd, lastLSN, tornTail, err := wal.Replay(fsys, path, func(rec *wal.Record) error {
-		r.WalRecords++
-		if rec.LSN <= prev {
-			r.problem(path, fmt.Sprintf("LSN %d after %d: log is not monotone", rec.LSN, prev), false)
-		}
-		prev = rec.LSN
-		if rec.LSN <= floor {
-			return nil // below the snapshot: replay skips it, shape is irrelevant
-		}
+	// check validates one record's dictionary references, recursing into
+	// a commit frame's sub-records (which carry the frame's LSN).
+	var check func(lsn uint64, rec *wal.Record)
+	check = func(lsn uint64, rec *wal.Record) {
 		switch rec.Kind {
 		case wal.KindCreateTable:
 			tables[rec.Name] = true
@@ -370,13 +365,28 @@ func fsckWal(fsys vfs.FS, dir string, gen uint64, snap *snapshot, r *FsckReport,
 			delete(seqs, rec.Name)
 		case wal.KindInsert, wal.KindTruncate, wal.KindReplace:
 			if !tables[rec.Name] {
-				r.problem(path, fmt.Sprintf("LSN %d: %s references unknown table %q", rec.LSN, rec.Kind, rec.Name), false)
+				r.problem(path, fmt.Sprintf("LSN %d: %s references unknown table %q", lsn, rec.Kind, rec.Name), false)
 			}
 		case wal.KindSeqBump:
 			if !seqs[rec.Name] {
-				r.problem(path, fmt.Sprintf("LSN %d: SEQ BUMP references unknown sequence %q", rec.LSN, rec.Name), false)
+				r.problem(path, fmt.Sprintf("LSN %d: SEQ BUMP references unknown sequence %q", lsn, rec.Name), false)
+			}
+		case wal.KindTxn:
+			for _, sub := range rec.Subs {
+				check(lsn, sub)
 			}
 		}
+	}
+	validEnd, lastLSN, tornTail, err := wal.Replay(fsys, path, func(rec *wal.Record) error {
+		r.WalRecords++
+		if rec.LSN <= prev {
+			r.problem(path, fmt.Sprintf("LSN %d after %d: log is not monotone", rec.LSN, prev), false)
+		}
+		prev = rec.LSN
+		if rec.LSN <= floor {
+			return nil // below the snapshot: replay skips it, shape is irrelevant
+		}
+		check(rec.LSN, rec)
 		return nil
 	})
 	if err != nil {

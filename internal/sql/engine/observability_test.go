@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 )
 
 func obsDB(t *testing.T) *Database {
@@ -216,5 +217,93 @@ func TestMetricsCounters(t *testing.T) {
 	}
 	if m.StmtErrors.Load() != e0+1 {
 		t.Errorf("StmtErrors did not advance")
+	}
+}
+
+// expoValue extracts one metric's value from a Prometheus exposition
+// dump, failing the test when the line is missing.
+func expoValue(t *testing.T, dump, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(dump, "\n") {
+		var v int64
+		if n, _ := fmt.Sscanf(line, name+" %d", &v); n == 1 && strings.HasPrefix(line, name+" ") {
+			return v
+		}
+	}
+	t.Fatalf("exposition missing %s:\n%s", name, dump)
+	return 0
+}
+
+// TestTxnMetricsExposition drives the transaction subsystem — an open
+// explicit transaction, a contended lock, a durable group commit — and
+// asserts the /metrics exposition reports it: txn_active tracks open
+// transactions, lock_waits_total counts the contention, and
+// group_commit_batch_size is derivable once fsyncs happened.
+func TestTxnMetricsExposition(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (id INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+
+	dump := func() string {
+		var b strings.Builder
+		if err := db.Metrics().WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	conn := db.Conn()
+	defer conn.Close()
+	if _, err := conn.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	d := dump()
+	if got := expoValue(t, d, "minerule_txn_active"); got != 1 {
+		t.Fatalf("minerule_txn_active = %d with one open transaction, want 1", got)
+	}
+	if !strings.Contains(d, "# TYPE minerule_txn_active gauge") {
+		t.Fatal("minerule_txn_active must be exposed as a gauge")
+	}
+
+	// Contention: an autocommit writer on the same table must wait for
+	// the explicit transaction's lock.
+	done := make(chan error, 1)
+	go func() { _, err := db.Exec("INSERT INTO t VALUES (2)"); done <- err }()
+	waitStart := db.Metrics().LockWaits.Load()
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Metrics().LockWaits.Load() == waitStart {
+		if time.Now().After(deadline) {
+			t.Fatal("concurrent writer never queued on the table lock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := conn.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	d = dump()
+	if got := expoValue(t, d, "minerule_txn_active"); got != 0 {
+		t.Fatalf("minerule_txn_active = %d after commit, want 0", got)
+	}
+	if got := expoValue(t, d, "minerule_lock_waits_total"); got < 1 {
+		t.Fatalf("minerule_lock_waits_total = %d, want >=1", got)
+	}
+	fsyncs := expoValue(t, d, "minerule_group_commit_fsyncs_total")
+	if fsyncs < 1 {
+		t.Fatalf("minerule_group_commit_fsyncs_total = %d on a durable store, want >=1", fsyncs)
+	}
+	commits := expoValue(t, d, "minerule_group_commit_commits_total")
+	batch := expoValue(t, d, "minerule_group_commit_batch_size")
+	if want := commits / fsyncs; batch != want {
+		t.Fatalf("minerule_group_commit_batch_size = %d, want commits/fsyncs = %d", batch, want)
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -137,6 +138,11 @@ func csvTypeName(t value.Type) string {
 
 // Load reads a database saved by Save into a fresh Database.
 func Load(dir string) (*Database, error) {
+	return LoadContext(context.Background(), dir)
+}
+
+// LoadContext is Load under a cancellation context.
+func LoadContext(ctx context.Context, dir string) (*Database, error) {
 	data, err := vfs.OS.ReadFile(filepath.Join(dir, "manifest.json"))
 	if err != nil {
 		return nil, fmt.Errorf("engine: load: %w", err)
@@ -159,7 +165,7 @@ func Load(dir string) (*Database, error) {
 		}
 		// Re-feed the remaining records through ImportCSV's machinery by
 		// handing it the already-opened reader.
-		if _, err := db.importRecords(name, header, r); err != nil {
+		if _, err := db.importRecords(ctx, name, header, r); err != nil {
 			f.Close()
 			return nil, fmt.Errorf("engine: load %s: %w", name, err)
 		}

@@ -78,16 +78,23 @@ func (c *clockCache[V]) put(k string, v V, limit int) bool {
 
 // prepared is one cached program: the parsed statement(s) plus the
 // result of the prepare-time semantic check, keyed by the catalog
-// version the check ran against. A cache hit at the same version reuses
-// the verdict without touching the dictionary; a hit after DDL rechecks
-// once and re-stamps. err carries the statements themselves untouched —
-// the engine still hands the parsed form out on a failed check so
-// EXPLAIN can report the diagnostic as its plan.
+// version the check ran against. A statement executes under a
+// transaction snapshot, so the verdict is validated against the
+// snapshot's catalog version (txn.Txn.CatalogVersion) — a prepared
+// program racing concurrent DDL rechecks against exactly the dictionary
+// state its own statement will bind against, never a newer one. A hit
+// at the same version reuses the verdict without touching the
+// dictionary. err carries the statements themselves untouched — the
+// engine still hands the parsed form out on a failed check so EXPLAIN
+// can report the diagnostic as its plan.
+// The verdict fields (checked/ver/err) are accessed only under the
+// owning stmtCache's mu; st and sts are immutable once cached.
 type prepared struct {
-	st  parse.Statement
-	sts []parse.Statement // script form
-	ver uint64
-	err error
+	st      parse.Statement
+	sts     []parse.Statement // script form
+	checked bool              // ver/err valid
+	ver     uint64
+	err     error
 }
 
 // stmtCache is the engine's prepared-program cache: statement text →
@@ -123,25 +130,19 @@ func (db *Database) StatementCacheEvictions() uint64 {
 	return db.cache.evictions
 }
 
-// prepare returns the parsed form of one statement, from cache when the
-// exact text has been seen before, together with the prepare-time
-// semantic verdict. On a non-nil error the statement is still returned
-// when parsing succeeded (the error is then a semantic diagnostic, not
-// a syntax failure), so callers can inspect the statement kind.
-func (db *Database) prepare(sql string) (parse.Statement, error) {
+// parseStmt returns the parsed form of one statement, from cache when
+// the exact text has been seen before. The semantic check is deferred
+// to verdict, which the engine calls with the executing transaction's
+// snapshot catalog. Parse errors are not cached (they cannot become
+// valid without the text changing, and failed texts rarely repeat).
+func (db *Database) parseStmt(sql string) (*prepared, error) {
 	c := &db.cache
-	ver := db.cat.Version()
 	c.mu.Lock()
 	if p, ok := c.stmts.get(sql); ok {
 		c.hits++
-		if p.ver != ver {
-			p.err = semck.Check(semck.FromStorage(db.cat), p.st, sql)
-			p.ver = ver
-		}
-		st, err := p.st, p.err
 		c.mu.Unlock()
 		db.met.StmtCacheHits.Inc()
-		return st, err
+		return p, nil
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -151,14 +152,37 @@ func (db *Database) prepare(sql string) (parse.Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	cerr := semck.Check(semck.FromStorage(db.cat), st, sql)
+	p := &prepared{st: st}
 	c.mu.Lock()
-	if c.stmts.put(sql, &prepared{st: st, ver: ver, err: cerr}, stmtCacheLimit) {
+	if c.stmts.put(sql, p, stmtCacheLimit) {
 		c.evictions++
 		db.met.StmtCacheEvictions.Inc()
 	}
 	c.mu.Unlock()
-	return st, cerr
+	return p, nil
+}
+
+// verdict returns the prepare-time semantic verdict for p as of catalog
+// version ver, rechecking against scat — the executing statement's view
+// of the dictionary (its transaction snapshot, or the live catalog for
+// Prepare) — when the cached verdict was stamped under a different
+// version. Catalog versions identify dictionary states exactly (every
+// DDL publish advances the version), so a hit at the same version is
+// sound no matter which snapshot produced it.
+func (db *Database) verdict(p *prepared, src string, scat semck.Catalog, ver uint64) error {
+	c := &db.cache
+	c.mu.Lock()
+	if p.checked && p.ver == ver {
+		err := p.err
+		c.mu.Unlock()
+		return err
+	}
+	c.mu.Unlock()
+	err := semck.Check(scat, p.st, src)
+	c.mu.Lock()
+	p.checked, p.ver, p.err = true, ver, err
+	c.mu.Unlock()
+	return err
 }
 
 // checkScript semantically checks a statement sequence in order,
@@ -176,16 +200,19 @@ func (db *Database) checkScript(sts []parse.Statement, src string) error {
 	return nil
 }
 
-// prepareScript is prepare for semicolon-separated scripts.
+// prepareScript is parseStmt+verdict for semicolon-separated scripts:
+// the whole sequence is checked as a unit against the live catalog
+// (with DDL effects threaded through an overlay), so the per-statement
+// verdict path is bypassed at execution.
 func (db *Database) prepareScript(sql string) ([]parse.Statement, error) {
 	c := &db.cache
 	ver := db.cat.Version()
 	c.mu.Lock()
 	if p, ok := c.scripts.get(sql); ok {
 		c.hits++
-		if p.ver != ver {
+		if !p.checked || p.ver != ver {
 			p.err = db.checkScript(p.sts, sql)
-			p.ver = ver
+			p.checked, p.ver = true, ver
 		}
 		sts, err := p.sts, p.err
 		c.mu.Unlock()
@@ -205,7 +232,7 @@ func (db *Database) prepareScript(sql string) ([]parse.Statement, error) {
 	}
 	cerr := db.checkScript(sts, sql)
 	c.mu.Lock()
-	if c.scripts.put(sql, &prepared{sts: sts, ver: ver, err: cerr}, stmtCacheLimit) {
+	if c.scripts.put(sql, &prepared{sts: sts, checked: true, ver: ver, err: cerr}, stmtCacheLimit) {
 		c.evictions++
 		db.met.StmtCacheEvictions.Inc()
 	}

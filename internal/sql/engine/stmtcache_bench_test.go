@@ -2,7 +2,19 @@ package engine
 
 import (
 	"testing"
+
+	"minerule/internal/sql/semck"
 )
+
+// prepareLive is the test stand-in for the engine's prepare path:
+// parse (cached) plus the semantic verdict against the live catalog.
+func prepareLive(db *Database, sql string) error {
+	p, err := db.parseStmt(sql)
+	if err != nil {
+		return err
+	}
+	return db.verdict(p, sql, semck.FromStorage(db.cat), db.cat.Version())
+}
 
 func hitPathDB(tb testing.TB) *Database {
 	tb.Helper()
@@ -25,11 +37,11 @@ func hitPathDB(tb testing.TB) *Database {
 func TestPrepareHitAllocationFree(t *testing.T) {
 	db := hitPathDB(t)
 	sql := "SELECT a, UPPER(b) FROM t WHERE a > 1 ORDER BY a"
-	if _, err := db.prepare(sql); err != nil {
+	if err := prepareLive(db, sql); err != nil {
 		t.Fatal(err)
 	}
 	allocs := testing.AllocsPerRun(200, func() {
-		if _, err := db.prepare(sql); err != nil {
+		if err := prepareLive(db, sql); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -42,11 +54,11 @@ func TestPrepareHitAllocationFree(t *testing.T) {
 	if _, err := db.Exec("CREATE TABLE u (x INTEGER)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := db.prepare(sql); err != nil {
+	if err := prepareLive(db, sql); err != nil {
 		t.Fatal(err)
 	}
 	allocs = testing.AllocsPerRun(200, func() {
-		if _, err := db.prepare(sql); err != nil {
+		if err := prepareLive(db, sql); err != nil {
 			t.Fatal(err)
 		}
 	})
@@ -80,13 +92,13 @@ func TestSemCheckOncePerProgram(t *testing.T) {
 func BenchmarkPrepareHit(b *testing.B) {
 	db := hitPathDB(b)
 	sql := "SELECT a, UPPER(b) FROM t WHERE a > 1 ORDER BY a"
-	if _, err := db.prepare(sql); err != nil {
+	if err := prepareLive(db, sql); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := db.prepare(sql); err != nil {
+		if err := prepareLive(db, sql); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 	"testing"
 )
 
@@ -162,4 +164,123 @@ func TestViewPlanCacheInvalidation(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("redefined view: COUNT(*) = %d, want 1 (stale view plan?)", n)
 	}
+}
+
+// TestPrepareUnderConcurrentDDL: a verdict primed by Prepare at catalog
+// version V must not execute after DDL replaces the table — the cached
+// text revalidates against the current (or snapshot) catalog version,
+// so a column dropped by the DDL is a semantic error, never a stale
+// execution.
+func TestPrepareUnderConcurrentDDL(t *testing.T) {
+	db := New()
+	if err := db.ExecScript(`
+		CREATE TABLE t (a INTEGER);
+		INSERT INTO t VALUES (1);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	const q = "SELECT a FROM t"
+	if err := db.Prepare(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(q); err != nil {
+		t.Fatal(err)
+	}
+
+	// A snapshot transaction opened now is pinned to the pre-DDL catalog:
+	// the cached statement must keep resolving column a inside it even
+	// after the live table loses that column.
+	conn := db.Conn()
+	defer conn.Close()
+	if _, err := conn.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec(q); err != nil {
+		t.Fatalf("cached statement inside pre-DDL snapshot: %v", err)
+	}
+
+	if err := db.ExecScript(`
+		DROP TABLE t;
+		CREATE TABLE t (b INTEGER);
+		INSERT INTO t VALUES (10);
+		INSERT INTO t VALUES (20);
+	`); err != nil {
+		t.Fatal(err)
+	}
+
+	// The open transaction still validates against its snapshot's version.
+	if _, err := conn.Exec(q); err != nil {
+		t.Fatalf("cached statement revalidated against live catalog instead of the snapshot: %v", err)
+	}
+	if _, err := conn.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Autocommit now sees the new schema: column a is gone, b resolves.
+	if _, err := db.Query(q); err == nil {
+		t.Fatal("stale verdict: cached SELECT a executed against a table without column a")
+	} else if !strings.Contains(err.Error(), "unknown column") {
+		t.Fatalf("post-DDL error = %v, want unknown column", err)
+	}
+	n, err := db.QueryInt("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("post-DDL COUNT(*) = %d, want 2", n)
+	}
+}
+
+// TestPrepareDDLRace hammers Prepare+execute against concurrent
+// DROP/CREATE of the same table. Every outcome must be a clean success
+// or a semantic error — never a stale-verdict execution, panic, or
+// race-detector report.
+func TestPrepareDDLRace(t *testing.T) {
+	db := New()
+	if err := db.ExecScript(`
+		CREATE TABLE t (a INTEGER);
+		INSERT INTO t VALUES (1);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ddl := `DROP TABLE t; CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1);`
+			if i%2 == 1 {
+				ddl = `DROP TABLE t; CREATE TABLE t (b INTEGER); INSERT INTO t VALUES (2);`
+			}
+			if err := db.ExecScript(ddl); err != nil {
+				t.Errorf("DDL churn: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		const q = "SELECT a FROM t"
+		if err := db.Prepare(q); err != nil && !strings.Contains(err.Error(), "unknown column") {
+			t.Fatalf("prepare during DDL churn: %v", err)
+		}
+		res, err := db.Query(q)
+		if err != nil {
+			if !strings.Contains(err.Error(), "unknown column") {
+				t.Fatalf("query during DDL churn: %v", err)
+			}
+			continue
+		}
+		// When it executes, the verdict matched the schema it ran against.
+		if got := res.Schema.Col(0).Name; got != "a" {
+			t.Fatalf("stale plan returned column %q, want a", got)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }

@@ -16,6 +16,12 @@ import (
 // Runtime executes parsed statements against a catalog.
 type Runtime struct {
 	Cat *storage.Catalog
+	// Txn is the statement's window onto the database: name resolution,
+	// row visibility, mutations, and DDL all flow through it. The engine
+	// installs the statement's transaction here; when nil, tv() lazily
+	// falls back to a direct live view of Cat (the pre-transaction
+	// behavior, kept for Runtimes built outside an engine).
+	Txn TxnView
 	// Trace, when non-nil, receives one line per executor decision
 	// (scan source, join strategy, index use, …) — the engine's
 	// EXPLAIN ANALYZE facility.
@@ -73,6 +79,15 @@ type viewPlan struct {
 
 // NewRuntime returns a Runtime over the given catalog.
 func NewRuntime(cat *storage.Catalog) *Runtime { return &Runtime{Cat: cat} }
+
+// tv returns the statement's database view, defaulting to the direct
+// live view of the catalog when no transaction is installed.
+func (rt *Runtime) tv() TxnView {
+	if rt.Txn == nil {
+		rt.Txn = directView{cat: rt.Cat}
+	}
+	return rt.Txn
+}
 
 // pollEvery is how many charged operations pass between context polls;
 // checking ctx.Err on every row would dominate tight scan loops.
@@ -202,13 +217,13 @@ func (rt *Runtime) Exec(st parse.Statement) (*Result, error) {
 		for i, c := range x.Cols {
 			cols[i] = schema.Column{Name: c.Name, Type: c.Type}
 		}
-		if _, err := rt.Cat.CreateTable(x.Name, schema.New(x.Name, cols...)); err != nil {
+		if _, err := rt.tv().CreateTable(rt.ctx, x.Name, schema.New(x.Name, cols...)); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 
 	case *parse.DropTable:
-		if err := rt.Cat.DropTable(x.Name); err != nil {
+		if err := rt.tv().DropTable(rt.ctx, x.Name); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
@@ -219,31 +234,31 @@ func (rt *Runtime) Exec(st parse.Statement) (*Result, error) {
 		if _, err := rt.execSelect(x.Query); err != nil {
 			return nil, fmt.Errorf("exec: invalid view %s: %w", x.Name, err)
 		}
-		if err := rt.Cat.CreateView(x.Name, x.Query.SQL()); err != nil {
+		if err := rt.tv().CreateView(x.Name, x.Query.SQL()); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 
 	case *parse.DropView:
-		if err := rt.Cat.DropView(x.Name); err != nil {
+		if err := rt.tv().DropView(x.Name); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 
 	case *parse.CreateSequence:
-		if _, err := rt.Cat.CreateSequence(x.Name); err != nil {
+		if _, err := rt.tv().CreateSequence(x.Name); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 
 	case *parse.DropSequence:
-		if err := rt.Cat.DropSequence(x.Name); err != nil {
+		if err := rt.tv().DropSequence(x.Name); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 
 	case *parse.CreateIndex:
-		t, ok := rt.Cat.Table(x.Table)
+		t, ok := rt.tv().Table(x.Table)
 		if !ok {
 			return nil, fmt.Errorf("exec: unknown table %q in CREATE INDEX", x.Table)
 		}
@@ -251,13 +266,13 @@ func (rt *Runtime) Exec(st parse.Statement) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, err := rt.Cat.CreateIndex(x.Name, x.Table, col); err != nil {
+		if _, err := rt.tv().CreateIndex(rt.ctx, x.Name, x.Table, col); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
 
 	case *parse.DropIndex:
-		if err := rt.Cat.DropIndex(x.Name); err != nil {
+		if err := rt.tv().DropIndex(rt.ctx, x.Name); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
@@ -277,7 +292,10 @@ func (rt *Runtime) Exec(st parse.Statement) (*Result, error) {
 // execUpdate rewrites matching rows in place (assignments see the
 // pre-update row values, per SQL).
 func (rt *Runtime) execUpdate(x *parse.Update) (*Result, error) {
-	t, ok := rt.Cat.Table(x.Table)
+	t, ok, err := rt.tv().ForWrite(rt.ctx, x.Table)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("exec: unknown table %q in UPDATE", x.Table)
 	}
@@ -307,7 +325,7 @@ func (rt *Runtime) execUpdate(x *parse.Update) (*Result, error) {
 		}
 		condFn = fn
 	}
-	old := t.Snapshot()
+	old := rt.tv().Rows(t)
 	out := make([]schema.Row, 0, len(old))
 	changed := 0
 	for _, row := range old {
@@ -345,7 +363,7 @@ func (rt *Runtime) execUpdate(x *parse.Update) (*Result, error) {
 		out = append(out, next)
 		changed++
 	}
-	if err := t.Replace(out); err != nil {
+	if err := rt.tv().ReplaceRows(t, out); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: changed}, nil
@@ -357,7 +375,7 @@ func (rt *Runtime) execUpdate(x *parse.Update) (*Result, error) {
 // dropping and recreating the view under the same name) always forces a
 // re-parse against the current dictionary.
 func (rt *Runtime) planView(v *storage.View) (*parse.Select, error) {
-	ver := rt.Cat.Version()
+	ver := rt.tv().CatalogVersion()
 	if p, ok := rt.viewPlans[v.Name]; ok && p.version == ver && p.text == v.Text {
 		if m := rt.Met; m != nil {
 			m.ViewPlanHits.Inc()
@@ -407,7 +425,10 @@ func (rt *Runtime) bind(s *schema.Schema) *binding {
 // execInsert evaluates an INSERT, coercing values to the target schema
 // (int→float, string→date) and checking arity and types.
 func (rt *Runtime) execInsert(x *parse.Insert) (*Result, error) {
-	t, ok := rt.Cat.Table(x.Table)
+	t, ok, err := rt.tv().ForWrite(rt.ctx, x.Table)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("exec: unknown table %q in INSERT", x.Table)
 	}
@@ -506,7 +527,7 @@ func (rt *Runtime) execInsert(x *parse.Insert) (*Result, error) {
 		}
 		out = append(out, row)
 	}
-	if err := t.InsertAll(out); err != nil {
+	if err := rt.tv().InsertRows(t, out); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: len(out)}, nil
@@ -528,13 +549,16 @@ func coerceForColumn(v value.Value, c schema.Column) (value.Value, error) {
 
 // execDelete removes the rows matching WHERE (all rows when absent).
 func (rt *Runtime) execDelete(x *parse.Delete) (*Result, error) {
-	t, ok := rt.Cat.Table(x.Table)
+	t, ok, err := rt.tv().ForWrite(rt.ctx, x.Table)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("exec: unknown table %q in DELETE", x.Table)
 	}
 	if x.Where == nil {
-		n := t.Len()
-		if err := t.Truncate(); err != nil {
+		n := rt.tv().Len(t)
+		if err := rt.tv().ReplaceRows(t, nil); err != nil {
 			return nil, err
 		}
 		return &Result{RowsAffected: n}, nil
@@ -544,7 +568,7 @@ func (rt *Runtime) execDelete(x *parse.Delete) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	old := t.Snapshot()
+	old := rt.tv().Rows(t)
 	keep := make([]schema.Row, 0, len(old))
 	removed := 0
 	for _, row := range old {
@@ -565,7 +589,7 @@ func (rt *Runtime) execDelete(x *parse.Delete) (*Result, error) {
 		}
 		keep = append(keep, row)
 	}
-	if err := t.Replace(keep); err != nil {
+	if err := rt.tv().ReplaceRows(t, keep); err != nil {
 		return nil, err
 	}
 	return &Result{RowsAffected: removed}, nil

@@ -521,6 +521,22 @@ type Explain struct {
 	Pos     int
 }
 
+// Begin is "BEGIN [WORK|TRANSACTION]" / "START TRANSACTION": it opens
+// an explicit transaction on the session.
+type Begin struct {
+	Pos int
+}
+
+// Commit is "COMMIT [WORK|TRANSACTION]".
+type Commit struct {
+	Pos int
+}
+
+// Rollback is "ROLLBACK [WORK|TRANSACTION]".
+type Rollback struct {
+	Pos int
+}
+
 func (*Select) stmt()         {}
 func (*CreateTable) stmt()    {}
 func (*DropTable) stmt()      {}
@@ -534,6 +550,9 @@ func (*Update) stmt()         {}
 func (*CreateIndex) stmt()    {}
 func (*DropIndex) stmt()      {}
 func (*Explain) stmt()        {}
+func (*Begin) stmt()          {}
+func (*Commit) stmt()         {}
+func (*Rollback) stmt()       {}
 
 func (s *Select) SrcPos() int         { return s.Pos }
 func (c *CreateTable) SrcPos() int    { return c.Pos }
@@ -548,6 +567,9 @@ func (u *Update) SrcPos() int         { return u.Pos }
 func (c *CreateIndex) SrcPos() int    { return c.Pos }
 func (d *DropIndex) SrcPos() int      { return d.Pos }
 func (e *Explain) SrcPos() int        { return e.Pos }
+func (b *Begin) SrcPos() int          { return b.Pos }
+func (c *Commit) SrcPos() int         { return c.Pos }
+func (r *Rollback) SrcPos() int       { return r.Pos }
 
 // ---------------------------------------------------------------------------
 // SQL rendering (Node.SQL)
@@ -827,6 +849,9 @@ func (e *Explain) SQL() string {
 	}
 	return s + e.Query.SQL()
 }
+func (b *Begin) SQL() string    { return "BEGIN" }
+func (c *Commit) SQL() string   { return "COMMIT" }
+func (r *Rollback) SQL() string { return "ROLLBACK" }
 
 func (u *Update) SQL() string {
 	parts := make([]string, len(u.Set))

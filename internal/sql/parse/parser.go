@@ -185,6 +185,27 @@ func (p *parser) statement() (Statement, error) {
 		return p.createStmt()
 	case t.IsKeyword("drop"):
 		return p.dropStmt()
+	case t.IsKeyword("begin"):
+		p.next()
+		p.acceptKw("work")
+		p.acceptKw("transaction")
+		return &Begin{Pos: t.Pos}, nil
+	case t.IsKeyword("start"):
+		p.next()
+		if err := p.expectKw("transaction"); err != nil {
+			return nil, err
+		}
+		return &Begin{Pos: t.Pos}, nil
+	case t.IsKeyword("commit"):
+		p.next()
+		p.acceptKw("work")
+		p.acceptKw("transaction")
+		return &Commit{Pos: t.Pos}, nil
+	case t.IsKeyword("rollback"):
+		p.next()
+		p.acceptKw("work")
+		p.acceptKw("transaction")
+		return &Rollback{Pos: t.Pos}, nil
 	case t.IsKeyword("explain"):
 		p.next()
 		analyze := p.acceptKw("analyze")

@@ -207,6 +207,11 @@ func (c *checker) checkStatement(st parse.Statement) error {
 		}
 		return nil
 
+	case *parse.Begin, *parse.Commit, *parse.Rollback:
+		// Transaction control touches no names; the engine's session
+		// layer validates state (e.g. COMMIT outside a transaction).
+		return nil
+
 	case *parse.Insert:
 		return c.checkInsert(x)
 

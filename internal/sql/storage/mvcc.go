@@ -1,0 +1,461 @@
+package storage
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"minerule/internal/sql/schema"
+)
+
+// This file is the storage half of the engine's multi-version
+// concurrency control: tables keep enough row history for readers to see
+// a consistent snapshot while writers commit, and the catalog keeps
+// enough name-map history for those readers to resolve names as of their
+// snapshot even while DDL executes.
+//
+// The versioning currency is the commit stamp, a monotone uint64 drawn
+// from the catalog's StampClock. On a durable database the clock is kept
+// at or above the WAL's last LSN (commits allocate with Next(lsn)), so a
+// stamp names a log position; an in-memory database allocates from the
+// same clock as a plain logical counter — the interface is identical.
+//
+// Visibility protocol: a publisher (the txn layer's commit, or a DDL
+// statement) allocates its stamp and applies every effect while holding
+// the catalog's publish lock, and only then advances the clock's visible
+// watermark. Readers take their snapshot stamp from the watermark, so
+// any stamp a reader can hold is fully published — no reader ever
+// observes half a commit.
+//
+// Rows are versioned in two dimensions:
+//
+//   - bounds: within one append-only row array ("generation"), each
+//     committed batch pushes a (stamp, length) boundary. A reader at
+//     stamp S sees the prefix of the largest boundary at or below S.
+//   - generations: UPDATE/DELETE replace the whole array. The superseded
+//     generation (rows, its boundaries, and its index objects) is kept on
+//     a history list until no registered snapshot can still need it.
+//
+// History retention is bounded by the low-water mark — the minimum stamp
+// any registered snapshot holds — which publishers pass to prune.
+// The legacy direct-mutation API (Insert/InsertAll/Truncate/Replace on a
+// bare Table) publishes immediately and retains no history; it serves
+// recovery replay, persistence loads, and tests, which run without
+// concurrent snapshot readers.
+
+// StampClock issues commit stamps and tracks the published watermark.
+// All methods are safe for concurrent use.
+type StampClock struct {
+	alloc   atomic.Uint64 // last stamp allocated to a publisher
+	visible atomic.Uint64 // highest stamp whose publication completed
+}
+
+// Next allocates the next commit stamp: one past the last allocation,
+// raised to floor when that is higher. Durable commits pass their WAL
+// LSN as floor, which is what keeps stamps aligned with log positions;
+// everything else passes zero.
+func (c *StampClock) Next(floor uint64) uint64 {
+	for {
+		cur := c.alloc.Load()
+		s := cur + 1
+		if floor > s {
+			s = floor
+		}
+		if c.alloc.CompareAndSwap(cur, s) {
+			return s
+		}
+	}
+}
+
+// Visible returns the snapshot watermark: every stamp at or below it is
+// fully published, so a reader may adopt it as a consistent snapshot.
+func (c *StampClock) Visible() uint64 { return c.visible.Load() }
+
+// SetVisible raises the watermark to s (never lowers it). Publishers
+// call it after their last effect is applied.
+func (c *StampClock) SetVisible(s uint64) {
+	for {
+		cur := c.visible.Load()
+		if s <= cur || c.visible.CompareAndSwap(cur, s) {
+			return
+		}
+	}
+}
+
+// Advance raises both the allocator and the watermark to at least s.
+// The durable store calls it once after recovery with the last replayed
+// LSN, so post-recovery stamps continue above every logged position.
+func (c *StampClock) Advance(s uint64) {
+	for {
+		cur := c.alloc.Load()
+		if s <= cur || c.alloc.CompareAndSwap(cur, s) {
+			break
+		}
+	}
+	c.SetVisible(s)
+}
+
+// rowBound is one visibility boundary inside a row generation: readers
+// at or past stamp see the first n rows of the generation's array.
+type rowBound struct {
+	stamp uint64
+	n     int
+}
+
+// oldGen is a superseded row generation, retained until the low-water
+// mark passes endStamp. Its indexes are the Index objects that covered
+// it while live, so snapshot readers keep their point lookups.
+type oldGen struct {
+	rows     []schema.Row
+	bounds   []rowBound
+	indexes  []*Index
+	endStamp uint64 // stamp of the generation that replaced this one
+}
+
+// visibleLen returns the row count visible at stamp within one
+// generation: the largest boundary at or below stamp, or zero when the
+// generation has no boundary that old (the rows did not exist yet).
+func visibleLen(bounds []rowBound, stamp uint64) int {
+	i := sort.Search(len(bounds), func(i int) bool { return bounds[i].stamp > stamp })
+	if i == 0 {
+		return 0
+	}
+	return bounds[i-1].n
+}
+
+// genAtLocked resolves the generation visible at stamp. Caller holds
+// t.mu (read or write).
+func (t *Table) genAtLocked(stamp uint64) (rows []schema.Row, bounds []rowBound, indexes []*Index) {
+	for i := range t.hist {
+		if t.hist[i].endStamp > stamp {
+			g := &t.hist[i]
+			return g.rows, g.bounds, g.indexes
+		}
+	}
+	return t.rows, t.bounds, t.indexes
+}
+
+// RowsAt returns the rows visible at the given snapshot stamp. The
+// slice must be treated as read-only; it aliases an immutable prefix
+// (appends never move committed elements, replaced generations are
+// never mutated).
+func (t *Table) RowsAt(stamp uint64) []schema.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows, bounds, _ := t.genAtLocked(stamp)
+	n := visibleLen(bounds, stamp)
+	return rows[:n:n]
+}
+
+// LenAt returns the row count visible at the given snapshot stamp.
+func (t *Table) LenAt(stamp uint64) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, bounds, _ := t.genAtLocked(stamp)
+	return visibleLen(bounds, stamp)
+}
+
+// IndexOnAt returns an index covering the column ordinal in the
+// generation visible at stamp, if any. The returned index may only be
+// consulted through LookupAt with the same stamp.
+func (t *Table) IndexOnAt(col int, stamp uint64) *Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, _, indexes := t.genAtLocked(stamp)
+	for _, ix := range indexes {
+		if ix.col == col {
+			return ix
+		}
+	}
+	return nil
+}
+
+// LookupAt is Lookup restricted to the rows visible at stamp: positions
+// past the snapshot's visibility boundary are filtered out. ix must
+// come from IndexOnAt at the same stamp.
+func (t *Table) LookupAt(ix *Index, key string, stamp uint64) []schema.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	rows, bounds, _ := t.genAtLocked(stamp)
+	n := visibleLen(bounds, stamp)
+	bucket := ix.m[key]
+	if bucket == nil {
+		return nil
+	}
+	positions := *bucket
+	// Positions are appended in row order, so the visible prefix of the
+	// bucket is itself a prefix.
+	cut := sort.SearchInts(positions, n)
+	if cut == 0 {
+		return nil
+	}
+	out := make([]schema.Row, cut)
+	for i, p := range positions[:cut] {
+		out[i] = rows[p]
+	}
+	return out
+}
+
+// PublishAppend makes a committed batch visible at stamp: the rows are
+// appended to the current generation with a new visibility boundary.
+// The caller (the txn layer) has already journaled the batch and holds
+// the catalog's publish lock; lwm prunes history no snapshot needs.
+func (t *Table) PublishAppend(stamp uint64, rs []schema.Row, lwm uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, r := range rs {
+		for _, ix := range t.indexes {
+			ix.add(r, len(t.rows)+i)
+		}
+	}
+	t.rows = append(t.rows, rs...)
+	t.bounds = append(t.bounds, rowBound{stamp: stamp, n: len(t.rows)})
+	t.pruneLocked(lwm)
+}
+
+// PublishReplace makes a committed whole-table rewrite visible at
+// stamp: the current generation moves to the history list (still
+// readable by older snapshots) and rs becomes the new generation with
+// freshly built index objects. Same contract as PublishAppend.
+func (t *Table) PublishReplace(stamp uint64, rs []schema.Row, lwm uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.hist = append(t.hist, oldGen{rows: t.rows, bounds: t.bounds, indexes: t.indexes, endStamp: stamp})
+	t.rows = rs
+	t.bounds = []rowBound{{stamp: stamp, n: len(rs)}}
+	fresh := make([]*Index, len(t.indexes))
+	for i, old := range t.indexes {
+		ix := &Index{name: old.name, col: old.col, m: make(map[string]*[]int)}
+		for pos, row := range rs {
+			ix.add(row, pos)
+		}
+		fresh[i] = ix
+	}
+	t.indexes = fresh
+	t.pruneLocked(lwm)
+}
+
+// pruneLocked drops history no snapshot at or past lwm can reach:
+// generations whose successor is itself at or below lwm, and visibility
+// boundaries shadowed by a newer boundary at or below lwm. Caller holds
+// t.mu.
+func (t *Table) pruneLocked(lwm uint64) {
+	drop := 0
+	for drop < len(t.hist) && t.hist[drop].endStamp <= lwm {
+		drop++
+	}
+	if drop > 0 {
+		t.hist = append(t.hist[:0], t.hist[drop:]...)
+	}
+	for i := range t.hist {
+		t.hist[i].bounds = pruneBounds(t.hist[i].bounds, lwm)
+	}
+	t.bounds = pruneBounds(t.bounds, lwm)
+}
+
+func pruneBounds(bounds []rowBound, lwm uint64) []rowBound {
+	drop := 0
+	for drop+1 < len(bounds) && bounds[drop+1].stamp <= lwm {
+		drop++
+	}
+	if drop == 0 {
+		return bounds
+	}
+	return append(bounds[:0], bounds[drop:]...)
+}
+
+// stampLocked allocates a commit stamp for a legacy direct mutation.
+// Caller holds t.mu. Detached tables (NewTable, never registered in a
+// catalog) lazily grow a private clock.
+func (t *Table) stampLocked() uint64 {
+	if t.clock == nil {
+		t.clock = &StampClock{}
+	}
+	return t.clock.Next(0)
+}
+
+// publishLegacyLocked finishes a legacy direct mutation: the whole
+// current state becomes visible at stamp and all history is discarded —
+// the legacy API serves recovery replay, persistence loads, and tests,
+// which have no concurrent snapshot readers. Caller holds t.mu.
+func (t *Table) publishLegacyLocked(stamp uint64) {
+	t.hist = nil
+	t.bounds = append(t.bounds[:0], rowBound{stamp: stamp, n: len(t.rows)})
+	t.clock.SetVisible(stamp)
+}
+
+// ---------------------------------------------------------------------------
+// Catalog name-map history
+
+// catPast is one superseded catalog state: the name maps as they were
+// until stamp, retained so snapshot readers older than stamp resolve
+// names against the dictionary they began under.
+type catPast struct {
+	stamp uint64 // the DDL stamp at which this state stopped being current
+	ver   uint64 // catalog version of this state (cache keys)
+	tabs  map[string]*Table
+	vws   map[string]*View
+	seqs  map[string]*Sequence
+	idxs  map[string]string
+}
+
+// Stamps exposes the catalog's commit-stamp clock.
+func (c *Catalog) Stamps() *StampClock { return &c.stamps }
+
+// LockPublish acquires the catalog-wide publish lock. Every publisher —
+// a committing transaction, a DDL statement, a checkpoint needing a
+// still image — holds it across stamp allocation, effect application,
+// and the watermark advance, which is what makes snapshots consistent.
+// Lock order: LockPublish precedes Catalog.mu precedes Table.mu.
+func (c *Catalog) LockPublish() { c.pubMu.Lock() }
+
+// UnlockPublish releases the publish lock.
+func (c *Catalog) UnlockPublish() { c.pubMu.Unlock() }
+
+// EnableHistory turns on name-map versioning: from now on every DDL
+// preserves the prior maps for snapshot readers. The transaction
+// manager enables it once at attach; recovery replay (which runs with
+// no readers) stays free of per-DDL map copies.
+func (c *Catalog) EnableHistory() {
+	c.mu.Lock()
+	c.history = true
+	c.mu.Unlock()
+}
+
+// PruneHistory drops catalog states no snapshot at or past lwm can
+// reach. The transaction manager calls it as snapshots retire.
+func (c *Catalog) PruneHistory(lwm uint64) {
+	c.mu.Lock()
+	drop := 0
+	for drop < len(c.past) && c.past[drop].stamp <= lwm {
+		drop++
+	}
+	if drop > 0 {
+		c.past = append(c.past[:0], c.past[drop:]...)
+	}
+	c.mu.Unlock()
+}
+
+// ddlStampLocked allocates the stamp for one DDL mutation and, with
+// history on, preserves the current name maps for older snapshots. It
+// must run after the journal accepted the mutation and before any map
+// is touched. Caller holds pubMu and c.mu; the caller advances the
+// watermark with SetVisible(stamp) after its mutation is applied.
+func (c *Catalog) ddlStampLocked() uint64 {
+	stamp := c.stamps.Next(0)
+	if c.history {
+		p := catPast{
+			stamp: stamp,
+			ver:   c.version.Load(),
+			tabs:  make(map[string]*Table, len(c.tabs)),
+			vws:   make(map[string]*View, len(c.vws)),
+			seqs:  make(map[string]*Sequence, len(c.seqs)),
+			idxs:  make(map[string]string, len(c.idxs)),
+		}
+		for k, v := range c.tabs {
+			p.tabs[k] = v
+		}
+		for k, v := range c.vws {
+			p.vws[k] = v
+		}
+		for k, v := range c.seqs {
+			p.seqs[k] = v
+		}
+		for k, v := range c.idxs {
+			p.idxs[k] = v
+		}
+		c.past = append(c.past, p)
+	}
+	return stamp
+}
+
+// pastIdxLocked returns the index of the catalog state visible at
+// stamp, or -1 for the live maps. Caller holds c.mu.
+func (c *Catalog) pastIdxLocked(stamp uint64) int {
+	if len(c.past) == 0 || stamp >= c.past[len(c.past)-1].stamp {
+		return -1
+	}
+	// The first preserved state whose end stamp is past the snapshot is
+	// the state the snapshot ran under.
+	return sort.Search(len(c.past), func(i int) bool { return c.past[i].stamp > stamp })
+}
+
+// TableAt resolves a table name as of the given snapshot stamp.
+func (c *Catalog) TableAt(name string, stamp uint64) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if i := c.pastIdxLocked(stamp); i >= 0 {
+		t, ok := c.past[i].tabs[key(name)]
+		return t, ok
+	}
+	t, ok := c.tabs[key(name)]
+	return t, ok
+}
+
+// ViewAt resolves a view name as of the given snapshot stamp.
+func (c *Catalog) ViewAt(name string, stamp uint64) (*View, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if i := c.pastIdxLocked(stamp); i >= 0 {
+		v, ok := c.past[i].vws[key(name)]
+		return v, ok
+	}
+	v, ok := c.vws[key(name)]
+	return v, ok
+}
+
+// SequenceAt resolves a sequence name as of the given snapshot stamp.
+func (c *Catalog) SequenceAt(name string, stamp uint64) (*Sequence, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if i := c.pastIdxLocked(stamp); i >= 0 {
+		s, ok := c.past[i].seqs[key(name)]
+		return s, ok
+	}
+	s, ok := c.seqs[key(name)]
+	return s, ok
+}
+
+// HasIndexAt reports whether the named index existed at the stamp.
+func (c *Catalog) HasIndexAt(name string, stamp uint64) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if i := c.pastIdxLocked(stamp); i >= 0 {
+		_, ok := c.past[i].idxs[key(name)]
+		return ok
+	}
+	_, ok := c.idxs[key(name)]
+	return ok
+}
+
+// TableIndexesAt returns the sorted index names owned by the table as
+// of the stamp.
+func (c *Catalog) TableIndexesAt(table string, stamp uint64) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	idxs := c.idxs
+	if i := c.pastIdxLocked(stamp); i >= 0 {
+		idxs = c.past[i].idxs
+	}
+	tk := key(table)
+	var out []string
+	for ix, owner := range idxs {
+		if owner == tk {
+			out = append(out, ix)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// VersionAt returns the catalog's DDL version as of the stamp — the key
+// snapshot-scoped plan and statement caches validate against, so a
+// prepared program checked under a snapshot never revalidates against
+// dictionary states the snapshot cannot see.
+func (c *Catalog) VersionAt(stamp uint64) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if i := c.pastIdxLocked(stamp); i >= 0 {
+		return c.past[i].ver
+	}
+	return c.version.Load()
+}

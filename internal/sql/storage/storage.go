@@ -22,9 +22,17 @@ type Table struct {
 	schema *schema.Schema
 
 	mu      sync.RWMutex
-	rows    []schema.Row // guarded by mu
-	indexes []*Index     // guarded by mu
+	rows    []schema.Row // guarded by mu; current row generation
+	indexes []*Index     // guarded by mu; indexes over the current generation
 	jn      Journal      // guarded by mu; nil on in-memory databases
+
+	// MVCC state (see mvcc.go): bounds are the current generation's
+	// visibility boundaries, hist the superseded generations still
+	// reachable by registered snapshots, clock the owning catalog's
+	// stamp clock (a private clock grows lazily on detached tables).
+	bounds []rowBound  // guarded by mu
+	hist   []oldGen    // guarded by mu
+	clock  *StampClock // guarded by mu (the pointer; the clock is atomic)
 
 	// stats is the last statistics snapshot (nil until first computed);
 	// statsRows is the row count it was computed at, which drives the
@@ -59,10 +67,12 @@ func (t *Table) Insert(r schema.Row) error {
 			return err
 		}
 	}
+	stamp := t.stampLocked()
 	for _, ix := range t.indexes {
 		ix.add(r, len(t.rows))
 	}
 	t.rows = append(t.rows, r)
+	t.publishLegacyLocked(stamp)
 	return nil
 }
 
@@ -78,12 +88,14 @@ func (t *Table) InsertAll(rs []schema.Row) error {
 			return err
 		}
 	}
+	stamp := t.stampLocked()
 	for i, r := range rs {
 		for _, ix := range t.indexes {
 			ix.add(r, len(t.rows)+i)
 		}
 	}
 	t.rows = append(t.rows, rs...)
+	t.publishLegacyLocked(stamp)
 	return nil
 }
 
@@ -103,8 +115,10 @@ func (t *Table) Truncate() error {
 			return err
 		}
 	}
+	stamp := t.stampLocked()
 	t.rows = nil
 	t.reindexLocked()
+	t.publishLegacyLocked(stamp)
 	return nil
 }
 
@@ -121,8 +135,10 @@ func (t *Table) Replace(rs []schema.Row) error {
 			return err
 		}
 	}
+	stamp := t.stampLocked()
 	t.rows = rs
 	t.reindexLocked()
+	t.publishLegacyLocked(stamp)
 	return nil
 }
 
@@ -212,12 +228,25 @@ type View struct {
 // Catalog is the data dictionary: a name → object map for tables, views
 // and sequences. Names are case-insensitive.
 type Catalog struct {
+	// pubMu is the publish lock (see LockPublish in mvcc.go): committing
+	// transactions, DDL statements and checkpoints serialize on it so the
+	// visible watermark only ever covers fully applied effects. It is
+	// acquired before mu; it guards no fields itself.
+	pubMu sync.Mutex
+
 	mu   sync.RWMutex
 	tabs map[string]*Table    // guarded by mu
 	vws  map[string]*View     // guarded by mu
 	seqs map[string]*Sequence // guarded by mu
 	idxs map[string]string    // guarded by mu; index name → owning table name
 	jn   Journal              // guarded by mu; nil on in-memory databases
+
+	// stamps is the commit-stamp clock shared by every object in the
+	// catalog; history/past retain superseded name maps for snapshot
+	// readers (see mvcc.go).
+	stamps  StampClock
+	history bool      // guarded by mu; retain past states (a txn manager is attached)
+	past    []catPast // guarded by mu; superseded catalog states, ascending by stamp
 
 	// version counts DDL mutations. Caches of anything derived from the
 	// dictionary (resolved view plans, compiled statements bound to
@@ -268,6 +297,8 @@ func (c *Catalog) taken(k string) (string, bool) {
 
 // CreateTable registers a new empty table.
 func (c *Catalog) CreateTable(name string, s *schema.Schema) (*Table, error) {
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := key(name)
@@ -279,16 +310,20 @@ func (c *Catalog) CreateTable(name string, s *schema.Schema) (*Table, error) {
 			return nil, err
 		}
 	}
+	stamp := c.ddlStampLocked()
 	// Built as a literal, not via NewTable: the table is unpublished
 	// until the map insert below, so its fields may be set lock-free.
-	t := &Table{name: name, schema: s, jn: c.jn, statsEpoch: c.statsEpochRef()}
+	t := &Table{name: name, schema: s, jn: c.jn, statsEpoch: c.statsEpochRef(), clock: &c.stamps}
 	c.tabs[k] = t
 	c.version.Add(1)
+	c.stamps.SetVisible(stamp)
 	return t, nil
 }
 
 // DropTable removes a table and its indexes; it is an error if absent.
 func (c *Catalog) DropTable(name string) error {
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := key(name)
@@ -301,16 +336,20 @@ func (c *Catalog) DropTable(name string) error {
 			return err
 		}
 	}
+	stamp := c.ddlStampLocked()
 	for _, ix := range t.Indexes() {
 		delete(c.idxs, key(ix.Name()))
 	}
 	delete(c.tabs, k)
 	c.version.Add(1)
+	c.stamps.SetVisible(stamp)
 	return nil
 }
 
 // CreateIndex builds a hash index named name on table.column.
 func (c *Catalog) CreateIndex(name, table string, col int) (*Index, error) {
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := key(name)
@@ -330,17 +369,21 @@ func (c *Catalog) CreateIndex(name, table string, col int) (*Index, error) {
 			return nil, err
 		}
 	}
+	stamp := c.ddlStampLocked()
 	ix, err := t.CreateIndex(name, col)
 	if err != nil {
 		return nil, err
 	}
 	c.idxs[k] = key(table)
 	c.version.Add(1)
+	c.stamps.SetVisible(stamp)
 	return ix, nil
 }
 
 // DropIndex removes a named index wherever it lives.
 func (c *Catalog) DropIndex(name string) error {
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := key(name)
@@ -353,6 +396,7 @@ func (c *Catalog) DropIndex(name string) error {
 			return err
 		}
 	}
+	stamp := c.ddlStampLocked()
 	if t, ok := c.tabs[tabKey]; ok {
 		if err := t.DropIndex(name); err != nil {
 			return err
@@ -360,6 +404,7 @@ func (c *Catalog) DropIndex(name string) error {
 	}
 	delete(c.idxs, k)
 	c.version.Add(1)
+	c.stamps.SetVisible(stamp)
 	return nil
 }
 
@@ -373,6 +418,8 @@ func (c *Catalog) Table(name string) (*Table, bool) {
 
 // CreateView registers a named view over the given SELECT text.
 func (c *Catalog) CreateView(name, text string) error {
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := key(name)
@@ -384,13 +431,17 @@ func (c *Catalog) CreateView(name, text string) error {
 			return err
 		}
 	}
+	stamp := c.ddlStampLocked()
 	c.vws[k] = &View{Name: name, Text: text}
 	c.version.Add(1)
+	c.stamps.SetVisible(stamp)
 	return nil
 }
 
 // DropView removes a view; it is an error if absent.
 func (c *Catalog) DropView(name string) error {
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := key(name)
@@ -402,8 +453,10 @@ func (c *Catalog) DropView(name string) error {
 			return err
 		}
 	}
+	stamp := c.ddlStampLocked()
 	delete(c.vws, k)
 	c.version.Add(1)
+	c.stamps.SetVisible(stamp)
 	return nil
 }
 
@@ -417,6 +470,8 @@ func (c *Catalog) View(name string) (*View, bool) {
 
 // CreateSequence registers a new sequence starting at 1.
 func (c *Catalog) CreateSequence(name string) (*Sequence, error) {
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := key(name)
@@ -428,16 +483,20 @@ func (c *Catalog) CreateSequence(name string) (*Sequence, error) {
 			return nil, err
 		}
 	}
+	stamp := c.ddlStampLocked()
 	// Literal construction for the same unpublished-object reason as
 	// CreateTable; next/logged start at 1 as in NewSequence.
 	s := &Sequence{name: name, next: 1, logged: 1, jn: c.jn}
 	c.seqs[k] = s
 	c.version.Add(1)
+	c.stamps.SetVisible(stamp)
 	return s, nil
 }
 
 // DropSequence removes a sequence; it is an error if absent.
 func (c *Catalog) DropSequence(name string) error {
+	c.pubMu.Lock()
+	defer c.pubMu.Unlock()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := key(name)
@@ -449,8 +508,10 @@ func (c *Catalog) DropSequence(name string) error {
 			return err
 		}
 	}
+	stamp := c.ddlStampLocked()
 	delete(c.seqs, k)
 	c.version.Add(1)
+	c.stamps.SetVisible(stamp)
 	return nil
 }
 
@@ -481,6 +542,15 @@ func (c *Catalog) HasIndex(name string) bool {
 	defer c.mu.RUnlock()
 	_, ok := c.idxs[key(name)]
 	return ok
+}
+
+// IndexOwner returns the table owning the named index, if the index
+// exists (the lock a DROP INDEX must take before touching the table).
+func (c *Catalog) IndexOwner(name string) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.idxs[key(name)]
+	return t, ok
 }
 
 // TableIndexes returns the sorted names of the indexes owned by the

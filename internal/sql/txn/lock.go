@@ -1,0 +1,155 @@
+// Package txn is the engine's transaction and concurrency-control
+// subsystem: statement-consistent MVCC snapshots over the storage
+// layer's versioned tables and catalog, a FIFO lock manager for
+// writers, and WAL group commit for durable databases. The design
+// target is the paper's tightly-coupled architecture — a minutes-long
+// MINE RULE run executes as a lock-free snapshot read while OLTP
+// writers keep committing beside it.
+package txn
+
+import (
+	"context"
+	"time"
+
+	"sync"
+
+	"minerule/internal/obsv"
+	"minerule/internal/resource"
+)
+
+// DefaultLockTimeout bounds a writer's wait for a contended lock when
+// the Manager is configured with zero. The engine has no waits-for
+// graph; the bounded wait doubles as deadlock detection — in a cycle,
+// whoever times out first becomes the victim and the rest proceed.
+const DefaultLockTimeout = 5 * time.Second
+
+// LockManager grants exclusive locks on named resources to
+// transactions. Readers never touch it (snapshots make reads
+// lock-free); writers take one lock per table they mutate, and DDL
+// takes the affected table's lock so a drop cannot race a committing
+// writer. Resources are arbitrary strings — the engine currently locks
+// at table granularity (lowercased table name), and the key space
+// leaves room for finer grains ("table/row-key") without changing the
+// manager.
+//
+// Waiters queue FIFO per resource: a released lock goes to the oldest
+// waiter, so a steady stream of newcomers cannot starve anyone.
+type LockManager struct {
+	mu      sync.Mutex
+	entries map[string]*lockEntry // guarded by mu
+	timeout time.Duration         // guarded by mu (set once at construction)
+	met     *obsv.Metrics         // immutable after construction; counters are atomic
+}
+
+// lockEntry is one resource's lock word and wait queue. Both fields are
+// accessed only under the owning LockManager's mu.
+type lockEntry struct {
+	holder *Txn
+	queue  []*waiter // FIFO
+}
+
+// waiter is one queued lock request. ready is closed exactly once, by
+// the releaser that hands the waiter the lock.
+type waiter struct {
+	tx    *Txn
+	ready chan struct{}
+}
+
+// newLockManager builds a manager with the given wait bound (zero
+// selects DefaultLockTimeout).
+func newLockManager(timeout time.Duration, met *obsv.Metrics) *LockManager {
+	if timeout <= 0 {
+		timeout = DefaultLockTimeout
+	}
+	return &LockManager{entries: make(map[string]*lockEntry), timeout: timeout, met: met}
+}
+
+// acquire takes the exclusive lock on res for tx, blocking FIFO behind
+// the current holder. It returns nil immediately when tx already holds
+// the lock. The wait ends early when ctx expires; either ending
+// surfaces as a *resource.LockTimeoutError (with the context cause
+// attached when that is what cut the wait short).
+func (lm *LockManager) acquire(ctx context.Context, tx *Txn, res string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	lm.mu.Lock()
+	e := lm.entries[res]
+	if e == nil {
+		e = &lockEntry{}
+		lm.entries[res] = e
+	}
+	if e.holder == nil {
+		e.holder = tx
+		lm.mu.Unlock()
+		return nil
+	}
+	if e.holder == tx {
+		lm.mu.Unlock()
+		return nil
+	}
+	w := &waiter{tx: tx, ready: make(chan struct{})}
+	e.queue = append(e.queue, w)
+	timeout := lm.timeout
+	lm.mu.Unlock()
+	if lm.met != nil {
+		lm.met.LockWaits.Inc()
+	}
+
+	start := time.Now()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	var cause error
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		cause = resource.Canceled(ctx.Err())
+	case <-timer.C:
+		// Deadlock-timeout victim.
+	}
+
+	// The grant may have raced the timeout: a releaser that closed
+	// w.ready already transferred the lock to us, and backing out now
+	// would strand it. Re-check under the lock.
+	lm.mu.Lock()
+	select {
+	case <-w.ready:
+		lm.mu.Unlock()
+		return nil
+	default:
+	}
+	for i, q := range e.queue {
+		if q == w {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			break
+		}
+	}
+	lm.mu.Unlock()
+	if lm.met != nil {
+		lm.met.LockTimeouts.Inc()
+	}
+	return &resource.LockTimeoutError{Table: res, Wait: time.Since(start), Cause: cause}
+}
+
+// release drops every lock tx holds among resources, handing each to
+// its oldest waiter.
+func (lm *LockManager) release(tx *Txn, resources []string) {
+	lm.mu.Lock()
+	for _, res := range resources {
+		e := lm.entries[res]
+		if e == nil || e.holder != tx {
+			continue
+		}
+		if len(e.queue) > 0 {
+			next := e.queue[0]
+			e.queue = e.queue[1:]
+			e.holder = next.tx
+			close(next.ready)
+			continue
+		}
+		e.holder = nil
+		delete(lm.entries, res)
+	}
+	lm.mu.Unlock()
+}

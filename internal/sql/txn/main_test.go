@@ -1,0 +1,11 @@
+package txn
+
+import (
+	"testing"
+
+	"minerule/internal/leakcheck"
+)
+
+// TestMain gates the package on goroutine hygiene: lock waiters and
+// group-commit followers must all have unwound when the suite ends.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

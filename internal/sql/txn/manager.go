@@ -1,0 +1,129 @@
+package txn
+
+import (
+	"sync"
+	"time"
+
+	"minerule/internal/obsv"
+	"minerule/internal/sql/storage"
+	"minerule/internal/sql/wal"
+)
+
+// CommitJournal is the durable store's transactional commit surface.
+// AppendBatch logs a whole commit as one atomic WAL frame (a single
+// record as itself, several wrapped in a KindTxn record), invoking
+// charge with the frame's page count before any byte reaches the log so
+// a page-I/O budget can veto the commit cleanly. SyncTo returns once
+// every record up to lsn is durable; concurrent callers share fsyncs
+// (group commit). LastLSN reports the newest appended record, durable
+// or not — commits that only logged through side channels (DDL,
+// sequence bumps) sync to it. A nil CommitJournal (in-memory database)
+// skips logging and syncing entirely.
+type CommitJournal interface {
+	AppendBatch(recs []*wal.Record, charge func(pages int) error) (lsn uint64, err error)
+	SyncTo(lsn uint64) error
+	LastLSN() uint64
+}
+
+// Manager owns the transaction machinery of one database: the snapshot
+// registry that tracks which commit stamps are still in use (bounding
+// how much row and catalog history storage must retain), the lock
+// manager, and the commit path. One Manager lives on each
+// engine.Database; all methods are safe for concurrent use.
+type Manager struct {
+	cat   *storage.Catalog
+	jn    CommitJournal // nil on in-memory databases
+	met   *obsv.Metrics
+	locks *LockManager
+
+	mu     sync.Mutex
+	active map[*Txn]uint64 // guarded by mu; registered snapshot stamps
+
+	// pool recycles finished Txn values so the autocommit fast path —
+	// one ephemeral transaction per statement — allocates nothing in
+	// steady state.
+	pool sync.Pool
+}
+
+// NewManager builds the transaction manager for cat. jn is the durable
+// store's commit journal (nil in memory); lockTimeout bounds writer
+// lock waits (zero selects DefaultLockTimeout). Attaching a manager
+// turns on catalog name-map history: from here on, DDL preserves
+// superseded dictionary states for the snapshots that still need them.
+func NewManager(cat *storage.Catalog, jn CommitJournal, met *obsv.Metrics, lockTimeout time.Duration) *Manager {
+	cat.EnableHistory()
+	return &Manager{
+		cat:    cat,
+		jn:     jn,
+		met:    met,
+		locks:  newLockManager(lockTimeout, met),
+		active: make(map[*Txn]uint64),
+	}
+}
+
+// Begin opens a transaction on the current snapshot: the stamp is read
+// from the visible watermark and registered under the same lock that
+// computes low-water marks, so no publisher can prune state this
+// snapshot needs.
+func (m *Manager) Begin() *Txn {
+	tx, _ := m.pool.Get().(*Txn)
+	if tx == nil {
+		tx = new(Txn)
+	}
+	*tx = Txn{m: m}
+	m.mu.Lock()
+	tx.snap = m.cat.Stamps().Visible()
+	m.active[tx] = tx.snap
+	m.mu.Unlock()
+	if m.met != nil {
+		m.met.TxnBegun.Inc()
+	}
+	return tx
+}
+
+// advance re-snapshots a live transaction to the current watermark
+// (after its own DDL published, so it sees what it just created).
+func (m *Manager) advance(tx *Txn) {
+	m.mu.Lock()
+	tx.snap = m.cat.Stamps().Visible()
+	m.active[tx] = tx.snap
+	m.mu.Unlock()
+}
+
+// unregister removes tx from the snapshot registry and returns the
+// low-water mark: the oldest stamp any remaining snapshot (or any
+// snapshot a concurrent Begin could still take) may hold. Publishers
+// prune history below it.
+func (m *Manager) unregister(tx *Txn) uint64 {
+	m.mu.Lock()
+	delete(m.active, tx)
+	// A concurrent Begin serializes on m.mu and adopts the watermark as
+	// it stands now, so the watermark floors the mark even when no
+	// transaction is registered.
+	lwm := m.cat.Stamps().Visible()
+	for _, s := range m.active {
+		if s < lwm {
+			lwm = s
+		}
+	}
+	m.mu.Unlock()
+	return lwm
+}
+
+// Release returns a finished transaction to the Begin pool. The caller
+// must drop every reference to tx; an unfinished transaction is ignored
+// rather than recycled.
+func (m *Manager) Release(tx *Txn) {
+	if tx == nil || !tx.finished {
+		return
+	}
+	m.pool.Put(tx)
+}
+
+// LockTimeout reports the lock manager's configured wait bound (for
+// tests and tooling).
+func (m *Manager) LockTimeout() time.Duration {
+	m.locks.mu.Lock()
+	defer m.locks.mu.Unlock()
+	return m.locks.timeout
+}

@@ -52,6 +52,12 @@ const (
 	KindReplace
 	KindSeqBump
 	KindCheckpoint
+	// KindTxn is an atomic multi-record commit: the sub-records apply
+	// together or (after a crash inside the frame) not at all — CRC
+	// framing already makes every frame all-or-nothing, so transactions
+	// get crash atomicity without a begin/end record pair. The wrapper
+	// consumes one LSN; its sub-records carry LSN zero.
+	KindTxn
 )
 
 // String names the kind for diagnostics.
@@ -83,6 +89,8 @@ func (k Kind) String() string {
 		return "SEQ BUMP"
 	case KindCheckpoint:
 		return "CHECKPOINT"
+	case KindTxn:
+		return "TXN"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -113,6 +121,10 @@ type Record struct {
 	// skipped by the crash become gaps, the classic sequence-cache
 	// trade).
 	Next int64
+	// Subs is the record sequence of a KindTxn commit, applied in order.
+	// Sub-records carry LSN zero (the wrapper owns the frame's LSN) and
+	// may not nest further Txn records.
+	Subs []*Record
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -171,6 +183,15 @@ func (r *Record) AppendPayload(dst []byte) []byte {
 		dst = binary.AppendVarint(dst, r.Next)
 	case KindCheckpoint:
 		dst = binary.AppendVarint(dst, r.Next)
+	case KindTxn:
+		dst = binary.AppendUvarint(dst, uint64(len(r.Subs)))
+		for _, sub := range r.Subs {
+			// Each sub-record is length-framed so decode needs no
+			// knowledge of the inner payload shapes.
+			body := sub.AppendPayload(nil)
+			dst = binary.AppendUvarint(dst, uint64(len(body)))
+			dst = append(dst, body...)
+		}
 	}
 	return dst
 }
@@ -270,6 +291,28 @@ func DecodePayload(b []byte) (*Record, error) {
 		}
 		r.Next = v
 		rest = rest[n:]
+	case KindTxn:
+		nsubs, n := binary.Uvarint(rest)
+		if n <= 0 || nsubs > uint64(len(rest)) { // each sub needs ≥ 1 byte
+			return nil, fmt.Errorf("wal: bad txn sub-record count")
+		}
+		rest = rest[n:]
+		r.Subs = make([]*Record, nsubs)
+		for i := range r.Subs {
+			l, n := binary.Uvarint(rest)
+			if n <= 0 || uint64(len(rest)-n) < l {
+				return nil, fmt.Errorf("wal: bad txn sub-record frame")
+			}
+			sub, err := DecodePayload(rest[n : n+int(l)])
+			if err != nil {
+				return nil, fmt.Errorf("wal: txn sub-record %d: %w", i, err)
+			}
+			if sub.Kind == KindTxn {
+				return nil, fmt.Errorf("wal: nested txn record")
+			}
+			r.Subs[i] = sub
+			rest = rest[n+int(l):]
+		}
 	default:
 		return nil, fmt.Errorf("wal: unknown record kind %d", r.Kind)
 	}
