@@ -1,0 +1,31 @@
+package txn_dup_test
+
+import (
+	"testing"
+
+	"minerule/internal/sql/engine"
+)
+
+func TestDropRecreateInsertDup(t *testing.T) {
+	db := engine.New()
+	c := db.Conn()
+	mustExec := func(sql string) {
+		if _, err := c.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec("BEGIN")
+	mustExec("CREATE TABLE t (a int)")
+	mustExec("INSERT INTO t VALUES (1)")
+	mustExec("DROP TABLE t")
+	mustExec("CREATE TABLE t (a int)")
+	mustExec("INSERT INTO t VALUES (2)")
+	mustExec("COMMIT")
+	res, err := db.Query("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("want 1 row, got %d: %v", len(res.Rows), res.Rows)
+	}
+}
